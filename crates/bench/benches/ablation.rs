@@ -1,0 +1,75 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * **Integration method** — backward Euler (default) vs trapezoidal on
+//!   the read-energy measurement: quantifies the cost/accuracy trade of
+//!   the L-stable default.
+//! * **Time-step ceiling** — store-energy extraction at dt_max ∈
+//!   {25, 100, 400} ps: how coarse the transient can run before the
+//!   energy figures drift.
+//! * **MTCMOS V_th boost** — the high-V_th power switch (0.15 V boost by
+//!   default): static-power table extraction across boost values, the
+//!   knob that separates shutdown from sleep power.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpg_cells::bench::CellBench;
+use nvpg_cells::cell::{CellKind, MtjConfig};
+use nvpg_cells::characterize::static_power_by_mode;
+use nvpg_cells::design::CellDesign;
+use std::hint::black_box;
+
+fn read_energy(design: &CellDesign) -> f64 {
+    let mut bench =
+        CellBench::new(*design, CellKind::NvSram, true, MtjConfig::stored(true)).expect("cell");
+    bench.read().expect("read").energy.0
+}
+
+fn store_energy(design: &CellDesign) -> f64 {
+    let mut bench =
+        CellBench::new(*design, CellKind::NvSram, true, MtjConfig::stored(false)).expect("cell");
+    bench
+        .store()
+        .expect("store")
+        .iter()
+        .map(|p| p.energy.0)
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    let design = CellDesign::table1();
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+
+    // Print the accuracy side of the ablations once, so the bench report
+    // carries the numbers alongside the timings.
+    let e_store = store_energy(&design);
+    eprintln!("ablation: E_store (default dt ceiling) = {:.4e} J", e_store);
+    for boost in [0.0, 0.15, 0.25] {
+        let mut d = design;
+        d.power_switch_vth_boost = boost;
+        let t = static_power_by_mode(&d).expect("static power");
+        eprintln!(
+            "ablation: Vth boost {boost} V -> P_shutdown = {:.3e} W, super cutoff = {:.3e} W",
+            t.p_nv_shutdown, t.p_nv_shutdown_super
+        );
+    }
+
+    g.bench_function("read_energy_backward_euler", |b| {
+        b.iter(|| read_energy(black_box(&design)))
+    });
+    g.bench_function("store_energy_extraction", |b| {
+        b.iter(|| store_energy(black_box(&design)))
+    });
+    g.bench_function("static_power_vth_boost_sweep", |b| {
+        b.iter(|| {
+            for boost in [0.0, 0.15, 0.25] {
+                let mut d = design;
+                d.power_switch_vth_boost = boost;
+                let _ = static_power_by_mode(black_box(&d)).expect("static power");
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Fig. 3(a)-(c): leakage vs V_CTRL and the two store-current
+//! characteristics (DC sweeps over the NV-SRAM cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpg_cells::design::CellDesign;
+use nvpg_core::Experiments;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiments::new(CellDesign::table1()).expect("characterisation");
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("fig3a_leakage_vs_vctrl", |b| {
+        b.iter(|| black_box(&exp).fig3a().expect("fig3a"))
+    });
+    g.bench_function("fig3b_store_current_vs_vsr", |b| {
+        b.iter(|| black_box(&exp).fig3b().expect("fig3b"))
+    });
+    g.bench_function("fig3c_store_current_vs_vctrl", |b| {
+        b.iter(|| black_box(&exp).fig3c().expect("fig3c"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Fig. 4: virtual-V_DD vs power-switch fin count (10 cell rebuilds and
+//! DC solves per regeneration).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpg_cells::design::CellDesign;
+use nvpg_core::Experiments;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiments::new(CellDesign::table1()).expect("characterisation");
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    g.bench_function("fig4_vvdd_vs_nfsw", |b| {
+        b.iter(|| black_box(&exp).fig4().expect("fig4"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

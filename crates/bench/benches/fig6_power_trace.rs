@@ -1,0 +1,32 @@
+//! Fig. 6: the cell-level transient benchmark sequences (power traces)
+//! and the per-mode static-power table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpg_cells::design::CellDesign;
+use nvpg_core::sequence::{run_sequence, SequenceParams};
+use nvpg_core::{Architecture, Experiments};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let design = CellDesign::table1();
+    let params = SequenceParams {
+        n_rw: 1,
+        t_sl: 20e-9,
+        t_sd: 50e-9,
+    };
+    let mut g = c.benchmark_group("fig6");
+    g.sample_size(10);
+    for arch in Architecture::ALL {
+        g.bench_function(format!("fig6a_sequence_{arch}"), |b| {
+            b.iter(|| run_sequence(black_box(&design), arch, &params).expect("sequence"))
+        });
+    }
+    let exp = Experiments::new(design).expect("characterisation");
+    g.bench_function("fig6c_static_power", |b| {
+        b.iter(|| black_box(&exp).fig6c().expect("fig6c"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Fig. 7(a)-(c): E_cyc vs n_RW families (closed-form composition over
+//! the cached characterisation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpg_cells::design::CellDesign;
+use nvpg_core::Experiments;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiments::new(CellDesign::table1()).expect("characterisation");
+    let mut g = c.benchmark_group("fig7");
+    g.bench_function("fig7a_ecyc_vs_nrw", |b| b.iter(|| black_box(&exp).fig7a()));
+    g.bench_function("fig7b_ecyc_vs_nrw_domain_sizes", |b| {
+        b.iter(|| black_box(&exp).fig7b())
+    });
+    g.bench_function("fig7c_ecyc_vs_nrw_tsd", |b| {
+        b.iter(|| black_box(&exp).fig7c())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

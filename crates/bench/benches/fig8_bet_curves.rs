@@ -1,0 +1,19 @@
+//! Fig. 8(a)/(b): E_cyc vs t_SD and the normalised BET read-off curves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpg_cells::design::CellDesign;
+use nvpg_core::Experiments;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiments::new(CellDesign::table1()).expect("characterisation");
+    let mut g = c.benchmark_group("fig8");
+    g.bench_function("fig8a_ecyc_vs_tsd", |b| b.iter(|| black_box(&exp).fig8a()));
+    g.bench_function("fig8b_normalized_ecyc", |b| {
+        b.iter(|| black_box(&exp).fig8b())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

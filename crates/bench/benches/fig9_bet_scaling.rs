@@ -1,0 +1,29 @@
+//! Fig. 9(a)/(b): BET vs domain size, with store-free shutdown and the
+//! fast-technology point.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpg_cells::design::CellDesign;
+use nvpg_core::bet::{bet_closed_form, bet_iterative};
+use nvpg_core::{Architecture, BenchmarkParams, Experiments};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let exp = Experiments::new(CellDesign::table1()).expect("characterisation");
+    let mut g = c.benchmark_group("fig9");
+    g.bench_function("fig9a_bet_vs_rows", |b| b.iter(|| black_box(&exp).fig9a()));
+    let params = BenchmarkParams::fig7_default();
+    g.bench_function("bet_closed_form_single", |b| {
+        b.iter(|| bet_closed_form(black_box(exp.model()), Architecture::Nvpg, &params))
+    });
+    g.bench_function("bet_iterative_single", |b| {
+        b.iter(|| bet_iterative(black_box(exp.model()), Architecture::Nvpg, &params, 1.0))
+    });
+    g.sample_size(10);
+    g.bench_function("fig9b_fast_tech_point", |b| {
+        b.iter(|| Experiments::fig9b().expect("fig9b"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

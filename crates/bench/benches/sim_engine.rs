@@ -1,0 +1,80 @@
+//! Simulator-engine performance: the primitives every figure is built
+//! from — dense LU factorisation across MNA-typical sizes, the NV-SRAM
+//! cell DC operating point, and transient throughput (steps/second) on
+//! the cell.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvpg_cells::cell::{build_cell, CellKind, MtjConfig};
+use nvpg_cells::design::CellDesign;
+use nvpg_circuit::dc::{operating_point, DcOptions};
+use nvpg_circuit::transient::{transient, TransientOptions};
+use nvpg_circuit::Circuit;
+use nvpg_numeric::DenseMatrix;
+use std::hint::black_box;
+
+fn lu_bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lu");
+    for n in [8usize, 16, 32, 64] {
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 31 + j * 17) % 23) as f64 / 23.0;
+            }
+            a[(i, i)] += n as f64;
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        g.bench_with_input(BenchmarkId::new("factor_and_solve", n), &n, |bench, _| {
+            bench.iter(|| {
+                black_box(&a)
+                    .lu()
+                    .expect("nonsingular")
+                    .solve(black_box(&b))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn cell_bench(c: &mut Criterion) {
+    let design = CellDesign::table1();
+    let mut g = c.benchmark_group("cell");
+    g.bench_function("nvsram_dc_operating_point", |b| {
+        b.iter(|| {
+            let mut ckt = Circuit::new();
+            let nodes = build_cell(&mut ckt, &design, CellKind::NvSram, MtjConfig::stored(true))
+                .expect("cell");
+            let opts = DcOptions::default()
+                .with_nodeset(nodes.q, 0.9)
+                .with_nodeset(nodes.qb, 0.0)
+                .with_nodeset(nodes.vvdd, 0.9)
+                .with_nodeset(nodes.bl, 0.9)
+                .with_nodeset(nodes.blb, 0.9);
+            operating_point(&mut ckt, &opts).expect("op")
+        })
+    });
+    g.bench_function("nvsram_transient_100ns", |b| {
+        b.iter(|| {
+            let mut ckt = Circuit::new();
+            let nodes = build_cell(&mut ckt, &design, CellKind::NvSram, MtjConfig::stored(true))
+                .expect("cell");
+            let opts = DcOptions::default()
+                .with_nodeset(nodes.q, 0.9)
+                .with_nodeset(nodes.qb, 0.0)
+                .with_nodeset(nodes.vvdd, 0.9)
+                .with_nodeset(nodes.bl, 0.9)
+                .with_nodeset(nodes.blb, 0.9);
+            let op = operating_point(&mut ckt, &opts).expect("op");
+            let topts = TransientOptions {
+                t_stop: 100e-9,
+                dt_max: 100e-12,
+                dt_init: 1e-12,
+                ..TransientOptions::default()
+            };
+            transient(&mut ckt, &topts, &op).expect("transient")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, lu_bench, cell_bench);
+criterion_main!(benches);

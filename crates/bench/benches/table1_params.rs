@@ -1,0 +1,22 @@
+//! Table I: times the full cell characterisation (the simulation flow
+//! behind every figure) and the parameter-echo itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvpg_cells::characterize::characterize;
+use nvpg_cells::design::CellDesign;
+use nvpg_core::Experiments;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+    g.bench_function("characterize_table1_design", |b| {
+        b.iter(|| characterize(black_box(&CellDesign::table1())).expect("characterisation"))
+    });
+    let exp = Experiments::new(CellDesign::table1()).expect("characterisation");
+    g.bench_function("table1_rows", |b| b.iter(|| black_box(&exp).table1_rows()));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

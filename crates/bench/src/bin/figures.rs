@@ -1,0 +1,168 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! figures [IDS...] [--csv DIR] [--full]
+//! ```
+//!
+//! With no arguments, all figures are produced in paper order. `--csv`
+//! additionally writes one CSV per figure into `DIR`; `--full` prints
+//! every data point instead of a downsampled table.
+//!
+//! Figure ids: `table1 fig3a fig3b fig3c fig4 fig6a fig6b fig6c fig7a
+//! fig7b fig7c fig8a fig8b fig9a fig9b`.
+
+use std::collections::BTreeSet;
+use std::error::Error;
+use std::path::PathBuf;
+
+use nvpg_bench::report::generate_report;
+use nvpg_bench::svg::render_svg;
+use nvpg_bench::{render_text, summarize, to_csv};
+use nvpg_cells::design::CellDesign;
+use nvpg_core::{Experiments, Figure, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut ids: BTreeSet<String> = BTreeSet::new();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut svg_dir: Option<PathBuf> = None;
+    let mut report_path: Option<PathBuf> = None;
+    let mut full = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--csv" => {
+                csv_dir = Some(PathBuf::from(
+                    args.next().ok_or("--csv requires a directory")?,
+                ));
+            }
+            "--svg" => {
+                svg_dir = Some(PathBuf::from(
+                    args.next().ok_or("--svg requires a directory")?,
+                ));
+            }
+            "--report" => {
+                report_path = Some(PathBuf::from(
+                    args.next().ok_or("--report requires a file path")?,
+                ));
+            }
+            "--full" => full = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [IDS...] [--csv DIR] [--svg DIR] [--report FILE] [--full]"
+                );
+                println!(
+                    "ids: {} {} {}",
+                    FIGURE_IDS.join(" "),
+                    BET_FIGURE_IDS.join(" "),
+                    EXTENSION_IDS.join(" ")
+                );
+                return Ok(());
+            }
+            other => {
+                ids.insert(other.to_owned());
+            }
+        }
+    }
+    let run_all = ids.is_empty();
+    let want = |id: &str| run_all || ids.contains(id);
+    let max_rows = if full { usize::MAX } else { 12 };
+
+    eprintln!("characterising the Table I design point (cell-level SPICE runs)...");
+    let exp = Experiments::new(CellDesign::table1())?;
+    let ch = exp.characterization();
+    eprintln!(
+        "  store_ok = {}, restore_ok = {}, E_store = {:.1} fJ, E_restore = {:.1} fJ",
+        ch.store_ok,
+        ch.restore_ok,
+        ch.e_store * 1e15,
+        ch.e_restore * 1e15
+    );
+
+    let emit = |fig: &Figure| -> Result<(), Box<dyn Error>> {
+        println!("{}", render_text(fig, max_rows));
+        println!("{}", summarize(fig));
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("{}.csv", fig.id));
+            std::fs::write(&path, to_csv(fig))?;
+            eprintln!("  wrote {}", path.display());
+        }
+        if let Some(dir) = &svg_dir {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("{}.svg", fig.id));
+            std::fs::write(&path, render_svg(fig))?;
+            eprintln!("  wrote {}", path.display());
+        }
+        Ok(())
+    };
+
+    if want("table1") {
+        println!("== table1 — device and circuit parameters (live model echo)");
+        for (k, v) in exp.table1_rows() {
+            println!("   {k:<44} {v}");
+        }
+        println!();
+    }
+    if want("fig3a") {
+        emit(&exp.fig3a()?)?;
+    }
+    if want("fig3b") {
+        emit(&exp.fig3b()?)?;
+    }
+    if want("fig3c") {
+        emit(&exp.fig3c()?)?;
+    }
+    if want("fig4") {
+        emit(&exp.fig4()?)?;
+    }
+    if want("fig6a") {
+        emit(&exp.fig6a()?)?;
+    }
+    if want("fig6b") {
+        emit(&exp.fig6b()?)?;
+    }
+    if want("fig6c") {
+        emit(&exp.fig6c()?)?;
+    }
+    if want("fig7a") {
+        emit(&exp.fig7a())?;
+    }
+    if want("fig7b") {
+        emit(&exp.fig7b())?;
+    }
+    if want("fig7c") {
+        emit(&exp.fig7c())?;
+    }
+    if want("fig8a") {
+        emit(&exp.fig8a())?;
+    }
+    if want("fig8b") {
+        emit(&exp.fig8b())?;
+    }
+    if want("fig9a") {
+        emit(&exp.fig9a())?;
+    }
+    if want("ext_policy") {
+        emit(&exp.ext_policy())?;
+    }
+    if want("ext_wer") {
+        emit(&exp.ext_wer())?;
+    }
+    if want("ext_breakdown") {
+        emit(&exp.ext_breakdown())?;
+    }
+    if want("ext_thermal") {
+        eprintln!("temperature sweep (re-characterises per point)...");
+        emit(&exp.ext_thermal()?)?;
+    }
+    if want("fig9b") {
+        eprintln!("characterising the Fig. 9(b) design point (1 GHz, low J_C)...");
+        emit(&Experiments::fig9b()?)?;
+    }
+    if let Some(path) = &report_path {
+        eprintln!("generating the live measurement report...");
+        std::fs::write(path, generate_report(&exp)?)?;
+        eprintln!("  wrote {}", path.display());
+    }
+    Ok(())
+}

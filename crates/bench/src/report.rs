@@ -1,0 +1,226 @@
+//! Live measurement report.
+//!
+//! Generates a markdown summary of the headline quantities from a fresh
+//! characterisation — the regenerable core of `EXPERIMENTS.md`. Because
+//! it runs the real simulations, it is also the quickest way to see how a
+//! modified design point shifts every headline number at once.
+
+use std::fmt::Write as _;
+
+use nvpg_cells::characterize::sensed_read;
+use nvpg_cells::design::CellDesign;
+use nvpg_cells::snm::{static_noise_margin, SnmCondition};
+use nvpg_cells::timing::timing;
+use nvpg_cells::CellKind;
+use nvpg_circuit::CircuitError;
+use nvpg_core::bet::bet_closed_form;
+use nvpg_core::{Architecture, BenchmarkParams, Bet, Experiments, PowerDomain};
+use nvpg_units::format_eng;
+
+fn fmt_bet(b: Bet) -> String {
+    match b {
+        Bet::At(t) => format_eng(t.0, "s"),
+        Bet::Always => "always wins".into(),
+        Bet::Never => "never wins".into(),
+    }
+}
+
+/// Builds the markdown report for an already-characterised driver.
+///
+/// # Errors
+///
+/// Propagates simulation errors from the second (Fig. 9(b)) design point.
+pub fn generate_report(exp: &Experiments) -> Result<String, CircuitError> {
+    let ch = exp.characterization();
+    let sp = &ch.static_power;
+    let m = exp.model();
+    let mut out = String::new();
+    let w = &mut out;
+
+    let _ = writeln!(w, "# nvpg measurement report (live)\n");
+    let _ = writeln!(
+        w,
+        "Design point: Table I, {} MHz read/write, N_FSW = {}.\n",
+        exp.design().conditions.rw_freq / 1e6,
+        exp.design().fins_power_switch
+    );
+
+    let _ = writeln!(w, "## Cell characterisation\n");
+    let _ = writeln!(w, "| quantity | 6T | NV-SRAM |");
+    let _ = writeln!(w, "|---|---|---|");
+    let _ = writeln!(
+        w,
+        "| static power, normal | {} | {} |",
+        format_eng(sp.p_6t_normal, "W"),
+        format_eng(sp.p_nv_normal, "W")
+    );
+    let _ = writeln!(
+        w,
+        "| static power, sleep | {} | {} |",
+        format_eng(sp.p_6t_sleep, "W"),
+        format_eng(sp.p_nv_sleep, "W")
+    );
+    let _ = writeln!(
+        w,
+        "| static power, shutdown / super cutoff | — | {} / {} |",
+        format_eng(sp.p_nv_shutdown, "W"),
+        format_eng(sp.p_nv_shutdown_super, "W")
+    );
+    let _ = writeln!(
+        w,
+        "| read / write energy per op | {} / {} | {} / {} |",
+        format_eng(ch.e_read_6t, "J"),
+        format_eng(ch.e_write_6t, "J"),
+        format_eng(ch.e_read_nv, "J"),
+        format_eng(ch.e_write_nv, "J")
+    );
+    let _ = writeln!(
+        w,
+        "| store (two-step, {}) | — | {} ({}) |",
+        format_eng(ch.t_store, "s"),
+        format_eng(ch.e_store, "J"),
+        if ch.store_ok { "switched" } else { "FAILED" }
+    );
+    let _ = writeln!(
+        w,
+        "| restore ({}) | — | {} ({}) |\n",
+        format_eng(ch.t_restore, "s"),
+        format_eng(ch.e_restore, "J"),
+        if ch.restore_ok { "data ok" } else { "FAILED" }
+    );
+
+    let _ = writeln!(w, "## Margins & timing (separation claim)\n");
+    let d = exp.design();
+    let snm6_h = static_noise_margin(d, CellKind::Volatile6T, SnmCondition::Hold)?;
+    let snm6_r = static_noise_margin(d, CellKind::Volatile6T, SnmCondition::Read)?;
+    let snmn_h = static_noise_margin(d, CellKind::NvSram, SnmCondition::Hold)?;
+    let snmn_r = static_noise_margin(d, CellKind::NvSram, SnmCondition::Read)?;
+    let t6 = timing(d, CellKind::Volatile6T)?;
+    let tn = timing(d, CellKind::NvSram)?;
+    let s6 = sensed_read(d, CellKind::Volatile6T)?;
+    let sn = sensed_read(d, CellKind::NvSram)?;
+    let _ = writeln!(w, "| quantity | 6T | NV-SRAM |");
+    let _ = writeln!(w, "|---|---|---|");
+    let _ = writeln!(
+        w,
+        "| SNM hold / read | {} / {} | {} / {} |",
+        format_eng(snm6_h, "V"),
+        format_eng(snm6_r, "V"),
+        format_eng(snmn_h, "V"),
+        format_eng(snmn_r, "V")
+    );
+    let _ = writeln!(
+        w,
+        "| write time / read development | {} / {} | {} / {} |",
+        format_eng(t6.t_write, "s"),
+        format_eng(t6.t_read_develop, "s"),
+        format_eng(tn.t_write, "s"),
+        format_eng(tn.t_read_develop, "s")
+    );
+    let _ = writeln!(
+        w,
+        "| sensed-read differential / energy | {} / {} | {} / {} |",
+        format_eng(s6.delta_v, "V"),
+        format_eng(s6.energy, "J"),
+        format_eng(sn.delta_v, "V"),
+        format_eng(sn.energy, "J")
+    );
+    if let Some(tr) = tn.t_restore {
+        let _ = writeln!(w, "| restore separation | — | {} |", format_eng(tr, "s"));
+    }
+    let _ = writeln!(w);
+
+    let _ = writeln!(w, "## Break-even times (M = 32)\n");
+    let _ = writeln!(w, "| n_RW | N | NVPG | NVPG store-free | NOF |");
+    let _ = writeln!(w, "|---|---|---|---|---|");
+    for &(n_rw, rows) in &[(10u32, 32u32), (10, 2048), (100, 32), (1000, 32)] {
+        let p = BenchmarkParams {
+            n_rw,
+            t_sl: 100e-9,
+            t_sd: 0.0,
+            domain: PowerDomain::new(rows, 32),
+            reads_per_write: 1,
+            store_free: false,
+        };
+        let sf = BenchmarkParams {
+            store_free: true,
+            ..p
+        };
+        let _ = writeln!(
+            w,
+            "| {n_rw} | {rows} | {} | {} | {} |",
+            fmt_bet(bet_closed_form(m, Architecture::Nvpg, &p)),
+            fmt_bet(bet_closed_form(m, Architecture::Nvpg, &sf)),
+            fmt_bet(bet_closed_form(m, Architecture::Nof, &p)),
+        );
+    }
+
+    let _ = writeln!(w, "\n## Fast technology point (Fig. 9(b))\n");
+    let fast = Experiments::new(CellDesign::fig9b())?;
+    let p = BenchmarkParams::fig7_default();
+    let _ = writeln!(
+        w,
+        "1 GHz, J_C = 1e6 A/cm², re-designed store drive: BET = {} \
+         (vs {} at the Table I point); store {}, restore {}.",
+        fmt_bet(bet_closed_form(fast.model(), Architecture::Nvpg, &p)),
+        fmt_bet(bet_closed_form(m, Architecture::Nvpg, &p)),
+        if fast.characterization().store_ok {
+            "ok"
+        } else {
+            "FAILED"
+        },
+        if fast.characterization().restore_ok {
+            "ok"
+        } else {
+            "FAILED"
+        },
+    );
+
+    let _ = writeln!(w, "\n## Performance (benchmark wall-clock)\n");
+    let p = BenchmarkParams {
+        n_rw: 100,
+        t_sl: 100e-9,
+        t_sd: 0.0,
+        ..BenchmarkParams::fig7_default()
+    };
+    let t_osr = m.cycle_duration(Architecture::Osr, &p).0;
+    let t_nvpg = m.cycle_duration(Architecture::Nvpg, &p).0;
+    let t_nof = m.cycle_duration(Architecture::Nof, &p).0;
+    let _ = writeln!(
+        w,
+        "n_RW = 100, 32×32 domain: OSR {}, NVPG {} ({:+.1} %), NOF {} ({:.1}× NVPG).",
+        format_eng(t_osr, "s"),
+        format_eng(t_nvpg, "s"),
+        100.0 * (t_nvpg - t_osr) / t_osr,
+        format_eng(t_nof, "s"),
+        t_nof / t_nvpg
+    );
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_contains_all_sections_and_sane_values() {
+        let exp = Experiments::new(CellDesign::table1()).expect("characterisation");
+        let report = generate_report(&exp).expect("report");
+        for section in [
+            "# nvpg measurement report",
+            "## Cell characterisation",
+            "## Margins & timing",
+            "## Break-even times",
+            "## Fast technology point",
+            "## Performance",
+        ] {
+            assert!(report.contains(section), "missing `{section}`");
+        }
+        // The store/restore must have verified, and units must render.
+        assert!(report.contains("switched"));
+        assert!(report.contains("data ok"));
+        assert!(report.contains("µs") || report.contains("ms"));
+        assert!(!report.contains("FAILED"));
+    }
+}

@@ -1,0 +1,583 @@
+//! Multi-cell NV-SRAM array (a real power domain, not a composition).
+//!
+//! The architecture analysis in `nvpg-core` composes per-cell energies
+//! analytically over an `N × M` domain. This module builds the *actual*
+//! array netlist — cells sharing bitlines down each column and wordline /
+//! SR / CTRL / power-switch lines across each row (§III: "the supply
+//! voltage for the M-bit cells connected to a common word line is
+//! simultaneously managed through the power switches") — and executes the
+//! row-serialised store/restore on it. It exists to validate the
+//! composition (tests cross-check per-cell store energy) and to
+//! demonstrate whole-pattern data survival through a power cycle.
+//!
+//! Array sizes are kept small (≤ ~8×8): a cell is ~6 unknowns, and dense
+//! LU is cubic. That is all the validation needs — the scaling *law* is
+//! the composition's job.
+
+use nvpg_circuit::dc::{operating_point, DcOptions};
+use nvpg_circuit::transient::{transient, TransientOptions};
+use nvpg_circuit::{Circuit, CircuitError, DcSolution, NodeId, Waveform};
+use nvpg_devices::finfet::FinFet;
+use nvpg_devices::mtj::{Mtj, MtjState};
+use nvpg_units::{Joules, Seconds};
+
+use crate::design::CellDesign;
+
+/// Storage-node handles of one array cell.
+#[derive(Debug, Clone, Copy)]
+struct ArrayCellNodes {
+    q: NodeId,
+    qb: NodeId,
+}
+
+/// A result of one array-level phase.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ArrayPhase {
+    /// Total energy delivered by all sources during the phase.
+    pub energy: Joules,
+    /// Phase duration.
+    pub duration: Seconds,
+}
+
+/// An `rows × cols` NV-SRAM array bench.
+#[derive(Debug)]
+pub struct ArrayBench {
+    ckt: Circuit,
+    design: CellDesign,
+    rows: usize,
+    cols: usize,
+    cells: Vec<Vec<ArrayCellNodes>>,
+    state: DcSolution,
+    source_names: Vec<String>,
+    /// Current DC level of every source (phase continuity).
+    levels: Vec<f64>,
+}
+
+impl ArrayBench {
+    /// Builds an array holding `pattern(r, c)` in each cell, with the
+    /// MTJs initialised to the **opposite** pattern (so a subsequent
+    /// store genuinely switches every junction).
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist and DC-convergence errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn new(
+        design: CellDesign,
+        rows: usize,
+        cols: usize,
+        pattern: impl Fn(usize, usize) -> bool,
+    ) -> Result<Self, CircuitError> {
+        assert!(rows >= 1 && cols >= 1, "array dimensions must be nonzero");
+        let c = design.conditions;
+        let gnd = Circuit::GROUND;
+        let mut ckt = Circuit::new();
+        let mut source_names = Vec::new();
+        let mut levels = Vec::new();
+        let add_source = |ckt: &mut Circuit,
+                          name: String,
+                          pos: NodeId,
+                          level: f64,
+                          source_names: &mut Vec<String>,
+                          levels: &mut Vec<f64>|
+         -> Result<(), CircuitError> {
+            ckt.vsource(&name, pos, gnd, level)?;
+            source_names.push(name);
+            levels.push(level);
+            Ok(())
+        };
+
+        // Global rail.
+        let vdd_rail = ckt.node("vdd_rail");
+        add_source(
+            &mut ckt,
+            "vdd".into(),
+            vdd_rail,
+            c.vdd,
+            &mut source_names,
+            &mut levels,
+        )?;
+
+        // Column lines (bitlines driven directly; the per-cell bench
+        // models driver impedance — here the focus is store/restore).
+        let mut bl = Vec::new();
+        let mut blb = Vec::new();
+        for col in 0..cols {
+            let b = ckt.node(&format!("bl{col}"));
+            let bb = ckt.node(&format!("blb{col}"));
+            add_source(
+                &mut ckt,
+                format!("vbl{col}"),
+                b,
+                c.vdd,
+                &mut source_names,
+                &mut levels,
+            )?;
+            add_source(
+                &mut ckt,
+                format!("vblb{col}"),
+                bb,
+                c.vdd,
+                &mut source_names,
+                &mut levels,
+            )?;
+            bl.push(b);
+            blb.push(bb);
+        }
+
+        // Rows: wordline, SR, CTRL, power-switch gate, virtual rail.
+        let mut cells: Vec<Vec<ArrayCellNodes>> = Vec::new();
+        for row in 0..rows {
+            let wl = ckt.node(&format!("wl{row}"));
+            let sr = ckt.node(&format!("sr{row}"));
+            let ctrl = ckt.node(&format!("ctrl{row}"));
+            let pg = ckt.node(&format!("pg{row}"));
+            let vvdd = ckt.node(&format!("vvdd{row}"));
+            add_source(
+                &mut ckt,
+                format!("vwl{row}"),
+                wl,
+                0.0,
+                &mut source_names,
+                &mut levels,
+            )?;
+            add_source(
+                &mut ckt,
+                format!("vsr{row}"),
+                sr,
+                0.0,
+                &mut source_names,
+                &mut levels,
+            )?;
+            add_source(
+                &mut ckt,
+                format!("vctrl{row}"),
+                ctrl,
+                c.v_ctrl_normal,
+                &mut source_names,
+                &mut levels,
+            )?;
+            add_source(
+                &mut ckt,
+                format!("vpg{row}"),
+                pg,
+                0.0,
+                &mut source_names,
+                &mut levels,
+            )?;
+
+            // One header switch per row serving the M cells.
+            let mut sw = design
+                .pmos
+                .with_fins(design.fins_power_switch * cols as u32);
+            sw.vth0 += design.power_switch_vth_boost;
+            ckt.device(Box::new(FinFet::new(
+                format!("msw{row}"),
+                vvdd,
+                pg,
+                vdd_rail,
+                sw,
+            )))?;
+
+            let mut row_cells = Vec::new();
+            for col in 0..cols {
+                let tag = format!("r{row}c{col}");
+                let q = ckt.node(&format!("q_{tag}"));
+                let qb = ckt.node(&format!("qb_{tag}"));
+                let ml = ckt.node(&format!("ml_{tag}"));
+                let mr = ckt.node(&format!("mr_{tag}"));
+                let pu = design.pmos.with_fins(design.fins_load);
+                let pd = design.nmos.with_fins(design.fins_driver);
+                let pa = design.nmos.with_fins(design.fins_access);
+                let ps = design.nmos.with_fins(design.fins_ps);
+                ckt.device(Box::new(FinFet::new(
+                    format!("mpul_{tag}"),
+                    q,
+                    qb,
+                    vvdd,
+                    pu,
+                )))?;
+                ckt.device(Box::new(FinFet::new(
+                    format!("mpur_{tag}"),
+                    qb,
+                    q,
+                    vvdd,
+                    pu,
+                )))?;
+                ckt.device(Box::new(FinFet::new(format!("mpdl_{tag}"), q, qb, gnd, pd)))?;
+                ckt.device(Box::new(FinFet::new(format!("mpdr_{tag}"), qb, q, gnd, pd)))?;
+                ckt.device(Box::new(FinFet::new(
+                    format!("mpgl_{tag}"),
+                    bl[col],
+                    wl,
+                    q,
+                    pa,
+                )))?;
+                ckt.device(Box::new(FinFet::new(
+                    format!("mpgr_{tag}"),
+                    blb[col],
+                    wl,
+                    qb,
+                    pa,
+                )))?;
+                ckt.device(Box::new(FinFet::new(format!("mpsl_{tag}"), q, sr, ml, ps)))?;
+                ckt.device(Box::new(FinFet::new(format!("mpsr_{tag}"), qb, sr, mr, ps)))?;
+                // MTJs start in the OPPOSITE pattern.
+                let (l0, r0) = if pattern(row, col) {
+                    (MtjState::Parallel, MtjState::AntiParallel)
+                } else {
+                    (MtjState::AntiParallel, MtjState::Parallel)
+                };
+                ckt.device(Box::new(Mtj::new(
+                    format!("xl_{tag}"),
+                    ctrl,
+                    ml,
+                    design.mtj,
+                    l0,
+                )))?;
+                ckt.device(Box::new(Mtj::new(
+                    format!("xr_{tag}"),
+                    ctrl,
+                    mr,
+                    design.mtj,
+                    r0,
+                )))?;
+                row_cells.push(ArrayCellNodes { q, qb });
+            }
+            cells.push(row_cells);
+        }
+
+        // DC operating point with every cell seeded to its pattern.
+        let mut opts = DcOptions::default();
+        for (row, row_cells) in cells.iter().enumerate() {
+            for (col, cell) in row_cells.iter().enumerate() {
+                let (vq, vqb) = if pattern(row, col) {
+                    (c.vdd, 0.0)
+                } else {
+                    (0.0, c.vdd)
+                };
+                opts = opts.with_nodeset(cell.q, vq).with_nodeset(cell.qb, vqb);
+            }
+        }
+        for row in 0..rows {
+            let vvdd = ckt.find_node(&format!("vvdd{row}")).expect("row rail");
+            opts = opts.with_nodeset(vvdd, c.vdd);
+        }
+        let state = operating_point(&mut ckt, &opts)?;
+        Ok(ArrayBench {
+            ckt,
+            design,
+            rows,
+            cols,
+            cells,
+            state,
+            source_names,
+            levels,
+        })
+    }
+
+    /// Array dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// The latched data of cell `(row, col)` in the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn data(&self, row: usize, col: usize) -> bool {
+        let cell = &self.cells[row][col];
+        self.state.voltage(cell.q) > self.state.voltage(cell.qb)
+    }
+
+    /// The whole data pattern.
+    pub fn pattern(&self) -> Vec<Vec<bool>> {
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.data(r, c)).collect())
+            .collect()
+    }
+
+    /// MTJ states of cell `(row, col)` as `(Q side, QB side)`.
+    pub fn mtj_states(&self, row: usize, col: usize) -> Option<(MtjState, MtjState)> {
+        let decode = |name: String| -> Option<MtjState> {
+            let st = self.ckt.device_state(&name)?;
+            let v = st.iter().find(|(l, _)| l == "state")?.1;
+            Some(if v > 0.5 {
+                MtjState::AntiParallel
+            } else {
+                MtjState::Parallel
+            })
+        };
+        Some((
+            decode(format!("xl_r{row}c{col}"))?,
+            decode(format!("xr_r{row}c{col}"))?,
+        ))
+    }
+
+    fn level_of(&self, name: &str) -> f64 {
+        let idx = self
+            .source_names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("unknown source {name}"));
+        self.levels[idx]
+    }
+
+    /// Runs a phase of `duration` with waveform overrides, continuing
+    /// from the current state; returns the total energy.
+    fn phase(
+        &mut self,
+        duration: f64,
+        waves: &[(String, Waveform)],
+    ) -> Result<ArrayPhase, CircuitError> {
+        for (src, wave) in waves {
+            self.ckt.set_source(src, wave.clone())?;
+        }
+        let opts = TransientOptions {
+            t_stop: duration,
+            dt_max: (duration / 200.0).clamp(1e-12, 100e-12),
+            dt_init: 1e-12,
+            ..TransientOptions::default()
+        };
+        let result = transient(&mut self.ckt, &opts, &self.state)?;
+        self.state = result.final_state;
+        for (src, wave) in waves {
+            let end = wave.value(duration);
+            self.ckt.set_source(src, end)?;
+            let idx = self
+                .source_names
+                .iter()
+                .position(|n| n == src)
+                .expect("known source");
+            self.levels[idx] = end;
+        }
+        let mut energy = 0.0;
+        for name in &self.source_names {
+            energy += result
+                .trace
+                .integral(&format!("p({name})"))
+                .expect("power signal recorded");
+        }
+        Ok(ArrayPhase {
+            energy: Joules(energy),
+            duration: Seconds(duration),
+        })
+    }
+
+    fn ramp(&self, name: &str, to: f64) -> (String, Waveform) {
+        let from = self.level_of(name);
+        let e = self.design.conditions.edge_time;
+        (name.to_owned(), Waveform::Pwl(vec![(0.0, from), (e, to)]))
+    }
+
+    /// Two-step store of one row (SR up + CTRL low, then CTRL at its
+    /// store level, then both back to zero).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn store_row(&mut self, row: usize) -> Result<ArrayPhase, CircuitError> {
+        assert!(row < self.rows, "row out of range");
+        let c = self.design.conditions;
+        let t = c.store_duration;
+        let sr = format!("vsr{row}");
+        let ctrl = format!("vctrl{row}");
+        let p1 = self.phase(t, &[self.ramp(&sr, c.v_sr), self.ramp(&ctrl, 0.0)])?;
+        let p2 = self.phase(t, &[self.ramp(&ctrl, c.v_ctrl_store)])?;
+        let p3 = self.phase(1e-9, &[self.ramp(&sr, 0.0), self.ramp(&ctrl, 0.0)])?;
+        Ok(ArrayPhase {
+            energy: p1.energy + p2.energy + p3.energy,
+            duration: p1.duration + p2.duration + p3.duration,
+        })
+    }
+
+    /// Row-serialised store of the whole domain: each row stores and is
+    /// immediately powered off (super cutoff), as the composition model
+    /// assumes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    pub fn store_all_and_shutdown(&mut self) -> Result<ArrayPhase, CircuitError> {
+        let c = self.design.conditions;
+        let mut total = ArrayPhase {
+            energy: Joules(0.0),
+            duration: Seconds(0.0),
+        };
+        for row in 0..self.rows {
+            let p = self.store_row(row)?;
+            let off = self.phase(2e-9, &[self.ramp(&format!("vpg{row}"), c.v_pg_super)])?;
+            total.energy += p.energy + off.energy;
+            total.duration += p.duration + off.duration;
+        }
+        // Bitlines discharge with the domain off.
+        let mut waves = Vec::new();
+        for col in 0..self.cols {
+            waves.push(self.ramp(&format!("vbl{col}"), 0.0));
+            waves.push(self.ramp(&format!("vblb{col}"), 0.0));
+        }
+        let p = self.phase(2e-9, &waves)?;
+        total.energy += p.energy;
+        total.duration += p.duration;
+        Ok(total)
+    }
+
+    /// Lets the powered-off domain sit for `duration` (rail collapse).
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    pub fn hold(&mut self, duration: f64) -> Result<ArrayPhase, CircuitError> {
+        self.phase(duration, &[])
+    }
+
+    /// Row-serialised restore: per row, SR on, slow power-switch turn-on,
+    /// SR off; bitlines precharge first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    pub fn restore_all(&mut self) -> Result<ArrayPhase, CircuitError> {
+        let c = self.design.conditions;
+        let mut waves = Vec::new();
+        for col in 0..self.cols {
+            waves.push(self.ramp(&format!("vbl{col}"), c.vdd));
+            waves.push(self.ramp(&format!("vblb{col}"), c.vdd));
+        }
+        let mut total = self.phase(2e-9, &waves)?;
+        for row in 0..self.rows {
+            let dur = c.restore_duration;
+            let e = c.edge_time;
+            let sr_name = format!("vsr{row}");
+            let pg_name = format!("vpg{row}");
+            let ctrl_name = format!("vctrl{row}");
+            let sr = Waveform::Pwl(vec![
+                (0.0, self.level_of(&sr_name)),
+                (e, c.v_sr),
+                (0.7 * dur, c.v_sr),
+                (0.7 * dur + e, 0.0),
+            ]);
+            let pg = Waveform::Pwl(vec![
+                (0.0, self.level_of(&pg_name)),
+                (0.05 * dur, self.level_of(&pg_name)),
+                (0.45 * dur, 0.0),
+            ]);
+            let ctrl = Waveform::Pwl(vec![
+                (0.0, self.level_of(&ctrl_name)),
+                (0.7 * dur, self.level_of(&ctrl_name)),
+                (0.7 * dur + e, c.v_ctrl_normal),
+            ]);
+            let p = self.phase(dur, &[(sr_name, sr), (pg_name, pg), (ctrl_name, ctrl)])?;
+            total.energy += p.energy;
+            total.duration += p.duration;
+        }
+        Ok(total)
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard(r: usize, c: usize) -> bool {
+        (r + c).is_multiple_of(2)
+    }
+
+    #[test]
+    fn array_builds_and_holds_pattern() {
+        let array = ArrayBench::new(CellDesign::table1(), 2, 2, checkerboard).unwrap();
+        assert_eq!(array.dims(), (2, 2));
+        assert_eq!(array.cell_count(), 4);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(array.data(r, c), checkerboard(r, c), "cell ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn store_row_only_flips_that_row() {
+        let mut array = ArrayBench::new(CellDesign::table1(), 2, 2, checkerboard).unwrap();
+        array.store_row(0).unwrap();
+        // Row 0 junctions now match the data pattern...
+        for c in 0..2 {
+            let expect = if checkerboard(0, c) {
+                (MtjState::AntiParallel, MtjState::Parallel)
+            } else {
+                (MtjState::Parallel, MtjState::AntiParallel)
+            };
+            assert_eq!(array.mtj_states(0, c), Some(expect), "row 0 col {c}");
+        }
+        // ...while row 1 still holds the opposite (pre-store) pattern.
+        for c in 0..2 {
+            let expect = if checkerboard(1, c) {
+                (MtjState::Parallel, MtjState::AntiParallel)
+            } else {
+                (MtjState::AntiParallel, MtjState::Parallel)
+            };
+            assert_eq!(array.mtj_states(1, c), Some(expect), "row 1 col {c}");
+        }
+        // And the volatile data everywhere is untouched.
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(array.data(r, c), checkerboard(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn checkerboard_survives_full_power_cycle() {
+        let mut array = ArrayBench::new(CellDesign::table1(), 2, 2, checkerboard).unwrap();
+        let store = array.store_all_and_shutdown().unwrap();
+        assert!(store.energy.0 > 0.0);
+        array.hold(400e-9).unwrap();
+        array.restore_all().unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(
+                    array.data(r, c),
+                    checkerboard(r, c),
+                    "cell ({r},{c}) after power cycle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn per_cell_store_energy_consistent_with_single_cell() {
+        // The array's per-cell store energy should be in the same decade
+        // as the characterised single-cell store (it includes the other
+        // rows' static power while they wait, which is small here).
+        let design = CellDesign::table1();
+        let ch = crate::characterize::characterize(&design).unwrap();
+        let mut array = ArrayBench::new(design, 2, 2, |_, _| true).unwrap();
+        let store = array.store_all_and_shutdown().unwrap();
+        let per_cell = store.energy.0 / array.cell_count() as f64;
+        let ratio = per_cell / ch.e_store;
+        assert!(
+            (0.3..3.0).contains(&ratio),
+            "array per-cell store {per_cell:e} vs single-cell {:e} (ratio {ratio:.2})",
+            ch.e_store
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "row out of range")]
+    fn store_row_bounds_checked() {
+        let mut array = ArrayBench::new(CellDesign::table1(), 2, 2, checkerboard).unwrap();
+        let _ = array.store_row(5);
+    }
+}

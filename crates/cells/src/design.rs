@@ -1,0 +1,190 @@
+//! Cell design point: fin counts, rail voltages, timing (paper Table I).
+
+use nvpg_devices::finfet::FinFetParams;
+use nvpg_devices::mtj::MtjParams;
+
+/// Rail voltages and timing of the operating modes (Table I plus §III).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperatingConditions {
+    /// Nominal supply (V): 0.9.
+    pub vdd: f64,
+    /// Low-voltage retention (sleep) supply (V): 0.7.
+    pub vdd_sleep: f64,
+    /// SR-line voltage activating the PS-FinFETs (V): 0.65.
+    pub v_sr: f64,
+    /// CTRL-line bias in the normal SRAM mode (V): 0.07 — the leakage
+    /// minimisation knob of Fig. 3(a).
+    pub v_ctrl_normal: f64,
+    /// CTRL-line bias in the sleep mode (V): 0.04.
+    pub v_ctrl_sleep: f64,
+    /// CTRL-line voltage during the L-store step (V): 0.5.
+    pub v_ctrl_store: f64,
+    /// Power-switch gate voltage for ordinary cutoff (V): V_DD.
+    pub v_pg_off: f64,
+    /// Power-switch gate voltage for super cutoff \[20\] (V): 1.0.
+    pub v_pg_super: f64,
+    /// Read/write frequency (Hz): 300 MHz (1 GHz for Fig. 9(b)).
+    pub rw_freq: f64,
+    /// Store pulse duration per step (s): 10 ns.
+    pub store_duration: f64,
+    /// Restore settle time (s).
+    pub restore_duration: f64,
+    /// Source edge (rise/fall) time (s).
+    pub edge_time: f64,
+    /// Wordline underdrive (V below V_DD during reads) — the bias-assist
+    /// technique §II mentions for the aggressive `(N_FL, N_FD) = (1,1)`
+    /// design. 0 disables the assist.
+    pub wl_underdrive: f64,
+}
+
+impl OperatingConditions {
+    /// Table I values.
+    pub fn table1() -> Self {
+        OperatingConditions {
+            vdd: 0.9,
+            vdd_sleep: 0.7,
+            v_sr: 0.65,
+            v_ctrl_normal: 0.07,
+            v_ctrl_sleep: 0.04,
+            v_ctrl_store: 0.5,
+            v_pg_off: 0.9,
+            v_pg_super: 1.0,
+            rw_freq: 300e6,
+            store_duration: 10e-9,
+            restore_duration: 10e-9,
+            edge_time: 50e-12,
+            wl_underdrive: 0.0,
+        }
+    }
+
+    /// Read/write cycle period `1/f`.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.rw_freq
+    }
+}
+
+/// Complete cell design point: fin numbers `(N_FL, N_FD, N_FP, N_FPS)`,
+/// the power-switch fin count `N_FSW`, device model cards, and operating
+/// conditions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellDesign {
+    /// Load (pull-up) pFinFET fins, `N_FL`.
+    pub fins_load: u32,
+    /// Driver (pull-down) nFinFET fins, `N_FD`.
+    pub fins_driver: u32,
+    /// Access (pass) nFinFET fins, `N_FP`.
+    pub fins_access: u32,
+    /// PS-FinFET fins, `N_FPS`.
+    pub fins_ps: u32,
+    /// Header power-switch pFinFET fins per cell, `N_FSW` (7 in the paper
+    /// so that `VV_DD ≥ 97 % · V_DD` during store).
+    pub fins_power_switch: u32,
+    /// Extra threshold voltage of the header switch (V). Power gating uses
+    /// high-V_th switches (the "multi-threshold" in MTCMOS \[1\]) so that
+    /// ordinary cutoff already beats the sleep mode's retention leakage.
+    pub power_switch_vth_boost: f64,
+    /// NMOS model card.
+    pub nmos: FinFetParams,
+    /// PMOS model card.
+    pub pmos: FinFetParams,
+    /// MTJ macromodel card.
+    pub mtj: MtjParams,
+    /// Per-cell share of bitline capacitance (F).
+    pub c_bitline: f64,
+    /// Bitline driver output impedance (Ω).
+    pub r_bitline_driver: f64,
+    /// Operating conditions.
+    pub conditions: OperatingConditions,
+}
+
+impl CellDesign {
+    /// The paper's design point: `(N_FL, N_FD, N_FP, N_FPS) = (1,1,1,1)`,
+    /// `N_FSW = 7`, Table I device cards, 300 MHz.
+    pub fn table1() -> Self {
+        CellDesign {
+            fins_load: 1,
+            fins_driver: 1,
+            fins_access: 1,
+            fins_ps: 1,
+            fins_power_switch: 7,
+            power_switch_vth_boost: 0.15,
+            nmos: FinFetParams::nmos_20nm(),
+            pmos: FinFetParams::pmos_20nm(),
+            mtj: MtjParams::table1(),
+            c_bitline: 4e-15,
+            r_bitline_driver: 500.0,
+            conditions: OperatingConditions::table1(),
+        }
+    }
+
+    /// The Fig. 9(b) technology point: 1 GHz read/write and
+    /// `J_C = 1×10⁶ A/cm²`. The store drive is re-designed for the
+    /// smaller critical current — `V_SR = 0.40 V` and `V_CTRL(store) =
+    /// 0.13 V` deliver ≈ 1.5×I_C through the low-J_C junctions, which is
+    /// where the figure's "much shorter BET" comes from (the store
+    /// energy scales with the write current).
+    pub fn fig9b() -> Self {
+        let mut d = CellDesign::table1();
+        d.conditions.rw_freq = 1e9;
+        d.conditions.v_sr = 0.40;
+        d.conditions.v_ctrl_store = 0.13;
+        d.mtj = MtjParams::table1_low_jc();
+        d
+    }
+
+    /// Returns a copy with a different power-switch fin count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fins == 0`.
+    #[must_use]
+    pub fn with_power_switch_fins(mut self, fins: u32) -> Self {
+        assert!(fins >= 1, "power switch needs at least one fin");
+        self.fins_power_switch = fins;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let d = CellDesign::table1();
+        assert_eq!(
+            (d.fins_load, d.fins_driver, d.fins_access, d.fins_ps),
+            (1, 1, 1, 1)
+        );
+        assert_eq!(d.fins_power_switch, 7);
+        let c = d.conditions;
+        assert_eq!(c.vdd, 0.9);
+        assert_eq!(c.v_sr, 0.65);
+        assert_eq!(c.v_ctrl_normal, 0.07);
+        assert_eq!(c.v_ctrl_sleep, 0.04);
+        assert_eq!(c.v_ctrl_store, 0.5);
+        assert_eq!(c.v_pg_super, 1.0);
+        assert_eq!(c.rw_freq, 300e6);
+        assert_eq!(c.store_duration, 10e-9);
+        assert!((c.cycle_time() - 3.333e-9).abs() < 1e-11);
+    }
+
+    #[test]
+    fn fig9b_point() {
+        let d = CellDesign::fig9b();
+        assert_eq!(d.conditions.rw_freq, 1e9);
+        assert!((d.mtj.i_critical() - 3.14e-6).abs() < 0.05e-6);
+    }
+
+    #[test]
+    fn power_switch_fins_builder() {
+        let d = CellDesign::table1().with_power_switch_fins(3);
+        assert_eq!(d.fins_power_switch, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one fin")]
+    fn zero_power_switch_fins_rejected() {
+        let _ = CellDesign::table1().with_power_switch_fins(0);
+    }
+}

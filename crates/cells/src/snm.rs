@@ -1,0 +1,277 @@
+//! Static noise margin (SNM) analysis.
+//!
+//! The paper's §II notes that the aggressive `(N_FL, N_FD) = (1,1)` design
+//! lowers cell stability and that the PS-FinFET separation keeps the
+//! NV-SRAM's noise margins equal to the 6T cell's during normal operation.
+//! This module quantifies both claims with the classic butterfly-curve
+//! construction:
+//!
+//! 1. the cell's inverter voltage-transfer characteristic (VTC) is traced
+//!    with the feedback loop broken (DC sweep of the input), under hold
+//!    (`WL = 0`) or read (`WL = V_DD`, bitlines precharged) conditions;
+//! 2. the SNM is the side of the largest square inscribed in a butterfly
+//!    lobe. We use the 45°-diagonal formulation: for each offset `c`, the
+//!    square whose diagonal lies on `y = x + c` has side `|x_A(c) −
+//!    x_B(c)|`, where `x_A` solves `f(x) = x + c` (curve 1) and `x_B`
+//!    solves `f(x + c) = x` (mirrored curve 2); the SNM is the maximum
+//!    over `c`.
+
+use nvpg_circuit::dc::{sweep, DcOptions};
+use nvpg_circuit::{Circuit, CircuitError};
+use nvpg_devices::finfet::FinFet;
+use nvpg_devices::mtj::{Mtj, MtjState};
+use nvpg_units::linspace;
+
+use crate::cell::CellKind;
+use crate::design::CellDesign;
+
+/// Bias condition for the butterfly trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SnmCondition {
+    /// Wordline low: storage nodes isolated from the bitlines.
+    Hold,
+    /// Wordline high with bitlines precharged to V_DD (read disturb).
+    Read,
+}
+
+/// Traces the cell inverter VTC `v_out = f(v_in)` at `n_points` input
+/// values, under the given condition.
+///
+/// For [`CellKind::NvSram`] the output node additionally carries the
+/// (switched-off) PS-FinFET + MTJ stack at the normal-mode CTRL bias, so
+/// the comparison NV vs 6T quantifies the claim that the separation keeps
+/// margins intact.
+///
+/// # Errors
+///
+/// Propagates DC non-convergence.
+pub fn inverter_vtc(
+    design: &CellDesign,
+    kind: CellKind,
+    condition: SnmCondition,
+    n_points: usize,
+) -> Result<Vec<(f64, f64)>, CircuitError> {
+    let c = design.conditions;
+    let gnd = Circuit::GROUND;
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("vin");
+    let out = ckt.node("out");
+    let vdd = ckt.node("vdd");
+    let wl = ckt.node("wl");
+    let bl = ckt.node("bl");
+
+    ckt.vsource("vvin", vin, gnd, 0.0)?;
+    ckt.vsource("vvdd", vdd, gnd, c.vdd)?;
+    let wl_level = match condition {
+        SnmCondition::Hold => 0.0,
+        SnmCondition::Read => c.vdd - c.wl_underdrive,
+    };
+    ckt.vsource("vwl", wl, gnd, wl_level)?;
+    ckt.vsource("vbl", bl, gnd, c.vdd)?;
+
+    let pu = design.pmos.with_fins(design.fins_load);
+    let pd = design.nmos.with_fins(design.fins_driver);
+    let pa = design.nmos.with_fins(design.fins_access);
+    ckt.device(Box::new(FinFet::new("mpu", out, vin, vdd, pu)))?;
+    ckt.device(Box::new(FinFet::new("mpd", out, vin, gnd, pd)))?;
+    ckt.device(Box::new(FinFet::new("mpa", bl, wl, out, pa)))?;
+
+    if matches!(kind, CellKind::NvSram) {
+        let sr = ckt.node("sr");
+        let ctrl = ckt.node("ctrl");
+        let m = ckt.node("m");
+        ckt.vsource("vsr", sr, gnd, 0.0)?;
+        ckt.vsource("vctrl", ctrl, gnd, c.v_ctrl_normal)?;
+        let ps = design.nmos.with_fins(design.fins_ps);
+        ckt.device(Box::new(FinFet::new("mps", out, sr, m, ps)))?;
+        ckt.device(Box::new(Mtj::new(
+            "x1",
+            ctrl,
+            m,
+            design.mtj,
+            MtjState::Parallel,
+        )))?;
+    }
+
+    let inputs = linspace(0.0, c.vdd, n_points);
+    let opts = DcOptions::default().with_nodeset(out, c.vdd);
+    let sols = sweep(&mut ckt, "vvin", &inputs, &opts)?;
+    Ok(inputs
+        .into_iter()
+        .zip(sols.iter().map(|s| s.voltage(out)))
+        .collect())
+}
+
+/// Linear interpolation helper over a sampled, monotone-x curve.
+fn eval(curve: &[(f64, f64)], x: f64) -> f64 {
+    if x <= curve[0].0 {
+        return curve[0].1;
+    }
+    if x >= curve[curve.len() - 1].0 {
+        return curve[curve.len() - 1].1;
+    }
+    let idx = curve.partition_point(|&(cx, _)| cx <= x) - 1;
+    let (x0, y0) = curve[idx];
+    let (x1, y1) = curve[idx + 1];
+    y0 + (y1 - y0) * (x - x0) / (x1 - x0)
+}
+
+/// First root of `g(x) = 0` on `[0, hi]`, found by scanning `n` samples
+/// for a sign change and bisecting the bracketing interval.
+fn first_root(g: impl Fn(f64) -> f64, hi: f64, n: usize) -> Option<f64> {
+    let xs = linspace(0.0, hi, n);
+    let mut prev = g(xs[0]);
+    for w in xs.windows(2) {
+        let cur = g(w[1]);
+        if prev == 0.0 {
+            return Some(w[0]);
+        }
+        if prev.signum() != cur.signum() {
+            // Bisect the bracket.
+            let (mut a, mut b) = (w[0], w[1]);
+            for _ in 0..60 {
+                let m = 0.5 * (a + b);
+                if g(m).signum() == prev.signum() {
+                    a = m;
+                } else {
+                    b = m;
+                }
+            }
+            return Some(0.5 * (a + b));
+        }
+        prev = cur;
+    }
+    None
+}
+
+/// Computes the SNM from a sampled VTC via the maximal-inscribed-square
+/// construction (both butterfly lobes; identical inverters make them
+/// symmetric, but both are evaluated and the smaller is returned).
+///
+/// # Panics
+///
+/// Panics if the curve has fewer than two samples.
+pub fn snm_from_vtc(curve: &[(f64, f64)], vdd: f64) -> f64 {
+    assert!(curve.len() >= 2, "VTC needs at least two samples");
+    let f = |x: f64| eval(curve, x);
+    // Upper-left lobe: squares on diagonals y = x + c with c > 0.
+    let lobe = |sign: f64| {
+        let mut best = 0.0_f64;
+        for c in linspace(0.0, vdd, 201) {
+            let xa = first_root(|x| f(x) - (x + sign * c), vdd, 400);
+            let xb = first_root(|x| f(x + sign * c) - x, vdd, 400);
+            if let (Some(xa), Some(xb)) = (xa, xb) {
+                best = best.max(sign * (xa - xb));
+            }
+        }
+        best
+    };
+    let upper = lobe(1.0);
+    let lower = lobe(-1.0);
+    upper.min(lower)
+}
+
+/// Convenience: traces the VTC and returns the SNM for a design, cell
+/// kind, and bias condition.
+///
+/// # Errors
+///
+/// Propagates DC non-convergence.
+pub fn static_noise_margin(
+    design: &CellDesign,
+    kind: CellKind,
+    condition: SnmCondition,
+) -> Result<f64, CircuitError> {
+    let vtc = inverter_vtc(design, kind, condition, 161)?;
+    Ok(snm_from_vtc(&vtc, design.conditions.vdd))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vtc_is_a_falling_curve() {
+        let d = CellDesign::table1();
+        let vtc = inverter_vtc(&d, CellKind::Volatile6T, SnmCondition::Hold, 81).unwrap();
+        assert_eq!(vtc.len(), 81);
+        assert!(vtc[0].1 > 0.85, "output high at low input: {:?}", vtc[0]);
+        assert!(vtc.last().unwrap().1 < 0.1, "output low at high input");
+        // Monotone non-increasing.
+        for w in vtc.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn read_condition_degrades_low_level() {
+        let d = CellDesign::table1();
+        let hold = inverter_vtc(&d, CellKind::Volatile6T, SnmCondition::Hold, 41).unwrap();
+        let read = inverter_vtc(&d, CellKind::Volatile6T, SnmCondition::Read, 41).unwrap();
+        // At full input the output should sit higher under read (voltage
+        // divider with the access transistor).
+        assert!(read.last().unwrap().1 > hold.last().unwrap().1 + 0.02);
+    }
+
+    #[test]
+    fn snm_of_ideal_inverter_is_analytic() {
+        // Step-like ideal inverter with VDD = 1: SNM = 0.5 (square of side
+        // 1/2 fits in each lobe).
+        let curve: Vec<(f64, f64)> = (0..=1000)
+            .map(|i| {
+                let x = i as f64 / 1000.0;
+                (x, if x < 0.5 { 1.0 } else { 0.0 })
+            })
+            .collect();
+        let snm = snm_from_vtc(&curve, 1.0);
+        assert!((snm - 0.5).abs() < 0.02, "ideal SNM = {snm}");
+    }
+
+    #[test]
+    fn hold_snm_in_plausible_range_and_read_is_lower() {
+        let d = CellDesign::table1();
+        let hold = static_noise_margin(&d, CellKind::Volatile6T, SnmCondition::Hold).unwrap();
+        let read = static_noise_margin(&d, CellKind::Volatile6T, SnmCondition::Read).unwrap();
+        assert!(
+            (0.1..0.45).contains(&hold),
+            "hold SNM = {hold} out of plausible range"
+        );
+        assert!(read < hold, "read SNM {read} should be below hold {hold}");
+        assert!(read > 0.01, "cell must remain read-stable: {read}");
+    }
+
+    #[test]
+    fn wordline_underdrive_improves_read_snm() {
+        // The bias-assist knob of §II: 100 mV of WL underdrive must raise
+        // the read SNM of the aggressive (1,1) design.
+        let base = CellDesign::table1();
+        let mut assisted = base;
+        assisted.conditions.wl_underdrive = 0.1;
+        let snm_base =
+            static_noise_margin(&base, CellKind::Volatile6T, SnmCondition::Read).unwrap();
+        let snm_assist =
+            static_noise_margin(&assisted, CellKind::Volatile6T, SnmCondition::Read).unwrap();
+        assert!(
+            snm_assist > snm_base + 0.005,
+            "underdrive should help: {snm_base} -> {snm_assist}"
+        );
+        // Hold SNM is unaffected (wordline is low anyway).
+        let hold_base =
+            static_noise_margin(&base, CellKind::Volatile6T, SnmCondition::Hold).unwrap();
+        let hold_assist =
+            static_noise_margin(&assisted, CellKind::Volatile6T, SnmCondition::Hold).unwrap();
+        assert!((hold_base - hold_assist).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nv_cell_margins_match_6t_in_normal_mode() {
+        // The PS-FinFET separation claim: SNM difference within a few mV.
+        let d = CellDesign::table1();
+        let s6 = static_noise_margin(&d, CellKind::Volatile6T, SnmCondition::Hold).unwrap();
+        let snv = static_noise_margin(&d, CellKind::NvSram, SnmCondition::Hold).unwrap();
+        assert!(
+            (s6 - snv).abs() < 0.01,
+            "6T SNM {s6} vs NV SNM {snv} should match"
+        );
+    }
+}

@@ -1,0 +1,175 @@
+//! Cell timing characterisation.
+//!
+//! The paper's performance claim is temporal, not just energetic: "the
+//! NV-SRAM cell with the NVPG architecture can have the same read/write
+//! speed as the 6T-SRAM cell" (§IV). This module measures the relevant
+//! delays from the transient waveforms:
+//!
+//! * **write time** — wordline edge to storage-node crossover;
+//! * **read development time** — wordline edge until the differential
+//!   bitline-driver current exceeds a sense threshold;
+//! * **restore time** — power-switch turn-on until the storage nodes
+//!   separate to 80 % of V_DD (NV cell only).
+
+use nvpg_circuit::CircuitError;
+
+use crate::bench::CellBench;
+use crate::cell::{CellKind, MtjConfig};
+use crate::design::CellDesign;
+
+/// Measured cell delays (seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingReport {
+    /// Wordline edge → storage-node crossover during a write.
+    pub t_write: f64,
+    /// Wordline edge → differential bitline current above the sense
+    /// threshold during a read.
+    pub t_read_develop: f64,
+    /// Power-up → storage nodes separated to 80 % V_DD during a restore
+    /// (`None` for the volatile cell).
+    pub t_restore: Option<f64>,
+}
+
+/// Sense-amplifier current threshold used for the read-development time.
+const SENSE_CURRENT: f64 = 10e-6;
+
+/// Measures the timing report for a cell kind at the given design point.
+///
+/// # Errors
+///
+/// Propagates simulation errors; returns
+/// [`CircuitError::DcNonConvergence`] (with detail) if an expected
+/// waveform crossing never happens — that means the cell failed the
+/// operation, which callers should treat as a design failure.
+pub fn timing(design: &CellDesign, kind: CellKind) -> Result<TimingReport, CircuitError> {
+    let c = design.conditions;
+    let t_cycle = c.cycle_time();
+    let wl_edge = 0.1 * t_cycle; // the bench raises WL at 0.1·T
+
+    let missing = |what: &str| CircuitError::DcNonConvergence {
+        detail: format!("timing: {what} crossing not found"),
+    };
+
+    // Write time: start at Q = 1, write 0, watch the crossover.
+    let mut bench = CellBench::new(*design, kind, true, MtjConfig::stored(true))?;
+    let write = bench.write(false)?;
+    let t_flip = {
+        let q = write.trace.signal("v(q)").expect("recorded");
+        let qb = write.trace.signal("v(qb)").expect("recorded");
+        let time = write.trace.time();
+        let mut found = None;
+        for k in 1..time.len() {
+            if time[k] < wl_edge {
+                continue;
+            }
+            if qb[k] >= q[k] && qb[k - 1] < q[k - 1] {
+                found = Some(time[k]);
+                break;
+            }
+        }
+        found.ok_or_else(|| missing("write crossover"))?
+    };
+    let t_write = t_flip - wl_edge;
+
+    // Read development: fresh cell, Q = 1, read; watch |i(vbl) − i(vblb)|.
+    let mut bench = CellBench::new(*design, kind, true, MtjConfig::stored(true))?;
+    let read = bench.read()?;
+    let t_dev = {
+        let ibl = read.trace.signal("i(vbl)").expect("recorded");
+        let iblb = read.trace.signal("i(vblb)").expect("recorded");
+        let time = read.trace.time();
+        let mut found = None;
+        for k in 0..time.len() {
+            if time[k] < wl_edge {
+                continue;
+            }
+            if (ibl[k] - iblb[k]).abs() > SENSE_CURRENT {
+                found = Some(time[k]);
+                break;
+            }
+        }
+        found.ok_or_else(|| missing("read development"))?
+    };
+    let t_read_develop = t_dev - wl_edge;
+
+    // Restore time (NV only): full power cycle, watch node separation.
+    let t_restore = if matches!(kind, CellKind::NvSram) {
+        let mut bench = CellBench::new(*design, kind, true, MtjConfig::stored(false))?;
+        bench.store()?;
+        bench.shutdown_enter(true, 3e-9)?;
+        bench.idle(400e-9)?;
+        let restore = bench.restore()?;
+        let q = restore.trace.signal("v(q)").expect("recorded");
+        let qb = restore.trace.signal("v(qb)").expect("recorded");
+        let time = restore.trace.time();
+        let target = 0.8 * c.vdd;
+        let t_on = 0.05 * c.restore_duration; // switch gate starts falling
+        let mut found = None;
+        for k in 0..time.len() {
+            if time[k] >= t_on && (q[k] - qb[k]).abs() > target {
+                found = Some(time[k] - t_on);
+                break;
+            }
+        }
+        Some(found.ok_or_else(|| missing("restore separation"))?)
+    } else {
+        None
+    };
+
+    Ok(TimingReport {
+        t_write,
+        t_read_develop,
+        t_restore,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timings_are_sub_cycle() {
+        let d = CellDesign::table1();
+        let t = timing(&d, CellKind::Volatile6T).unwrap();
+        let cycle = d.conditions.cycle_time();
+        assert!(t.t_write > 0.0 && t.t_write < 0.6 * cycle, "{t:?}");
+        assert!(
+            t.t_read_develop > 0.0 && t.t_read_develop < 0.6 * cycle,
+            "{t:?}"
+        );
+        assert_eq!(t.t_restore, None);
+    }
+
+    #[test]
+    fn nv_cell_matches_6t_speed() {
+        // The headline separation claim, in the time domain: NV read and
+        // write delays within 10 % of the 6T cell's.
+        let d = CellDesign::table1();
+        let t6 = timing(&d, CellKind::Volatile6T).unwrap();
+        let tn = timing(&d, CellKind::NvSram).unwrap();
+        let rel = |a: f64, b: f64| (a - b).abs() / b;
+        assert!(
+            rel(tn.t_write, t6.t_write) < 0.10,
+            "write: NV {} vs 6T {}",
+            tn.t_write,
+            t6.t_write
+        );
+        assert!(
+            rel(tn.t_read_develop, t6.t_read_develop) < 0.10,
+            "read: NV {} vs 6T {}",
+            tn.t_read_develop,
+            t6.t_read_develop
+        );
+    }
+
+    #[test]
+    fn restore_completes_within_its_budget() {
+        let d = CellDesign::table1();
+        let t = timing(&d, CellKind::NvSram).unwrap();
+        let restore = t.t_restore.expect("NV cell restores");
+        assert!(
+            restore > 0.0 && restore < d.conditions.restore_duration,
+            "restore separation at {restore:e}"
+        );
+    }
+}

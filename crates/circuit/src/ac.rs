@@ -1,0 +1,380 @@
+//! AC small-signal analysis.
+//!
+//! Linearises the circuit around a DC operating point and solves the
+//! complex MNA system `(G + jωC)·x = b` across a frequency list, where
+//! `G` is the conductance Jacobian at the operating point (the same
+//! matrix Newton uses) and `C` collects linear capacitors plus the
+//! device models' charge Jacobians. One designated voltage source is the
+//! AC input with unit magnitude; every other independent source is
+//! AC-grounded.
+//!
+//! Not needed for the paper's figures, but standard equipment for a
+//! SPICE-class simulator — and a strong cross-check that the device
+//! models' conductance and capacitance derivatives are consistent.
+
+use std::collections::HashMap;
+
+use nvpg_numeric::complex::{ComplexMatrix, C64};
+use nvpg_numeric::matrix::DenseMatrix;
+use nvpg_numeric::newton::NonlinearSystem;
+
+use crate::circuit::Circuit;
+use crate::element::Element;
+use crate::engine::{MnaContext, MnaSystem};
+use crate::error::CircuitError;
+use crate::node::NodeId;
+use crate::solution::DcSolution;
+
+/// Result of an AC sweep: per-frequency complex node voltages.
+#[derive(Debug, Clone)]
+pub struct AcSweep {
+    freqs: Vec<f64>,
+    node_index: HashMap<String, usize>,
+    /// `data[f][unknown]`.
+    data: Vec<Vec<C64>>,
+}
+
+impl AcSweep {
+    /// The swept frequencies.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex response of a node across frequency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::UnknownSource`] if the node name is
+    /// unknown (reusing the error type's name field for the node).
+    pub fn response(&self, node: &str) -> Result<Vec<(f64, C64)>, CircuitError> {
+        let &idx = self
+            .node_index
+            .get(node)
+            .ok_or_else(|| CircuitError::UnknownSource {
+                name: node.to_owned(),
+            })?;
+        Ok(self
+            .freqs
+            .iter()
+            .zip(&self.data)
+            .map(|(&f, row)| (f, row[idx]))
+            .collect())
+    }
+
+    /// Magnitude response `|v(node)|` across frequency.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`response`](Self::response).
+    pub fn magnitude(&self, node: &str) -> Result<Vec<(f64, f64)>, CircuitError> {
+        Ok(self
+            .response(node)?
+            .into_iter()
+            .map(|(f, z)| (f, z.abs()))
+            .collect())
+    }
+
+    /// Phase response in degrees across frequency.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`response`](Self::response).
+    pub fn phase_deg(&self, node: &str) -> Result<Vec<(f64, f64)>, CircuitError> {
+        Ok(self
+            .response(node)?
+            .into_iter()
+            .map(|(f, z)| (f, z.arg().to_degrees()))
+            .collect())
+    }
+}
+
+/// Assembles the small-signal `G` (conductance) and `C` (capacitance)
+/// matrices at the operating point `x`.
+fn assemble(circuit: &mut Circuit, x: &[f64]) -> (DenseMatrix, DenseMatrix) {
+    let dim = circuit.unknown_count();
+    // G: one Newton evaluation's Jacobian at the OP (DC context: caps
+    // open, so only conductances land in it).
+    let mut g = DenseMatrix::zeros(dim, dim);
+    let mut residual = vec![0.0; dim];
+    {
+        let mut sys = MnaSystem::new(circuit, MnaContext::dc());
+        sys.eval(x, &mut residual, &mut g);
+    }
+    // C: linear capacitors + device capacitance Jacobians.
+    let mut c = DenseMatrix::zeros(dim, dim);
+    let volt = |n: NodeId| n.unknown_index().map_or(0.0, |i| x[i]);
+    for e in circuit.elements() {
+        match e {
+            Element::Capacitor { a, b, farads, .. } => {
+                if let Some(ia) = a.unknown_index() {
+                    c.add(ia, ia, *farads);
+                    if let Some(ib) = b.unknown_index() {
+                        c.add(ia, ib, -farads);
+                        c.add(ib, ia, -farads);
+                        c.add(ib, ib, *farads);
+                    }
+                } else if let Some(ib) = b.unknown_index() {
+                    c.add(ib, ib, *farads);
+                }
+            }
+            Element::Inductor { henries, .. } => {
+                // The inductor's branch row v(a) − v(b) − jωL·i = 0: the
+                // voltage terms are already in G (DC short); add −L on the
+                // branch diagonal so jω picks it up.
+                // Branch index: recomputed below.
+                let _ = henries;
+            }
+            Element::Nonlinear(dev) => {
+                let nodes = dev.nodes();
+                let v: Vec<f64> = nodes.iter().map(|&n| volt(n)).collect();
+                let mut stamp = crate::element::DeviceStamp::new(nodes.len());
+                dev.load(&v, &mut stamp);
+                for (t, &nt) in nodes.iter().enumerate() {
+                    if let Some(r) = nt.unknown_index() {
+                        for (u, &nu) in nodes.iter().enumerate() {
+                            if let Some(col) = nu.unknown_index() {
+                                c.add(r, col, stamp.capacitance[t][u]);
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    // Inductor branch rows: −L on the diagonal (v − jωL·i = 0).
+    let branch_idx = circuit.branch_indices();
+    for (e, bi) in circuit.elements().zip(&branch_idx) {
+        if let (Element::Inductor { henries, .. }, Some(br)) = (e, bi) {
+            c.add(*br, *br, -henries);
+        }
+    }
+    (g, c)
+}
+
+/// Runs an AC sweep: the named voltage source becomes the unit-magnitude
+/// AC input, and the complex node voltages are solved at each frequency.
+///
+/// # Errors
+///
+/// Returns [`CircuitError::UnknownSource`] if `source` is not a voltage
+/// source, or [`CircuitError::SingularMatrix`] if the small-signal system
+/// is singular at some frequency.
+///
+/// # Panics
+///
+/// Panics if `op` does not match the circuit's unknown layout.
+pub fn ac_sweep(
+    circuit: &mut Circuit,
+    op: &DcSolution,
+    source: &str,
+    freqs: &[f64],
+) -> Result<AcSweep, CircuitError> {
+    assert_eq!(
+        op.as_slice().len(),
+        circuit.unknown_count(),
+        "operating point does not match circuit"
+    );
+    // Locate the AC source's branch row.
+    let branch_idx = circuit.branch_indices();
+    let mut ac_row = None;
+    for (e, bi) in circuit.elements().zip(&branch_idx) {
+        if let Element::VoltageSource { name, .. } = e {
+            if name == source {
+                ac_row = *bi;
+            }
+        }
+    }
+    let ac_row = ac_row.ok_or_else(|| CircuitError::UnknownSource {
+        name: source.to_owned(),
+    })?;
+
+    let (g, c) = assemble(circuit, op.as_slice());
+    let dim = g.rows();
+
+    // Node-name index for result lookup.
+    let mut node_index = HashMap::new();
+    for (id, name) in circuit.node_names_iter() {
+        if let Some(idx) = id.unknown_index() {
+            node_index.insert(name.to_owned(), idx);
+        }
+    }
+
+    let mut data = Vec::with_capacity(freqs.len());
+    for &f in freqs {
+        let omega = 2.0 * std::f64::consts::PI * f;
+        let mut a = ComplexMatrix::zeros(dim);
+        for r in 0..dim {
+            for col in 0..dim {
+                let z = C64::new(g[(r, col)], omega * c[(r, col)]);
+                if z != C64::ZERO {
+                    a.add(r, col, z);
+                }
+            }
+        }
+        let mut b = vec![C64::ZERO; dim];
+        b[ac_row] = C64::ONE;
+        let x = a.solve(&b).map_err(|e| CircuitError::SingularMatrix {
+            detail: format!("AC system at {f} Hz: {e}"),
+        })?;
+        data.push(x);
+    }
+    Ok(AcSweep {
+        freqs: freqs.to_vec(),
+        node_index,
+        data,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{operating_point, DcOptions};
+    use nvpg_units::logspace;
+
+    fn rc_lowpass() -> (Circuit, DcSolution, f64) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("v1", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.resistor("r1", vin, out, 1e3).unwrap();
+        ckt.capacitor("c1", out, Circuit::GROUND, 1e-12).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e3 * 1e-12);
+        (ckt, op, fc)
+    }
+
+    #[test]
+    fn rc_pole_magnitude_and_phase() {
+        let (mut ckt, op, fc) = rc_lowpass();
+        let sweep = ac_sweep(&mut ckt, &op, "v1", &[fc / 100.0, fc, fc * 100.0]).unwrap();
+        let mag = sweep.magnitude("out").unwrap();
+        // Passband ≈ 1, pole = 1/√2, two decades up ≈ 0.01.
+        assert!((mag[0].1 - 1.0).abs() < 1e-3, "passband {mag:?}");
+        assert!((mag[1].1 - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-3);
+        assert!((mag[2].1 - 0.01).abs() < 1e-3);
+        let ph = sweep.phase_deg("out").unwrap();
+        assert!(ph[0].1.abs() < 2.0);
+        assert!((ph[1].1 + 45.0).abs() < 1.0, "pole phase {}", ph[1].1);
+        assert!((ph[2].1 + 90.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn single_pole_rolls_off_at_20db_per_decade() {
+        let (mut ckt, op, fc) = rc_lowpass();
+        let freqs = logspace(fc * 10.0, fc * 1000.0, 3);
+        let sweep = ac_sweep(&mut ckt, &op, "v1", &freqs).unwrap();
+        let mag = sweep.magnitude("out").unwrap();
+        let db = |m: f64| 20.0 * m.log10();
+        let slope1 = db(mag[1].1) - db(mag[0].1);
+        let slope2 = db(mag[2].1) - db(mag[1].1);
+        assert!((slope1 + 20.0).abs() < 0.5, "slope {slope1}");
+        assert!((slope2 + 20.0).abs() < 0.2, "slope {slope2}");
+    }
+
+    #[test]
+    fn resistive_divider_is_flat() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("v1", vin, Circuit::GROUND, 1.0).unwrap();
+        ckt.resistor("r1", vin, out, 1e3).unwrap();
+        ckt.resistor("r2", out, Circuit::GROUND, 3e3).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let sweep = ac_sweep(&mut ckt, &op, "v1", &[1.0, 1e6, 1e12]).unwrap();
+        for (f, m) in sweep.magnitude("out").unwrap() {
+            assert!((m - 0.75).abs() < 1e-6, "f = {f:e}: {m}");
+        }
+    }
+
+    #[test]
+    fn other_sources_are_ac_grounded() {
+        // Two sources driving a divider: AC from v1 only; v2 is an AC
+        // short, so the response follows the v1 divider ratio.
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let b = ckt.node("b");
+        let mid = ckt.node("mid");
+        ckt.vsource("v1", a, Circuit::GROUND, 1.0).unwrap();
+        ckt.vsource("v2", b, Circuit::GROUND, 0.5).unwrap();
+        ckt.resistor("r1", a, mid, 1e3).unwrap();
+        ckt.resistor("r2", b, mid, 1e3).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let sweep = ac_sweep(&mut ckt, &op, "v1", &[1e3]).unwrap();
+        let m = sweep.magnitude("mid").unwrap()[0].1;
+        assert!((m - 0.5).abs() < 1e-6, "mid magnitude {m}");
+        // The input node itself is pinned at unit magnitude.
+        assert!((sweep.magnitude("a").unwrap()[0].1 - 1.0).abs() < 1e-9);
+        assert!(sweep.magnitude("b").unwrap()[0].1 < 1e-9);
+    }
+
+    /// Series-RLC bandpass: the response across R peaks at the resonant
+    /// frequency 1/(2π√(LC)) with |H| = 1, rolling off on both sides.
+    #[test]
+    fn rlc_resonance() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let n1 = ckt.node("n1");
+        let out = ckt.node("out");
+        ckt.vsource("v1", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.inductor("l1", vin, n1, 1e-6).unwrap();
+        ckt.capacitor("c1", n1, out, 1e-12).unwrap();
+        ckt.resistor("r1", out, Circuit::GROUND, 50.0).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (1e-6_f64 * 1e-12).sqrt());
+        let sweep = ac_sweep(&mut ckt, &op, "v1", &[f0 / 30.0, f0, f0 * 30.0]).unwrap();
+        let mag = sweep.magnitude("out").unwrap();
+        assert!(
+            (mag[1].1 - 1.0).abs() < 1e-3,
+            "resonance |H| = {}",
+            mag[1].1
+        );
+        assert!(mag[0].1 < 0.1, "below resonance: {}", mag[0].1);
+        assert!(mag[2].1 < 0.1, "above resonance: {}", mag[2].1);
+    }
+
+    /// An ideal VCVS amplifier has frequency-flat gain in AC.
+    #[test]
+    fn vcvs_gain_is_flat() {
+        let mut ckt = Circuit::new();
+        let a = ckt.node("a");
+        let out = ckt.node("out");
+        ckt.vsource("v1", a, Circuit::GROUND, 0.0).unwrap();
+        ckt.vcvs("e1", out, Circuit::GROUND, a, Circuit::GROUND, 10.0)
+            .unwrap();
+        ckt.resistor("rl", out, Circuit::GROUND, 1e3).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let sweep = ac_sweep(&mut ckt, &op, "v1", &[1.0, 1e6, 1e12]).unwrap();
+        for (f, m) in sweep.magnitude("out").unwrap() {
+            assert!((m - 10.0).abs() < 1e-6, "f = {f:e}: {m}");
+        }
+    }
+
+    #[test]
+    fn unknown_source_or_node_errors() {
+        let (mut ckt, op, _) = rc_lowpass();
+        assert!(ac_sweep(&mut ckt, &op, "nope", &[1.0]).is_err());
+        let sweep = ac_sweep(&mut ckt, &op, "v1", &[1.0]).unwrap();
+        assert!(sweep.magnitude("ghost").is_err());
+        assert_eq!(sweep.freqs(), &[1.0]);
+    }
+
+    #[test]
+    fn gate_capacitance_pole_appears() {
+        // An RC formed by a big resistor and a FinFET-gate-sized linear
+        // capacitor (the real-device capacitance path is exercised by the
+        // workspace integration tests).
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let gate = ckt.node("gate");
+        ckt.vsource("v1", vin, Circuit::GROUND, 0.0).unwrap();
+        ckt.resistor("rbig", vin, gate, 1e9).unwrap();
+        ckt.capacitor("cg", gate, Circuit::GROUND, 55e-18).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * 1e9 * 55e-18);
+        let sweep = ac_sweep(&mut ckt, &op, "v1", &[fc / 100.0, fc * 100.0]).unwrap();
+        let mag = sweep.magnitude("gate").unwrap();
+        assert!(mag[0].1 > 0.98);
+        assert!(mag[1].1 < 0.05);
+    }
+}

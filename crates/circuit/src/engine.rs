@@ -1,0 +1,466 @@
+//! MNA assembly: turns a [`Circuit`] plus an evaluation context into the
+//! [`NonlinearSystem`] consumed by the Newton solver.
+//!
+//! Unknown ordering: the `nv` non-ground node voltages first, then one
+//! branch current per voltage source (in element order). The residual is
+//! Kirchhoff's current law per node (currents *leaving* the node sum to
+//! zero) plus one constraint row per voltage source.
+
+use nvpg_numeric::matrix::DenseMatrix;
+use nvpg_numeric::newton::NonlinearSystem;
+
+use crate::circuit::Circuit;
+use crate::element::{DeviceStamp, Element};
+use crate::node::NodeId;
+
+/// Implicit integration scheme for the transient companion models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum IntegrationMethod {
+    /// First-order, L-stable; damps numerical ringing on switching
+    /// circuits. The default.
+    #[default]
+    BackwardEuler,
+    /// Second-order, A-stable; more accurate on smooth waveforms but can
+    /// ring on discontinuities. Applied to linear capacitors (device
+    /// charge models always integrate with backward Euler).
+    Trapezoidal,
+}
+
+/// Companion-model state for transient integration.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Integration {
+    /// Integration scheme for linear capacitors.
+    pub method: IntegrationMethod,
+    /// Current step size.
+    pub dt: f64,
+    /// Previous accepted voltage across each linear capacitor (element
+    /// order, capacitors only).
+    pub cap_v_prev: Vec<f64>,
+    /// Previous accepted current through each linear capacitor
+    /// (trapezoidal history; zero at the DC starting point).
+    pub cap_i_prev: Vec<f64>,
+    /// Previous accepted terminal charges of each nonlinear device
+    /// (element order, nonlinear devices only).
+    pub dev_q_prev: Vec<Vec<f64>>,
+    /// Previous accepted branch current of each inductor (element order,
+    /// inductors only).
+    pub ind_i_prev: Vec<f64>,
+}
+
+/// Evaluation context: time, stepping scale factors, integration state.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct MnaContext {
+    /// Source evaluation time (transient) — DC uses each waveform's value
+    /// at `t = 0`.
+    pub time: f64,
+    /// Scale factor on independent sources (source stepping).
+    pub source_scale: f64,
+    /// Additional gmin from every node to ground (gmin stepping).
+    pub extra_gmin: f64,
+    /// Transient integration state; `None` in DC (capacitors open).
+    pub integ: Option<Integration>,
+}
+
+impl MnaContext {
+    pub(crate) fn dc() -> Self {
+        MnaContext {
+            time: 0.0,
+            source_scale: 1.0,
+            extra_gmin: 0.0,
+            integ: None,
+        }
+    }
+}
+
+/// The assembled nonlinear system for one circuit + context.
+pub(crate) struct MnaSystem<'a> {
+    pub circuit: &'a mut Circuit,
+    pub ctx: MnaContext,
+    branch_idx: Vec<Option<usize>>,
+    nv: usize,
+    dim: usize,
+    /// Scratch stamps, one per nonlinear device (ordinal order).
+    stamps: Vec<DeviceStamp>,
+}
+
+#[inline]
+fn volt(x: &[f64], node: NodeId) -> f64 {
+    match node.unknown_index() {
+        Some(i) => x[i],
+        None => 0.0,
+    }
+}
+
+/// Smooth logistic used by the voltage-controlled switch.
+#[inline]
+fn logistic(z: f64) -> f64 {
+    if z > 40.0 {
+        1.0
+    } else if z < -40.0 {
+        0.0
+    } else {
+        1.0 / (1.0 + (-z).exp())
+    }
+}
+
+impl<'a> MnaSystem<'a> {
+    pub(crate) fn new(circuit: &'a mut Circuit, ctx: MnaContext) -> Self {
+        let branch_idx = circuit.branch_indices();
+        let nv = circuit.nodes.unknown_count();
+        let dim = circuit.unknown_count();
+        let stamps = circuit
+            .elements
+            .iter()
+            .filter_map(|e| match e {
+                Element::Nonlinear(dev) => Some(DeviceStamp::new(dev.nodes().len())),
+                _ => None,
+            })
+            .collect();
+        MnaSystem {
+            circuit,
+            ctx,
+            branch_idx,
+            nv,
+            dim,
+            stamps,
+        }
+    }
+
+    /// Initialises integration state from a converged solution `x` at the
+    /// start of a transient run.
+    pub(crate) fn init_integration(&mut self, x: &[f64], method: IntegrationMethod) {
+        let mut cap_v_prev = Vec::new();
+        let mut dev_q_prev = Vec::new();
+        let mut dev_ord = 0usize;
+        for e in &self.circuit.elements {
+            match e {
+                Element::Capacitor { a, b, .. } => {
+                    cap_v_prev.push(volt(x, *a) - volt(x, *b));
+                }
+                Element::Nonlinear(dev) => {
+                    let v: Vec<f64> = dev.nodes().iter().map(|&n| volt(x, n)).collect();
+                    let stamp = &mut self.stamps[dev_ord];
+                    stamp.clear();
+                    dev.load(&v, stamp);
+                    dev_q_prev.push(stamp.charge.clone());
+                    dev_ord += 1;
+                }
+                _ => {}
+            }
+        }
+        let n_caps = cap_v_prev.len();
+        // Inductor currents: take their DC branch solution as history.
+        let mut ind_i_prev = Vec::new();
+        for (eidx, e) in self.circuit.elements.iter().enumerate() {
+            if matches!(e, Element::Inductor { .. }) {
+                let br = self.branch_idx[eidx].expect("inductor branch");
+                ind_i_prev.push(x[br]);
+            }
+        }
+        self.ctx.integ = Some(Integration {
+            method,
+            dt: 0.0,
+            cap_v_prev,
+            cap_i_prev: vec![0.0; n_caps],
+            dev_q_prev,
+            ind_i_prev,
+        });
+    }
+
+    /// Commits an accepted transient step: updates companion-model history
+    /// and lets devices advance their internal state.
+    pub(crate) fn accept_step(&mut self, x: &[f64], t: f64, dt: f64) {
+        let mut cap_ord = 0usize;
+        let mut dev_ord = 0usize;
+        let mut ind_ord = 0usize;
+        let branch_idx = self.branch_idx.clone();
+        // Split borrows: take the integration state out, put it back after.
+        let mut integ = self.ctx.integ.take().expect("accept_step without init");
+        for (eidx, e) in self.circuit.elements.iter_mut().enumerate() {
+            match e {
+                Element::Inductor { .. } => {
+                    let br = branch_idx[eidx].expect("inductor branch");
+                    integ.ind_i_prev[ind_ord] = x[br];
+                    ind_ord += 1;
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    let v_new = volt(x, *a) - volt(x, *b);
+                    let v_prev = integ.cap_v_prev[cap_ord];
+                    integ.cap_i_prev[cap_ord] = match integ.method {
+                        IntegrationMethod::BackwardEuler => *farads / dt * (v_new - v_prev),
+                        IntegrationMethod::Trapezoidal => {
+                            2.0 * *farads / dt * (v_new - v_prev) - integ.cap_i_prev[cap_ord]
+                        }
+                    };
+                    integ.cap_v_prev[cap_ord] = v_new;
+                    cap_ord += 1;
+                }
+                Element::Nonlinear(dev) => {
+                    let v: Vec<f64> = dev.nodes().iter().map(|&n| volt(x, n)).collect();
+                    dev.accept_step(&v, t, dt);
+                    // Re-evaluate charge at the accepted voltages/state.
+                    let stamp = &mut self.stamps[dev_ord];
+                    stamp.clear();
+                    dev.load(&v, stamp);
+                    integ.dev_q_prev[dev_ord].copy_from_slice(&stamp.charge);
+                    dev_ord += 1;
+                }
+                _ => {}
+            }
+        }
+        self.ctx.integ = Some(integ);
+    }
+}
+
+impl NonlinearSystem for MnaSystem<'_> {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn eval(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut DenseMatrix) {
+        let gmin = self.circuit.gmin + self.ctx.extra_gmin;
+        for i in 0..self.nv {
+            residual[i] += gmin * x[i];
+            jacobian.add(i, i, gmin);
+        }
+
+        let scale = self.ctx.source_scale;
+        let time = self.ctx.time;
+        let mut cap_ord = 0usize;
+        let mut dev_ord = 0usize;
+        let mut ind_ord = 0usize;
+
+        for (eidx, e) in self.circuit.elements.iter().enumerate() {
+            match e {
+                Element::Resistor { a, b, ohms, .. } => {
+                    let g = 1.0 / ohms;
+                    stamp_conductance(residual, jacobian, x, *a, *b, g);
+                }
+                Element::Capacitor { a, b, farads, .. } => {
+                    if let Some(integ) = &self.ctx.integ {
+                        // Companion model: BE  i = (C/dt)·(v − v_prev);
+                        // trapezoidal  i = (2C/dt)·(v − v_prev) − i_prev.
+                        let vab = volt(x, *a) - volt(x, *b);
+                        let (geq, hist) = match integ.method {
+                            IntegrationMethod::BackwardEuler => (farads / integ.dt, 0.0),
+                            IntegrationMethod::Trapezoidal => {
+                                (2.0 * farads / integ.dt, integ.cap_i_prev[cap_ord])
+                            }
+                        };
+                        let ieq = geq * (vab - integ.cap_v_prev[cap_ord]) - hist;
+                        add_current(residual, *a, ieq);
+                        add_current(residual, *b, -ieq);
+                        stamp_g_only(jacobian, *a, *b, geq);
+                    }
+                    cap_ord += 1;
+                }
+                Element::VoltageSource { pos, neg, wave, .. } => {
+                    let br = self.branch_idx[eidx].expect("vsource has branch");
+                    let i_br = x[br];
+                    add_current(residual, *pos, i_br);
+                    add_current(residual, *neg, -i_br);
+                    if let Some(p) = pos.unknown_index() {
+                        jacobian.add(p, br, 1.0);
+                        jacobian.add(br, p, 1.0);
+                    }
+                    if let Some(nn) = neg.unknown_index() {
+                        jacobian.add(nn, br, -1.0);
+                        jacobian.add(br, nn, -1.0);
+                    }
+                    residual[br] += volt(x, *pos) - volt(x, *neg) - wave.value(time) * scale;
+                }
+                Element::CurrentSource { from, to, wave, .. } => {
+                    let i = wave.value(time) * scale;
+                    // Current leaves `from` (into the source) and enters `to`.
+                    add_current(residual, *from, i);
+                    add_current(residual, *to, -i);
+                }
+                Element::Switch {
+                    a,
+                    b,
+                    ctrl_pos,
+                    ctrl_neg,
+                    threshold,
+                    r_on,
+                    r_off,
+                    smooth,
+                    ..
+                } => {
+                    let vc = volt(x, *ctrl_pos) - volt(x, *ctrl_neg);
+                    let z = (vc - threshold) / smooth;
+                    let s = logistic(z);
+                    // Interpolate conductance in log space for smoothness
+                    // across many orders of magnitude.
+                    let (ln_on, ln_off) = ((1.0 / r_on).ln(), (1.0 / r_off).ln());
+                    let ln_g = ln_off + (ln_on - ln_off) * s;
+                    let g = ln_g.exp();
+                    let ds_dz = s * (1.0 - s);
+                    let dg_dvc = g * (ln_on - ln_off) * ds_dz / smooth;
+
+                    let vab = volt(x, *a) - volt(x, *b);
+                    let i = g * vab;
+                    add_current(residual, *a, i);
+                    add_current(residual, *b, -i);
+                    stamp_g_only(jacobian, *a, *b, g);
+                    // ∂i/∂vc terms.
+                    for (node, sign) in [(*a, 1.0), (*b, -1.0)] {
+                        if let Some(r) = node.unknown_index() {
+                            if let Some(cp) = ctrl_pos.unknown_index() {
+                                jacobian.add(r, cp, sign * vab * dg_dvc);
+                            }
+                            if let Some(cn) = ctrl_neg.unknown_index() {
+                                jacobian.add(r, cn, -sign * vab * dg_dvc);
+                            }
+                        }
+                    }
+                }
+                Element::Inductor { a, b, henries, .. } => {
+                    let br = self.branch_idx[eidx].expect("inductor branch");
+                    let i_br = x[br];
+                    add_current(residual, *a, i_br);
+                    add_current(residual, *b, -i_br);
+                    if let Some(ia) = a.unknown_index() {
+                        jacobian.add(ia, br, 1.0);
+                        jacobian.add(br, ia, 1.0);
+                    }
+                    if let Some(ib) = b.unknown_index() {
+                        jacobian.add(ib, br, -1.0);
+                        jacobian.add(br, ib, -1.0);
+                    }
+                    match &self.ctx.integ {
+                        Some(integ) => {
+                            // BE companion: v_ab = (L/dt)·(i − i_prev).
+                            let req = henries / integ.dt;
+                            residual[br] += volt(x, *a) - volt(x, *b) - req * i_br
+                                + req * integ.ind_i_prev[ind_ord];
+                            jacobian.add(br, br, -req);
+                        }
+                        None => {
+                            // DC: a short — v(a) = v(b).
+                            residual[br] += volt(x, *a) - volt(x, *b);
+                        }
+                    }
+                    ind_ord += 1;
+                }
+                Element::Vcvs {
+                    pos,
+                    neg,
+                    ctrl_pos,
+                    ctrl_neg,
+                    gain,
+                    ..
+                } => {
+                    let br = self.branch_idx[eidx].expect("vcvs branch");
+                    let i_br = x[br];
+                    add_current(residual, *pos, i_br);
+                    add_current(residual, *neg, -i_br);
+                    if let Some(p) = pos.unknown_index() {
+                        jacobian.add(p, br, 1.0);
+                        jacobian.add(br, p, 1.0);
+                    }
+                    if let Some(n) = neg.unknown_index() {
+                        jacobian.add(n, br, -1.0);
+                        jacobian.add(br, n, -1.0);
+                    }
+                    residual[br] += volt(x, *pos)
+                        - volt(x, *neg)
+                        - gain * (volt(x, *ctrl_pos) - volt(x, *ctrl_neg));
+                    if let Some(cp) = ctrl_pos.unknown_index() {
+                        jacobian.add(br, cp, -gain);
+                    }
+                    if let Some(cn) = ctrl_neg.unknown_index() {
+                        jacobian.add(br, cn, *gain);
+                    }
+                }
+                Element::Vccs {
+                    from,
+                    to,
+                    ctrl_pos,
+                    ctrl_neg,
+                    gm,
+                    ..
+                } => {
+                    let i = gm * (volt(x, *ctrl_pos) - volt(x, *ctrl_neg));
+                    add_current(residual, *from, i);
+                    add_current(residual, *to, -i);
+                    for (node, sign) in [(*from, 1.0), (*to, -1.0)] {
+                        if let Some(r) = node.unknown_index() {
+                            if let Some(cp) = ctrl_pos.unknown_index() {
+                                jacobian.add(r, cp, sign * gm);
+                            }
+                            if let Some(cn) = ctrl_neg.unknown_index() {
+                                jacobian.add(r, cn, -sign * gm);
+                            }
+                        }
+                    }
+                }
+                Element::Nonlinear(dev) => {
+                    let nodes = dev.nodes();
+                    let v: Vec<f64> = nodes.iter().map(|&n| volt(x, n)).collect();
+                    let stamp = &mut self.stamps[dev_ord];
+                    stamp.clear();
+                    dev.load(&v, stamp);
+
+                    for (t, &nt) in nodes.iter().enumerate() {
+                        let mut i_t = stamp.current[t];
+                        // Charge contribution (backward Euler) in transient.
+                        if let Some(integ) = &self.ctx.integ {
+                            i_t += (stamp.charge[t] - integ.dev_q_prev[dev_ord][t]) / integ.dt;
+                        }
+                        add_current(residual, nt, i_t);
+                        if let Some(r) = nt.unknown_index() {
+                            for (u, &nu) in nodes.iter().enumerate() {
+                                if let Some(c) = nu.unknown_index() {
+                                    let mut g = stamp.conductance[t][u];
+                                    if let Some(integ) = &self.ctx.integ {
+                                        g += stamp.capacitance[t][u] / integ.dt;
+                                    }
+                                    jacobian.add(r, c, g);
+                                }
+                            }
+                        }
+                    }
+                    dev_ord += 1;
+                }
+            }
+        }
+    }
+}
+
+#[inline]
+fn add_current(residual: &mut [f64], node: NodeId, i: f64) {
+    if let Some(idx) = node.unknown_index() {
+        residual[idx] += i;
+    }
+}
+
+/// Stamps a two-terminal conductance's current and Jacobian.
+#[inline]
+fn stamp_conductance(
+    residual: &mut [f64],
+    jacobian: &mut DenseMatrix,
+    x: &[f64],
+    a: NodeId,
+    b: NodeId,
+    g: f64,
+) {
+    let i = g * (volt(x, a) - volt(x, b));
+    add_current(residual, a, i);
+    add_current(residual, b, -i);
+    stamp_g_only(jacobian, a, b, g);
+}
+
+/// Stamps only the Jacobian entries of a two-terminal conductance.
+#[inline]
+fn stamp_g_only(jacobian: &mut DenseMatrix, a: NodeId, b: NodeId, g: f64) {
+    if let Some(ia) = a.unknown_index() {
+        jacobian.add(ia, ia, g);
+        if let Some(ib) = b.unknown_index() {
+            jacobian.add(ia, ib, -g);
+            jacobian.add(ib, ia, -g);
+            jacobian.add(ib, ib, g);
+        }
+    } else if let Some(ib) = b.unknown_index() {
+        jacobian.add(ib, ib, g);
+    }
+}

@@ -1,0 +1,84 @@
+//! Error types for circuit construction and analysis.
+
+use std::fmt;
+
+/// Errors produced while building or simulating a circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CircuitError {
+    /// An element value was invalid (non-positive resistance, NaN, …).
+    InvalidValue {
+        /// Element instance name.
+        element: String,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// Duplicate element instance name.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A named source was not found in the circuit.
+    UnknownSource {
+        /// The requested name.
+        name: String,
+    },
+    /// The DC operating point failed to converge even with gmin and source
+    /// stepping.
+    DcNonConvergence {
+        /// Diagnostic detail from the last strategy attempted.
+        detail: String,
+    },
+    /// A transient step failed to converge at the minimum step size.
+    TransientNonConvergence {
+        /// Simulation time at which the failure occurred.
+        time: f64,
+    },
+    /// The MNA matrix is structurally singular (floating node or voltage
+    /// source loop).
+    SingularMatrix {
+        /// Diagnostic detail.
+        detail: String,
+    },
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::InvalidValue { element, reason } => {
+                write!(f, "invalid value on element `{element}`: {reason}")
+            }
+            CircuitError::DuplicateName { name } => {
+                write!(f, "duplicate element name `{name}`")
+            }
+            CircuitError::UnknownSource { name } => {
+                write!(f, "no source named `{name}` in the circuit")
+            }
+            CircuitError::DcNonConvergence { detail } => {
+                write!(f, "DC operating point did not converge: {detail}")
+            }
+            CircuitError::TransientNonConvergence { time } => {
+                write!(f, "transient analysis failed to converge at t = {time:e} s")
+            }
+            CircuitError::SingularMatrix { detail } => {
+                write!(f, "singular MNA matrix: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = CircuitError::UnknownSource { name: "vdd".into() };
+        assert_eq!(e.to_string(), "no source named `vdd` in the circuit");
+        let e = CircuitError::TransientNonConvergence { time: 1e-9 };
+        assert!(e.to_string().contains("1e-9"));
+        let e = CircuitError::DuplicateName { name: "r1".into() };
+        assert!(e.to_string().contains("r1"));
+    }
+}

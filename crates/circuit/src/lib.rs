@@ -1,0 +1,64 @@
+//! A SPICE-class analog circuit simulator.
+//!
+//! `nvpg-circuit` re-implements, from scratch, the slice of HSPICE that the
+//! DATE 2015 NV-SRAM power-gating study depends on:
+//!
+//! * **Netlists** ([`Circuit`]) of resistors, capacitors, independent V/I
+//!   sources with [waveforms](waveform::Waveform), smooth
+//!   voltage-controlled switches, and arbitrary nonlinear compact models
+//!   plugged in through [`element::NonlinearDevice`] (the 20 nm FinFET and
+//!   the MTJ macromodel live in `nvpg-devices`).
+//! * **DC operating point** ([`dc::operating_point`]) — damped Newton with
+//!   nodesets for bistable circuits, plus gmin stepping and source
+//!   stepping fallbacks.
+//! * **DC sweeps** ([`dc::sweep`]) with warm starting.
+//! * **Transient analysis** ([`transient::transient`]) — adaptive-step
+//!   backward Euler with waveform breakpoint handling, recording node
+//!   voltages, source currents and delivered power into a [`Trace`].
+//! * **Measurements** ([`Trace`]) — interpolated values, trapezoidal
+//!   integrals (energies), averages, extrema, threshold crossings.
+//!
+//! # Example: RC step response
+//!
+//! ```
+//! use nvpg_circuit::{dc, transient, Circuit, TransientOptions, Waveform};
+//!
+//! let mut ckt = Circuit::new();
+//! let vin = ckt.node("vin");
+//! let out = ckt.node("out");
+//! ckt.vsource("v1", vin, Circuit::GROUND,
+//!     Waveform::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]))?;
+//! ckt.resistor("r1", vin, out, 1e3)?;
+//! ckt.capacitor("c1", out, Circuit::GROUND, 1e-12)?;
+//!
+//! let op = dc::operating_point(&mut ckt, &Default::default())?;
+//! let trace = transient::transient(&mut ckt, &TransientOptions::to(5e-9), &op)?.trace;
+//! let v_at_rc = trace.value_at("v(out)", 1e-9)?;
+//! assert!((v_at_rc - 0.632).abs() < 0.01);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ac;
+pub mod circuit;
+pub mod dc;
+pub mod element;
+mod engine;
+pub use engine::IntegrationMethod;
+pub mod error;
+pub mod node;
+pub mod parser;
+pub mod solution;
+pub mod trace;
+pub mod transient;
+pub mod vcd;
+pub mod waveform;
+
+pub use ac::{ac_sweep, AcSweep};
+pub use circuit::Circuit;
+pub use element::{DeviceStamp, NonlinearDevice};
+pub use error::CircuitError;
+pub use node::NodeId;
+pub use solution::DcSolution;
+pub use trace::Trace;
+pub use transient::{TransientOptions, TransientResult};
+pub use waveform::{Pulse, Waveform};

@@ -1,0 +1,174 @@
+//! Circuit nodes and the name ↔ id table.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a circuit node.
+///
+/// `NodeId::GROUND` is the reference node; its voltage is identically zero
+/// and it carries no MNA unknown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The ground / reference node.
+    pub const GROUND: NodeId = NodeId(0);
+
+    /// `true` if this is the ground node.
+    #[inline]
+    pub fn is_ground(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Index of this node's voltage unknown in the MNA vector, or `None`
+    /// for ground.
+    #[inline]
+    pub(crate) fn unknown_index(self) -> Option<usize> {
+        if self.is_ground() {
+            None
+        } else {
+            Some(self.0 as usize - 1)
+        }
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Bidirectional node name table.
+///
+/// Names are unique; looking up an existing name returns the same id.
+#[derive(Debug, Clone, Default)]
+pub struct NodeTable {
+    by_name: HashMap<String, NodeId>,
+    names: Vec<String>, // names[id] = name, index 0 = ground
+}
+
+impl NodeTable {
+    /// Creates a table containing only the ground node (named `"0"`).
+    pub fn new() -> Self {
+        let mut by_name = HashMap::new();
+        by_name.insert("0".to_owned(), NodeId::GROUND);
+        NodeTable {
+            by_name,
+            names: vec!["0".to_owned()],
+        }
+    }
+
+    /// Returns the id for `name`, creating a fresh node if it is new.
+    /// The names `"0"` and `"gnd"` map to ground.
+    pub fn node(&mut self, name: &str) -> NodeId {
+        let canonical = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
+        if let Some(&id) = self.by_name.get(canonical) {
+            return id;
+        }
+        let id = NodeId(self.names.len() as u32);
+        self.names.push(canonical.to_owned());
+        self.by_name.insert(canonical.to_owned(), id);
+        id
+    }
+
+    /// Looks up an existing node by name.
+    pub fn find(&self, name: &str) -> Option<NodeId> {
+        let canonical = if name.eq_ignore_ascii_case("gnd") {
+            "0"
+        } else {
+            name
+        };
+        self.by_name.get(canonical).copied()
+    }
+
+    /// The name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this table.
+    pub fn name(&self, id: NodeId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of nodes including ground.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// `false` — a table always contains at least ground.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Number of non-ground nodes (voltage unknowns).
+    pub fn unknown_count(&self) -> usize {
+        self.names.len() - 1
+    }
+
+    /// Iterates over `(id, name)` pairs, ground first.
+    pub fn iter(&self) -> impl Iterator<Item = (NodeId, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (NodeId(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_is_predefined() {
+        let mut t = NodeTable::new();
+        assert_eq!(t.node("0"), NodeId::GROUND);
+        assert_eq!(t.node("gnd"), NodeId::GROUND);
+        assert_eq!(t.node("GND"), NodeId::GROUND);
+        assert!(NodeId::GROUND.is_ground());
+        assert_eq!(NodeId::GROUND.unknown_index(), None);
+    }
+
+    #[test]
+    fn names_are_stable_and_unique() {
+        let mut t = NodeTable::new();
+        let a = t.node("vdd");
+        let b = t.node("out");
+        let a2 = t.node("vdd");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(t.name(a), "vdd");
+        assert_eq!(t.name(b), "out");
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.unknown_count(), 2);
+        assert_eq!(t.find("out"), Some(b));
+        assert_eq!(t.find("nope"), None);
+    }
+
+    #[test]
+    fn unknown_indices_skip_ground() {
+        let mut t = NodeTable::new();
+        let a = t.node("a");
+        let b = t.node("b");
+        assert_eq!(a.unknown_index(), Some(0));
+        assert_eq!(b.unknown_index(), Some(1));
+    }
+
+    #[test]
+    fn iteration_order() {
+        let mut t = NodeTable::new();
+        t.node("x");
+        t.node("y");
+        let names: Vec<&str> = t.iter().map(|(_, n)| n).collect();
+        assert_eq!(names, vec!["0", "x", "y"]);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(NodeId::GROUND.to_string(), "n0");
+    }
+}

@@ -1,0 +1,782 @@
+//! SPICE-deck netlist parser.
+//!
+//! Parses the classic card format into a [`Circuit`], so decks can be
+//! written by hand or exported from other tools:
+//!
+//! ```text
+//! * RC low-pass
+//! V1 vin 0 PULSE(0 0.9 1n 50p 50p 2n 5n)
+//! R1 vin out 1k
+//! C1 out 0 10f
+//! S1 out gnd ctl 0 SW(vt=0.45 ron=10 roff=1e12)
+//! .end
+//! ```
+//!
+//! Supported cards: `R` (resistor), `C` (capacitor), `L` (inductor),
+//! `V`/`I` (independent sources with `DC`, `PULSE`, `PWL`, `SIN`
+//! waveforms), `E` (VCVS), `G` (VCCS), `S`
+//! (voltage-controlled switch), `X` (subcircuit instance), `*`/`;`
+//! comments, `+` continuation lines, `.subckt`/`.ends` definitions
+//! (flattened at instantiation, internal nodes namespaced as
+//! `<instance>.<node>`), and `.end`. Values accept SPICE suffixes
+//! (`f p n u µ m k meg g t`). Node `0` / `gnd` is ground. Nonlinear
+//! compact models (FinFETs, MTJs) are Rust types; add them through
+//! [`Circuit::device`] after parsing.
+
+use crate::circuit::Circuit;
+use crate::error::CircuitError;
+use crate::waveform::{Pulse, Waveform};
+
+/// Error produced while parsing a deck.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseDeckError {
+    /// 1-based line number in the deck.
+    pub line: usize,
+    /// Explanation.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ParseDeckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "deck line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for ParseDeckError {}
+
+impl From<(usize, CircuitError)> for ParseDeckError {
+    fn from((line, e): (usize, CircuitError)) -> Self {
+        ParseDeckError {
+            line,
+            reason: e.to_string(),
+        }
+    }
+}
+
+/// Parses a numeric value with optional SPICE magnitude suffix.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_circuit::parser::parse_value;
+/// assert_eq!(parse_value("1k").unwrap(), 1e3);
+/// assert!((parse_value("10f").unwrap() - 10e-15).abs() < 1e-28);
+/// assert_eq!(parse_value("2meg").unwrap(), 2e6);
+/// assert_eq!(parse_value("0.9").unwrap(), 0.9);
+/// ```
+///
+/// # Errors
+///
+/// Returns a message when the token is not a number with a known suffix.
+pub fn parse_value(token: &str) -> Result<f64, String> {
+    let t = token.trim().to_ascii_lowercase();
+    // Longest suffixes first ("meg" before "m").
+    const SUFFIXES: [(&str, f64); 12] = [
+        ("meg", 1e6),
+        ("a", 1e-18),
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("µ", 1e-6),
+        ("m", 1e-3),
+        ("k", 1e3),
+        ("g", 1e9),
+        ("t", 1e12),
+        ("", 1.0),
+    ];
+    for (suffix, scale) in SUFFIXES {
+        if let Some(stripped) = t.strip_suffix(suffix) {
+            if suffix.is_empty() && stripped != t {
+                continue;
+            }
+            if let Ok(v) = stripped.parse::<f64>() {
+                return Ok(v * scale);
+            }
+        }
+    }
+    Err(format!("cannot parse value `{token}`"))
+}
+
+/// Splits `PULSE(0 0.9 1n ...)`-style tokens: returns `(keyword, args)` if
+/// the joined tail looks like `KEYWORD( ... )`.
+fn functional_form(tail: &str) -> Option<(String, Vec<String>)> {
+    let open = tail.find('(')?;
+    let close = tail.rfind(')')?;
+    if close < open {
+        return None;
+    }
+    let keyword = tail[..open].trim().to_ascii_uppercase();
+    let args = tail[open + 1..close]
+        .split([' ', ',', '\t'])
+        .filter(|s| !s.is_empty())
+        .map(str::to_owned)
+        .collect();
+    Some((keyword, args))
+}
+
+fn parse_waveform(tail: &str, line: usize) -> Result<Waveform, ParseDeckError> {
+    let err = |reason: String| ParseDeckError { line, reason };
+    let trimmed = tail.trim();
+    // Plain value or `DC <value>`.
+    if let Some(rest) = trimmed
+        .strip_prefix("DC ")
+        .or_else(|| trimmed.strip_prefix("dc "))
+    {
+        return parse_value(rest).map(Waveform::Dc).map_err(err);
+    }
+    if let Some((keyword, args)) = functional_form(trimmed) {
+        let vals: Result<Vec<f64>, String> = args.iter().map(|a| parse_value(a)).collect();
+        let vals = vals.map_err(err)?;
+        return match keyword.as_str() {
+            "PULSE" => {
+                if vals.len() < 7 {
+                    return Err(ParseDeckError {
+                        line,
+                        reason: format!("PULSE needs 7 arguments, got {}", vals.len()),
+                    });
+                }
+                Ok(Waveform::Pulse(Pulse {
+                    v1: vals[0],
+                    v2: vals[1],
+                    delay: vals[2],
+                    rise: vals[3],
+                    fall: vals[4],
+                    width: vals[5],
+                    period: if vals[6] <= 0.0 {
+                        f64::INFINITY
+                    } else {
+                        vals[6]
+                    },
+                }))
+            }
+            "PWL" => {
+                if vals.len() < 2 || vals.len() % 2 != 0 {
+                    return Err(ParseDeckError {
+                        line,
+                        reason: "PWL needs an even number of t/v arguments".to_owned(),
+                    });
+                }
+                let pts: Vec<(f64, f64)> = vals.chunks(2).map(|c| (c[0], c[1])).collect();
+                for w in pts.windows(2) {
+                    if w[1].0 <= w[0].0 {
+                        return Err(ParseDeckError {
+                            line,
+                            reason: "PWL times must be strictly increasing".to_owned(),
+                        });
+                    }
+                }
+                Ok(Waveform::Pwl(pts))
+            }
+            "SIN" => {
+                if vals.len() < 3 {
+                    return Err(ParseDeckError {
+                        line,
+                        reason: "SIN needs at least offset, amplitude, freq".to_owned(),
+                    });
+                }
+                Ok(Waveform::Sine {
+                    offset: vals[0],
+                    amplitude: vals[1],
+                    freq: vals[2],
+                    delay: vals.get(3).copied().unwrap_or(0.0),
+                })
+            }
+            other => Err(ParseDeckError {
+                line,
+                reason: format!("unknown waveform `{other}`"),
+            }),
+        };
+    }
+    parse_value(trimmed).map(Waveform::Dc).map_err(err)
+}
+
+/// Parses `key=value` pairs from switch model parentheses.
+fn parse_kv(args: &[String]) -> Result<Vec<(String, f64)>, String> {
+    args.iter()
+        .map(|a| {
+            let (k, v) = a
+                .split_once('=')
+                .ok_or_else(|| format!("expected key=value, got `{a}`"))?;
+            Ok((k.to_ascii_lowercase(), parse_value(v)?))
+        })
+        .collect()
+}
+
+/// Parses a SPICE deck into a new [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseDeckError`] with the offending line number for syntax
+/// errors, unknown cards, or element validation failures (duplicate
+/// names, non-positive values).
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_circuit::parser::parse_deck;
+/// use nvpg_circuit::dc;
+///
+/// let mut ckt = parse_deck("
+///     * divider
+///     V1 vin 0 1.0
+///     R1 vin out 1k
+///     R2 out 0 3k
+/// ")?;
+/// let op = dc::operating_point(&mut ckt, &Default::default())?;
+/// assert!((op.voltage_by_name("out").unwrap() - 0.75).abs() < 1e-6);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn parse_deck(deck: &str) -> Result<Circuit, ParseDeckError> {
+    let mut ckt = Circuit::new();
+
+    // Merge continuation lines, remembering original line numbers.
+    let mut cards: Vec<(usize, String)> = Vec::new();
+    for (idx, raw) in deck.lines().enumerate() {
+        let line_no = idx + 1;
+        let text = match raw.find(';') {
+            Some(pos) => &raw[..pos],
+            None => raw,
+        };
+        let trimmed = text.trim();
+        if trimmed.is_empty() || trimmed.starts_with('*') {
+            continue;
+        }
+        if let Some(cont) = trimmed.strip_prefix('+') {
+            match cards.last_mut() {
+                Some((_, prev)) => {
+                    prev.push(' ');
+                    prev.push_str(cont.trim());
+                }
+                None => {
+                    return Err(ParseDeckError {
+                        line: line_no,
+                        reason: "continuation line with nothing to continue".to_owned(),
+                    })
+                }
+            }
+            continue;
+        }
+        cards.push((line_no, trimmed.to_owned()));
+    }
+
+    // Pass 1: lift out .subckt definitions.
+    let mut subckts: std::collections::HashMap<String, Subckt> = std::collections::HashMap::new();
+    let mut top: Vec<(usize, String)> = Vec::new();
+    let mut current: Option<Subckt> = None;
+    for (line, card) in cards {
+        let lower = card.to_ascii_lowercase();
+        if lower.starts_with(".subckt") {
+            if current.is_some() {
+                return Err(ParseDeckError {
+                    line,
+                    reason: "nested .subckt definitions are not supported".to_owned(),
+                });
+            }
+            let mut toks = card.split_whitespace().skip(1);
+            let name = toks
+                .next()
+                .ok_or_else(|| ParseDeckError {
+                    line,
+                    reason: ".subckt needs a name".to_owned(),
+                })?
+                .to_ascii_lowercase();
+            let ports: Vec<String> = toks.map(|t| t.to_ascii_lowercase()).collect();
+            if ports.is_empty() {
+                return Err(ParseDeckError {
+                    line,
+                    reason: format!(".subckt {name} needs at least one port"),
+                });
+            }
+            current = Some(Subckt {
+                ports,
+                body: Vec::new(),
+            });
+            subckts.insert(name, Subckt::default());
+            // Remember the name to move the finished body in on `.ends`.
+            top.push((line, format!(".__defining {card}")));
+            continue;
+        }
+        if lower.starts_with(".ends") {
+            match (current.take(), top.pop()) {
+                (Some(def), Some((_, marker))) if marker.starts_with(".__defining") => {
+                    let name = marker
+                        .split_whitespace()
+                        .nth(2)
+                        .expect("marker carries the name")
+                        .to_ascii_lowercase();
+                    subckts.insert(name, def);
+                }
+                _ => {
+                    return Err(ParseDeckError {
+                        line,
+                        reason: ".ends without a matching .subckt".to_owned(),
+                    })
+                }
+            }
+            continue;
+        }
+        match &mut current {
+            Some(def) => def.body.push((line, card)),
+            None => top.push((line, card)),
+        }
+    }
+    if current.is_some() {
+        return Err(ParseDeckError {
+            line: 0,
+            reason: "unterminated .subckt (missing .ends)".to_owned(),
+        });
+    }
+
+    // Pass 2: process top-level cards, expanding X instances.
+    let empty = std::collections::HashMap::new();
+    for (line, card) in top {
+        if card.starts_with(".__defining") {
+            continue;
+        }
+        if card.to_ascii_lowercase().starts_with(".end") {
+            break;
+        }
+        process_card(&mut ckt, line, &card, "", &empty, &subckts, 0)?;
+    }
+    Ok(ckt)
+}
+
+/// A subcircuit definition: port names plus body cards.
+#[derive(Debug, Clone, Default)]
+struct Subckt {
+    ports: Vec<String>,
+    body: Vec<(usize, String)>,
+}
+
+/// Maps a local node name through the instance port map / prefix.
+fn map_node(name: &str, prefix: &str, ports: &std::collections::HashMap<String, String>) -> String {
+    let lower = name.to_ascii_lowercase();
+    if lower == "0" || lower == "gnd" {
+        return "0".to_owned();
+    }
+    if let Some(outer) = ports.get(&lower) {
+        return outer.clone();
+    }
+    if prefix.is_empty() {
+        lower
+    } else {
+        format!("{prefix}{lower}")
+    }
+}
+
+/// Processes one card, instantiating elements into `ckt`. `prefix` and
+/// `ports` implement subcircuit flattening; `depth` bounds recursion.
+fn process_card(
+    ckt: &mut Circuit,
+    line: usize,
+    card: &str,
+    prefix: &str,
+    ports: &std::collections::HashMap<String, String>,
+    subckts: &std::collections::HashMap<String, Subckt>,
+    depth: usize,
+) -> Result<(), ParseDeckError> {
+    if depth > 16 {
+        return Err(ParseDeckError {
+            line,
+            reason: "subcircuit nesting deeper than 16 levels".to_owned(),
+        });
+    }
+    let mut tokens = card.split_whitespace();
+    let head = tokens.next().expect("non-empty card");
+    if head.starts_with('.') {
+        return Err(ParseDeckError {
+            line,
+            reason: format!("unsupported directive `{}`", head.to_ascii_lowercase()),
+        });
+    }
+    let name = format!("{prefix}{}", head.to_ascii_lowercase());
+    let kind = head
+        .chars()
+        .next()
+        .expect("non-empty head")
+        .to_ascii_lowercase();
+    let rest: Vec<&str> = tokens.collect();
+    let need = |n: usize| -> Result<(), ParseDeckError> {
+        if rest.len() < n {
+            Err(ParseDeckError {
+                line,
+                reason: format!("`{head}` needs at least {n} fields, got {}", rest.len()),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    let node = |ckt: &mut Circuit, n: &str| {
+        let mapped = map_node(n, prefix, ports);
+        ckt.node(&mapped)
+    };
+    match kind {
+        'r' => {
+            need(3)?;
+            let a = node(ckt, rest[0]);
+            let b = node(ckt, rest[1]);
+            let ohms = parse_value(rest[2]).map_err(|reason| ParseDeckError { line, reason })?;
+            ckt.resistor(&name, a, b, ohms)
+                .map_err(|e| ParseDeckError::from((line, e)))?;
+        }
+        'c' => {
+            need(3)?;
+            let a = node(ckt, rest[0]);
+            let b = node(ckt, rest[1]);
+            let farads = parse_value(rest[2]).map_err(|reason| ParseDeckError { line, reason })?;
+            ckt.capacitor(&name, a, b, farads)
+                .map_err(|e| ParseDeckError::from((line, e)))?;
+        }
+        'l' => {
+            need(3)?;
+            let a = node(ckt, rest[0]);
+            let b = node(ckt, rest[1]);
+            let henries = parse_value(rest[2]).map_err(|reason| ParseDeckError { line, reason })?;
+            ckt.inductor(&name, a, b, henries)
+                .map_err(|e| ParseDeckError::from((line, e)))?;
+        }
+        'e' | 'g' => {
+            need(5)?;
+            let p1 = node(ckt, rest[0]);
+            let p2 = node(ckt, rest[1]);
+            let cp = node(ckt, rest[2]);
+            let cn = node(ckt, rest[3]);
+            let k = parse_value(rest[4]).map_err(|reason| ParseDeckError { line, reason })?;
+            if kind == 'e' {
+                ckt.vcvs(&name, p1, p2, cp, cn, k)
+                    .map_err(|e| ParseDeckError::from((line, e)))?;
+            } else {
+                ckt.vccs(&name, p1, p2, cp, cn, k)
+                    .map_err(|e| ParseDeckError::from((line, e)))?;
+            }
+        }
+        'v' | 'i' => {
+            need(3)?;
+            let pos = node(ckt, rest[0]);
+            let neg = node(ckt, rest[1]);
+            let tail = rest[2..].join(" ");
+            let wave = parse_waveform(&tail, line)?;
+            if kind == 'v' {
+                ckt.vsource(&name, pos, neg, wave)
+                    .map_err(|e| ParseDeckError::from((line, e)))?;
+            } else {
+                ckt.isource(&name, pos, neg, wave)
+                    .map_err(|e| ParseDeckError::from((line, e)))?;
+            }
+        }
+        's' => {
+            need(5)?;
+            let a = node(ckt, rest[0]);
+            let b = node(ckt, rest[1]);
+            let cp = node(ckt, rest[2]);
+            let cn = node(ckt, rest[3]);
+            let tail = rest[4..].join(" ");
+            let (keyword, args) = functional_form(&tail).ok_or_else(|| ParseDeckError {
+                line,
+                reason: "switch needs SW(vt=.. ron=.. roff=..)".to_owned(),
+            })?;
+            if keyword != "SW" {
+                return Err(ParseDeckError {
+                    line,
+                    reason: format!("unknown switch model `{keyword}`"),
+                });
+            }
+            let kv = parse_kv(&args).map_err(|reason| ParseDeckError { line, reason })?;
+            let get = |key: &str, default: f64| {
+                kv.iter()
+                    .find(|(k, _)| k == key)
+                    .map(|&(_, v)| v)
+                    .unwrap_or(default)
+            };
+            ckt.switch(
+                &name,
+                a,
+                b,
+                cp,
+                cn,
+                get("vt", 0.5),
+                get("ron", 1.0),
+                get("roff", 1e12),
+            )
+            .map_err(|e| ParseDeckError::from((line, e)))?;
+        }
+        'x' => {
+            need(2)?;
+            let sub_name = rest.last().expect("need(2) checked").to_ascii_lowercase();
+            let sub = subckts.get(&sub_name).ok_or_else(|| ParseDeckError {
+                line,
+                reason: format!("unknown subcircuit `{sub_name}`"),
+            })?;
+            let outer_nodes = &rest[..rest.len() - 1];
+            if outer_nodes.len() != sub.ports.len() {
+                return Err(ParseDeckError {
+                    line,
+                    reason: format!(
+                        "`{head}` connects {} nodes but `{sub_name}` has {} ports",
+                        outer_nodes.len(),
+                        sub.ports.len()
+                    ),
+                });
+            }
+            // Port map: local port name -> resolved outer node name.
+            let mut inner_ports = std::collections::HashMap::new();
+            for (port, outer) in sub.ports.iter().zip(outer_nodes) {
+                inner_ports.insert(port.clone(), map_node(outer, prefix, ports));
+            }
+            let inner_prefix = format!("{name}.");
+            for (body_line, body_card) in &sub.body {
+                process_card(
+                    ckt,
+                    *body_line,
+                    body_card,
+                    &inner_prefix,
+                    &inner_ports,
+                    subckts,
+                    depth + 1,
+                )?;
+            }
+        }
+        other => {
+            return Err(ParseDeckError {
+                line,
+                reason: format!("unknown card type `{other}`"),
+            })
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc;
+    use crate::transient::{transient, TransientOptions};
+
+    #[test]
+    fn value_suffixes() {
+        assert_eq!(parse_value("1").unwrap(), 1.0);
+        assert_eq!(parse_value("1.5k").unwrap(), 1.5e3);
+        assert_eq!(parse_value("2meg").unwrap(), 2e6);
+        assert_eq!(parse_value("3g").unwrap(), 3e9);
+        assert!((parse_value("10f").unwrap() - 10e-15).abs() < 1e-28);
+        assert!((parse_value("50p").unwrap() - 50e-12).abs() < 1e-24);
+        assert!((parse_value("7n").unwrap() - 7e-9).abs() < 1e-20);
+        assert!((parse_value("2u").unwrap() - 2e-6).abs() < 1e-18);
+        assert!((parse_value("2µ").unwrap() - 2e-6).abs() < 1e-18);
+        assert_eq!(parse_value("-0.65").unwrap(), -0.65);
+        assert_eq!(parse_value("1e-9").unwrap(), 1e-9);
+        assert!(parse_value("abc").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn divider_deck() {
+        let mut ckt = parse_deck(
+            "* comment\nV1 vin 0 1.0\nR1 vin out 1k\nR2 out 0 1k ; trailing comment\n.end\n",
+        )
+        .unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        assert!((op.voltage_by_name("out").unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn continuation_lines() {
+        let ckt = parse_deck("V1 a 0 PWL(0 0\n+ 1n 0.9\n+ 2n 0)\nR1 a 0 1k\n").unwrap();
+        match ckt.source_wave("v1").unwrap() {
+            Waveform::Pwl(pts) => assert_eq!(pts.len(), 3),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn pulse_waveform_card() {
+        let ckt = parse_deck("V1 a 0 PULSE(0 0.9 1n 50p 50p 2n 5n)\nR1 a 0 1k\n").unwrap();
+        match ckt.source_wave("v1").unwrap() {
+            Waveform::Pulse(p) => {
+                assert_eq!(p.v2, 0.9);
+                assert_eq!(p.delay, 1e-9);
+                assert_eq!(p.period, 5e-9);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_shot_pulse_period_zero() {
+        let ckt = parse_deck("V1 a 0 PULSE(0 1 0 1p 1p 1n 0)\nR1 a 0 1k\n").unwrap();
+        match ckt.source_wave("v1").unwrap() {
+            Waveform::Pulse(p) => assert_eq!(p.period, f64::INFINITY),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn sin_and_dc_forms() {
+        let ckt = parse_deck("V1 a 0 SIN(0.45 0.45 1g 1n)\nV2 b 0 DC 0.9\nR1 a b 1k\n").unwrap();
+        assert!(matches!(
+            ckt.source_wave("v1").unwrap(),
+            Waveform::Sine { .. }
+        ));
+        assert_eq!(ckt.source_wave("v2").unwrap(), &Waveform::Dc(0.9));
+    }
+
+    #[test]
+    fn switch_card_with_model_params() {
+        let mut ckt = parse_deck(
+            "V1 vin 0 1.0\nVc ctl 0 1.0\nS1 vin out ctl 0 SW(vt=0.5 ron=10 roff=1e12)\nRl out 0 1k\n",
+        )
+        .unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        assert!(op.voltage_by_name("out").unwrap() > 0.97);
+    }
+
+    #[test]
+    fn parsed_rc_transient_matches_theory() {
+        let mut ckt =
+            parse_deck("V1 vin 0 PWL(0 0 1p 1)\nR1 vin out 1k\nC1 out 0 1p\n.end\n").unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        let tr = transient(&mut ckt, &TransientOptions::to(5e-9), &op)
+            .unwrap()
+            .trace;
+        let v = tr.value_at("v(out)", 1e-9).unwrap();
+        assert!((v - 0.632).abs() < 0.01, "v(RC) = {v}");
+    }
+
+    #[test]
+    fn error_reporting_with_line_numbers() {
+        let err = parse_deck("R1 a b 1k\nQ1 a b c\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("unknown card"));
+
+        let err = parse_deck("R1 a b nonsense\n").unwrap_err();
+        assert_eq!(err.line, 1);
+
+        let err = parse_deck("R1 a b\n").unwrap_err();
+        assert!(err.reason.contains("at least 3"));
+
+        let err = parse_deck("+ 1 2\n").unwrap_err();
+        assert!(err.reason.contains("continuation"));
+
+        let err = parse_deck("V1 a 0 PWL(0 0 0 1)\nR1 a 0 1\n").unwrap_err();
+        assert!(err.reason.contains("strictly increasing"));
+
+        let err = parse_deck("V1 a 0 TRIANGLE(1 2 3)\nR1 a 0 1\n").unwrap_err();
+        assert!(err.reason.contains("unknown waveform"));
+
+        let err = parse_deck(".option reltol=1\n").unwrap_err();
+        assert!(err.reason.contains("unsupported directive"));
+    }
+
+    #[test]
+    fn duplicate_name_is_reported_with_line() {
+        let err = parse_deck("R1 a 0 1k\nR1 b 0 2k\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("duplicate"));
+    }
+
+    #[test]
+    fn subcircuit_instantiation() {
+        // A divider packaged as a subcircuit, instantiated twice.
+        let mut ckt = parse_deck(
+            "\
+.subckt div in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+V1 a 0 1.0
+Xd1 a m div
+Xd2 m n div
+",
+        )
+        .unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        // First divider: loaded by the second one (1k into 2k) →
+        // v(m) = (2k/3k…) — compute: m sees R2a (1k to gnd) ∥ (1k + 1k).
+        let vm = op.voltage_by_name("m").unwrap();
+        let expect_m = (2.0 / 3.0) / (1.0 + 2.0 / 3.0);
+        assert!((vm - expect_m).abs() < 1e-3, "v(m) = {vm} vs {expect_m}");
+        // Second divider halves again.
+        let vn = op.voltage_by_name("n").unwrap();
+        assert!((vn - vm / 2.0).abs() < 1e-3);
+        // Internal nodes are namespaced (none here), element names are.
+        assert_eq!(ckt.element_count(), 1 + 4); // V1 + 2×2 resistors
+    }
+
+    #[test]
+    fn nested_subcircuit_instances() {
+        // half = divider; quarter = two halves chained.
+        let mut ckt = parse_deck(
+            "\
+.subckt half in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+.subckt quarter in out
+Xh1 in mid half
+Xh2 mid out half
+.ends
+V1 a 0 1.0
+Xq a q quarter
+Rload q 0 1e9
+",
+        )
+        .unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        // Loaded chain: same topology as the two-divider test above.
+        let vq = op.voltage_by_name("q").unwrap();
+        assert!(vq > 0.15 && vq < 0.35, "v(q) = {vq}");
+        // The internal node of the quarter is namespaced.
+        assert!(op.voltage_by_name("xq.mid").is_some());
+        assert!(op.voltage_by_name("mid").is_none());
+    }
+
+    #[test]
+    fn subcircuit_errors() {
+        // Unknown subcircuit.
+        let err = parse_deck("X1 a b nope\nR1 a 0 1k\n").unwrap_err();
+        assert!(err.reason.contains("unknown subcircuit"));
+        // Port-count mismatch.
+        let err = parse_deck(".subckt d in out\nR1 in out 1k\n.ends\nX1 a d\n").unwrap_err();
+        assert!(err.reason.contains("ports"), "{err}");
+        // Unterminated definition.
+        let err = parse_deck(".subckt d in out\nR1 in out 1k\n").unwrap_err();
+        assert!(err.reason.contains("unterminated"));
+        // .ends without .subckt.
+        let err = parse_deck("R1 a 0 1k\n.ends\n").unwrap_err();
+        assert!(err.reason.contains("matching"), "{err}");
+    }
+
+    #[test]
+    fn subcircuit_ground_is_shared() {
+        let mut ckt =
+            parse_deck(".subckt pull out\nR1 out 0 1k\n.ends\nV1 a 0 1.0\nR0 a b 1k\nXp b pull\n")
+                .unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        assert!((op.voltage_by_name("b").unwrap() - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn inductor_and_controlled_source_cards() {
+        let mut ckt = parse_deck(
+            "V1 a 0 0.2\nL1 a b 10u\nRl b 0 1k\nE1 amp 0 b 0 5\nRa amp 0 1k\nG1 0 cur b 0 1m\nRc cur 0 2k\n",
+        )
+        .unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        // Inductor is a DC short: v(b) = 0.2.
+        assert!((op.voltage_by_name("b").unwrap() - 0.2).abs() < 1e-9);
+        assert!((op.voltage_by_name("amp").unwrap() - 1.0).abs() < 1e-9);
+        assert!((op.voltage_by_name("cur").unwrap() - 0.4).abs() < 1e-6);
+        // Bad values are rejected with line numbers.
+        let err = parse_deck("L1 a 0 -1u\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        let err = parse_deck("E1 a 0 b\n").unwrap_err();
+        assert!(err.reason.contains("at least 5"));
+    }
+
+    #[test]
+    fn end_stops_parsing() {
+        let ckt = parse_deck("R1 a 0 1k\n.end\nR1 would-be-duplicate 0 1k\n").unwrap();
+        assert_eq!(ckt.element_count(), 1);
+    }
+}

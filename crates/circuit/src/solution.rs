@@ -1,0 +1,138 @@
+//! DC solution container.
+
+use std::collections::HashMap;
+
+use crate::circuit::Circuit;
+use crate::node::NodeId;
+
+/// A converged DC operating point.
+///
+/// Holds the full MNA unknown vector; node voltages are indexed by
+/// [`NodeId`] (which must come from the same circuit the solution was
+/// computed for) and voltage-source branch currents by source name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DcSolution {
+    x: Vec<f64>,
+    node_names: Vec<String>,
+    vsrc_branch: HashMap<String, usize>,
+    nv: usize,
+}
+
+impl DcSolution {
+    pub(crate) fn new(circuit: &Circuit, x: Vec<f64>) -> Self {
+        let nv = circuit.nodes.unknown_count();
+        let node_names = circuit.nodes.iter().map(|(_, n)| n.to_owned()).collect();
+        let mut vsrc_branch = HashMap::new();
+        let branch_idx = circuit.branch_indices();
+        for (e, bi) in circuit.elements().zip(branch_idx) {
+            if let (crate::element::Element::VoltageSource { name, .. }, Some(bi)) = (e, bi) {
+                vsrc_branch.insert(name.clone(), bi);
+            }
+        }
+        DcSolution {
+            x,
+            node_names,
+            vsrc_branch,
+            nv,
+        }
+    }
+
+    /// Voltage of `node` (0 for ground).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` does not belong to the solved circuit.
+    pub fn voltage(&self, node: NodeId) -> f64 {
+        match node.unknown_index() {
+            Some(i) => self.x[i],
+            None => 0.0,
+        }
+    }
+
+    /// Voltage of the node with the given name, if it exists.
+    pub fn voltage_by_name(&self, name: &str) -> Option<f64> {
+        if name == "0" || name.eq_ignore_ascii_case("gnd") {
+            return Some(0.0);
+        }
+        self.node_names
+            .iter()
+            .position(|n| n == name)
+            .map(|pos| self.x[pos - 1]) // names[0] is ground
+    }
+
+    /// Branch current of the named voltage source (SPICE sign convention:
+    /// positive current flows from the `+` terminal through the source to
+    /// the `-` terminal, so a source *delivering* power reports a negative
+    /// current).
+    pub fn source_current(&self, name: &str) -> Option<f64> {
+        self.vsrc_branch.get(name).map(|&i| self.x[i])
+    }
+
+    /// Power delivered *by* the named source to the circuit, given the
+    /// source's terminal voltage difference `v`.
+    ///
+    /// Convenience for `-v · i(name)`.
+    pub fn source_power(&self, name: &str, v: f64) -> Option<f64> {
+        self.source_current(name).map(|i| -v * i)
+    }
+
+    /// The raw unknown vector (node voltages, then branch currents).
+    pub fn as_slice(&self) -> &[f64] {
+        &self.x
+    }
+
+    /// Consumes the solution and returns the raw unknown vector.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.x
+    }
+
+    /// Number of node-voltage unknowns.
+    pub fn node_unknowns(&self) -> usize {
+        self.nv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dc::{operating_point, DcOptions};
+
+    fn solved_divider() -> (Circuit, DcSolution) {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("v1", vin, Circuit::GROUND, 1.2).unwrap();
+        ckt.resistor("r1", vin, out, 1e3).unwrap();
+        ckt.resistor("r2", out, Circuit::GROUND, 2e3).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        (ckt, op)
+    }
+
+    #[test]
+    fn accessors_and_conversions() {
+        let (ckt, op) = solved_divider();
+        let out = ckt.find_node("out").unwrap();
+        assert!((op.voltage(out) - 0.8).abs() < 1e-6);
+        assert_eq!(op.voltage(Circuit::GROUND), 0.0);
+        assert_eq!(op.voltage_by_name("0"), Some(0.0));
+        assert_eq!(op.voltage_by_name("GND"), Some(0.0));
+        assert_eq!(op.voltage_by_name("nothing"), None);
+        assert_eq!(op.node_unknowns(), 2);
+        // Raw vector: 2 node voltages + 1 branch current.
+        assert_eq!(op.as_slice().len(), 3);
+        let v = op.clone().into_vec();
+        assert_eq!(v.len(), 3);
+    }
+
+    #[test]
+    fn source_current_and_power_signs() {
+        let (_, op) = solved_divider();
+        // 1.2 V across 3 kΩ: 0.4 mA delivered, so i(v1) = −0.4 mA.
+        let i = op.source_current("v1").unwrap();
+        assert!((i + 0.4e-3).abs() < 1e-8, "i = {i}");
+        let p = op.source_power("v1", 1.2).unwrap();
+        assert!((p - 0.48e-3).abs() < 1e-8, "p = {p}");
+        assert_eq!(op.source_current("vx"), None);
+        assert_eq!(op.source_power("vx", 1.0), None);
+    }
+}

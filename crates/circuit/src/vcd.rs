@@ -1,0 +1,200 @@
+//! VCD (Value Change Dump) export for transient traces.
+//!
+//! Writes a [`Trace`] as an IEEE-1364 VCD file with `real` variables, so
+//! simulations can be inspected in standard waveform viewers (GTKWave,
+//! Surfer). Time is emitted in an integer timescale chosen from the
+//! trace's span; values are only dumped when they change beyond a
+//! relative tolerance, which keeps files compact on the long flat
+//! stretches typical of power-gating sequences.
+
+use std::fmt::Write as _;
+
+use crate::trace::Trace;
+
+/// Picks a power-of-ten timescale such that the final time fits
+/// comfortably in integer ticks. Returns `(scale_seconds, label)`.
+fn pick_timescale(t_end: f64) -> (f64, &'static str) {
+    const CHOICES: [(f64, &str); 6] = [
+        (1e-15, "1 fs"),
+        (1e-12, "1 ps"),
+        (1e-9, "1 ns"),
+        (1e-6, "1 us"),
+        (1e-3, "1 ms"),
+        (1.0, "1 s"),
+    ];
+    for (scale, label) in CHOICES {
+        // Smallest scale whose total tick count stays manageable.
+        if t_end / scale <= 1e9 {
+            return (scale, label);
+        }
+    }
+    (1.0, "1 s")
+}
+
+/// VCD identifier codes: printable ASCII 33..=126, multi-character.
+fn id_code(mut idx: usize) -> String {
+    let mut s = String::new();
+    loop {
+        s.push((33 + (idx % 94)) as u8 as char);
+        idx /= 94;
+        if idx == 0 {
+            break;
+        }
+    }
+    s
+}
+
+/// Sanitises a signal name into a VCD identifier (no whitespace).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_whitespace() { '_' } else { c })
+        .collect()
+}
+
+/// Serialises a trace as a VCD document.
+///
+/// All signals become `real` variables under a single `nvpg` scope.
+/// Consecutive samples of a signal that differ by less than one part in
+/// 10⁹ (relative to the larger magnitude) are not re-dumped.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_circuit::{vcd::to_vcd, Trace};
+/// let mut tr = Trace::new(["v(out)"]);
+/// tr.push(0.0, &[0.0]);
+/// tr.push(1e-9, &[0.9]);
+/// let vcd = to_vcd(&tr, "demo");
+/// assert!(vcd.contains("$timescale"));
+/// assert!(vcd.contains("v(out)"));
+/// ```
+pub fn to_vcd(trace: &Trace, module: &str) -> String {
+    let t_end = trace.time().last().copied().unwrap_or(0.0);
+    let (scale, label) = pick_timescale(t_end.max(1e-12));
+    let mut out = String::new();
+    let _ = writeln!(out, "$date nvpg export $end");
+    let _ = writeln!(out, "$version nvpg-circuit $end");
+    let _ = writeln!(out, "$timescale {label} $end");
+    let _ = writeln!(out, "$scope module {} $end", sanitize(module));
+    let names = trace.signal_names();
+    for (i, name) in names.iter().enumerate() {
+        let _ = writeln!(out, "$var real 64 {} {} $end", id_code(i), sanitize(name));
+    }
+    let _ = writeln!(out, "$upscope $end");
+    let _ = writeln!(out, "$enddefinitions $end");
+
+    let mut last: Vec<Option<f64>> = vec![None; names.len()];
+    let mut last_tick: Option<u64> = None;
+    for (k, &t) in trace.time().iter().enumerate() {
+        let tick = (t / scale).round() as u64;
+        // Collect which signals changed at this sample.
+        let mut changes = Vec::new();
+        for (i, name) in names.iter().enumerate() {
+            let v = trace.signal(name).expect("known signal")[k];
+            let dump = match last[i] {
+                None => true,
+                Some(prev) => {
+                    let tol = 1e-9 * prev.abs().max(v.abs());
+                    (v - prev).abs() > tol
+                }
+            };
+            if dump {
+                changes.push((i, v));
+                last[i] = Some(v);
+            }
+        }
+        if changes.is_empty() {
+            continue;
+        }
+        if last_tick != Some(tick) {
+            let _ = writeln!(out, "#{tick}");
+            last_tick = Some(tick);
+        }
+        for (i, v) in changes {
+            let _ = writeln!(out, "r{v:e} {}", id_code(i));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp_trace() -> Trace {
+        let mut tr = Trace::new(["v(a)", "i(v1)"]);
+        for k in 0..=10 {
+            let t = k as f64 * 1e-9;
+            tr.push(t, &[k as f64 * 0.1, -1e-3]);
+        }
+        tr
+    }
+
+    #[test]
+    fn header_and_declarations() {
+        let vcd = to_vcd(&ramp_trace(), "tb");
+        assert!(vcd.contains("$timescale 1 fs $end"), "{vcd}");
+        assert!(vcd.contains("$scope module tb $end"));
+        assert!(vcd.contains("$var real 64 ! v(a) $end"));
+        assert!(vcd.contains("$var real 64 \" i(v1) $end"));
+        assert!(vcd.contains("$enddefinitions $end"));
+    }
+
+    #[test]
+    fn unchanged_signals_are_not_redumped() {
+        let vcd = to_vcd(&ramp_trace(), "tb");
+        // i(v1) is constant: dumped exactly once.
+        let count = vcd
+            .lines()
+            .filter(|l| l.starts_with('r') && l.ends_with('"'))
+            .count();
+        assert_eq!(count, 1, "{vcd}");
+        // v(a) changes at every sample: 11 dumps.
+        let count = vcd
+            .lines()
+            .filter(|l| l.starts_with('r') && l.ends_with('!'))
+            .count();
+        assert_eq!(count, 11);
+    }
+
+    #[test]
+    fn ticks_are_monotone() {
+        let vcd = to_vcd(&ramp_trace(), "tb");
+        let ticks: Vec<u64> = vcd
+            .lines()
+            .filter_map(|l| l.strip_prefix('#'))
+            .map(|t| t.parse().unwrap())
+            .collect();
+        assert!(!ticks.is_empty());
+        assert!(ticks.windows(2).all(|w| w[1] > w[0]));
+        // 1 ns steps at 1 fs scale: ticks are multiples of 10^6.
+        assert_eq!(ticks[1] % 1_000_000, 0);
+    }
+
+    #[test]
+    fn timescale_scales_with_span() {
+        let mut long = Trace::new(["x"]);
+        long.push(0.0, &[0.0]);
+        long.push(10.0, &[1.0]);
+        let vcd = to_vcd(&long, "tb");
+        assert!(vcd.contains("$timescale 1 us $end"), "{vcd}");
+    }
+
+    #[test]
+    fn id_codes_are_unique_and_printable() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            let code = id_code(i);
+            assert!(code.chars().all(|c| ('!'..='~').contains(&c)));
+            assert!(seen.insert(code));
+        }
+    }
+
+    #[test]
+    fn empty_trace_produces_valid_header() {
+        let tr = Trace::new(["x"]);
+        let vcd = to_vcd(&tr, "tb");
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(!vcd.contains('#'));
+    }
+}

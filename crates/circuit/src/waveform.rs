@@ -1,0 +1,317 @@
+//! Source waveforms: DC, pulse, piecewise-linear, sine.
+//!
+//! Waveforms report their *breakpoints* (corner times) so the transient
+//! engine can force time steps to land exactly on signal edges — without
+//! this, a 10 ns store pulse could be stepped over entirely.
+
+/// A time-dependent source value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Waveform {
+    /// Constant value.
+    Dc(f64),
+    /// SPICE-style pulse train.
+    Pulse(Pulse),
+    /// Piecewise-linear: `(time, value)` corners, strictly increasing in
+    /// time; constant before the first and after the last corner.
+    Pwl(Vec<(f64, f64)>),
+    /// `offset + amplitude·sin(2π·freq·(t − delay))` for `t ≥ delay`.
+    Sine {
+        /// DC offset.
+        offset: f64,
+        /// Peak amplitude.
+        amplitude: f64,
+        /// Frequency in hertz.
+        freq: f64,
+        /// Start delay in seconds.
+        delay: f64,
+    },
+}
+
+/// SPICE-style `PULSE(v1 v2 td tr tf pw per)` description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pulse {
+    /// Initial (base) value.
+    pub v1: f64,
+    /// Pulsed value.
+    pub v2: f64,
+    /// Delay before the first rising edge.
+    pub delay: f64,
+    /// Rise time (0 is snapped to 1 ps to stay solvable).
+    pub rise: f64,
+    /// Fall time (0 is snapped to 1 ps).
+    pub fall: f64,
+    /// Pulse width at `v2`.
+    pub width: f64,
+    /// Period; `f64::INFINITY` for a single pulse.
+    pub period: f64,
+}
+
+impl Pulse {
+    const MIN_EDGE: f64 = 1e-12;
+
+    fn rise(&self) -> f64 {
+        self.rise.max(Self::MIN_EDGE)
+    }
+
+    fn fall(&self) -> f64 {
+        self.fall.max(Self::MIN_EDGE)
+    }
+
+    fn value(&self, t: f64) -> f64 {
+        if t < self.delay {
+            return self.v1;
+        }
+        let mut tau = t - self.delay;
+        if self.period.is_finite() && self.period > 0.0 {
+            tau %= self.period;
+        }
+        let (tr, tf) = (self.rise(), self.fall());
+        if tau < tr {
+            self.v1 + (self.v2 - self.v1) * tau / tr
+        } else if tau < tr + self.width {
+            self.v2
+        } else if tau < tr + self.width + tf {
+            self.v2 + (self.v1 - self.v2) * (tau - tr - self.width) / tf
+        } else {
+            self.v1
+        }
+    }
+
+    fn breakpoints(&self, t_end: f64, out: &mut Vec<f64>) {
+        let (tr, tf) = (self.rise(), self.fall());
+        let mut start = self.delay;
+        loop {
+            for bp in [
+                start,
+                start + tr,
+                start + tr + self.width,
+                start + tr + self.width + tf,
+            ] {
+                if bp <= t_end {
+                    out.push(bp);
+                }
+            }
+            if !(self.period.is_finite() && self.period > 0.0) {
+                break;
+            }
+            start += self.period;
+            if start > t_end {
+                break;
+            }
+        }
+    }
+}
+
+impl Waveform {
+    /// Value of the waveform at time `t`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvpg_circuit::waveform::Waveform;
+    /// let w = Waveform::Pwl(vec![(0.0, 0.0), (1e-9, 0.9)]);
+    /// assert_eq!(w.value(0.5e-9), 0.45);
+    /// assert_eq!(w.value(2e-9), 0.9);
+    /// ```
+    pub fn value(&self, t: f64) -> f64 {
+        match self {
+            Waveform::Dc(v) => *v,
+            Waveform::Pulse(p) => p.value(t),
+            Waveform::Pwl(pts) => {
+                if pts.is_empty() {
+                    return 0.0;
+                }
+                if t <= pts[0].0 {
+                    return pts[0].1;
+                }
+                if t >= pts[pts.len() - 1].0 {
+                    return pts[pts.len() - 1].1;
+                }
+                let idx = match pts.partition_point(|&(pt, _)| pt <= t) {
+                    0 => 0,
+                    i => i - 1,
+                };
+                let (t0, v0) = pts[idx];
+                let (t1, v1) = pts[idx + 1];
+                v0 + (v1 - v0) * (t - t0) / (t1 - t0)
+            }
+            Waveform::Sine {
+                offset,
+                amplitude,
+                freq,
+                delay,
+            } => {
+                if t < *delay {
+                    *offset
+                } else {
+                    offset + amplitude * (2.0 * std::f64::consts::PI * freq * (t - delay)).sin()
+                }
+            }
+        }
+    }
+
+    /// Value at `t = 0` (used by the DC operating point).
+    pub fn dc_value(&self) -> f64 {
+        self.value(0.0)
+    }
+
+    /// Appends the waveform's corner times within `[0, t_end]` to `out`.
+    pub fn breakpoints(&self, t_end: f64, out: &mut Vec<f64>) {
+        match self {
+            Waveform::Dc(_) | Waveform::Sine { .. } => {}
+            Waveform::Pulse(p) => p.breakpoints(t_end, out),
+            Waveform::Pwl(pts) => {
+                out.extend(pts.iter().map(|&(t, _)| t).filter(|&t| t <= t_end));
+            }
+        }
+    }
+
+    /// `true` if the waveform never changes.
+    pub fn is_constant(&self) -> bool {
+        match self {
+            Waveform::Dc(_) => true,
+            Waveform::Pwl(pts) => pts.len() <= 1 || pts.iter().all(|&(_, v)| v == pts[0].1),
+            Waveform::Pulse(p) => p.v1 == p.v2,
+            Waveform::Sine { amplitude, .. } => *amplitude == 0.0,
+        }
+    }
+}
+
+impl From<f64> for Waveform {
+    fn from(v: f64) -> Self {
+        Waveform::Dc(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dc_is_constant() {
+        let w = Waveform::Dc(0.9);
+        assert_eq!(w.value(0.0), 0.9);
+        assert_eq!(w.value(1.0), 0.9);
+        assert!(w.is_constant());
+        assert_eq!(w.dc_value(), 0.9);
+        let mut bp = vec![];
+        w.breakpoints(1.0, &mut bp);
+        assert!(bp.is_empty());
+    }
+
+    #[test]
+    fn pulse_shape() {
+        let p = Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 1e-9,
+            period: f64::INFINITY,
+        };
+        let w = Waveform::Pulse(p);
+        assert_eq!(w.value(0.0), 0.0);
+        assert!((w.value(1.05e-9) - 0.5).abs() < 1e-12); // mid-rise
+        assert_eq!(w.value(1.5e-9), 1.0); // plateau
+        assert!((w.value(2.15e-9) - 0.5).abs() < 1e-12); // mid-fall
+        assert_eq!(w.value(3e-9), 0.0); // back to base
+        assert!(!w.is_constant());
+    }
+
+    #[test]
+    fn pulse_periodic_repeats() {
+        let p = Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.1e-9,
+            fall: 0.1e-9,
+            width: 0.8e-9,
+            period: 2e-9,
+        };
+        let w = Waveform::Pulse(p);
+        assert_eq!(w.value(0.5e-9), w.value(2.5e-9));
+        assert_eq!(w.value(1.5e-9), w.value(3.5e-9));
+    }
+
+    #[test]
+    fn pulse_breakpoints_cover_edges() {
+        let p = Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 1e-9,
+            rise: 0.1e-9,
+            fall: 0.2e-9,
+            width: 1e-9,
+            period: f64::INFINITY,
+        };
+        let mut bp = vec![];
+        Waveform::Pulse(p).breakpoints(10e-9, &mut bp);
+        assert!(bp.contains(&1e-9));
+        assert!(bp.iter().any(|&t| (t - 1.1e-9).abs() < 1e-15));
+        assert!(bp.iter().any(|&t| (t - 2.1e-9).abs() < 1e-15));
+        assert!(bp.iter().any(|&t| (t - 2.3e-9).abs() < 1e-15));
+    }
+
+    #[test]
+    fn pwl_interpolates_and_clamps() {
+        let w = Waveform::Pwl(vec![(1.0, 0.0), (2.0, 10.0), (3.0, 10.0)]);
+        assert_eq!(w.value(0.0), 0.0);
+        assert_eq!(w.value(1.5), 5.0);
+        assert_eq!(w.value(2.5), 10.0);
+        assert_eq!(w.value(9.0), 10.0);
+        let mut bp = vec![];
+        w.breakpoints(2.5, &mut bp);
+        assert_eq!(bp, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn pwl_constant_detection() {
+        assert!(Waveform::Pwl(vec![(0.0, 1.0), (1.0, 1.0)]).is_constant());
+        assert!(!Waveform::Pwl(vec![(0.0, 1.0), (1.0, 2.0)]).is_constant());
+        assert!(Waveform::Pwl(vec![]).is_constant());
+        assert_eq!(Waveform::Pwl(vec![]).value(1.0), 0.0);
+    }
+
+    #[test]
+    fn sine_wave() {
+        let w = Waveform::Sine {
+            offset: 1.0,
+            amplitude: 0.5,
+            freq: 1.0,
+            delay: 0.0,
+        };
+        assert!((w.value(0.25) - 1.5).abs() < 1e-12);
+        assert!((w.value(0.0) - 1.0).abs() < 1e-12);
+        let delayed = Waveform::Sine {
+            offset: 2.0,
+            amplitude: 0.5,
+            freq: 1.0,
+            delay: 1.0,
+        };
+        assert_eq!(delayed.value(0.5), 2.0);
+    }
+
+    #[test]
+    fn from_f64() {
+        let w: Waveform = 0.65.into();
+        assert_eq!(w, Waveform::Dc(0.65));
+    }
+
+    #[test]
+    fn zero_rise_fall_snapped() {
+        let p = Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.0,
+            fall: 0.0,
+            width: 1e-9,
+            period: f64::INFINITY,
+        };
+        let w = Waveform::Pulse(p);
+        // Immediately after the (1 ps) edge the value is v2.
+        assert_eq!(w.value(2e-12), 1.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests on the circuit engine: waveform invariants,
+//! superposition on random linear networks, transient charge
+//! conservation, and deck-parse round trips.
+
+use proptest::prelude::*;
+
+use nvpg_circuit::dc::{operating_point, DcOptions};
+use nvpg_circuit::parser::{parse_deck, parse_value};
+use nvpg_circuit::transient::{transient, TransientOptions};
+use nvpg_circuit::{Circuit, Pulse, Waveform};
+
+proptest! {
+    /// A pulse waveform never leaves the [min(v1,v2), max(v1,v2)] band.
+    #[test]
+    fn pulse_stays_in_band(
+        v1 in -2.0f64..2.0,
+        v2 in -2.0f64..2.0,
+        t in 0.0f64..100e-9,
+    ) {
+        let w = Waveform::Pulse(Pulse {
+            v1,
+            v2,
+            delay: 2e-9,
+            rise: 0.5e-9,
+            fall: 0.3e-9,
+            width: 3e-9,
+            period: 10e-9,
+        });
+        let v = w.value(t);
+        let (lo, hi) = (v1.min(v2), v1.max(v2));
+        prop_assert!((lo - 1e-12..=hi + 1e-12).contains(&v), "t = {t:e}: {v}");
+    }
+
+    /// Periodic pulses repeat exactly.
+    #[test]
+    fn pulse_periodicity(t in 0.0f64..50e-9, k in 1u32..5) {
+        let w = Waveform::Pulse(Pulse {
+            v1: 0.0,
+            v2: 1.0,
+            delay: 0.0,
+            rise: 0.2e-9,
+            fall: 0.2e-9,
+            width: 2e-9,
+            period: 7e-9,
+        });
+        let shifted = t + f64::from(k) * 7e-9;
+        prop_assert!((w.value(t) - w.value(shifted)).abs() < 1e-9);
+    }
+
+    /// PWL evaluation is bounded by its corner values.
+    #[test]
+    fn pwl_bounded_by_corners(
+        vals in proptest::collection::vec(-3.0f64..3.0, 2..8),
+        t in -1.0f64..10.0,
+    ) {
+        let pts: Vec<(f64, f64)> = vals
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| (i as f64, v))
+            .collect();
+        let w = Waveform::Pwl(pts);
+        let v = w.value(t);
+        let lo = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!((lo - 1e-12..=hi + 1e-12).contains(&v));
+    }
+
+    /// Superposition: for a linear 2-source resistive network, the
+    /// response to both sources equals the sum of the responses to each
+    /// source alone.
+    #[test]
+    fn superposition_on_linear_network(
+        va in -2.0f64..2.0,
+        vb in -2.0f64..2.0,
+        r1 in 10.0f64..1e5,
+        r2 in 10.0f64..1e5,
+        r3 in 10.0f64..1e5,
+    ) {
+        let solve = |sa: f64, sb: f64| -> f64 {
+            let mut ckt = Circuit::new();
+            let na = ckt.node("a");
+            let nb = ckt.node("b");
+            let mid = ckt.node("mid");
+            ckt.vsource("va", na, Circuit::GROUND, sa).unwrap();
+            ckt.vsource("vb", nb, Circuit::GROUND, sb).unwrap();
+            ckt.resistor("r1", na, mid, r1).unwrap();
+            ckt.resistor("r2", nb, mid, r2).unwrap();
+            ckt.resistor("r3", mid, Circuit::GROUND, r3).unwrap();
+            operating_point(&mut ckt, &DcOptions::default())
+                .unwrap()
+                .voltage(mid)
+        };
+        let both = solve(va, vb);
+        let sum = solve(va, 0.0) + solve(0.0, vb);
+        prop_assert!((both - sum).abs() < 1e-9 + 1e-6 * both.abs(), "{both} vs {sum}");
+    }
+
+    /// Transient charge conservation: the charge delivered by the source
+    /// while driving an RC equals C·ΔV on the capacitor (within the
+    /// integration tolerance).
+    #[test]
+    fn rc_charge_conservation(
+        r_exp in 2.0f64..4.0,
+        c_exp in -13.0f64..-12.0,
+        v in 0.2f64..1.5,
+    ) {
+        let r = 10f64.powf(r_exp);
+        let c = 10f64.powf(c_exp);
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource(
+            "v1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (1e-12, v)]),
+        )
+        .unwrap();
+        ckt.resistor("r1", vin, out, r).unwrap();
+        ckt.capacitor("c1", out, Circuit::GROUND, c).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let tau = r * c;
+        let opts = TransientOptions {
+            t_stop: 12.0 * tau,
+            dt_max: tau / 40.0,
+            dt_init: tau / 400.0,
+            ..TransientOptions::default()
+        };
+        let tr = transient(&mut ckt, &opts, &op).unwrap().trace;
+        let q_delivered = -tr.integral("i(v1)").unwrap();
+        let dv = tr.value_at("v(out)", 12.0 * tau).unwrap();
+        prop_assert!((dv - v).abs() < 0.01 * v, "not settled: {dv} vs {v}");
+        prop_assert!(
+            (q_delivered - c * v).abs() < 0.05 * c * v,
+            "Q = {q_delivered:e} vs C·V = {:e}",
+            c * v
+        );
+    }
+
+    /// parse_value round-trips plain scientific notation for any finite
+    /// positive value.
+    #[test]
+    fn parse_value_round_trips_scientific(v in 1e-18f64..1e18) {
+        let s = format!("{v:e}");
+        let parsed = parse_value(&s).unwrap();
+        prop_assert!((parsed - v).abs() <= 1e-12 * v);
+    }
+
+    /// Random resistive-ladder decks parse and solve with all node
+    /// voltages inside the rails.
+    #[test]
+    fn random_ladder_deck(rs in proptest::collection::vec(10.0f64..1e6, 1..6)) {
+        let mut deck = String::from("V1 n0 0 1.0\n");
+        for (i, r) in rs.iter().enumerate() {
+            deck.push_str(&format!("R{i} n{i} n{} {r}\n", i + 1));
+        }
+        deck.push_str(&format!("Rl n{} 0 1k\n.end\n", rs.len()));
+        let mut ckt = parse_deck(&deck).unwrap();
+        let op = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        for i in 0..=rs.len() {
+            let v = op.voltage_by_name(&format!("n{i}")).unwrap();
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "n{i} = {v}");
+        }
+    }
+}

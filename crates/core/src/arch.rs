@@ -1,0 +1,59 @@
+//! The three power-management architectures the paper compares.
+
+use std::fmt;
+
+/// Power-management architecture of an SRAM power domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// Ordinary volatile SRAM: standby periods use the low-voltage sleep
+    /// mode; data can never be powered off.
+    Osr,
+    /// Nonvolatile power-gating: nonvolatile retention is used **only**
+    /// for shutdowns longer than the break-even time; normal operation is
+    /// electrically separated from the MTJs.
+    Nvpg,
+    /// Normally-off: the MTJs are written back every benchmark round so
+    /// even short standbys become shutdowns.
+    Nof,
+}
+
+impl Architecture {
+    /// All three architectures in the paper's comparison order.
+    pub const ALL: [Architecture; 3] = [Architecture::Osr, Architecture::Nvpg, Architecture::Nof];
+
+    /// `true` if the architecture uses MTJ retention at all.
+    pub fn is_nonvolatile(self) -> bool {
+        !matches!(self, Architecture::Osr)
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Architecture::Osr => "OSR",
+            Architecture::Nvpg => "NVPG",
+            Architecture::Nof => "NOF",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_matches_paper_labels() {
+        assert_eq!(Architecture::Osr.to_string(), "OSR");
+        assert_eq!(Architecture::Nvpg.to_string(), "NVPG");
+        assert_eq!(Architecture::Nof.to_string(), "NOF");
+    }
+
+    #[test]
+    fn nonvolatility() {
+        assert!(!Architecture::Osr.is_nonvolatile());
+        assert!(Architecture::Nvpg.is_nonvolatile());
+        assert!(Architecture::Nof.is_nonvolatile());
+        assert_eq!(Architecture::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,185 @@
+//! Process-corner analysis (extension beyond the paper).
+//!
+//! The paper evaluates the typical corner only. Here the full
+//! characterisation flow is re-run at the classic five process corners —
+//! typical/fast/slow NMOS × PMOS combinations, modelled as ∓/+ shifts of
+//! the threshold voltages — to check that the Table I design margins
+//! (1.5×I_C store drive, restore race, V_CTRL leakage trick) hold across
+//! process spread, and to bound the corner-to-corner BET excursion.
+
+use nvpg_cells::characterize::{characterize, CellCharacterization};
+use nvpg_cells::design::CellDesign;
+use nvpg_circuit::CircuitError;
+
+use crate::arch::Architecture;
+use crate::bet::{bet_closed_form, Bet};
+use crate::energy::{BenchmarkParams, EnergyModel};
+
+/// The five classic process corners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Corner {
+    /// Typical NMOS, typical PMOS.
+    Tt,
+    /// Fast NMOS, fast PMOS (low V_th: fast and leaky).
+    Ff,
+    /// Slow NMOS, slow PMOS (high V_th: slow and tight).
+    Ss,
+    /// Fast NMOS, slow PMOS.
+    Fs,
+    /// Slow NMOS, fast PMOS.
+    Sf,
+}
+
+impl Corner {
+    /// All five corners, typical first.
+    pub const ALL: [Corner; 5] = [Corner::Tt, Corner::Ff, Corner::Ss, Corner::Fs, Corner::Sf];
+
+    /// `(ΔV_th NMOS, ΔV_th PMOS)` in units of the corner shift.
+    fn shifts(self) -> (f64, f64) {
+        match self {
+            Corner::Tt => (0.0, 0.0),
+            Corner::Ff => (-1.0, -1.0),
+            Corner::Ss => (1.0, 1.0),
+            Corner::Fs => (-1.0, 1.0),
+            Corner::Sf => (1.0, -1.0),
+        }
+    }
+
+    /// Applies the corner to a design with the given V_th shift magnitude
+    /// (volts per corner step).
+    pub fn apply(self, base: &CellDesign, vth_shift: f64) -> CellDesign {
+        let (dn, dp) = self.shifts();
+        let mut d = *base;
+        d.nmos.vth0 += dn * vth_shift;
+        d.pmos.vth0 += dp * vth_shift;
+        d
+    }
+}
+
+impl std::fmt::Display for Corner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Corner::Tt => "TT",
+            Corner::Ff => "FF",
+            Corner::Ss => "SS",
+            Corner::Fs => "FS",
+            Corner::Sf => "SF",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One corner's characterisation outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct CornerResult {
+    /// Which corner.
+    pub corner: Corner,
+    /// The full characterisation at this corner.
+    pub characterization: CellCharacterization,
+    /// NVPG break-even time at this corner (if one exists).
+    pub bet: Option<f64>,
+}
+
+/// Runs the characterisation flow at each requested corner.
+///
+/// # Errors
+///
+/// Propagates simulation errors (a corner that fails to converge aborts
+/// the analysis — a corner a simulator cannot even solve is itself a
+/// design alarm).
+pub fn corner_analysis(
+    base: &CellDesign,
+    vth_shift: f64,
+    corners: &[Corner],
+    params: &BenchmarkParams,
+) -> Result<Vec<CornerResult>, CircuitError> {
+    let mut out = Vec::with_capacity(corners.len());
+    for &corner in corners {
+        let design = corner.apply(base, vth_shift);
+        let ch = characterize(&design)?;
+        let bet = match bet_closed_form(&EnergyModel::new(ch), Architecture::Nvpg, params) {
+            Bet::At(t) => Some(t.0),
+            _ => None,
+        };
+        out.push(CornerResult {
+            corner,
+            characterization: ch,
+            bet,
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_shifts_are_applied() {
+        let base = CellDesign::table1();
+        let ff = Corner::Ff.apply(&base, 0.03);
+        assert!(ff.nmos.vth0 < base.nmos.vth0);
+        assert!(ff.pmos.vth0 < base.pmos.vth0);
+        let sf = Corner::Sf.apply(&base, 0.03);
+        assert!(sf.nmos.vth0 > base.nmos.vth0);
+        assert!(sf.pmos.vth0 < base.pmos.vth0);
+        let tt = Corner::Tt.apply(&base, 0.03);
+        assert_eq!(tt.nmos.vth0, base.nmos.vth0);
+    }
+
+    #[test]
+    fn margins_hold_and_bet_orders_across_main_corners() {
+        // TT / FF / SS with a 30 mV corner step: the design must keep
+        // storing and restoring correctly, and the BET must follow the
+        // leakage (FF leaks more ⇒ more to save ⇒ shorter BET than SS).
+        let results = corner_analysis(
+            &CellDesign::table1(),
+            0.03,
+            &[Corner::Tt, Corner::Ff, Corner::Ss],
+            &BenchmarkParams::fig7_default(),
+        )
+        .unwrap();
+        for r in &results {
+            assert!(r.characterization.store_ok, "{}: store failed", r.corner);
+            assert!(
+                r.characterization.restore_ok,
+                "{}: restore failed",
+                r.corner
+            );
+            assert!(r.bet.is_some(), "{}: no BET", r.corner);
+        }
+        let bet = |c: Corner| {
+            results
+                .iter()
+                .find(|r| r.corner == c)
+                .and_then(|r| r.bet)
+                .unwrap()
+        };
+        assert!(
+            bet(Corner::Ff) < bet(Corner::Tt) && bet(Corner::Tt) < bet(Corner::Ss),
+            "FF {:.1e} < TT {:.1e} < SS {:.1e} expected",
+            bet(Corner::Ff),
+            bet(Corner::Tt),
+            bet(Corner::Ss)
+        );
+        // Leakage ordering backs the BET ordering.
+        let leak = |c: Corner| {
+            results
+                .iter()
+                .find(|r| r.corner == c)
+                .unwrap()
+                .characterization
+                .static_power
+                .p_6t_sleep
+        };
+        assert!(leak(Corner::Ff) > leak(Corner::Tt));
+        assert!(leak(Corner::Tt) > leak(Corner::Ss));
+    }
+
+    #[test]
+    fn display_labels() {
+        assert_eq!(Corner::Tt.to_string(), "TT");
+        assert_eq!(Corner::Fs.to_string(), "FS");
+        assert_eq!(Corner::ALL.len(), 5);
+    }
+}

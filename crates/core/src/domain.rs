@@ -1,0 +1,92 @@
+//! Power-domain geometry and the row-serialised store/restore schedule.
+//!
+//! A power domain is an `N × M` slice of an NV-SRAM array whose supply is
+//! managed as one unit (§III): the `M` cells on a wordline share power
+//! switches, and the domain's store/restore is executed **row by row**.
+//! While row `k` is being stored the not-yet-stored rows must keep their
+//! data (sleep-level leakage) and the already-stored rows are off — this
+//! serialisation is what makes the per-cell store overhead, and therefore
+//! the break-even time, grow with `N` (Figs. 7(b), 9).
+
+/// An `N`-row × `M`-bit power domain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PowerDomain {
+    /// Number of wordlines, `N`.
+    pub rows: u32,
+    /// Word length in bits, `M`.
+    pub bits: u32,
+}
+
+impl PowerDomain {
+    /// Creates a domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(rows: u32, bits: u32) -> Self {
+        assert!(rows >= 1 && bits >= 1, "domain dimensions must be nonzero");
+        PowerDomain { rows, bits }
+    }
+
+    /// The paper's default domain: `N = 32` rows × `M = 32` bits = 128 B.
+    pub fn default_32x32() -> Self {
+        PowerDomain::new(32, 32)
+    }
+
+    /// Total cell count `N · M`.
+    pub fn cells(&self) -> u64 {
+        u64::from(self.rows) * u64::from(self.bits)
+    }
+
+    /// Domain capacity in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.cells() / 8
+    }
+
+    /// Duration of a full-domain, row-serialised store given the per-row
+    /// store time.
+    pub fn store_time(&self, t_store_row: f64) -> f64 {
+        f64::from(self.rows) * t_store_row
+    }
+
+    /// Duration of a full-domain, row-serialised restore.
+    pub fn restore_time(&self, t_restore_row: f64) -> f64 {
+        f64::from(self.rows) * t_restore_row
+    }
+
+    /// Average per-cell wait before its own row's turn in a row-serial
+    /// schedule: `(N − 1)/2` row slots.
+    pub fn mean_wait_rows(&self) -> f64 {
+        (f64::from(self.rows) - 1.0) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        let d = PowerDomain::default_32x32();
+        assert_eq!(d.cells(), 1024);
+        assert_eq!(d.bytes(), 128);
+        let big = PowerDomain::new(2048, 32);
+        assert_eq!(big.bytes(), 8192); // the paper's 8 kB upper point
+    }
+
+    #[test]
+    fn serial_schedule() {
+        let d = PowerDomain::new(4, 32);
+        assert_eq!(d.store_time(21e-9), 84e-9);
+        assert_eq!(d.restore_time(10e-9), 40e-9);
+        assert_eq!(d.mean_wait_rows(), 1.5);
+        // Single-row domain has no waiting.
+        assert_eq!(PowerDomain::new(1, 8).mean_wait_rows(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_rows_rejected() {
+        let _ = PowerDomain::new(0, 32);
+    }
+}

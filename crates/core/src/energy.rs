@@ -1,0 +1,404 @@
+//! Per-cell `E_cyc` composition for the Fig. 5 benchmark sequences.
+//!
+//! The paper evaluates one *benchmark cycle* per architecture (Fig. 5):
+//!
+//! * **OSR** — `n_RW` rounds of (read all cells, write all cells, short
+//!   sleep `t_SL`), then a long **sleep** of `t_SD` (volatile cells cannot
+//!   power off);
+//! * **NVPG** — the same rounds, then store → **shutdown** `t_SD` →
+//!   restore;
+//! * **NOF** — every round ends with store → short **shutdown** `t_SL` →
+//!   restore; the last round's shutdown is the long `t_SD` (so at
+//!   `n_RW = 1` NVPG and NOF perform the same single store, which is the
+//!   equality the paper points out in Fig. 7(a)).
+//!
+//! `E_cyc` is the per-cell energy of one benchmark cycle. It is composed
+//! from the measured [`CellCharacterization`]: gross per-op energies
+//! (which already include static dissipation over their own duration),
+//! per-mode static powers for the idle stretches, and the row-serialised
+//! domain store/restore overhead of [`PowerDomain`]. Shutdown always uses
+//! the super-cutoff static power (the paper applies super cutoff to the
+//! NV cell throughout Fig. 6(c)).
+
+use nvpg_cells::characterize::CellCharacterization;
+use nvpg_units::{Joules, Seconds};
+
+use crate::arch::Architecture;
+use crate::domain::PowerDomain;
+
+/// Parameters of one benchmark cycle.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchmarkParams {
+    /// Number of read/write rounds `n_RW`.
+    pub n_rw: u32,
+    /// Short standby duration `t_SL` (sleep for OSR/NVPG, shutdown for
+    /// NOF), seconds.
+    pub t_sl: f64,
+    /// Long standby duration `t_SD` (sleep for OSR, shutdown for
+    /// NVPG/NOF), seconds.
+    pub t_sd: f64,
+    /// Power-domain geometry.
+    pub domain: PowerDomain,
+    /// Reads per write in one round (the paper mainly uses 1, and briefly
+    /// discusses ≥ 10).
+    pub reads_per_write: u32,
+    /// Skip the MTJ store before shutdown (store-free shutdown \[8\]: the
+    /// data already held in the MTJs is known to be wanted after wake-up).
+    pub store_free: bool,
+}
+
+impl BenchmarkParams {
+    /// Fig. 7(a) defaults: `N×M = 32×32`, one read per write, no
+    /// store-free shortcut, `t_SL = 100 ns`, `t_SD = 0`.
+    pub fn fig7_default() -> Self {
+        BenchmarkParams {
+            n_rw: 10,
+            t_sl: 100e-9,
+            t_sd: 0.0,
+            domain: PowerDomain::default_32x32(),
+            reads_per_write: 1,
+            store_free: false,
+        }
+    }
+}
+
+/// Per-phase decomposition of one benchmark cycle's energy (per cell).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Read/write round energy including same-domain serial-access static
+    /// dissipation.
+    pub active: f64,
+    /// Short-standby energy (sleep or short shutdown).
+    pub short_standby: f64,
+    /// MTJ store energy including the row-serialisation wait.
+    pub store: f64,
+    /// Long-standby energy (`t_SD` at sleep or shutdown power).
+    pub long_standby: f64,
+    /// Restore energy including the row-serialisation wait.
+    pub restore: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy of the cycle.
+    pub fn total(&self) -> f64 {
+        self.active + self.short_standby + self.store + self.long_standby + self.restore
+    }
+}
+
+/// The architecture-level energy model built on a characterised cell.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    ch: CellCharacterization,
+}
+
+impl EnergyModel {
+    /// Wraps a cell characterisation.
+    pub fn new(ch: CellCharacterization) -> Self {
+        EnergyModel { ch }
+    }
+
+    /// The underlying characterisation.
+    pub fn characterization(&self) -> &CellCharacterization {
+        &self.ch
+    }
+
+    /// Per-cell energy of one read/write round: `R` reads + 1 write of
+    /// every word in the domain, serial, plus normal-mode static power
+    /// while the other `N − 1` rows are being accessed.
+    fn round_energy(&self, arch: Architecture, p: &BenchmarkParams) -> f64 {
+        let (er, ew, p_norm) = match arch {
+            Architecture::Osr => (
+                self.ch.e_read_6t,
+                self.ch.e_write_6t,
+                self.ch.static_power.p_6t_normal,
+            ),
+            _ => (
+                self.ch.e_read_nv,
+                self.ch.e_write_nv,
+                self.ch.static_power.p_nv_normal,
+            ),
+        };
+        let r = f64::from(p.reads_per_write);
+        let other_rows = f64::from(p.domain.rows) - 1.0;
+        r * er + ew + p_norm * (r + 1.0) * other_rows * self.ch.t_cycle
+    }
+
+    /// Per-cell domain store energy: the cell's own (gross) store plus
+    /// sleep/shutdown leakage while the other rows take their serial
+    /// turns. Zero under store-free shutdown.
+    fn store_energy(&self, p: &BenchmarkParams) -> f64 {
+        if p.store_free {
+            return 0.0;
+        }
+        let wait = p.domain.mean_wait_rows() * self.ch.t_store;
+        self.ch.e_store
+            + wait * (self.ch.static_power.p_nv_sleep + self.ch.static_power.p_nv_shutdown_super)
+    }
+
+    /// Per-cell domain restore energy: own (gross) restore plus the
+    /// serial-schedule wait (off before its turn, normal-mode after).
+    fn restore_energy(&self, p: &BenchmarkParams) -> f64 {
+        let wait = p.domain.mean_wait_rows() * self.ch.t_restore;
+        self.ch.e_restore
+            + wait * (self.ch.static_power.p_nv_shutdown_super + self.ch.static_power.p_nv_normal)
+    }
+
+    /// Full per-phase breakdown of one benchmark cycle.
+    pub fn breakdown(&self, arch: Architecture, p: &BenchmarkParams) -> EnergyBreakdown {
+        let n = f64::from(p.n_rw.max(1));
+        let sp = &self.ch.static_power;
+        match arch {
+            Architecture::Osr => EnergyBreakdown {
+                active: n * self.round_energy(arch, p),
+                short_standby: n * sp.p_6t_sleep * p.t_sl,
+                store: 0.0,
+                long_standby: sp.p_6t_sleep * p.t_sd,
+                restore: 0.0,
+            },
+            Architecture::Nvpg => EnergyBreakdown {
+                active: n * self.round_energy(arch, p),
+                short_standby: n * sp.p_nv_sleep * p.t_sl,
+                store: self.store_energy(p),
+                long_standby: sp.p_nv_shutdown_super * p.t_sd,
+                restore: self.restore_energy(p),
+            },
+            Architecture::Nof => EnergyBreakdown {
+                active: n * self.round_energy(arch, p),
+                // All rounds but the last power off for t_SL.
+                short_standby: (n - 1.0) * sp.p_nv_shutdown_super * p.t_sl,
+                store: n * self.store_energy(p),
+                long_standby: sp.p_nv_shutdown_super * p.t_sd,
+                restore: n * self.restore_energy(p),
+            },
+        }
+    }
+
+    /// Per-cell `E_cyc` of one benchmark cycle.
+    pub fn e_cyc(&self, arch: Architecture, p: &BenchmarkParams) -> Joules {
+        Joules(self.breakdown(arch, p).total())
+    }
+
+    /// Wall-clock duration of one benchmark cycle — the performance side
+    /// of the comparison (NOF stretches every round by the full-domain
+    /// store + restore).
+    pub fn cycle_duration(&self, arch: Architecture, p: &BenchmarkParams) -> Seconds {
+        let n = f64::from(p.n_rw.max(1));
+        let r = f64::from(p.reads_per_write);
+        let rows = f64::from(p.domain.rows);
+        let round = (r + 1.0) * rows * self.ch.t_cycle;
+        let t_store_dom = if p.store_free {
+            0.0
+        } else {
+            p.domain.store_time(self.ch.t_store)
+        };
+        let t_restore_dom = p.domain.restore_time(self.ch.t_restore);
+        match arch {
+            Architecture::Osr => Seconds(n * (round + p.t_sl) + p.t_sd),
+            Architecture::Nvpg => {
+                Seconds(n * (round + p.t_sl) + t_store_dom + p.t_sd + t_restore_dom)
+            }
+            Architecture::Nof => {
+                Seconds(n * (round + t_store_dom + t_restore_dom) + (n - 1.0) * p.t_sl + p.t_sd)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use nvpg_cells::characterize::StaticPowerTable;
+
+    /// A hand-built characterisation with round numbers, so every test
+    /// assertion can be checked against mental arithmetic.
+    pub(crate) fn synthetic() -> CellCharacterization {
+        CellCharacterization {
+            static_power: StaticPowerTable {
+                p_6t_normal: 8e-9,
+                p_6t_sleep: 5e-9,
+                p_nv_normal: 8.4e-9,
+                p_nv_sleep: 5.2e-9,
+                p_nv_shutdown: 0.2e-9,
+                p_nv_shutdown_super: 0.01e-9,
+            },
+            t_cycle: 3.333e-9,
+            e_read_6t: 100e-15,
+            e_write_6t: 10e-15,
+            e_read_nv: 101e-15,
+            e_write_nv: 10.2e-15,
+            e_store: 300e-15,
+            t_store: 21e-9,
+            e_restore: 150e-15,
+            t_restore: 10e-9,
+            store_ok: true,
+            restore_ok: true,
+        }
+    }
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(synthetic())
+    }
+
+    fn params(n_rw: u32, t_sl: f64, t_sd: f64) -> BenchmarkParams {
+        BenchmarkParams {
+            n_rw,
+            t_sl,
+            t_sd,
+            ..BenchmarkParams::fig7_default()
+        }
+    }
+
+    #[test]
+    fn nvpg_equals_nof_at_one_round_zero_tsl() {
+        let m = model();
+        let p = params(1, 0.0, 1e-3);
+        let e_nvpg = m.e_cyc(Architecture::Nvpg, &p);
+        let e_nof = m.e_cyc(Architecture::Nof, &p);
+        assert!(
+            (e_nvpg.0 - e_nof.0).abs() < 1e-20,
+            "NVPG {e_nvpg} vs NOF {e_nof} at n_RW = 1"
+        );
+    }
+
+    #[test]
+    fn nvpg_converges_to_osr_with_many_rounds() {
+        // Fig. 7(a): the store/restore overhead is amortised away.
+        let m = model();
+        let gap = |n: u32| {
+            let p = params(n, 100e-9, 0.0);
+            let nvpg = m.e_cyc(Architecture::Nvpg, &p).0;
+            let osr = m.e_cyc(Architecture::Osr, &p).0;
+            (nvpg - osr) / osr
+        };
+        assert!(gap(1) > 0.2, "store dominates at n_RW = 1: {}", gap(1));
+        assert!(
+            gap(10_000) < 0.07,
+            "amortised at n_RW = 10⁴: {}",
+            gap(10_000)
+        );
+        // Monotone decrease.
+        assert!(gap(10) > gap(100) && gap(100) > gap(1000));
+    }
+
+    #[test]
+    fn nof_grows_linearly_and_exceeds_osr() {
+        // Fig. 7(a): E_cyc^NOF increases monotonically with n_RW and sits
+        // far above OSR.
+        let m = model();
+        let e = |n: u32| m.e_cyc(Architecture::Nof, &params(n, 100e-9, 0.0)).0;
+        let osr = |n: u32| m.e_cyc(Architecture::Osr, &params(n, 100e-9, 0.0)).0;
+        assert!(e(10) / osr(10) > 1.1);
+        assert!(e(100) / osr(100) > 1.1);
+        // Linear in n_RW: the incremental cost per round is constant.
+        let d1 = e(11) - e(10);
+        let d2 = e(101) - e(100);
+        assert!((d1 - d2).abs() < 1e-18 * d1.abs().max(1.0));
+    }
+
+    #[test]
+    fn all_architectures_grow_with_tsd() {
+        let m = model();
+        for arch in Architecture::ALL {
+            let lo = m.e_cyc(arch, &params(10, 0.0, 1e-6)).0;
+            let hi = m.e_cyc(arch, &params(10, 0.0, 1e-3)).0;
+            assert!(hi > lo, "{arch}: {lo:e} -> {hi:e}");
+        }
+        // OSR pays sleep power during t_SD, NVPG only shutdown power: the
+        // NVPG slope is far smaller.
+        let slope = |arch| {
+            (m.e_cyc(arch, &params(10, 0.0, 2e-3)).0 - m.e_cyc(arch, &params(10, 0.0, 1e-3)).0)
+                / 1e-3
+        };
+        assert!(slope(Architecture::Osr) / slope(Architecture::Nvpg) > 100.0);
+    }
+
+    #[test]
+    fn store_free_removes_store_cost() {
+        let m = model();
+        let p = params(10, 100e-9, 1e-3);
+        let full = m.breakdown(Architecture::Nvpg, &p);
+        let free = m.breakdown(
+            Architecture::Nvpg,
+            &BenchmarkParams {
+                store_free: true,
+                ..p
+            },
+        );
+        assert!(full.store > 0.0);
+        assert_eq!(free.store, 0.0);
+        assert!(free.total() < full.total());
+        assert_eq!(free.restore, full.restore);
+    }
+
+    #[test]
+    fn store_overhead_grows_with_domain_rows() {
+        // The row-serialised schedule: Figs. 7(b)/9(a).
+        let m = model();
+        let e_n = |rows: u32| {
+            let p = BenchmarkParams {
+                domain: PowerDomain::new(rows, 32),
+                ..params(1, 100e-9, 0.0)
+            };
+            m.breakdown(Architecture::Nvpg, &p).store
+        };
+        assert!(e_n(2048) > e_n(256));
+        assert!(e_n(256) > e_n(32));
+    }
+
+    #[test]
+    fn read_ratio_scales_active_energy() {
+        let m = model();
+        let base = params(10, 0.0, 0.0);
+        let ratio10 = BenchmarkParams {
+            reads_per_write: 10,
+            ..base
+        };
+        let b1 = m.breakdown(Architecture::Nvpg, &base);
+        let b10 = m.breakdown(Architecture::Nvpg, &ratio10);
+        // (10·e_read + e_write) / (e_read + e_write) ≈ 9.2× per round.
+        assert!(b10.active > 8.0 * b1.active && b10.active < 10.0 * b1.active);
+    }
+
+    #[test]
+    fn nof_cycle_duration_shows_performance_degradation() {
+        let m = model();
+        let p = params(100, 100e-9, 0.0);
+        let t_nvpg = m.cycle_duration(Architecture::Nvpg, &p).0;
+        let t_nof = m.cycle_duration(Architecture::Nof, &p).0;
+        // NOF pays the full-domain store+restore every round: with
+        // N = 32 rows, store = 672 ns and restore = 320 ns per 213 ns of
+        // useful access time.
+        assert!(
+            t_nof / t_nvpg > 3.0,
+            "NOF must be much slower: {t_nof:e} vs {t_nvpg:e}"
+        );
+        // OSR and NVPG only differ by one store+restore in total.
+        let t_osr = m.cycle_duration(Architecture::Osr, &p).0;
+        assert!((t_nvpg - t_osr) / t_osr < 0.05);
+    }
+
+    #[test]
+    fn breakdown_total_matches_e_cyc() {
+        let m = model();
+        for arch in Architecture::ALL {
+            let p = params(7, 50e-9, 1e-4);
+            assert_eq!(m.breakdown(arch, &p).total(), m.e_cyc(arch, &p).0);
+        }
+    }
+
+    #[test]
+    fn osr_never_stores() {
+        let m = model();
+        let b = m.breakdown(Architecture::Osr, &params(5, 1e-9, 1e-3));
+        assert_eq!(b.store, 0.0);
+        assert_eq!(b.restore, 0.0);
+    }
+
+    #[test]
+    fn fig7_defaults() {
+        let p = BenchmarkParams::fig7_default();
+        assert_eq!(p.domain.cells(), 1024);
+        assert_eq!(p.reads_per_write, 1);
+        assert!(!p.store_free);
+    }
+}

@@ -1,0 +1,63 @@
+//! # nvpg-core — nonvolatile power-gating architecture analysis
+//!
+//! The primary contribution of the reproduced paper (Shuto, Yamamoto &
+//! Sugahara, DATE 2015): a systematic comparison of the **NVPG**
+//! (nonvolatile power-gating) and **NOF** (normally-off) architectures
+//! for a FinFET NV-SRAM power domain, against the volatile **OSR**
+//! baseline.
+//!
+//! Layering:
+//!
+//! * [`arch`] — the three architectures;
+//! * [`domain`] — `N × M` power domains with row-serialised store/restore
+//!   scheduling;
+//! * [`energy`] — per-cell `E_cyc` composition over the Fig. 5 benchmark
+//!   sequences, built from a simulated [`nvpg_cells`]
+//!   characterisation;
+//! * [`bet`] — break-even-time solvers (closed form + Brent iteration);
+//! * [`sequence`] — cell-level transient execution of the benchmark
+//!   sequences (Fig. 6 power traces, and ground truth for the
+//!   composition);
+//! * [`experiments`] — the registry mapping every table/figure of the
+//!   paper to a data-producing function;
+//! * [`variation`] — Monte-Carlo device-variation study (extension
+//!   beyond the paper).
+//!
+//! # Example
+//!
+//! ```no_run
+//! use nvpg_cells::design::CellDesign;
+//! use nvpg_core::{Architecture, BenchmarkParams, Bet, Experiments};
+//! use nvpg_core::bet::bet_closed_form;
+//!
+//! let exp = Experiments::new(CellDesign::table1())?;
+//! let params = BenchmarkParams::fig7_default();
+//! match bet_closed_form(exp.model(), Architecture::Nvpg, &params) {
+//!     Bet::At(t) => println!("NVPG break-even time: {t}"),
+//!     other => println!("{other:?}"),
+//! }
+//! # Ok::<(), nvpg_circuit::CircuitError>(())
+//! ```
+
+pub mod arch;
+pub mod bet;
+pub mod corners;
+pub mod domain;
+pub mod energy;
+pub mod experiments;
+pub mod policy;
+pub mod sequence;
+pub mod thermal;
+pub mod variation;
+pub mod workload;
+
+pub use arch::Architecture;
+pub use bet::{bet_closed_form, bet_iterative, Bet};
+pub use corners::{corner_analysis, Corner, CornerResult};
+pub use domain::PowerDomain;
+pub use energy::{BenchmarkParams, EnergyBreakdown, EnergyModel};
+pub use experiments::{Experiments, Figure, Series, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
+pub use policy::{IdleDistribution, PolicyModel};
+pub use sequence::{run_sequence, SequenceParams, SequenceRun};
+pub use thermal::{at_temperature, temperature_sweep, ThermalPoint};
+pub use workload::{simulate_trace, GatingPolicy, TraceOutcome, Workload, WorkloadEvent};

@@ -1,0 +1,353 @@
+//! Power-gating *policy* analysis (extension beyond the paper).
+//!
+//! The paper derives the break-even time; a runtime power manager must
+//! then decide **when** to gate without knowing how long an idle period
+//! will last. This module connects the two with the classic framing:
+//!
+//! * **oracle** — knows each idle length `L` in advance: gates exactly
+//!   when `L` exceeds the break-even point;
+//! * **timeout policy** — sleeps for a fixed timeout `T`, then stores and
+//!   gates; the ski-rental argument makes `T = BET` 2-competitive with
+//!   the oracle on the controllable (above-floor) cost, for *any*
+//!   distribution of idle lengths;
+//! * **expected energy** — for a given idle-length distribution the
+//!   expected per-idle energy of a timeout policy is integrated
+//!   numerically, and the best fixed timeout is located by golden-section
+//!   search.
+//!
+//! Costs are counted per idle period of length `L`, net of the
+//! unavoidable floor `P_sd·L` that any policy pays once gated.
+
+use crate::arch::Architecture;
+use crate::energy::{BenchmarkParams, EnergyModel};
+
+/// Idle-period length distributions for expected-energy analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IdleDistribution {
+    /// Exponential with the given mean (s) — memoryless bursty traffic.
+    Exponential {
+        /// Mean idle length (s).
+        mean: f64,
+    },
+    /// Pareto (heavy tail): `P(L > x) = (x_min/x)^alpha` for `x ≥ x_min`.
+    Pareto {
+        /// Tail exponent (> 1 for a finite mean).
+        alpha: f64,
+        /// Scale / minimum idle length (s).
+        x_min: f64,
+    },
+    /// Every idle period has the same length (s).
+    Fixed {
+        /// The idle length (s).
+        length: f64,
+    },
+}
+
+impl IdleDistribution {
+    /// Survival function `P(L > x)`.
+    pub fn survival(&self, x: f64) -> f64 {
+        match *self {
+            IdleDistribution::Exponential { mean } => (-x / mean).exp(),
+            IdleDistribution::Pareto { alpha, x_min } => {
+                if x <= x_min {
+                    1.0
+                } else {
+                    (x_min / x).powf(alpha)
+                }
+            }
+            IdleDistribution::Fixed { length } => {
+                if x < length {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+        }
+    }
+
+    /// Quantile `x` with `P(L > x) = p` (for integration grids).
+    fn quantile(&self, p: f64) -> f64 {
+        match *self {
+            IdleDistribution::Exponential { mean } => -mean * p.ln(),
+            IdleDistribution::Pareto { alpha, x_min } => x_min * p.powf(-1.0 / alpha),
+            IdleDistribution::Fixed { length } => length,
+        }
+    }
+}
+
+/// The reduced policy model: two static-power levels plus the one-shot
+/// gating overhead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PolicyModel {
+    /// Sleep (retention) power while not gated (W).
+    pub p_sleep: f64,
+    /// Gated (shutdown) power (W).
+    pub p_shutdown: f64,
+    /// One-shot store + restore energy paid per gating decision (J).
+    pub e_overhead: f64,
+}
+
+impl PolicyModel {
+    /// Extracts the policy model from the architecture-level energy
+    /// model: the per-cell domain store + restore energy under `params`
+    /// and the sleep/shutdown static powers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the parameters make the saved power non-positive (sleep
+    /// power must exceed shutdown power for gating to ever pay).
+    pub fn from_energy_model(model: &EnergyModel, params: &BenchmarkParams) -> Self {
+        let b = model.breakdown(
+            Architecture::Nvpg,
+            &BenchmarkParams {
+                n_rw: 1,
+                t_sl: 0.0,
+                t_sd: 0.0,
+                ..*params
+            },
+        );
+        let sp = model.characterization().static_power;
+        assert!(
+            sp.p_nv_sleep > sp.p_nv_shutdown_super,
+            "sleep power must exceed shutdown power"
+        );
+        PolicyModel {
+            p_sleep: sp.p_nv_sleep,
+            p_shutdown: sp.p_nv_shutdown_super,
+            e_overhead: b.store + b.restore,
+        }
+    }
+
+    /// The break-even idle length: gating pays for idles longer than
+    /// this. Identical to the architecture BET up to the benchmark's
+    /// active-phase terms.
+    pub fn break_even(&self) -> f64 {
+        self.e_overhead / (self.p_sleep - self.p_shutdown)
+    }
+
+    /// Above-floor cost of an idle period of length `l` under a timeout
+    /// policy: sleep until `min(l, timeout)`; if the idle outlives the
+    /// timeout, pay the overhead and idle gated for the remainder (the
+    /// `P_sd·l` floor is subtracted everywhere).
+    pub fn cost_timeout(&self, timeout: f64, l: f64) -> f64 {
+        let dp = self.p_sleep - self.p_shutdown;
+        if l <= timeout {
+            dp * l
+        } else {
+            dp * timeout + self.e_overhead
+        }
+    }
+
+    /// Above-floor cost of the oracle: it gates immediately when
+    /// `l > break_even`, otherwise sleeps through.
+    pub fn cost_oracle(&self, l: f64) -> f64 {
+        let dp = self.p_sleep - self.p_shutdown;
+        (dp * l).min(self.e_overhead)
+    }
+
+    /// Expected above-floor cost per idle period under `dist`, for a
+    /// fixed `timeout` (numeric integration on a survival-quantile grid).
+    pub fn expected_cost_timeout(&self, timeout: f64, dist: &IdleDistribution) -> f64 {
+        self.expected_cost(|l| self.cost_timeout(timeout, l), dist)
+    }
+
+    /// Expected above-floor cost of the oracle under `dist`.
+    pub fn expected_cost_oracle(&self, dist: &IdleDistribution) -> f64 {
+        self.expected_cost(|l| self.cost_oracle(l), dist)
+    }
+
+    fn expected_cost(&self, cost: impl Fn(f64) -> f64, dist: &IdleDistribution) -> f64 {
+        if let IdleDistribution::Fixed { length } = dist {
+            return cost(*length);
+        }
+        // Integrate cost(L) dF(L) on a quantile grid: p from ~1 to ~0.
+        let n = 4000;
+        let mut acc = 0.0;
+        let mut prev_x = dist.quantile(1.0 - 1e-9);
+        let mut prev_c = cost(prev_x);
+        for k in 1..=n {
+            let p = 1.0 - k as f64 / (n as f64 + 1.0);
+            let x = dist.quantile(p);
+            let c = cost(x);
+            // dF mass between consecutive quantiles is uniform (1/(n+1)).
+            acc += 0.5 * (c + prev_c) / (n as f64 + 1.0);
+            prev_x = x;
+            prev_c = c;
+        }
+        let _ = prev_x;
+        // Tail mass beyond the last quantile: costs are bounded for the
+        // timeout policy (≤ dp·T + overhead), so approximate with the
+        // last cost.
+        acc + prev_c / (n as f64 + 1.0)
+    }
+
+    /// Finds the fixed timeout minimising the expected cost under `dist`
+    /// (golden-section search over `[0, hi]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hi` is not positive.
+    pub fn optimal_timeout(&self, dist: &IdleDistribution, hi: f64) -> f64 {
+        assert!(hi > 0.0, "search bound must be positive");
+        let phi = (5f64.sqrt() - 1.0) / 2.0;
+        let f = |t: f64| self.expected_cost_timeout(t, dist);
+        let (mut a, mut b) = (0.0, hi);
+        let mut c = b - phi * (b - a);
+        let mut d = a + phi * (b - a);
+        let (mut fc, mut fd) = (f(c), f(d));
+        for _ in 0..80 {
+            if fc < fd {
+                b = d;
+                d = c;
+                fd = fc;
+                c = b - phi * (b - a);
+                fc = f(c);
+            } else {
+                a = c;
+                c = d;
+                fc = fd;
+                d = a + phi * (b - a);
+                fd = f(d);
+            }
+        }
+        0.5 * (a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> PolicyModel {
+        PolicyModel {
+            p_sleep: 5e-9,
+            p_shutdown: 0.01e-9,
+            e_overhead: 450e-15,
+        }
+    }
+
+    #[test]
+    fn break_even_matches_hand_value() {
+        let m = model();
+        // 450 fJ / 4.99 nW ≈ 90.2 µs.
+        assert!((m.break_even() - 9.018e-5).abs() < 1e-7);
+    }
+
+    #[test]
+    fn timeout_at_bet_is_two_competitive_pointwise() {
+        // The ski-rental bound: for T = break-even, cost_T(L) ≤
+        // 2·cost_oracle(L) for every L.
+        let m = model();
+        let t = m.break_even();
+        for k in 0..2000 {
+            let l = 1e-7 * 1.01f64.powi(k); // 0.1 µs … ~44 s
+            let ratio = m.cost_timeout(t, l) / m.cost_oracle(l).max(1e-300);
+            assert!(ratio <= 2.0 + 1e-9, "L = {l:e}: ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn oracle_never_loses() {
+        let m = model();
+        for timeout in [0.0, 1e-5, m.break_even(), 1e-3] {
+            for l in [1e-6, 1e-4, 1e-2] {
+                assert!(m.cost_oracle(l) <= m.cost_timeout(timeout, l) + 1e-18);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_distribution_expectation_is_exact() {
+        let m = model();
+        let dist = IdleDistribution::Fixed { length: 2e-4 };
+        let t = m.break_even();
+        assert_eq!(m.expected_cost_timeout(t, &dist), m.cost_timeout(t, 2e-4));
+        assert_eq!(m.expected_cost_oracle(&dist), m.cost_oracle(2e-4));
+    }
+
+    #[test]
+    fn exponential_expectation_matches_closed_form() {
+        // For exponential idles, E[cost_T] has a closed form:
+        // dp·mean·(1 − e^{−T/mean}) + overhead·e^{−T/mean}.
+        let m = model();
+        let mean = 3e-4;
+        let dist = IdleDistribution::Exponential { mean };
+        let dp = m.p_sleep - m.p_shutdown;
+        for t in [1e-5, 1e-4, 3e-4, 1e-3] {
+            let closed = dp * mean * (1.0 - (-t / mean).exp()) + m.e_overhead * (-t / mean).exp();
+            let numeric = m.expected_cost_timeout(t, &dist);
+            assert!(
+                (numeric - closed).abs() < 0.02 * closed,
+                "T = {t:e}: {numeric:e} vs {closed:e}"
+            );
+        }
+    }
+
+    #[test]
+    fn optimal_timeout_for_memoryless_idles_is_degenerate() {
+        // Memoryless idles: having survived T, the future is independent
+        // of T, so the optimum is at one of the extremes. With mean ≫
+        // BET, gating immediately (T = 0) is best.
+        let m = model();
+        let dist = IdleDistribution::Exponential { mean: 10e-3 };
+        let t_opt = m.optimal_timeout(&dist, 10e-3);
+        let e_opt = m.expected_cost_timeout(t_opt, &dist);
+        let e_zero = m.expected_cost_timeout(0.0, &dist);
+        assert!(e_opt <= e_zero * 1.001);
+        assert!(
+            t_opt < m.break_even(),
+            "heavy idles: gate early ({t_opt:e})"
+        );
+    }
+
+    #[test]
+    fn short_idles_make_gating_pointless() {
+        // Mean idle far below the break-even: the optimal timeout pushes
+        // to the search bound (never gate within the horizon).
+        let m = model();
+        let dist = IdleDistribution::Exponential { mean: 1e-6 };
+        let hi = 1e-3;
+        let t_opt = m.optimal_timeout(&dist, hi);
+        assert!(
+            t_opt > 0.5 * hi,
+            "short idles should defer gating: {t_opt:e}"
+        );
+    }
+
+    #[test]
+    fn pareto_survival_and_quantile_are_inverse() {
+        let dist = IdleDistribution::Pareto {
+            alpha: 1.5,
+            x_min: 1e-5,
+        };
+        for p in [0.9, 0.5, 0.1, 0.01] {
+            let x = dist.quantile(p);
+            assert!((dist.survival(x) - p).abs() < 1e-12);
+        }
+        assert_eq!(dist.survival(1e-6), 1.0);
+    }
+
+    #[test]
+    fn from_energy_model_extracts_sane_values() {
+        use crate::energy::tests::synthetic;
+        let em = EnergyModel::new(synthetic());
+        let pm = PolicyModel::from_energy_model(&em, &BenchmarkParams::fig7_default());
+        assert!(pm.p_sleep > pm.p_shutdown);
+        assert!(pm.e_overhead > 0.0);
+        // The policy break-even is in the same decade as the architecture
+        // BET at small n_RW.
+        use crate::bet::{bet_closed_form, Bet};
+        if let Bet::At(t) = bet_closed_form(
+            &em,
+            Architecture::Nvpg,
+            &BenchmarkParams {
+                n_rw: 1,
+                t_sl: 0.0,
+                ..BenchmarkParams::fig7_default()
+            },
+        ) {
+            let ratio = pm.break_even() / t.0;
+            assert!((0.3..3.0).contains(&ratio), "ratio {ratio}");
+        }
+    }
+}

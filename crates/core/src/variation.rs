@@ -1,0 +1,216 @@
+//! Monte-Carlo device-variation study (extension beyond the paper).
+//!
+//! The paper evaluates nominal parameters only. Real arrays suffer
+//! threshold-voltage mismatch, TMR spread, and critical-current spread,
+//! all of which move the break-even time and can make individual cells'
+//! store operations fail outright. This module samples Gaussian
+//! variations on `(V_th, TMR₀, J_C)`, re-characterises the cell per
+//! sample, and reports the BET distribution alongside store/restore
+//! failure counts.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use nvpg_cells::characterize::characterize;
+use nvpg_cells::design::CellDesign;
+use nvpg_circuit::CircuitError;
+
+use crate::arch::Architecture;
+use crate::bet::{bet_closed_form, Bet};
+use crate::energy::{BenchmarkParams, EnergyModel};
+
+/// Gaussian variation magnitudes and sampling controls.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariationSpec {
+    /// Threshold-voltage sigma applied to NMOS and PMOS cards (V).
+    pub sigma_vth: f64,
+    /// Relative sigma on the zero-bias TMR.
+    pub sigma_tmr_rel: f64,
+    /// Relative sigma on the CIMS critical current density.
+    pub sigma_jc_rel: f64,
+    /// Number of Monte-Carlo samples.
+    pub samples: u32,
+    /// RNG seed (runs are reproducible).
+    pub seed: u64,
+}
+
+impl Default for VariationSpec {
+    fn default() -> Self {
+        VariationSpec {
+            sigma_vth: 15e-3,
+            sigma_tmr_rel: 0.05,
+            sigma_jc_rel: 0.05,
+            samples: 25,
+            seed: 0x5eed_c0de,
+        }
+    }
+}
+
+/// Outcome of a Monte-Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VariationOutcome {
+    /// NVPG break-even time per successful sample (seconds).
+    pub bets: Vec<f64>,
+    /// Samples whose two-step store failed to flip the MTJs.
+    pub store_failures: u32,
+    /// Samples whose restore recovered the wrong data.
+    pub restore_failures: u32,
+    /// Samples whose simulation did not converge.
+    pub simulation_failures: u32,
+}
+
+impl VariationOutcome {
+    /// Mean of the BET distribution.
+    pub fn mean_bet(&self) -> Option<f64> {
+        if self.bets.is_empty() {
+            None
+        } else {
+            Some(self.bets.iter().sum::<f64>() / self.bets.len() as f64)
+        }
+    }
+
+    /// Sample standard deviation of the BET distribution.
+    pub fn std_bet(&self) -> Option<f64> {
+        let mean = self.mean_bet()?;
+        if self.bets.len() < 2 {
+            return Some(0.0);
+        }
+        let var = self
+            .bets
+            .iter()
+            .map(|b| (b - mean) * (b - mean))
+            .sum::<f64>()
+            / (self.bets.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+}
+
+/// Standard-normal sample via Box–Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws one varied design point.
+fn sample_design(base: &CellDesign, spec: &VariationSpec, rng: &mut StdRng) -> CellDesign {
+    let mut d = *base;
+    d.nmos.vth0 += spec.sigma_vth * normal(rng);
+    d.pmos.vth0 += spec.sigma_vth * normal(rng);
+    d.mtj.tmr0 = (d.mtj.tmr0 * (1.0 + spec.sigma_tmr_rel * normal(rng))).max(0.1);
+    d.mtj.jc = (d.mtj.jc * (1.0 + spec.sigma_jc_rel * normal(rng))).max(1e9);
+    d
+}
+
+/// Runs the Monte-Carlo study: per sample, re-characterises the varied
+/// cell and solves the NVPG BET under `params`.
+///
+/// Individual non-convergent samples are counted, not fatal.
+///
+/// # Errors
+///
+/// Currently infallible at the top level (failures are recorded in the
+/// outcome); the `Result` reserves room for setup-stage errors.
+pub fn run_variation(
+    base: &CellDesign,
+    spec: &VariationSpec,
+    params: &BenchmarkParams,
+) -> Result<VariationOutcome, CircuitError> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut outcome = VariationOutcome {
+        bets: Vec::with_capacity(spec.samples as usize),
+        store_failures: 0,
+        restore_failures: 0,
+        simulation_failures: 0,
+    };
+    for _ in 0..spec.samples {
+        let design = sample_design(base, spec, &mut rng);
+        let ch = match characterize(&design) {
+            Ok(ch) => ch,
+            Err(_) => {
+                outcome.simulation_failures += 1;
+                continue;
+            }
+        };
+        if !ch.store_ok {
+            outcome.store_failures += 1;
+            continue;
+        }
+        if !ch.restore_ok {
+            outcome.restore_failures += 1;
+            continue;
+        }
+        if let Bet::At(t) = bet_closed_form(&EnergyModel::new(ch), Architecture::Nvpg, params) {
+            outcome.bets.push(t.0);
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproducible_sampling() {
+        let base = CellDesign::table1();
+        let spec = VariationSpec::default();
+        let mut r1 = StdRng::seed_from_u64(spec.seed);
+        let mut r2 = StdRng::seed_from_u64(spec.seed);
+        let d1 = sample_design(&base, &spec, &mut r1);
+        let d2 = sample_design(&base, &spec, &mut r2);
+        assert_eq!(d1.nmos.vth0, d2.nmos.vth0);
+        assert_eq!(d1.mtj.jc, d2.mtj.jc);
+        // And actually varied from the base.
+        assert_ne!(d1.nmos.vth0, base.nmos.vth0);
+    }
+
+    #[test]
+    fn normal_has_sane_moments() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+
+    #[test]
+    fn tiny_variation_run_produces_bets() {
+        // 3 samples with small sigmas: everything should succeed and the
+        // BETs should cluster around the nominal one.
+        let spec = VariationSpec {
+            sigma_vth: 5e-3,
+            sigma_tmr_rel: 0.02,
+            sigma_jc_rel: 0.02,
+            samples: 3,
+            seed: 7,
+        };
+        let out = run_variation(
+            &CellDesign::table1(),
+            &spec,
+            &BenchmarkParams::fig7_default(),
+        )
+        .unwrap();
+        assert_eq!(out.simulation_failures, 0, "{out:?}");
+        assert_eq!(out.store_failures, 0, "{out:?}");
+        assert_eq!(out.restore_failures, 0, "{out:?}");
+        assert_eq!(out.bets.len(), 3);
+        let mean = out.mean_bet().unwrap();
+        assert!((1e-6..1e-2).contains(&mean), "mean BET = {mean:e}");
+        assert!(out.std_bet().unwrap() < mean, "spread should be moderate");
+    }
+
+    #[test]
+    fn empty_outcome_statistics() {
+        let out = VariationOutcome {
+            bets: vec![],
+            store_failures: 0,
+            restore_failures: 0,
+            simulation_failures: 0,
+        };
+        assert_eq!(out.mean_bet(), None);
+        assert_eq!(out.std_bet(), None);
+    }
+}

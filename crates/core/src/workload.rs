@@ -1,0 +1,309 @@
+//! Trace-driven workload simulation (extension beyond the paper).
+//!
+//! Where [`crate::policy`] computes *expected* costs under idle-length
+//! distributions, this module replays concrete traces: a workload is a
+//! sequence of (access burst, idle gap) events, and a
+//! [`GatingPolicy`] decides at runtime what each idle gap costs. This is
+//! the discrete-event view a power-management unit actually faces, and it
+//! lets the BET/policy theory be validated against sampled traces:
+//! the oracle lower-bounds every policy on every trace, and the
+//! `Timeout(BET)` policy stays within the ski-rental factor of it.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::arch::Architecture;
+use crate::energy::{BenchmarkParams, EnergyModel};
+use crate::policy::{IdleDistribution, PolicyModel};
+
+/// One workload event: a burst of accesses followed by an idle gap.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadEvent {
+    /// Read/write rounds in the burst.
+    pub rounds: u32,
+    /// Idle gap after the burst (s).
+    pub idle: f64,
+}
+
+/// A sequence of workload events.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    /// The events, replayed in order.
+    pub events: Vec<WorkloadEvent>,
+}
+
+impl Workload {
+    /// Generates a reproducible synthetic workload: geometric burst
+    /// lengths with the given mean, idle gaps drawn from `idle_dist` by
+    /// inverse-transform sampling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mean_rounds < 1`.
+    pub fn synthetic(
+        seed: u64,
+        n_events: usize,
+        mean_rounds: f64,
+        idle_dist: IdleDistribution,
+    ) -> Self {
+        assert!(mean_rounds >= 1.0, "bursts need at least one round");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = 1.0 / mean_rounds;
+        let events = (0..n_events)
+            .map(|_| {
+                // Geometric burst length (≥ 1).
+                let mut rounds = 1u32;
+                while rng.gen::<f64>() > p && rounds < 100_000 {
+                    rounds += 1;
+                }
+                // Inverse-transform idle sample: survival(x) = u.
+                let u: f64 = rng.gen_range(1e-12..1.0);
+                let idle = match idle_dist {
+                    IdleDistribution::Exponential { mean } => -mean * u.ln(),
+                    IdleDistribution::Pareto { alpha, x_min } => x_min * u.powf(-1.0 / alpha),
+                    IdleDistribution::Fixed { length } => length,
+                };
+                WorkloadEvent { rounds, idle }
+            })
+            .collect();
+        Workload { events }
+    }
+
+    /// Total access rounds across the trace.
+    pub fn total_rounds(&self) -> u64 {
+        self.events.iter().map(|e| u64::from(e.rounds)).sum()
+    }
+
+    /// Total idle time across the trace (s).
+    pub fn total_idle(&self) -> f64 {
+        self.events.iter().map(|e| e.idle).sum()
+    }
+}
+
+/// Runtime gating decision rule for idle gaps.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum GatingPolicy {
+    /// Never power off: every idle gap is spent in the sleep mode (the
+    /// OSR discipline).
+    NeverGate,
+    /// Store and power off on every idle gap (the NOF discipline).
+    AlwaysGate,
+    /// Sleep until the fixed timeout, then store and power off.
+    Timeout(
+        /// Timeout in seconds.
+        f64,
+    ),
+    /// Clairvoyant: gates exactly when the gap exceeds the break-even
+    /// length (a lower bound, not implementable).
+    Oracle,
+}
+
+/// Totals of one trace replay.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceOutcome {
+    /// Total energy (J) per cell.
+    pub energy: f64,
+    /// Total wall-clock duration (s).
+    pub duration: f64,
+    /// Number of gating (store + power-off) decisions taken.
+    pub gates: u32,
+    /// Average power `energy / duration` (W).
+    pub avg_power: f64,
+}
+
+/// Replays `workload` under `policy`, accounting per-cell energy with the
+/// same building blocks as the architecture model: burst energy from the
+/// NVPG active phase, idle energy from the sleep/shutdown powers and the
+/// store + restore overhead of [`PolicyModel`].
+///
+/// # Panics
+///
+/// Panics if a `Timeout` value is negative.
+pub fn simulate_trace(
+    model: &EnergyModel,
+    params: &BenchmarkParams,
+    policy: GatingPolicy,
+    workload: &Workload,
+) -> TraceOutcome {
+    if let GatingPolicy::Timeout(t) = policy {
+        assert!(t >= 0.0, "timeout must be non-negative");
+    }
+    let pm = PolicyModel::from_energy_model(model, params);
+    let bet = pm.break_even();
+    let ch = model.characterization();
+    let rows = f64::from(params.domain.rows);
+    let r = f64::from(params.reads_per_write);
+    let t_round = (r + 1.0) * rows * ch.t_cycle;
+
+    let mut energy = 0.0;
+    let mut duration = 0.0;
+    let mut gates = 0u32;
+    for e in &workload.events {
+        // Burst: active energy of `rounds` NVPG rounds (no standby terms).
+        let p = BenchmarkParams {
+            n_rw: e.rounds.max(1),
+            t_sl: 0.0,
+            t_sd: 0.0,
+            ..*params
+        };
+        energy += model.breakdown(Architecture::Nvpg, &p).active;
+        duration += f64::from(e.rounds) * t_round;
+
+        // Idle gap under the policy.
+        let l = e.idle;
+        let (e_idle, gated) = match policy {
+            GatingPolicy::NeverGate => (pm.p_sleep * l, false),
+            GatingPolicy::AlwaysGate => (pm.e_overhead + pm.p_shutdown * l, true),
+            GatingPolicy::Timeout(t) => {
+                if l <= t {
+                    (pm.p_sleep * l, false)
+                } else {
+                    (
+                        pm.p_sleep * t + pm.e_overhead + pm.p_shutdown * (l - t),
+                        true,
+                    )
+                }
+            }
+            GatingPolicy::Oracle => {
+                if l > bet {
+                    (pm.e_overhead + pm.p_shutdown * l, true)
+                } else {
+                    (pm.p_sleep * l, false)
+                }
+            }
+        };
+        energy += e_idle;
+        duration += l;
+        if gated {
+            gates += 1;
+        }
+    }
+    TraceOutcome {
+        energy,
+        duration,
+        gates,
+        avg_power: if duration > 0.0 {
+            energy / duration
+        } else {
+            0.0
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::energy::tests::synthetic;
+
+    fn model() -> EnergyModel {
+        EnergyModel::new(synthetic())
+    }
+
+    fn params() -> BenchmarkParams {
+        BenchmarkParams::fig7_default()
+    }
+
+    fn workloads() -> Vec<Workload> {
+        let long = IdleDistribution::Exponential { mean: 5e-3 };
+        let short = IdleDistribution::Exponential { mean: 2e-6 };
+        let heavy = IdleDistribution::Pareto {
+            alpha: 1.3,
+            x_min: 5e-6,
+        };
+        vec![
+            Workload::synthetic(1, 200, 5.0, long),
+            Workload::synthetic(2, 200, 20.0, short),
+            Workload::synthetic(3, 200, 10.0, heavy),
+        ]
+    }
+
+    #[test]
+    fn synthetic_workload_is_reproducible() {
+        let dist = IdleDistribution::Exponential { mean: 1e-4 };
+        let a = Workload::synthetic(42, 50, 8.0, dist);
+        let b = Workload::synthetic(42, 50, 8.0, dist);
+        assert_eq!(a, b);
+        assert_eq!(a.events.len(), 50);
+        assert!(a.total_rounds() >= 50);
+        assert!(a.total_idle() > 0.0);
+        // Different seed ⇒ different trace.
+        let c = Workload::synthetic(43, 50, 8.0, dist);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn oracle_lower_bounds_every_policy_on_every_trace() {
+        let m = model();
+        let p = params();
+        let pm = PolicyModel::from_energy_model(&m, &p);
+        for (i, w) in workloads().iter().enumerate() {
+            let oracle = simulate_trace(&m, &p, GatingPolicy::Oracle, w);
+            for policy in [
+                GatingPolicy::NeverGate,
+                GatingPolicy::AlwaysGate,
+                GatingPolicy::Timeout(pm.break_even()),
+                GatingPolicy::Timeout(1e-6),
+                GatingPolicy::Timeout(1e-2),
+            ] {
+                let out = simulate_trace(&m, &p, policy, w);
+                assert!(
+                    oracle.energy <= out.energy * (1.0 + 1e-12),
+                    "trace {i}: oracle {:e} vs {policy:?} {:e}",
+                    oracle.energy,
+                    out.energy
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn timeout_at_bet_is_two_competitive_on_traces() {
+        // Ski-rental bound on the controllable (above shutdown-floor)
+        // cost, checked trace-wise.
+        let m = model();
+        let p = params();
+        let pm = PolicyModel::from_energy_model(&m, &p);
+        for w in &workloads() {
+            let floor: f64 = w.total_idle() * pm.p_shutdown;
+            let oracle = simulate_trace(&m, &p, GatingPolicy::Oracle, w);
+            let timeout = simulate_trace(&m, &p, GatingPolicy::Timeout(pm.break_even()), w);
+            let above = |o: &TraceOutcome| o.energy - floor;
+            assert!(
+                above(&timeout) <= 2.0 * above(&oracle) * (1.0 + 1e-9),
+                "timeout {:e} vs oracle {:e}",
+                above(&timeout),
+                above(&oracle)
+            );
+        }
+    }
+
+    #[test]
+    fn policies_win_where_expected() {
+        let m = model();
+        let p = params();
+        // Long idles: gating always beats never gating.
+        let long = &workloads()[0];
+        let never = simulate_trace(&m, &p, GatingPolicy::NeverGate, long);
+        let always = simulate_trace(&m, &p, GatingPolicy::AlwaysGate, long);
+        assert!(always.energy < never.energy);
+        assert!(always.gates == long.events.len() as u32);
+        assert_eq!(never.gates, 0);
+        // Short idles: gating every gap wastes the overhead.
+        let short = &workloads()[1];
+        let never = simulate_trace(&m, &p, GatingPolicy::NeverGate, short);
+        let always = simulate_trace(&m, &p, GatingPolicy::AlwaysGate, short);
+        assert!(always.energy > never.energy);
+    }
+
+    #[test]
+    fn outcome_totals_are_consistent() {
+        let m = model();
+        let p = params();
+        let w = &workloads()[2];
+        let out = simulate_trace(&m, &p, GatingPolicy::Timeout(1e-4), w);
+        assert!(out.duration >= w.total_idle());
+        assert!(out.energy > 0.0);
+        assert!((out.avg_power - out.energy / out.duration).abs() < 1e-20);
+        assert!(out.gates <= w.events.len() as u32);
+    }
+}

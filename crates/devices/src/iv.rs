@@ -1,0 +1,187 @@
+//! Device I–V characterisation utilities.
+//!
+//! Standalone curve generators and parameter extractors that operate on
+//! the compact models directly (no circuit assembly): transfer and output
+//! characteristics, transconductance, and the max-`gm` threshold-voltage
+//! extraction used to sanity-check model cards against their nominal
+//! `V_th`.
+
+use crate::finfet::{FinFet, FinFetParams};
+use nvpg_circuit::NodeId;
+
+/// A sampled `(voltage, current)` characteristic.
+pub type IvCurve = Vec<(f64, f64)>;
+
+fn instance(params: FinFetParams) -> FinFet {
+    FinFet::new("iv", NodeId::GROUND, NodeId::GROUND, NodeId::GROUND, params)
+}
+
+/// Transfer characteristic `I_D(V_GS)` at fixed `V_DS` (source grounded).
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_devices::finfet::FinFetParams;
+/// use nvpg_devices::iv::transfer_curve;
+/// let curve = transfer_curve(FinFetParams::nmos_20nm(), 0.9, 0.0, 0.9, 19);
+/// assert_eq!(curve.len(), 19);
+/// assert!(curve.last().unwrap().1 > curve[0].1);
+/// ```
+pub fn transfer_curve(
+    params: FinFetParams,
+    vds: f64,
+    vg_start: f64,
+    vg_end: f64,
+    points: usize,
+) -> IvCurve {
+    let dev = instance(params);
+    nvpg_units::linspace(vg_start, vg_end, points)
+        .into_iter()
+        .map(|vg| (vg, dev.ids(vds, vg, 0.0)))
+        .collect()
+}
+
+/// Output characteristic `I_D(V_DS)` at fixed `V_GS` (source grounded).
+pub fn output_curve(
+    params: FinFetParams,
+    vgs: f64,
+    vd_start: f64,
+    vd_end: f64,
+    points: usize,
+) -> IvCurve {
+    let dev = instance(params);
+    nvpg_units::linspace(vd_start, vd_end, points)
+        .into_iter()
+        .map(|vd| (vd, dev.ids(vd, vgs, 0.0)))
+        .collect()
+}
+
+/// Transconductance `gm = dI_D/dV_GS` along a transfer curve (central
+/// differences on the model, not on the sampled curve).
+pub fn transconductance(
+    params: FinFetParams,
+    vds: f64,
+    vg_start: f64,
+    vg_end: f64,
+    points: usize,
+) -> IvCurve {
+    let dev = instance(params);
+    const H: f64 = 1e-5;
+    nvpg_units::linspace(vg_start, vg_end, points)
+        .into_iter()
+        .map(|vg| {
+            let gm = (dev.ids(vds, vg + H, 0.0) - dev.ids(vds, vg - H, 0.0)) / (2.0 * H);
+            (vg, gm)
+        })
+        .collect()
+}
+
+/// Threshold voltage by the maximum-`gm` extrapolation method: the
+/// tangent at the max-transconductance point is extrapolated to
+/// `I_D = 0`, which is the standard silicon-characterisation definition.
+///
+/// Uses a low `V_DS` (linear region) as the method prescribes.
+pub fn extract_vth_max_gm(params: FinFetParams) -> f64 {
+    let vds = 0.05;
+    let dev = instance(params);
+    let n = 401;
+    let vdd = 0.9;
+    // Locate max gm.
+    let mut best = (0.0, f64::NEG_INFINITY);
+    const H: f64 = 1e-5;
+    for vg in nvpg_units::linspace(0.0, vdd, n) {
+        let gm = (dev.ids(vds, vg + H, 0.0) - dev.ids(vds, vg - H, 0.0)) / (2.0 * H);
+        if gm > best.1 {
+            best = (vg, gm);
+        }
+    }
+    let (vg_star, gm_star) = best;
+    let id_star = dev.ids(vds, vg_star, 0.0);
+    // Tangent: I(vg) = id* + gm*·(vg − vg*); zero crossing minus V_DS/2
+    // correction (linear-region convention).
+    vg_star - id_star / gm_star - 0.5 * vds
+}
+
+/// Subthreshold swing (mV/dec) extracted from the transfer curve between
+/// two gate biases safely below threshold.
+pub fn extract_subthreshold_swing(params: FinFetParams) -> f64 {
+    let dev = instance(params);
+    let (v1, v2) = (0.05, 0.15);
+    let i1 = dev.ids(0.9, v1, 0.0);
+    let i2 = dev.ids(0.9, v2, 0.0);
+    (v2 - v1) / (i2 / i1).log10() * 1e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_curve_is_monotone() {
+        let curve = transfer_curve(FinFetParams::nmos_20nm(), 0.9, 0.0, 0.9, 91);
+        for w in curve.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn output_curve_saturates() {
+        let curve = output_curve(FinFetParams::nmos_20nm(), 0.9, 0.0, 0.9, 91);
+        // Early slope far steeper than late slope.
+        let early = curve[5].1 - curve[0].1;
+        let late = curve[90].1 - curve[85].1;
+        assert!(early > 5.0 * late, "early {early:e} vs late {late:e}");
+        assert_eq!(curve[0].1, 0.0);
+    }
+
+    #[test]
+    fn gm_peaks_inside_the_sweep() {
+        let gm = transconductance(FinFetParams::nmos_20nm(), 0.05, 0.0, 0.9, 91);
+        let max = gm
+            .iter()
+            .cloned()
+            .fold((0.0, 0.0), |m, p| if p.1 > m.1 { p } else { m });
+        assert!(max.1 > 0.0);
+        assert!(max.0 > 0.2 && max.0 < 0.9, "gm peak at {}", max.0);
+    }
+
+    #[test]
+    fn extracted_vth_matches_card() {
+        let params = FinFetParams::nmos_20nm();
+        let vth = extract_vth_max_gm(params);
+        assert!(
+            (vth - params.vth0).abs() < 0.12,
+            "extracted {vth} vs card {}",
+            params.vth0
+        );
+    }
+
+    #[test]
+    fn extracted_swing_matches_card() {
+        let params = FinFetParams::nmos_20nm();
+        let ss = extract_subthreshold_swing(params);
+        let card = params.subthreshold_swing() * 1e3;
+        assert!(
+            (ss - card).abs() < 0.25 * card,
+            "extracted {ss} mV/dec vs card {card}"
+        );
+    }
+
+    #[test]
+    fn pmos_transfer_mirrors() {
+        // PMOS with one terminal at 0.9 V: the high terminal acts as the
+        // source, so the device is ON at V_G = 0 and turns OFF as the
+        // gate approaches the source potential.
+        let curve = transfer_curve(FinFetParams::pmos_20nm(), 0.9, 0.0, 0.9, 11);
+        assert!(curve[0].1.abs() > 1e-6, "on at V_G = 0: {:e}", curve[0].1);
+        assert!(
+            curve.last().unwrap().1.abs() < 1e-7,
+            "off at V_G = 0.9: {:e}",
+            curve.last().unwrap().1
+        );
+        // Magnitude monotone decreasing.
+        for w in curve.windows(2) {
+            assert!(w[1].1.abs() <= w[0].1.abs() + 1e-12);
+        }
+    }
+}

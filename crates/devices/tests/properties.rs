@@ -1,0 +1,133 @@
+//! Property-based tests for the compact device models.
+
+use proptest::prelude::*;
+
+use nvpg_circuit::{DeviceStamp, NodeId, NonlinearDevice};
+use nvpg_devices::finfet::{FinFet, FinFetParams};
+use nvpg_devices::mtj::{Mtj, MtjParams, MtjState};
+
+fn nfet() -> FinFet {
+    FinFet::new(
+        "m",
+        NodeId::GROUND,
+        NodeId::GROUND,
+        NodeId::GROUND,
+        FinFetParams::nmos_20nm(),
+    )
+}
+
+proptest! {
+    /// Terminal currents always satisfy KCL (sum to zero) and the
+    /// conductance rows of drain and source are exact negatives.
+    #[test]
+    fn finfet_stamp_kcl(
+        vd in -1.0f64..1.0,
+        vg in -1.0f64..1.0,
+        vs in -1.0f64..1.0,
+    ) {
+        let m = nfet();
+        let mut stamp = DeviceStamp::new(3);
+        m.load(&[vd, vg, vs], &mut stamp);
+        let sum: f64 = stamp.current.iter().sum();
+        prop_assert!(sum.abs() < 1e-15);
+        for u in 0..3 {
+            prop_assert!((stamp.conductance[0][u] + stamp.conductance[2][u]).abs() < 1e-12);
+        }
+    }
+
+    /// Source/drain exchange antisymmetry: I(d,g,s) = −I(s,g,d).
+    #[test]
+    fn finfet_terminal_antisymmetry(
+        va in -1.0f64..1.0,
+        vg in -1.0f64..1.0,
+        vb in -1.0f64..1.0,
+    ) {
+        let m = nfet();
+        let fwd = m.ids(va, vg, vb);
+        let rev = m.ids(vb, vg, va);
+        prop_assert!((fwd + rev).abs() <= 1e-12 * fwd.abs().max(1e-15));
+    }
+
+    /// The drain current is continuous: a 1 µV nudge on any terminal
+    /// moves the current by a proportionally tiny amount (no branch
+    /// discontinuities in the compact model).
+    #[test]
+    fn finfet_current_continuity(
+        vd in 0.0f64..0.9,
+        vg in 0.0f64..0.9,
+        vs in 0.0f64..0.9,
+    ) {
+        let m = nfet();
+        let base = m.ids(vd, vg, vs);
+        for (dd, dg, ds) in [(1e-6, 0.0, 0.0), (0.0, 1e-6, 0.0), (0.0, 0.0, 1e-6)] {
+            let nudged = m.ids(vd + dd, vg + dg, vs + ds);
+            // Bounded by a generous conductance limit of 10 mS.
+            prop_assert!(
+                (nudged - base).abs() < 1e-6 * 1e-2 + 1e-15,
+                "jump {:e}",
+                (nudged - base).abs()
+            );
+        }
+    }
+
+    /// MTJ current is odd-symmetric in bias for the parallel state
+    /// (bias-independent resistance) and conductance stays within
+    /// [1/R_AP(0), 1/R_P(0)] bounds in all states.
+    #[test]
+    fn mtj_current_bounds(v in -0.9f64..0.9) {
+        let p = MtjParams::table1();
+        for state in [MtjState::Parallel, MtjState::AntiParallel] {
+            let m = Mtj::new("x", NodeId::GROUND, NodeId::GROUND, p, state);
+            let i = m.current(v);
+            // |i| is bounded by the extreme conductances.
+            let i_max = v.abs() / p.r_parallel();
+            let i_min = v.abs() / p.r_antiparallel();
+            prop_assert!(i.abs() <= i_max * (1.0 + 1e-12), "{state:?}: {i:e}");
+            prop_assert!(i.abs() >= i_min * (1.0 - 1e-12));
+            // Odd symmetry.
+            prop_assert!((m.current(-v) + i).abs() < 1e-18);
+        }
+    }
+
+    /// Write-error rate is monotone non-increasing in both pulse duration
+    /// and drive current.
+    #[test]
+    fn wer_monotonicity(
+        over1 in 1.05f64..4.0,
+        dover in 0.01f64..2.0,
+        t1 in 1e-9f64..50e-9,
+        dt in 1e-10f64..50e-9,
+    ) {
+        let p = MtjParams::table1();
+        let ic = p.i_critical();
+        let a = p.write_error_rate(over1 * ic, t1);
+        let longer = p.write_error_rate(over1 * ic, t1 + dt);
+        let stronger = p.write_error_rate((over1 + dover) * ic, t1);
+        prop_assert!(longer <= a + 1e-15);
+        prop_assert!(stronger <= a + 1e-15);
+    }
+
+    /// Switching progress in the macromodel never flips on sub-critical
+    /// drive regardless of how the pulse is chopped up.
+    #[test]
+    fn subcritical_never_flips(
+        chunks in proptest::collection::vec(1e-10f64..2e-9, 1..30),
+        frac in 0.1f64..0.8,
+    ) {
+        let p = MtjParams::table1();
+        let mut m = Mtj::new("x", NodeId::GROUND, NodeId::GROUND, p, MtjState::AntiParallel);
+        // Bias for `frac`×I_C through the zero-bias AP resistance; the
+        // TMR roll-off raises the actual current somewhat, which is why
+        // `frac` stays ≤ 0.8 (at 0.8 the delivered current is still only
+        // ≈ 0.84×I_C, safely sub-critical).
+        let v = frac * p.i_critical() * p.r_antiparallel();
+        prop_assert!(m.current(v).abs() < p.i_critical());
+        let mut t = 0.0;
+        for dt in chunks {
+            m.accept_step(&[v, 0.0], t, dt);
+            t += dt;
+        }
+        prop_assert_eq!(m.mtj_state(), MtjState::AntiParallel);
+        prop_assert_eq!(m.flips(), 0);
+    }
+}

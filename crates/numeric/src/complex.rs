@@ -1,0 +1,363 @@
+//! Minimal complex arithmetic and complex dense LU.
+//!
+//! Supports the AC small-signal analysis in `nvpg-circuit`: the MNA
+//! system `(G + jωC)·x = b` is complex-valued, so the real
+//! [`DenseMatrix`](crate::matrix::DenseMatrix) machinery is mirrored here
+//! for [`C64`]. Kept dependency-free on purpose (the workspace builds
+//! offline).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+use crate::matrix::SingularMatrixError;
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct C64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl C64 {
+    /// Zero.
+    pub const ZERO: C64 = C64 { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: C64 = C64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: C64 = C64 { re: 0.0, im: 1.0 };
+
+    /// Creates `re + j·im`.
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> C64 {
+        C64 { re, im }
+    }
+
+    /// A purely real value.
+    #[inline]
+    pub const fn real(re: f64) -> C64 {
+        C64 { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|` (hypot, overflow-safe).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Argument (phase) in radians.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    #[inline]
+    pub fn conj(self) -> C64 {
+        C64::new(self.re, -self.im)
+    }
+}
+
+impl fmt::Display for C64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for C64 {
+    fn from(re: f64) -> C64 {
+        C64::real(re)
+    }
+}
+
+impl Add for C64 {
+    type Output = C64;
+    #[inline]
+    fn add(self, rhs: C64) -> C64 {
+        C64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for C64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: C64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl Sub for C64 {
+    type Output = C64;
+    #[inline]
+    fn sub(self, rhs: C64) -> C64 {
+        C64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Neg for C64 {
+    type Output = C64;
+    #[inline]
+    fn neg(self) -> C64 {
+        C64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: C64) -> C64 {
+        C64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Mul<f64> for C64 {
+    type Output = C64;
+    #[inline]
+    fn mul(self, rhs: f64) -> C64 {
+        C64::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for C64 {
+    type Output = C64;
+    #[inline]
+    fn div(self, rhs: C64) -> C64 {
+        // Smith's algorithm for a robust complex division.
+        if rhs.re.abs() >= rhs.im.abs() {
+            let r = rhs.im / rhs.re;
+            let d = rhs.re + rhs.im * r;
+            C64::new((self.re + self.im * r) / d, (self.im - self.re * r) / d)
+        } else {
+            let r = rhs.re / rhs.im;
+            let d = rhs.re * r + rhs.im;
+            C64::new((self.re * r + self.im) / d, (self.im * r - self.re) / d)
+        }
+    }
+}
+
+impl Sum for C64 {
+    fn sum<I: Iterator<Item = C64>>(iter: I) -> C64 {
+        iter.fold(C64::ZERO, |a, b| a + b)
+    }
+}
+
+/// Dense complex matrix (row-major) with LU solve — the complex mirror of
+/// [`DenseMatrix`](crate::matrix::DenseMatrix).
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ComplexMatrix {
+    n: usize,
+    data: Vec<C64>,
+}
+
+impl ComplexMatrix {
+    /// Creates an `n × n` zero matrix.
+    pub fn zeros(n: usize) -> Self {
+        ComplexMatrix {
+            n,
+            data: vec![C64::ZERO; n * n],
+        }
+    }
+
+    /// Dimension.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Adds `value` to entry `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: C64) {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col] += value;
+    }
+
+    /// Entry accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn get(&self, row: usize, col: usize) -> C64 {
+        assert!(row < self.n && col < self.n, "index out of bounds");
+        self.data[row * self.n + col]
+    }
+
+    /// Matrix–vector product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn mul_vec(&self, x: &[C64]) -> Vec<C64> {
+        assert_eq!(x.len(), self.n, "dimension mismatch");
+        (0..self.n)
+            .map(|i| (0..self.n).map(|j| self.data[i * self.n + j] * x[j]).sum())
+            .collect()
+    }
+
+    /// Solves `A·x = b` in place by LU with partial (magnitude) pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot magnitude below `1e-300`
+    /// is encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[C64]) -> Result<Vec<C64>, SingularMatrixError> {
+        assert_eq!(b.len(), self.n, "dimension mismatch");
+        let n = self.n;
+        let mut lu = self.data.clone();
+        let mut x = b.to_vec();
+        for k in 0..n {
+            // Pivot.
+            let mut pivot_row = k;
+            let mut pivot_mag = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let m = lu[i * n + k].abs();
+                if m > pivot_mag {
+                    pivot_mag = m;
+                    pivot_row = i;
+                }
+            }
+            if pivot_mag < 1e-300 {
+                return Err(SingularMatrixError { column: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                x.swap(k, pivot_row);
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    let v = lu[k * n + j];
+                    lu[i * n + j] = lu[i * n + j] - factor * v;
+                }
+                x[i] = x[i] - factor * x[k];
+            }
+        }
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum = sum - lu[i * n + j] * x[j];
+            }
+            x[i] = sum / lu[i * n + i];
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basics() {
+        let a = C64::new(1.0, 2.0);
+        let b = C64::new(3.0, -1.0);
+        assert_eq!(a + b, C64::new(4.0, 1.0));
+        assert_eq!(a - b, C64::new(-2.0, 3.0));
+        assert_eq!(a * b, C64::new(5.0, 5.0));
+        assert_eq!(-a, C64::new(-1.0, -2.0));
+        assert_eq!(a.conj(), C64::new(1.0, -2.0));
+        let q = a / b;
+        let back = q * b;
+        assert!((back - a).abs() < 1e-12);
+        assert_eq!(C64::I * C64::I, C64::real(-1.0));
+    }
+
+    #[test]
+    fn abs_and_arg() {
+        let z = C64::new(3.0, 4.0);
+        assert!((z.abs() - 5.0).abs() < 1e-12);
+        assert!((C64::I.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-12);
+        assert_eq!(C64::real(2.0).arg(), 0.0);
+    }
+
+    #[test]
+    fn division_robust_across_scales() {
+        let a = C64::new(1e200, 1e-200);
+        let b = C64::new(1e200, 1e200);
+        let q = a / b;
+        assert!(q.abs().is_finite());
+    }
+
+    #[test]
+    fn complex_solve_2x2() {
+        // (1+j)x + y = 2;  x + (1-j)y = 0.
+        let mut m = ComplexMatrix::zeros(2);
+        m.add(0, 0, C64::new(1.0, 1.0));
+        m.add(0, 1, C64::ONE);
+        m.add(1, 0, C64::ONE);
+        m.add(1, 1, C64::new(1.0, -1.0));
+        let b = [C64::real(2.0), C64::ZERO];
+        let x = m.solve(&b).unwrap();
+        let r = m.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((*ri - *bi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn pivoting_handles_zero_diagonal() {
+        let mut m = ComplexMatrix::zeros(2);
+        m.add(0, 1, C64::ONE);
+        m.add(1, 0, C64::ONE);
+        let x = m.solve(&[C64::real(5.0), C64::real(7.0)]).unwrap();
+        assert!((x[0] - C64::real(7.0)).abs() < 1e-12);
+        assert!((x[1] - C64::real(5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_reported() {
+        let m = ComplexMatrix::zeros(2);
+        assert!(m.solve(&[C64::ZERO, C64::ZERO]).is_err());
+    }
+
+    #[test]
+    fn larger_system_residual() {
+        let n = 10;
+        let mut m = ComplexMatrix::zeros(n);
+        for i in 0..n {
+            for j in 0..n {
+                m.add(
+                    i,
+                    j,
+                    C64::new(((i * 7 + j * 3) % 11) as f64, ((i + 2 * j) % 5) as f64),
+                );
+            }
+            m.add(i, i, C64::real(20.0));
+        }
+        let b: Vec<C64> = (0..n).map(|i| C64::new(i as f64, -(i as f64))).collect();
+        let x = m.solve(&b).unwrap();
+        let r = m.mul_vec(&x);
+        for (ri, bi) in r.iter().zip(&b) {
+            assert!((*ri - *bi).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn display_and_from() {
+        assert_eq!(C64::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(C64::new(1.0, -2.0).to_string(), "1-2j");
+        let z: C64 = 3.5.into();
+        assert_eq!(z, C64::real(3.5));
+        let s: C64 = [C64::ONE, C64::I].into_iter().sum();
+        assert_eq!(s, C64::new(1.0, 1.0));
+    }
+}

@@ -1,0 +1,305 @@
+//! Table interpolation: linear and monotone cubic (Fritsch–Carlson).
+//!
+//! Cell characterisation produces tables such as leakage-vs-`V_CTRL`
+//! (Fig. 3(a)) that downstream sweeps sample at arbitrary points. Monotone
+//! cubic interpolation preserves the physical monotonicity of such curves
+//! (no spurious ringing), while plain linear interpolation is used where
+//! only bracketing accuracy matters.
+
+use std::fmt;
+
+/// Error returned when constructing an interpolant from invalid samples.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildInterpError {
+    /// Fewer than two sample points were supplied.
+    TooFewPoints {
+        /// Number of points supplied.
+        got: usize,
+    },
+    /// The x-coordinates are not strictly increasing at this index.
+    NotStrictlyIncreasing {
+        /// Index `i` where `x[i] >= x[i+1]`.
+        index: usize,
+    },
+    /// x and y have different lengths.
+    LengthMismatch {
+        /// Length of the x slice.
+        x_len: usize,
+        /// Length of the y slice.
+        y_len: usize,
+    },
+}
+
+impl fmt::Display for BuildInterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildInterpError::TooFewPoints { got } => {
+                write!(f, "need at least two sample points, got {got}")
+            }
+            BuildInterpError::NotStrictlyIncreasing { index } => {
+                write!(
+                    f,
+                    "x values must be strictly increasing (violated at index {index})"
+                )
+            }
+            BuildInterpError::LengthMismatch { x_len, y_len } => {
+                write!(f, "x and y lengths differ: {x_len} vs {y_len}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildInterpError {}
+
+fn validate(x: &[f64], y: &[f64]) -> Result<(), BuildInterpError> {
+    if x.len() != y.len() {
+        return Err(BuildInterpError::LengthMismatch {
+            x_len: x.len(),
+            y_len: y.len(),
+        });
+    }
+    if x.len() < 2 {
+        return Err(BuildInterpError::TooFewPoints { got: x.len() });
+    }
+    for i in 0..x.len() - 1 {
+        if x[i] >= x[i + 1] {
+            return Err(BuildInterpError::NotStrictlyIncreasing { index: i });
+        }
+    }
+    Ok(())
+}
+
+/// Piecewise-linear interpolant with constant extrapolation.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_numeric::LinearInterp;
+/// let f = LinearInterp::new(vec![0.0, 1.0, 2.0], vec![0.0, 10.0, 0.0])?;
+/// assert_eq!(f.eval(0.5), 5.0);
+/// assert_eq!(f.eval(-1.0), 0.0);  // clamped
+/// # Ok::<(), nvpg_numeric::interp::BuildInterpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearInterp {
+    x: Vec<f64>,
+    y: Vec<f64>,
+}
+
+impl LinearInterp {
+    /// Builds an interpolant over strictly increasing `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildInterpError`] for mismatched lengths, fewer than two
+    /// points, or non-increasing `x`.
+    pub fn new(x: Vec<f64>, y: Vec<f64>) -> Result<Self, BuildInterpError> {
+        validate(&x, &y)?;
+        Ok(LinearInterp { x, y })
+    }
+
+    /// Evaluates the interpolant, clamping outside the sample range.
+    pub fn eval(&self, xq: f64) -> f64 {
+        let n = self.x.len();
+        if xq <= self.x[0] {
+            return self.y[0];
+        }
+        if xq >= self.x[n - 1] {
+            return self.y[n - 1];
+        }
+        let idx = match self.x.partition_point(|&v| v <= xq) {
+            0 => 0,
+            i => i - 1,
+        };
+        let t = (xq - self.x[idx]) / (self.x[idx + 1] - self.x[idx]);
+        self.y[idx] + t * (self.y[idx + 1] - self.y[idx])
+    }
+
+    /// The sampled x range.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.x[0], *self.x.last().expect("validated non-empty"))
+    }
+}
+
+/// Monotonicity-preserving cubic Hermite interpolant (Fritsch–Carlson).
+///
+/// On monotone data the interpolant is monotone; on general data it is C¹
+/// and overshoot-free within each interval. Extrapolation is constant.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_numeric::MonotoneCubic;
+/// let f = MonotoneCubic::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.1, 5.0, 5.1])?;
+/// // Strictly inside the data's range despite the abrupt slope change:
+/// for i in 0..=30 {
+///     let y = f.eval(i as f64 / 10.0);
+///     assert!((-1e-12..=5.1 + 1e-12).contains(&y));
+/// }
+/// # Ok::<(), nvpg_numeric::interp::BuildInterpError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonotoneCubic {
+    x: Vec<f64>,
+    y: Vec<f64>,
+    /// Endpoint-slope table (one tangent per sample).
+    m: Vec<f64>,
+}
+
+impl MonotoneCubic {
+    /// Builds the interpolant over strictly increasing `x`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildInterpError`] for mismatched lengths, fewer than two
+    /// points, or non-increasing `x`.
+    pub fn new(x: Vec<f64>, y: Vec<f64>) -> Result<Self, BuildInterpError> {
+        validate(&x, &y)?;
+        let n = x.len();
+        // Secant slopes.
+        let d: Vec<f64> = (0..n - 1)
+            .map(|i| (y[i + 1] - y[i]) / (x[i + 1] - x[i]))
+            .collect();
+        // Initial tangents: average of adjacent secants (one-sided at ends).
+        let mut m = vec![0.0; n];
+        m[0] = d[0];
+        m[n - 1] = d[n - 2];
+        for i in 1..n - 1 {
+            m[i] = if d[i - 1] * d[i] <= 0.0 {
+                0.0 // local extremum: flat tangent preserves monotonicity
+            } else {
+                0.5 * (d[i - 1] + d[i])
+            };
+        }
+        // Fritsch–Carlson limiter.
+        for i in 0..n - 1 {
+            if d[i] == 0.0 {
+                m[i] = 0.0;
+                m[i + 1] = 0.0;
+            } else {
+                let a = m[i] / d[i];
+                let b = m[i + 1] / d[i];
+                let s = a * a + b * b;
+                if s > 9.0 {
+                    let tau = 3.0 / s.sqrt();
+                    m[i] = tau * a * d[i];
+                    m[i + 1] = tau * b * d[i];
+                }
+            }
+        }
+        Ok(MonotoneCubic { x, y, m })
+    }
+
+    /// Evaluates the interpolant, clamping outside the sample range.
+    pub fn eval(&self, xq: f64) -> f64 {
+        let n = self.x.len();
+        if xq <= self.x[0] {
+            return self.y[0];
+        }
+        if xq >= self.x[n - 1] {
+            return self.y[n - 1];
+        }
+        let idx = match self.x.partition_point(|&v| v <= xq) {
+            0 => 0,
+            i => i - 1,
+        };
+        let h = self.x[idx + 1] - self.x[idx];
+        let t = (xq - self.x[idx]) / h;
+        let (t2, t3) = (t * t, t * t * t);
+        let h00 = 2.0 * t3 - 3.0 * t2 + 1.0;
+        let h10 = t3 - 2.0 * t2 + t;
+        let h01 = -2.0 * t3 + 3.0 * t2;
+        let h11 = t3 - t2;
+        h00 * self.y[idx]
+            + h10 * h * self.m[idx]
+            + h01 * self.y[idx + 1]
+            + h11 * h * self.m[idx + 1]
+    }
+
+    /// The sampled x range.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.x[0], *self.x.last().expect("validated non-empty"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_hits_samples_and_midpoints() {
+        let f = LinearInterp::new(vec![0.0, 1.0, 3.0], vec![1.0, 3.0, -1.0]).unwrap();
+        assert_eq!(f.eval(0.0), 1.0);
+        assert_eq!(f.eval(1.0), 3.0);
+        assert_eq!(f.eval(3.0), -1.0);
+        assert_eq!(f.eval(0.5), 2.0);
+        assert_eq!(f.eval(2.0), 1.0);
+        assert_eq!(f.domain(), (0.0, 3.0));
+    }
+
+    #[test]
+    fn linear_clamps_extrapolation() {
+        let f = LinearInterp::new(vec![0.0, 1.0], vec![5.0, 6.0]).unwrap();
+        assert_eq!(f.eval(-100.0), 5.0);
+        assert_eq!(f.eval(100.0), 6.0);
+    }
+
+    #[test]
+    fn cubic_interpolates_samples_exactly() {
+        let x = vec![0.0, 0.5, 1.2, 2.0];
+        let y = vec![1.0, 0.4, 0.1, 0.05];
+        let f = MonotoneCubic::new(x.clone(), y.clone()).unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            assert!((f.eval(*xi) - yi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cubic_preserves_monotonicity() {
+        // Exponential-decay-like leakage data.
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.025).collect();
+        let y: Vec<f64> = x.iter().map(|v| 1e-9 * (-v / 0.03).exp()).collect();
+        let f = MonotoneCubic::new(x, y).unwrap();
+        let mut prev = f.eval(0.0);
+        for i in 1..=200 {
+            let cur = f.eval(i as f64 * 0.001);
+            assert!(cur <= prev + 1e-18, "non-monotone at {i}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn cubic_no_overshoot_on_step_data() {
+        let f = MonotoneCubic::new(vec![0.0, 1.0, 2.0, 3.0], vec![0.0, 0.0, 1.0, 1.0]).unwrap();
+        for i in 0..=300 {
+            let y = f.eval(i as f64 / 100.0);
+            assert!((-1e-12..=1.0 + 1e-12).contains(&y), "overshoot: {y}");
+        }
+    }
+
+    #[test]
+    fn build_errors() {
+        assert_eq!(
+            LinearInterp::new(vec![0.0], vec![1.0]).unwrap_err(),
+            BuildInterpError::TooFewPoints { got: 1 }
+        );
+        assert_eq!(
+            LinearInterp::new(vec![0.0, 0.0], vec![1.0, 2.0]).unwrap_err(),
+            BuildInterpError::NotStrictlyIncreasing { index: 0 }
+        );
+        assert_eq!(
+            MonotoneCubic::new(vec![0.0, 1.0], vec![1.0]).unwrap_err(),
+            BuildInterpError::LengthMismatch { x_len: 2, y_len: 1 }
+        );
+        let msg = BuildInterpError::TooFewPoints { got: 0 }.to_string();
+        assert!(msg.contains("two sample points"));
+    }
+
+    #[test]
+    fn cubic_clamps_extrapolation() {
+        let f = MonotoneCubic::new(vec![0.0, 1.0], vec![2.0, 4.0]).unwrap();
+        assert_eq!(f.eval(-5.0), 2.0);
+        assert_eq!(f.eval(5.0), 4.0);
+        assert_eq!(f.domain(), (0.0, 1.0));
+    }
+}

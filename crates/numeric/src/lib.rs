@@ -1,0 +1,44 @@
+//! Numerical kernels for the `nvpg` circuit simulator.
+//!
+//! This crate provides the small, dependency-free numerical core that the
+//! SPICE-class engine in `nvpg-circuit` and the device models in
+//! `nvpg-devices` are built on:
+//!
+//! * [`matrix`] — dense row-major matrices with LU factorisation (partial
+//!   pivoting) and linear solves. Circuit matrices in this workspace are a
+//!   few dozen unknowns (one SRAM cell plus drivers), so a robust dense
+//!   solver beats a sparse one both in simplicity and in practice.
+//! * [`newton`] — a damped Newton–Raphson driver with configurable
+//!   convergence criteria, used for DC operating points and each implicit
+//!   transient step.
+//! * [`roots`] — Brent's method and bisection, used for break-even-time
+//!   solving (intersection of `E_cyc(t_SD)` curves).
+//! * [`ode`] — fixed-step RK4 and adaptive RKF45 integrators, used by the
+//!   optional macrospin (LLG) MTJ switching engine.
+//! * [`interp`] — linear and monotone-cubic (Fritsch–Carlson)
+//!   interpolation for characterisation tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvpg_numeric::matrix::DenseMatrix;
+//!
+//! let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+//! let x = a.lu().expect("nonsingular").solve(&[3.0, 5.0]);
+//! assert!((x[0] - 0.8).abs() < 1e-12);
+//! assert!((x[1] - 1.4).abs() < 1e-12);
+//! ```
+
+pub mod complex;
+pub mod interp;
+pub mod matrix;
+pub mod newton;
+pub mod ode;
+pub mod roots;
+
+pub use complex::{ComplexMatrix, C64};
+pub use interp::{LinearInterp, MonotoneCubic};
+pub use matrix::{DenseMatrix, LuFactors, SingularMatrixError};
+pub use newton::{NewtonOptions, NewtonOutcome, NewtonSolver, NonlinearSystem};
+pub use ode::{rk4_step, Rkf45, Rkf45Options};
+pub use roots::{bisect, brent, BracketError};

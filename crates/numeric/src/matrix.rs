@@ -1,0 +1,395 @@
+//! Dense row-major matrices and LU factorisation with partial pivoting.
+//!
+//! Modified-nodal-analysis matrices for a single SRAM cell plus its drivers
+//! are ~10–40 unknowns, well inside the regime where dense LU with partial
+//! pivoting is both the fastest and the most robust choice. The factors are
+//! a separate type ([`LuFactors`]) so a factorisation can be reused across
+//! multiple right-hand sides (e.g. during source stepping).
+
+use std::fmt;
+
+/// Error returned when a factorisation encounters a (numerically) singular
+/// matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SingularMatrixError {
+    /// Elimination column at which no usable pivot was found.
+    pub column: usize,
+}
+
+impl fmt::Display for SingularMatrixError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "matrix is singular at elimination column {}",
+            self.column
+        )
+    }
+}
+
+impl std::error::Error for SingularMatrixError {}
+
+/// A dense, row-major `n × n`-capable matrix (rectangular storage allowed,
+/// but factorisation requires square).
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_numeric::DenseMatrix;
+/// let mut m = DenseMatrix::zeros(2, 2);
+/// m[(0, 0)] = 4.0;
+/// m[(1, 1)] = 2.0;
+/// let x = m.lu()?.solve(&[8.0, 4.0]);
+/// assert_eq!(x, vec![2.0, 2.0]);
+/// # Ok::<(), nvpg_numeric::SingularMatrixError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        DenseMatrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from row slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let nrows = rows.len();
+        let ncols = rows.first().map_or(0, |r| r.len());
+        let mut data = Vec::with_capacity(nrows * ncols);
+        for row in rows {
+            assert_eq!(row.len(), ncols, "all rows must have equal length");
+            data.extend_from_slice(row);
+        }
+        DenseMatrix {
+            rows: nrows,
+            cols: ncols,
+            data,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Resets every entry to zero, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Adds `value` to entry `(row, col)` — the fundamental MNA "stamp"
+    /// operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    #[inline]
+    pub fn add(&mut self, row: usize, col: usize, value: f64) {
+        self[(row, col)] += value;
+    }
+
+    /// Matrix–vector product `A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.cols()`.
+    #[allow(clippy::needless_range_loop)] // paired row/entry indexing
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "dimension mismatch in mul_vec");
+        let mut y = vec![0.0; self.rows];
+        for i in 0..self.rows {
+            let row = &self.data[i * self.cols..(i + 1) * self.cols];
+            y[i] = row.iter().zip(x).map(|(a, b)| a * b).sum();
+        }
+        y
+    }
+
+    /// The maximum absolute entry (∞-norm of the flattened matrix).
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0, |m, v| m.max(v.abs()))
+    }
+
+    /// LU-factorises a square matrix with partial pivoting.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] if a pivot smaller than `1e-300` in
+    /// magnitude is encountered.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn lu(&self) -> Result<LuFactors, SingularMatrixError> {
+        assert_eq!(self.rows, self.cols, "LU requires a square matrix");
+        let n = self.rows;
+        let mut lu = self.data.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[k * n + k].abs();
+            for i in (k + 1)..n {
+                let v = lu[i * n + k].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(SingularMatrixError { column: k });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    lu.swap(k * n + j, pivot_row * n + j);
+                }
+                perm.swap(k, pivot_row);
+                sign = -sign;
+            }
+            let pivot = lu[k * n + k];
+            for i in (k + 1)..n {
+                let factor = lu[i * n + k] / pivot;
+                lu[i * n + k] = factor;
+                for j in (k + 1)..n {
+                    lu[i * n + j] -= factor * lu[k * n + j];
+                }
+            }
+        }
+
+        Ok(LuFactors { n, lu, perm, sign })
+    }
+}
+
+impl std::ops::Index<(usize, usize)> for DenseMatrix {
+    type Output = f64;
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &self.data[r * self.cols + c]
+    }
+}
+
+impl std::ops::IndexMut<(usize, usize)> for DenseMatrix {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        &mut self.data[r * self.cols + c]
+    }
+}
+
+impl fmt::Display for DenseMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{:>12.5e}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+/// LU factors of a square matrix, reusable across right-hand sides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LuFactors {
+    n: usize,
+    /// Combined L (unit diagonal, below) and U (on/above diagonal), permuted.
+    lu: Vec<f64>,
+    /// `perm[i]` = original row stored at permuted row `i`.
+    perm: Vec<usize>,
+    sign: f64,
+}
+
+impl LuFactors {
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Solves `A·x = b` using the stored factors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    #[allow(clippy::needless_range_loop)] // forward/backward substitution
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        assert_eq!(b.len(), self.n, "dimension mismatch in solve");
+        let n = self.n;
+        // Apply permutation, then forward substitution (L has unit diagonal).
+        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
+        for i in 1..n {
+            let mut sum = x[i];
+            for j in 0..i {
+                sum -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = sum;
+        }
+        // Backward substitution with U.
+        for i in (0..n).rev() {
+            let mut sum = x[i];
+            for j in (i + 1)..n {
+                sum -= self.lu[i * n + j] * x[j];
+            }
+            x[i] = sum / self.lu[i * n + i];
+        }
+        x
+    }
+
+    /// Determinant of the original matrix (product of U's diagonal, signed
+    /// by the permutation parity).
+    pub fn det(&self) -> f64 {
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn residual(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
+        a.mul_vec(x)
+            .iter()
+            .zip(b)
+            .map(|(ax, bi)| (ax - bi).abs())
+            .fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn solve_2x2() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = a.lu().unwrap().solve(&[3.0, 5.0]);
+        assert!(residual(&a, &x, &[3.0, 5.0]) < 1e-12);
+    }
+
+    #[test]
+    fn solve_requires_pivoting() {
+        // Zero on the leading diagonal: naive elimination would divide by 0.
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let x = a.lu().unwrap().solve(&[2.0, 3.0]);
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let err = a.lu().unwrap_err();
+        assert_eq!(err.column, 1);
+        assert!(err.to_string().contains("singular"));
+    }
+
+    #[test]
+    fn identity_solve_is_identity() {
+        let a = DenseMatrix::identity(5);
+        let b = [1.0, -2.0, 3.0, -4.0, 5.0];
+        assert_eq!(a.lu().unwrap().solve(&b), b.to_vec());
+    }
+
+    #[test]
+    fn determinant() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 0.0], &[0.0, 3.0]]);
+        assert!((a.lu().unwrap().det() - 6.0).abs() < 1e-12);
+        // Row-swapped version flips the sign.
+        let a = DenseMatrix::from_rows(&[&[0.0, 3.0], &[2.0, 0.0]]);
+        assert!((a.lu().unwrap().det() + 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_random_like_system() {
+        // Deterministic "pseudo-random" well-conditioned system.
+        let n = 12;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = ((i * 31 + j * 17) % 19) as f64 / 19.0;
+            }
+            a[(i, i)] += n as f64; // diagonal dominance
+        }
+        let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        let x = a.lu().unwrap().solve(&b);
+        assert!(residual(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn conditioning_badly_scaled_rows() {
+        // MNA matrices mix kΩ-level conductances with unit rows from voltage
+        // sources; partial pivoting must cope with 12 orders of magnitude.
+        let a = DenseMatrix::from_rows(&[&[1e-12, 1.0, 0.0], &[1.0, 0.0, 1.0], &[0.0, 1.0, 1e-12]]);
+        let b = [1.0, 2.0, 3.0];
+        let x = a.lu().unwrap().solve(&b);
+        assert!(residual(&a, &x, &b) < 1e-9);
+    }
+
+    #[test]
+    fn stamp_and_clear() {
+        let mut m = DenseMatrix::zeros(3, 3);
+        m.add(1, 1, 2.5);
+        m.add(1, 1, 0.5);
+        assert_eq!(m[(1, 1)], 3.0);
+        assert_eq!(m.max_abs(), 3.0);
+        m.clear();
+        assert_eq!(m.max_abs(), 0.0);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    fn mul_vec_rectangular() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0, 1.0]), vec![6.0, 15.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn from_rows_rejects_ragged() {
+        let _ = DenseMatrix::from_rows(&[&[1.0, 2.0], &[1.0][..]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn lu_rejects_rectangular() {
+        let _ = DenseMatrix::zeros(2, 3).lu();
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let s = DenseMatrix::identity(2).to_string();
+        assert!(s.contains('['));
+    }
+}

@@ -1,0 +1,339 @@
+//! Damped Newton–Raphson for nonlinear algebraic systems.
+//!
+//! The circuit engine solves `F(x) = 0` where `x` is the MNA unknown vector
+//! and `F` collects KCL residuals plus source branch equations. The driver
+//! here is deliberately SPICE-flavoured:
+//!
+//! * convergence is judged per-unknown with combined absolute + relative
+//!   tolerances (`reltol`/`abstol`), matching SPICE's `RELTOL`/`VNTOL`;
+//! * the update can be damped (`max_step`) to keep exponential device
+//!   models from overflowing, which is the textbook cure for the
+//!   subthreshold-FET blow-up;
+//! * the caller supplies a [`NonlinearSystem`] that evaluates the residual
+//!   and Jacobian together (devices naturally produce both at once).
+
+use crate::matrix::DenseMatrix;
+
+/// A nonlinear system `F(x) = 0` with analytic Jacobian.
+pub trait NonlinearSystem {
+    /// Number of unknowns.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the residual `F(x)` and Jacobian `J(x) = ∂F/∂x`.
+    ///
+    /// `residual` and `jacobian` arrive zeroed; implementations accumulate
+    /// ("stamp") into them.
+    fn eval(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut DenseMatrix);
+}
+
+/// Tuning knobs for the Newton iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NewtonOptions {
+    /// Relative tolerance on each unknown's update (SPICE `RELTOL`).
+    pub reltol: f64,
+    /// Absolute tolerance on each unknown's update (SPICE `VNTOL`).
+    pub abstol: f64,
+    /// Maximum residual ∞-norm accepted at convergence.
+    pub residual_tol: f64,
+    /// Iteration limit.
+    pub max_iter: usize,
+    /// Per-iteration cap on any unknown's update magnitude; `f64::INFINITY`
+    /// disables damping.
+    pub max_step: f64,
+}
+
+impl Default for NewtonOptions {
+    fn default() -> Self {
+        NewtonOptions {
+            reltol: 1e-6,
+            abstol: 1e-9,
+            residual_tol: 1e-9,
+            max_iter: 200,
+            max_step: 0.5,
+        }
+    }
+}
+
+/// Result of a Newton solve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NewtonOutcome {
+    /// Converged in the given number of iterations.
+    Converged {
+        /// Iterations taken.
+        iterations: usize,
+    },
+    /// Iteration limit hit; the best iterate is left in the state vector.
+    IterationLimit {
+        /// Final update ∞-norm.
+        last_delta: f64,
+        /// Final residual ∞-norm.
+        last_residual: f64,
+    },
+    /// The Jacobian went singular.
+    SingularJacobian {
+        /// Iteration at which it happened.
+        iteration: usize,
+    },
+}
+
+impl NewtonOutcome {
+    /// `true` if the solve converged.
+    pub fn is_converged(&self) -> bool {
+        matches!(self, NewtonOutcome::Converged { .. })
+    }
+}
+
+/// Reusable Newton–Raphson workspace.
+///
+/// # Examples
+///
+/// Solving `x² = 4` written as a one-unknown system:
+///
+/// ```
+/// use nvpg_numeric::{DenseMatrix, NewtonOptions, NewtonSolver, NonlinearSystem};
+///
+/// struct Square;
+/// impl NonlinearSystem for Square {
+///     fn dim(&self) -> usize { 1 }
+///     fn eval(&mut self, x: &[f64], r: &mut [f64], j: &mut DenseMatrix) {
+///         r[0] = x[0] * x[0] - 4.0;
+///         j[(0, 0)] = 2.0 * x[0];
+///     }
+/// }
+///
+/// let mut solver = NewtonSolver::new(NewtonOptions { max_step: f64::INFINITY, ..Default::default() });
+/// let mut x = vec![3.0];
+/// let outcome = solver.solve(&mut Square, &mut x);
+/// assert!(outcome.is_converged());
+/// assert!((x[0] - 2.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NewtonSolver {
+    options: NewtonOptions,
+    residual: Vec<f64>,
+    jacobian: DenseMatrix,
+}
+
+impl NewtonSolver {
+    /// Creates a solver with the given options.
+    pub fn new(options: NewtonOptions) -> Self {
+        NewtonSolver {
+            options,
+            residual: Vec::new(),
+            jacobian: DenseMatrix::zeros(0, 0),
+        }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &NewtonOptions {
+        &self.options
+    }
+
+    /// Runs Newton iteration on `system`, starting from and updating `x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != system.dim()`.
+    pub fn solve<S: NonlinearSystem>(&mut self, system: &mut S, x: &mut [f64]) -> NewtonOutcome {
+        let n = system.dim();
+        assert_eq!(x.len(), n, "state vector length must equal system dim");
+        if self.residual.len() != n {
+            self.residual = vec![0.0; n];
+            self.jacobian = DenseMatrix::zeros(n, n);
+        }
+
+        let mut last_delta = f64::INFINITY;
+        let mut last_residual = f64::INFINITY;
+
+        for iter in 0..self.options.max_iter {
+            self.residual.fill(0.0);
+            self.jacobian.clear();
+            system.eval(x, &mut self.residual, &mut self.jacobian);
+
+            last_residual = self.residual.iter().fold(0.0_f64, |m, r| m.max(r.abs()));
+
+            let factors = match self.jacobian.lu() {
+                Ok(f) => f,
+                Err(_) => return NewtonOutcome::SingularJacobian { iteration: iter },
+            };
+            // Newton step: J·Δ = -F  ⇒  Δ = -J⁻¹F.
+            let neg_f: Vec<f64> = self.residual.iter().map(|r| -r).collect();
+            let mut delta = factors.solve(&neg_f);
+
+            // Damping: clip the whole step so no unknown moves more than
+            // max_step (preserves direction scaling per component, which is
+            // what SPICE's voltage limiting effectively does).
+            if self.options.max_step.is_finite() {
+                for d in &mut delta {
+                    *d = d.clamp(-self.options.max_step, self.options.max_step);
+                }
+            }
+
+            let mut converged = true;
+            last_delta = 0.0;
+            for i in 0..n {
+                x[i] += delta[i];
+                let tol = self.options.abstol + self.options.reltol * x[i].abs();
+                if delta[i].abs() > tol {
+                    converged = false;
+                }
+                last_delta = last_delta.max(delta[i].abs());
+            }
+
+            if converged && last_residual <= self.options.residual_tol {
+                return NewtonOutcome::Converged {
+                    iterations: iter + 1,
+                };
+            }
+        }
+
+        NewtonOutcome::IterationLimit {
+            last_delta,
+            last_residual,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Poly;
+    impl NonlinearSystem for Poly {
+        fn dim(&self) -> usize {
+            2
+        }
+        // F = [x² + y - 3, x + y² - 5]; root near (1.2088…, 1.5388…).
+        fn eval(&mut self, x: &[f64], r: &mut [f64], j: &mut DenseMatrix) {
+            r[0] = x[0] * x[0] + x[1] - 3.0;
+            r[1] = x[0] + x[1] * x[1] - 5.0;
+            j[(0, 0)] = 2.0 * x[0];
+            j[(0, 1)] = 1.0;
+            j[(1, 0)] = 1.0;
+            j[(1, 1)] = 2.0 * x[1];
+        }
+    }
+
+    #[test]
+    fn converges_on_2d_polynomial_system() {
+        let mut solver = NewtonSolver::new(NewtonOptions::default());
+        let mut x = vec![1.0, 1.0];
+        let outcome = solver.solve(&mut Poly, &mut x);
+        assert!(outcome.is_converged(), "{outcome:?}");
+        assert!((x[0] * x[0] + x[1] - 3.0).abs() < 1e-8);
+        assert!((x[0] + x[1] * x[1] - 5.0).abs() < 1e-8);
+    }
+
+    struct Exponential;
+    impl NonlinearSystem for Exponential {
+        fn dim(&self) -> usize {
+            1
+        }
+        // Diode-like: exp(40x) - 2 = 0, root at ln(2)/40 ≈ 0.0173.
+        fn eval(&mut self, x: &[f64], r: &mut [f64], j: &mut DenseMatrix) {
+            let e = (40.0 * x[0]).min(700.0).exp();
+            r[0] = e - 2.0;
+            j[(0, 0)] = 40.0 * e;
+        }
+    }
+
+    #[test]
+    fn damping_tames_exponential() {
+        // From x = 1 the first undamped step would be astronomically wrong;
+        // the damped iteration must still converge.
+        let mut solver = NewtonSolver::new(NewtonOptions {
+            max_step: 0.5,
+            ..Default::default()
+        });
+        let mut x = vec![1.0];
+        let outcome = solver.solve(&mut Exponential, &mut x);
+        assert!(outcome.is_converged(), "{outcome:?}");
+        assert!((x[0] - (2.0_f64).ln() / 40.0).abs() < 1e-8);
+    }
+
+    struct Singular;
+    impl NonlinearSystem for Singular {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval(&mut self, _x: &[f64], r: &mut [f64], _j: &mut DenseMatrix) {
+            r[0] = 1.0;
+            r[1] = 1.0;
+            // Jacobian left all-zero: singular.
+        }
+    }
+
+    #[test]
+    fn singular_jacobian_reported() {
+        let mut solver = NewtonSolver::new(NewtonOptions::default());
+        let mut x = vec![0.0, 0.0];
+        let outcome = solver.solve(&mut Singular, &mut x);
+        assert_eq!(outcome, NewtonOutcome::SingularJacobian { iteration: 0 });
+        assert!(!outcome.is_converged());
+    }
+
+    struct NoRoot;
+    impl NonlinearSystem for NoRoot {
+        fn dim(&self) -> usize {
+            1
+        }
+        // x² + 1 = 0 has no real root; the iteration must hit its limit.
+        fn eval(&mut self, x: &[f64], r: &mut [f64], j: &mut DenseMatrix) {
+            r[0] = x[0] * x[0] + 1.0;
+            j[(0, 0)] = if x[0].abs() < 1e-12 { 1e-6 } else { 2.0 * x[0] };
+        }
+    }
+
+    #[test]
+    fn iteration_limit_reported() {
+        let mut solver = NewtonSolver::new(NewtonOptions {
+            max_iter: 20,
+            ..Default::default()
+        });
+        let mut x = vec![1.0];
+        match solver.solve(&mut NoRoot, &mut x) {
+            NewtonOutcome::IterationLimit { last_residual, .. } => {
+                assert!(last_residual >= 1.0);
+            }
+            other => panic!("expected iteration limit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn linear_system_converges_in_one_iteration() {
+        struct Linear;
+        impl NonlinearSystem for Linear {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn eval(&mut self, x: &[f64], r: &mut [f64], j: &mut DenseMatrix) {
+                r[0] = 2.0 * x[0] + x[1] - 3.0;
+                r[1] = x[0] + 3.0 * x[1] - 5.0;
+                j[(0, 0)] = 2.0;
+                j[(0, 1)] = 1.0;
+                j[(1, 0)] = 1.0;
+                j[(1, 1)] = 3.0;
+            }
+        }
+        let mut solver = NewtonSolver::new(NewtonOptions {
+            max_step: f64::INFINITY,
+            ..Default::default()
+        });
+        let mut x = vec![0.0, 0.0];
+        match solver.solve(&mut Linear, &mut x) {
+            // One step to land exactly, a second to verify convergence.
+            NewtonOutcome::Converged { iterations } => assert!(iterations <= 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_dimensions() {
+        let mut solver = NewtonSolver::new(NewtonOptions::default());
+        let mut x1 = vec![1.0];
+        assert!(solver.solve(&mut Exponential, &mut x1).is_converged());
+        let mut x2 = vec![1.0, 1.0];
+        assert!(solver.solve(&mut Poly, &mut x2).is_converged());
+        assert_eq!(solver.options().max_iter, 200);
+    }
+}

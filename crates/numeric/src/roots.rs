@@ -1,0 +1,255 @@
+//! Scalar root finding: bisection and Brent's method.
+//!
+//! The break-even time of a power-gating architecture is the root of
+//! `E_cyc^arch(t_SD) − E_cyc^OSR(t_SD)`, a smooth monotone function of the
+//! shutdown duration. [`brent`] finds it to machine precision in a handful
+//! of evaluations; [`bisect`] is kept as a slow-but-certain fallback and as
+//! a reference implementation for tests.
+
+use std::fmt;
+
+/// Error returned when the supplied interval does not bracket a root.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BracketError {
+    /// `f(a)` at the left endpoint.
+    pub fa: f64,
+    /// `f(b)` at the right endpoint.
+    pub fb: f64,
+}
+
+impl fmt::Display for BracketError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "interval does not bracket a root: f(a) = {:e}, f(b) = {:e}",
+            self.fa, self.fb
+        )
+    }
+}
+
+impl std::error::Error for BracketError {}
+
+/// Finds a root of `f` in `[a, b]` by bisection.
+///
+/// Runs until the interval is narrower than `tol` (absolute) or 200
+/// iterations have elapsed.
+///
+/// # Errors
+///
+/// Returns [`BracketError`] if `f(a)` and `f(b)` have the same sign.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_numeric::bisect;
+/// let root = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12)?;
+/// assert!((root - 2.0_f64.sqrt()).abs() < 1e-10);
+/// # Ok::<(), nvpg_numeric::BracketError>(())
+/// ```
+pub fn bisect(
+    mut f: impl FnMut(f64) -> f64,
+    mut a: f64,
+    mut b: f64,
+    tol: f64,
+) -> Result<f64, BracketError> {
+    let mut fa = f(a);
+    let fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(BracketError { fa, fb });
+    }
+    for _ in 0..200 {
+        let m = 0.5 * (a + b);
+        let fm = f(m);
+        if fm == 0.0 || (b - a).abs() < tol {
+            return Ok(m);
+        }
+        if fm.signum() == fa.signum() {
+            a = m;
+            fa = fm;
+        } else {
+            b = m;
+        }
+    }
+    Ok(0.5 * (a + b))
+}
+
+/// Finds a root of `f` in `[a, b]` with Brent's method (inverse quadratic
+/// interpolation + secant + bisection safeguards).
+///
+/// Converges superlinearly on smooth functions while retaining bisection's
+/// guaranteed progress. Stops when the bracketing interval is below the
+/// combined tolerance `2·eps·|b| + tol/2`.
+///
+/// # Errors
+///
+/// Returns [`BracketError`] if `f(a)` and `f(b)` have the same sign.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_numeric::brent;
+/// let root = brent(|x| x.cos() - x, 0.0, 1.0, 1e-14)?;
+/// assert!((root - 0.7390851332151607).abs() < 1e-12);
+/// # Ok::<(), nvpg_numeric::BracketError>(())
+/// ```
+pub fn brent(
+    mut f: impl FnMut(f64) -> f64,
+    a0: f64,
+    b0: f64,
+    tol: f64,
+) -> Result<f64, BracketError> {
+    let mut a = a0;
+    let mut b = b0;
+    let mut fa = f(a);
+    let mut fb = f(b);
+    if fa == 0.0 {
+        return Ok(a);
+    }
+    if fb == 0.0 {
+        return Ok(b);
+    }
+    if fa.signum() == fb.signum() {
+        return Err(BracketError { fa, fb });
+    }
+    // Ensure |f(b)| <= |f(a)|: b is the best iterate.
+    if fa.abs() < fb.abs() {
+        std::mem::swap(&mut a, &mut b);
+        std::mem::swap(&mut fa, &mut fb);
+    }
+    let mut c = a;
+    let mut fc = fa;
+    let mut d = b - a;
+    let mut e = d;
+
+    for _ in 0..200 {
+        if fb.abs() > fc.abs() {
+            // c must remain the endpoint with the opposite sign and
+            // larger |f|; rotate so b stays the best iterate.
+            a = b;
+            b = c;
+            c = a;
+            fa = fb;
+            fb = fc;
+            fc = fa;
+        }
+        let tol1 = 2.0 * f64::EPSILON * b.abs() + 0.5 * tol;
+        let xm = 0.5 * (c - b);
+        if xm.abs() <= tol1 || fb == 0.0 {
+            return Ok(b);
+        }
+        if e.abs() >= tol1 && fa.abs() > fb.abs() {
+            // Attempt inverse quadratic interpolation (secant if a == c).
+            let s = fb / fa;
+            let (mut p, mut q) = if a == c {
+                (2.0 * xm * s, 1.0 - s)
+            } else {
+                let q = fa / fc;
+                let r = fb / fc;
+                (
+                    s * (2.0 * xm * q * (q - r) - (b - a) * (r - 1.0)),
+                    (q - 1.0) * (r - 1.0) * (s - 1.0),
+                )
+            };
+            if p > 0.0 {
+                q = -q;
+            }
+            p = p.abs();
+            let min1 = 3.0 * xm * q - (tol1 * q).abs();
+            let min2 = (e * q).abs();
+            if 2.0 * p < min1.min(min2) {
+                e = d;
+                d = p / q;
+            } else {
+                d = xm;
+                e = d;
+            }
+        } else {
+            d = xm;
+            e = d;
+        }
+        a = b;
+        fa = fb;
+        b += if d.abs() > tol1 {
+            d
+        } else if xm > 0.0 {
+            tol1
+        } else {
+            -tol1
+        };
+        fb = f(b);
+        if (fb > 0.0) == (fc > 0.0) {
+            c = a;
+            fc = fa;
+            d = b - a;
+            e = d;
+        }
+    }
+    Ok(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisect_sqrt2() {
+        let r = bisect(|x| x * x - 2.0, 0.0, 2.0, 1e-12).unwrap();
+        assert!((r - std::f64::consts::SQRT_2).abs() < 1e-10);
+    }
+
+    #[test]
+    fn brent_matches_bisect() {
+        let f = |x: f64| x.exp() - 3.0;
+        let rb = bisect(f, 0.0, 2.0, 1e-13).unwrap();
+        let rt = brent(f, 0.0, 2.0, 1e-13).unwrap();
+        assert!((rb - rt).abs() < 1e-9);
+        assert!((rt - 3.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_root_at_endpoint() {
+        assert_eq!(brent(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(brent(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+        assert_eq!(bisect(|x| x, 0.0, 1.0, 1e-12).unwrap(), 0.0);
+        assert_eq!(bisect(|x| x - 1.0, 0.0, 1.0, 1e-12).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn no_bracket_is_an_error() {
+        let err = brent(|x| x * x + 1.0, -1.0, 1.0, 1e-12).unwrap_err();
+        assert!(err.fa > 0.0 && err.fb > 0.0);
+        assert!(err.to_string().contains("bracket"));
+        assert!(bisect(|x| x * x + 1.0, -1.0, 1.0, 1e-12).is_err());
+    }
+
+    #[test]
+    fn brent_handles_flat_then_steep() {
+        // BET-like shape: nearly flat for small t, then linear growth.
+        let f = |t: f64| {
+            let stored = 2e-13; // store+restore energy
+            let saved = 5e-9 * t; // leakage saved per second
+            stored - saved
+        };
+        let r = brent(f, 1e-9, 1.0, 1e-18).unwrap();
+        assert!((r - 4e-5).abs() / 4e-5 < 1e-6, "BET = {r}");
+    }
+
+    #[test]
+    fn brent_high_multiplicity_root() {
+        // (x-1)^3 has a triple root; Brent should still get close.
+        let r = brent(|x| (x - 1.0).powi(3), 0.0, 2.5, 1e-12).unwrap();
+        assert!((r - 1.0).abs() < 1e-4, "r = {r}");
+    }
+
+    #[test]
+    fn descending_function() {
+        let r = brent(|x| 1.0 - x, 0.0, 3.0, 1e-14).unwrap();
+        assert!((r - 1.0).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,153 @@
+//! Engineering-notation formatting.
+//!
+//! All experiment harnesses print quantities the way the paper's figures
+//! label them: mantissa in `[1, 1000)` with an SI prefix, e.g. `15.7 µA`,
+//! `6.37 kΩ`, `141 fJ`. [`format_eng`] is the convenience entry point;
+//! [`EngFormat`] exposes precision control.
+
+use std::fmt;
+
+/// SI prefixes from `1e-18` (atto) to `1e18` (exa), index 6 = no prefix.
+const PREFIXES: [&str; 13] = [
+    "a", "f", "p", "n", "µ", "m", "", "k", "M", "G", "T", "P", "E",
+];
+
+/// A value paired with a unit symbol, displayed in engineering notation.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_units::EngFormat;
+/// assert_eq!(EngFormat::new(15.7e-6, "A").to_string(), "15.7 µA");
+/// assert_eq!(EngFormat::new(0.0, "V").to_string(), "0 V");
+/// assert_eq!(EngFormat::new(-2.5e3, "Ω").precision(4).to_string(), "-2.500 kΩ");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngFormat<'a> {
+    value: f64,
+    symbol: &'a str,
+    sig_figs: usize,
+}
+
+impl<'a> EngFormat<'a> {
+    /// Creates a formatter with the default of three significant figures.
+    pub fn new(value: f64, symbol: &'a str) -> Self {
+        EngFormat {
+            value,
+            symbol,
+            sig_figs: 3,
+        }
+    }
+
+    /// Sets the number of significant figures (clamped to `\[1, 17\]`).
+    #[must_use]
+    pub fn precision(mut self, sig_figs: usize) -> Self {
+        self.sig_figs = sig_figs.clamp(1, 17);
+        self
+    }
+}
+
+impl fmt::Display for EngFormat<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let v = self.value;
+        if v == 0.0 {
+            return write!(f, "0 {}", self.symbol);
+        }
+        if !v.is_finite() {
+            return write!(f, "{} {}", v, self.symbol);
+        }
+        let exp = v.abs().log10().floor() as i32;
+        // Engineering exponent: multiple of 3, clamped to the prefix table.
+        let eng_exp = (exp.div_euclid(3) * 3).clamp(-18, 18);
+        let mantissa = v / 10f64.powi(eng_exp);
+        // Digits after the decimal point so that `sig_figs` total digits show.
+        let int_digits = if mantissa.abs() >= 100.0 {
+            3
+        } else if mantissa.abs() >= 10.0 {
+            2
+        } else {
+            1
+        };
+        let decimals = self.sig_figs.saturating_sub(int_digits);
+        let prefix = PREFIXES[(eng_exp / 3 + 6) as usize];
+        // Rounding can push e.g. 999.6 -> 1000; rewrap into the next prefix.
+        let rounded = format!("{:.*}", decimals, mantissa);
+        let reparsed: f64 = rounded.parse().unwrap_or(mantissa);
+        if reparsed.abs() >= 1000.0 && eng_exp < 18 {
+            let prefix = PREFIXES[(eng_exp / 3 + 7) as usize];
+            let m = reparsed / 1000.0;
+            let decimals = self.sig_figs.saturating_sub(1);
+            return write!(f, "{:.*} {}{}", decimals, m, prefix, self.symbol);
+        }
+        write!(f, "{} {}{}", rounded, prefix, self.symbol)
+    }
+}
+
+/// Formats `value` with `symbol` in engineering notation, three significant
+/// figures.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_units::format_eng;
+/// assert_eq!(format_eng(6.366e3, "Ω"), "6.37 kΩ");
+/// assert_eq!(format_eng(1.41e-13, "J"), "141 fJ");
+/// ```
+pub fn format_eng(value: f64, symbol: &str) -> String {
+    EngFormat::new(value, symbol).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_sign() {
+        assert_eq!(format_eng(0.0, "V"), "0 V");
+        assert_eq!(format_eng(-15.7e-6, "A"), "-15.7 µA");
+    }
+
+    #[test]
+    fn prefix_selection_across_scales() {
+        assert_eq!(format_eng(1e-15, "J"), "1.00 fJ");
+        assert_eq!(format_eng(2.5e-12, "F"), "2.50 pF");
+        assert_eq!(format_eng(3.3e-9, "s"), "3.30 ns");
+        assert_eq!(format_eng(0.9, "V"), "900 mV");
+        assert_eq!(format_eng(1.0, "V"), "1.00 V");
+        assert_eq!(format_eng(6.366e3, "Ω"), "6.37 kΩ");
+        assert_eq!(format_eng(300e6, "Hz"), "300 MHz");
+        assert_eq!(format_eng(1e9, "Hz"), "1.00 GHz");
+    }
+
+    #[test]
+    fn rounding_rolls_over_to_next_prefix() {
+        assert_eq!(format_eng(999.96e-6, "A"), "1.00 mA");
+    }
+
+    #[test]
+    fn precision_control() {
+        assert_eq!(
+            EngFormat::new(15.7e-6, "A").precision(5).to_string(),
+            "15.700 µA"
+        );
+        assert_eq!(
+            EngFormat::new(15.7e-6, "A").precision(1).to_string(),
+            "16 µA"
+        );
+    }
+
+    #[test]
+    fn extreme_values_clamp_to_prefix_table() {
+        // Below atto: clamps to the atto prefix with a small mantissa.
+        let s = format_eng(1e-21, "J");
+        assert!(s.ends_with("aJ"), "{s}");
+        let s = format_eng(1e21, "J");
+        assert!(s.ends_with("EJ"), "{s}");
+    }
+
+    #[test]
+    fn non_finite_values() {
+        assert_eq!(format_eng(f64::INFINITY, "V"), "inf V");
+        assert_eq!(format_eng(f64::NAN, "V"), "NaN V");
+    }
+}

@@ -1,0 +1,577 @@
+//! Newtype quantities and their dimensional arithmetic.
+//!
+//! Every quantity is a transparent wrapper over `f64` with full ordering,
+//! hashing-free equality, and the usual same-unit arithmetic (`+`, `-`,
+//! scalar `*`/`/`, unary `-`). Cross-unit products and quotients are defined
+//! only where the workspace uses them (Ohm's law, power, energy, charge,
+//! capacitor charging), which keeps dimensional mistakes out of the energy
+//! accounting.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// Defines a transparent `f64` newtype with same-unit arithmetic.
+macro_rules! quantity {
+    ($(#[$meta:meta])* $name:ident, $symbol:expr) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+        #[repr(transparent)]
+        pub struct $name(pub f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: $name = $name(0.0);
+
+            /// Unit symbol used by [`std::fmt::Display`] and engineering
+            /// formatting (e.g. `"V"` for [`Volts`]).
+            pub const SYMBOL: &'static str = $symbol;
+
+            /// Returns the raw `f64` value in base SI units.
+            #[inline]
+            pub const fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the absolute value.
+            #[inline]
+            pub fn abs(self) -> $name {
+                $name(self.0.abs())
+            }
+
+            /// Returns the element-wise minimum of `self` and `other`.
+            #[inline]
+            pub fn min(self, other: $name) -> $name {
+                $name(self.0.min(other.0))
+            }
+
+            /// Returns the element-wise maximum of `self` and `other`.
+            #[inline]
+            pub fn max(self, other: $name) -> $name {
+                $name(self.0.max(other.0))
+            }
+
+            /// Clamps `self` into `[lo, hi]`.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `lo > hi`.
+            #[inline]
+            pub fn clamp(self, lo: $name, hi: $name) -> $name {
+                $name(self.0.clamp(lo.0, hi.0))
+            }
+
+            /// `true` if the underlying value is finite (not NaN/∞).
+            #[inline]
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}", crate::eng::format_eng(self.0, $symbol))
+            }
+        }
+
+        impl From<f64> for $name {
+            #[inline]
+            fn from(v: f64) -> Self {
+                $name(v)
+            }
+        }
+
+        impl From<$name> for f64 {
+            #[inline]
+            fn from(v: $name) -> f64 {
+                v.0
+            }
+        }
+
+        impl Add for $name {
+            type Output = $name;
+            #[inline]
+            fn add(self, rhs: $name) -> $name {
+                $name(self.0 + rhs.0)
+            }
+        }
+
+        impl Sub for $name {
+            type Output = $name;
+            #[inline]
+            fn sub(self, rhs: $name) -> $name {
+                $name(self.0 - rhs.0)
+            }
+        }
+
+        impl Neg for $name {
+            type Output = $name;
+            #[inline]
+            fn neg(self) -> $name {
+                $name(-self.0)
+            }
+        }
+
+        impl AddAssign for $name {
+            #[inline]
+            fn add_assign(&mut self, rhs: $name) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl SubAssign for $name {
+            #[inline]
+            fn sub_assign(&mut self, rhs: $name) {
+                self.0 -= rhs.0;
+            }
+        }
+
+        impl Mul<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: f64) -> $name {
+                $name(self.0 * rhs)
+            }
+        }
+
+        impl Mul<$name> for f64 {
+            type Output = $name;
+            #[inline]
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl Div<f64> for $name {
+            type Output = $name;
+            #[inline]
+            fn div(self, rhs: f64) -> $name {
+                $name(self.0 / rhs)
+            }
+        }
+
+        impl MulAssign<f64> for $name {
+            #[inline]
+            fn mul_assign(&mut self, rhs: f64) {
+                self.0 *= rhs;
+            }
+        }
+
+        impl DivAssign<f64> for $name {
+            #[inline]
+            fn div_assign(&mut self, rhs: f64) {
+                self.0 /= rhs;
+            }
+        }
+
+        /// Dimensionless ratio of two same-unit quantities.
+        impl Div<$name> for $name {
+            type Output = f64;
+            #[inline]
+            fn div(self, rhs: $name) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl Sum for $name {
+            fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
+                $name(iter.map(|q| q.0).sum())
+            }
+        }
+    };
+}
+
+quantity!(
+    /// Electric potential in volts.
+    Volts,
+    "V"
+);
+quantity!(
+    /// Electric current in amperes.
+    Amps,
+    "A"
+);
+quantity!(
+    /// Resistance in ohms.
+    Ohms,
+    "Ω"
+);
+quantity!(
+    /// Capacitance in farads.
+    Farads,
+    "F"
+);
+quantity!(
+    /// Time in seconds.
+    Seconds,
+    "s"
+);
+quantity!(
+    /// Energy in joules.
+    Joules,
+    "J"
+);
+quantity!(
+    /// Power in watts.
+    Watts,
+    "W"
+);
+quantity!(
+    /// Electric charge in coulombs.
+    Coulombs,
+    "C"
+);
+quantity!(
+    /// Frequency in hertz.
+    Hertz,
+    "Hz"
+);
+quantity!(
+    /// Length in meters.
+    Meters,
+    "m"
+);
+quantity!(
+    /// Area in square meters.
+    SquareMeters,
+    "m²"
+);
+quantity!(
+    /// Current density in amperes per square meter.
+    AmpsPerSqMeter,
+    "A/m²"
+);
+quantity!(
+    /// Absolute temperature in kelvin.
+    Kelvin,
+    "K"
+);
+quantity!(
+    /// Temperature in degrees Celsius.
+    Celsius,
+    "°C"
+);
+
+// ---------------------------------------------------------------------------
+// Cross-unit arithmetic (only relations the workspace uses).
+// ---------------------------------------------------------------------------
+
+/// Ohm's law: `V = I · R`.
+impl Mul<Ohms> for Amps {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, rhs: Ohms) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+/// Ohm's law: `V = R · I`.
+impl Mul<Amps> for Ohms {
+    type Output = Volts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Volts {
+        Volts(self.0 * rhs.0)
+    }
+}
+
+/// Ohm's law: `I = V / R`.
+impl Div<Ohms> for Volts {
+    type Output = Amps;
+    #[inline]
+    fn div(self, rhs: Ohms) -> Amps {
+        Amps(self.0 / rhs.0)
+    }
+}
+
+/// Ohm's law: `R = V / I`.
+impl Div<Amps> for Volts {
+    type Output = Ohms;
+    #[inline]
+    fn div(self, rhs: Amps) -> Ohms {
+        Ohms(self.0 / rhs.0)
+    }
+}
+
+/// Instantaneous power: `P = V · I`.
+impl Mul<Amps> for Volts {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// Instantaneous power: `P = I · V`.
+impl Mul<Volts> for Amps {
+    type Output = Watts;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Watts {
+        Watts(self.0 * rhs.0)
+    }
+}
+
+/// Energy: `E = P · t`.
+impl Mul<Seconds> for Watts {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Energy: `E = t · P`.
+impl Mul<Watts> for Seconds {
+    type Output = Joules;
+    #[inline]
+    fn mul(self, rhs: Watts) -> Joules {
+        Joules(self.0 * rhs.0)
+    }
+}
+
+/// Average power: `P = E / t`.
+impl Div<Seconds> for Joules {
+    type Output = Watts;
+    #[inline]
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts(self.0 / rhs.0)
+    }
+}
+
+/// Duration at constant power: `t = E / P`.
+impl Div<Watts> for Joules {
+    type Output = Seconds;
+    #[inline]
+    fn div(self, rhs: Watts) -> Seconds {
+        Seconds(self.0 / rhs.0)
+    }
+}
+
+/// Charge: `Q = I · t`.
+impl Mul<Seconds> for Amps {
+    type Output = Coulombs;
+    #[inline]
+    fn mul(self, rhs: Seconds) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+/// Charge on a capacitor: `Q = C · V`.
+impl Mul<Volts> for Farads {
+    type Output = Coulombs;
+    #[inline]
+    fn mul(self, rhs: Volts) -> Coulombs {
+        Coulombs(self.0 * rhs.0)
+    }
+}
+
+/// Total current: `I = J · A`.
+impl Mul<SquareMeters> for AmpsPerSqMeter {
+    type Output = Amps;
+    #[inline]
+    fn mul(self, rhs: SquareMeters) -> Amps {
+        Amps(self.0 * rhs.0)
+    }
+}
+
+/// Current density: `J = I / A`.
+impl Div<SquareMeters> for Amps {
+    type Output = AmpsPerSqMeter;
+    #[inline]
+    fn div(self, rhs: SquareMeters) -> AmpsPerSqMeter {
+        AmpsPerSqMeter(self.0 / rhs.0)
+    }
+}
+
+/// Period of a periodic signal: `t = 1 / f`.
+impl Hertz {
+    /// Returns the period `1/f`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvpg_units::{Hertz, Seconds};
+    /// assert_eq!(Hertz(300e6).period(), Seconds(1.0 / 300e6));
+    /// ```
+    #[inline]
+    pub fn period(self) -> Seconds {
+        Seconds(1.0 / self.0)
+    }
+}
+
+impl Seconds {
+    /// Returns the frequency `1/t` of a signal with this period.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvpg_units::{Hertz, Seconds};
+    /// assert!((Seconds(1e-9).frequency().0 - 1e9).abs() < 1.0);
+    /// ```
+    #[inline]
+    pub fn frequency(self) -> Hertz {
+        Hertz(1.0 / self.0)
+    }
+}
+
+impl Celsius {
+    /// Converts to absolute temperature.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvpg_units::Celsius;
+    /// assert_eq!(Celsius(27.0).to_kelvin().0, 300.15);
+    /// ```
+    #[inline]
+    pub fn to_kelvin(self) -> Kelvin {
+        Kelvin(self.0 + 273.15)
+    }
+}
+
+impl Kelvin {
+    /// Thermal voltage `kT/q` at this temperature.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvpg_units::Kelvin;
+    /// let vt = Kelvin(300.0).thermal_voltage();
+    /// assert!((vt.0 - 0.02585).abs() < 1e-4);
+    /// ```
+    #[inline]
+    pub fn thermal_voltage(self) -> Volts {
+        const BOLTZMANN: f64 = 1.380_649e-23;
+        const ELEMENTARY_CHARGE: f64 = 1.602_176_634e-19;
+        Volts(BOLTZMANN * self.0 / ELEMENTARY_CHARGE)
+    }
+}
+
+impl Meters {
+    /// Area of a disc with this diameter (used for circular MTJ pillars).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use nvpg_units::Meters;
+    /// let a = Meters(20e-9).disc_area();
+    /// assert!((a.0 - 3.1416e-16).abs() < 1e-19);
+    /// ```
+    #[inline]
+    pub fn disc_area(self) -> SquareMeters {
+        let r = self.0 / 2.0;
+        SquareMeters(std::f64::consts::PI * r * r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ohms_law_round_trip() {
+        let v = Volts(0.9);
+        let r = Ohms(6.366e3);
+        let i = v / r;
+        assert!((i.0 - 0.9 / 6.366e3).abs() < 1e-12);
+        let v2 = i * r;
+        assert!((v2.0 - v.0).abs() < 1e-12);
+        assert!(((v / i).0 - r.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_and_energy() {
+        let p = Volts(0.9) * Amps(1e-6);
+        assert!((p.0 - 0.9e-6).abs() < 1e-15);
+        let e = p * Seconds(10e-9);
+        assert!((e.0 - 9e-15).abs() < 1e-24);
+        assert!(((e / Seconds(10e-9)).0 - p.0).abs() < 1e-15);
+        assert!(((e / p).0 - 10e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn same_unit_arithmetic() {
+        let a = Joules(2.0) + Joules(3.0) - Joules(1.0);
+        assert_eq!(a, Joules(4.0));
+        let b = -a;
+        assert_eq!(b, Joules(-4.0));
+        assert_eq!(a * 2.0, Joules(8.0));
+        assert_eq!(2.0 * a, Joules(8.0));
+        assert_eq!(a / 2.0, Joules(2.0));
+        assert_eq!(a / Joules(2.0), 2.0);
+    }
+
+    #[test]
+    fn assign_ops() {
+        let mut v = Volts(1.0);
+        v += Volts(0.5);
+        v -= Volts(0.2);
+        v *= 2.0;
+        v /= 4.0;
+        assert!((v.0 - 0.65).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sum_of_energies() {
+        let total: Joules = [Joules(1e-15), Joules(2e-15), Joules(3e-15)]
+            .into_iter()
+            .sum();
+        assert!((total.0 - 6e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn min_max_clamp_abs() {
+        assert_eq!(Volts(-1.0).abs(), Volts(1.0));
+        assert_eq!(Volts(1.0).min(Volts(2.0)), Volts(1.0));
+        assert_eq!(Volts(1.0).max(Volts(2.0)), Volts(2.0));
+        assert_eq!(Volts(3.0).clamp(Volts(0.0), Volts(0.9)), Volts(0.9));
+        assert!(Volts(1.0).is_finite());
+        assert!(!Volts(f64::NAN).is_finite());
+    }
+
+    #[test]
+    fn current_density_times_area() {
+        // Table I: J_C = 5e6 A/cm² = 5e10 A/m², φ = 20 nm ⇒ I_C ≈ 15.7 µA.
+        let jc = AmpsPerSqMeter(5e10);
+        let area = Meters(20e-9).disc_area();
+        let ic = jc * area;
+        assert!((ic.0 - 15.7e-6).abs() < 0.1e-6, "I_C = {}", ic);
+        let back = ic / area;
+        assert!((back.0 - jc.0).abs() / jc.0 < 1e-12);
+    }
+
+    #[test]
+    fn thermal_voltage_at_room_temperature() {
+        let vt = Celsius(27.0).to_kelvin().thermal_voltage();
+        assert!((vt.0 - 0.02585).abs() < 2e-4);
+    }
+
+    #[test]
+    fn frequency_period_round_trip() {
+        let f = Hertz(300e6);
+        let t = f.period();
+        assert!((t.frequency().0 - f.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn charge_relations() {
+        let q1 = Amps(1e-6) * Seconds(1e-9);
+        assert!((q1.0 - 1e-15).abs() < 1e-24);
+        let q2 = Farads(1e-15) * Volts(0.9);
+        assert!((q2.0 - 0.9e-15).abs() < 1e-24);
+    }
+
+    #[test]
+    fn display_uses_engineering_notation() {
+        assert_eq!(format!("{}", Amps(15.7e-6)), "15.7 µA");
+        assert_eq!(format!("{}", Joules(1.41e-13)), "141 fJ");
+    }
+
+    #[test]
+    fn conversions_from_into_f64() {
+        let v: Volts = 0.9.into();
+        assert_eq!(v, Volts(0.9));
+        let x: f64 = v.into();
+        assert_eq!(x, 0.9);
+        assert_eq!(v.value(), 0.9);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for quantities, formatting and sweeps.
+
+use proptest::prelude::*;
+
+use nvpg_units::{format_eng, linspace, logspace, Amps, Joules, Ohms, Seconds, Volts, Watts};
+
+proptest! {
+    /// Engineering formatting always carries the unit symbol and a
+    /// mantissa in [1, 1000) for positive finite inputs in the prefix
+    /// range.
+    #[test]
+    fn eng_format_mantissa_in_range(exp in -17.0f64..17.0, m in 1.0f64..9.99) {
+        let v = m * 10f64.powf(exp);
+        let s = format_eng(v, "V");
+        prop_assert!(s.ends_with('V'), "{s}");
+        let mantissa: f64 = s
+            .split_whitespace()
+            .next()
+            .unwrap()
+            .parse()
+            .unwrap();
+        prop_assert!((1.0..1000.0).contains(&mantissa), "{s}");
+    }
+
+    /// Formatting a negated value only flips the sign.
+    #[test]
+    fn eng_format_sign_symmetry(v in 1e-15f64..1e15) {
+        let pos = format_eng(v, "A");
+        let neg = format_eng(-v, "A");
+        prop_assert_eq!(neg, format!("-{pos}"));
+    }
+
+    /// Ohm's law round trip: (V/R)·R recovers V to relative precision.
+    #[test]
+    fn ohms_law_round_trip(v in 1e-3f64..10.0, r in 1.0f64..1e9) {
+        let volts = Volts(v);
+        let ohms = Ohms(r);
+        let back: Volts = (volts / ohms) * ohms;
+        prop_assert!((back.0 - v).abs() <= 1e-12 * v);
+    }
+
+    /// Power/energy relations are mutually consistent.
+    #[test]
+    fn power_energy_consistency(p in 1e-12f64..1.0, t in 1e-9f64..1.0) {
+        let e: Joules = Watts(p) * Seconds(t);
+        prop_assert!(((e / Seconds(t)).0 - p).abs() <= 1e-12 * p);
+        prop_assert!(((e / Watts(p)).0 - t).abs() <= 1e-12 * t);
+    }
+
+    /// Current scaling is linear in both factors.
+    #[test]
+    fn scalar_multiplication_commutes(i in -1.0f64..1.0, k in 0.0f64..100.0) {
+        prop_assert_eq!(Amps(i) * k, k * Amps(i));
+    }
+
+    /// linspace: exact endpoints, requested length, uniform spacing.
+    #[test]
+    fn linspace_properties(a in -1e3f64..1e3, span in 1e-6f64..1e3, n in 2usize..200) {
+        let b = a + span;
+        let pts = linspace(a, b, n);
+        prop_assert_eq!(pts.len(), n);
+        prop_assert_eq!(pts[0], a);
+        prop_assert_eq!(pts[n - 1], b);
+        let step = (b - a) / (n - 1) as f64;
+        for (i, w) in pts.windows(2).enumerate() {
+            prop_assert!(((w[1] - w[0]) - step).abs() < 1e-9 * step.abs() + 1e-12, "at {i}");
+        }
+    }
+
+    /// logspace: strictly increasing, all positive, exact endpoints.
+    #[test]
+    fn logspace_properties(a_exp in -12.0f64..3.0, decades in 0.1f64..10.0, n in 2usize..100) {
+        let a = 10f64.powf(a_exp);
+        let b = a * 10f64.powf(decades);
+        let pts = logspace(a, b, n);
+        prop_assert_eq!(pts.len(), n);
+        prop_assert!((pts[0] - a).abs() <= 1e-12 * a);
+        prop_assert!((pts[n - 1] - b).abs() <= 1e-9 * b);
+        for w in pts.windows(2) {
+            prop_assert!(w[1] > w[0]);
+            prop_assert!(w[0] > 0.0);
+        }
+        // Constant ratio between consecutive points.
+        if n > 2 {
+            let r0 = pts[1] / pts[0];
+            for w in pts.windows(2) {
+                prop_assert!((w[1] / w[0] - r0).abs() < 1e-9 * r0);
+            }
+        }
+    }
+}

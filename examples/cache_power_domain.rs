@@ -1,0 +1,121 @@
+//! Cache power-domain study — the paper's motivating scenario.
+//!
+//! ```text
+//! cargo run --release --example cache_power_domain
+//! ```
+//!
+//! A lower-level cache is organised as NV-SRAM power domains (the paper
+//! suggests ≤ ~10 kB per domain). This example sweeps the domain size
+//! from 128 B to 16 kB and, for a workload with bursts of `n_RW` accesses
+//! between idle gaps, reports:
+//!
+//! * the per-cell `E_cyc` of OSR / NVPG / NOF,
+//! * each architecture's break-even time,
+//! * the largest domain that still has a BET below a given idle budget —
+//!   the fine-grained-power-management design rule of §IV.
+
+use nvpg::cells::design::CellDesign;
+use nvpg::core::bet::bet_closed_form;
+use nvpg::core::{Architecture, BenchmarkParams, Bet, Experiments, PowerDomain};
+use nvpg::units::format_eng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    eprintln!("characterising the Table I cell...");
+    let exp = Experiments::new(CellDesign::table1())?;
+    let model = exp.model();
+
+    let n_rw = 100;
+    let t_sl = 100e-9;
+    let t_sd = 1e-3; // a 1 ms idle gap
+    println!(
+        "workload: n_RW = {n_rw} access rounds, t_SL = {}, idle gap t_SD = {}\n",
+        format_eng(t_sl, "s"),
+        format_eng(t_sd, "s")
+    );
+
+    println!(
+        "{:>8} {:>8} | {:>12} {:>12} {:>12} | {:>12} {:>14}",
+        "rows N", "size", "E_OSR", "E_NVPG", "E_NOF", "BET(NVPG)", "BET(store-free)"
+    );
+    for rows in [32u32, 128, 512, 2048, 4096] {
+        let domain = PowerDomain::new(rows, 32);
+        let params = BenchmarkParams {
+            n_rw,
+            t_sl,
+            t_sd,
+            domain,
+            reads_per_write: 1,
+            store_free: false,
+        };
+        let e = |arch| model.e_cyc(arch, &params).0;
+        let bet = |store_free| {
+            let p = BenchmarkParams {
+                store_free,
+                ..params
+            };
+            match bet_closed_form(model, Architecture::Nvpg, &p) {
+                Bet::At(t) => format_eng(t.0, "s"),
+                other => format!("{other:?}"),
+            }
+        };
+        println!(
+            "{:>8} {:>7}B | {:>12} {:>12} {:>12} | {:>12} {:>14}",
+            rows,
+            domain.bytes(),
+            format_eng(e(Architecture::Osr), "J"),
+            format_eng(e(Architecture::Nvpg), "J"),
+            format_eng(e(Architecture::Nof), "J"),
+            bet(false),
+            bet(true),
+        );
+    }
+
+    // Design rule: largest domain whose BET fits a 100 µs idle budget.
+    let budget = 100e-6;
+    let mut best: Option<u32> = None;
+    for rows in (1..=12).map(|k| 1u32 << k) {
+        let params = BenchmarkParams {
+            n_rw,
+            t_sl,
+            t_sd: 0.0,
+            domain: PowerDomain::new(rows, 32),
+            reads_per_write: 1,
+            store_free: true,
+        };
+        if let Bet::At(t) = bet_closed_form(model, Architecture::Nvpg, &params) {
+            if t.0 <= budget {
+                best = Some(rows);
+            }
+        }
+    }
+    match best {
+        Some(rows) => println!(
+            "\nwith store-free shutdown, domains up to {} B break even within {}",
+            PowerDomain::new(rows, 32).bytes(),
+            format_eng(budget, "s")
+        ),
+        None => println!(
+            "\nno domain size breaks even within {}",
+            format_eng(budget, "s")
+        ),
+    }
+
+    // Performance check: what NOF costs in time for the same work.
+    let params = BenchmarkParams {
+        n_rw,
+        t_sl,
+        t_sd,
+        domain: PowerDomain::default_32x32(),
+        reads_per_write: 1,
+        store_free: false,
+    };
+    let t_nvpg = model.cycle_duration(Architecture::Nvpg, &params).0;
+    let t_nof = model.cycle_duration(Architecture::Nof, &params).0;
+    println!(
+        "performance: the same benchmark takes {} under NVPG but {} under NOF ({:.1}x slower)",
+        format_eng(t_nvpg, "s"),
+        format_eng(t_nof, "s"),
+        t_nof / t_nvpg
+    );
+    Ok(())
+}

@@ -1,0 +1,64 @@
+//! Quickstart: one NV-SRAM cell through a full nonvolatile power cycle.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's Table I cell, latches `Q = 1`, stores it into the
+//! MTJs, powers the cell off, wakes it up, and confirms the data
+//! survived — then asks the architecture model what shutdown duration
+//! makes that round trip worth its energy (the break-even time).
+
+use nvpg::cells::bench::CellBench;
+use nvpg::cells::cell::{CellKind, MtjConfig};
+use nvpg::cells::design::CellDesign;
+use nvpg::core::bet::bet_closed_form;
+use nvpg::core::{Architecture, BenchmarkParams, Bet, Experiments};
+use nvpg::units::{format_eng, Joules};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = CellDesign::table1();
+
+    // --- Cell level: a real power cycle through the transient simulator.
+    println!("1. building the PS-FinFET NV-SRAM cell (Table I design)");
+    let mut bench = CellBench::new(design, CellKind::NvSram, true, MtjConfig::stored(false))?;
+    println!("   latched Q = {}", bench.data() as u8);
+
+    println!("2. storing the state into the MTJs (two-step CIMS store)");
+    let store_phases = bench.store()?;
+    let e_store: Joules = store_phases.iter().map(|p| p.energy).sum();
+    println!(
+        "   MTJ pattern now {:?}, store energy = {e_store}",
+        bench.mtj_states().expect("NV cell")
+    );
+
+    println!("3. shutdown (super cutoff) — the cell loses its volatile state");
+    bench.shutdown_enter(true, 3e-9)?;
+    bench.idle(500e-9)?; // let the virtual rail collapse
+    let (q, qb) = bench.storage_voltages();
+    println!("   storage nodes collapsed to q = {q:.3} V, qb = {qb:.3} V");
+
+    println!("4. restore — the MTJ imbalance re-latches the bistable");
+    let restore = bench.restore()?;
+    println!(
+        "   woke up with Q = {} (restore energy = {})",
+        bench.data() as u8,
+        restore.energy
+    );
+    assert!(bench.data(), "data must survive the power cycle");
+
+    // --- Architecture level: when is that round trip worth it?
+    println!("5. characterising the cell and solving the break-even time");
+    let exp = Experiments::new(design)?;
+    let params = BenchmarkParams::fig7_default();
+    match bet_closed_form(exp.model(), Architecture::Nvpg, &params) {
+        Bet::At(t) => println!(
+            "   NVPG break-even time for a 32x32 domain at n_RW = {}: {}",
+            params.n_rw,
+            format_eng(t.0, "s")
+        ),
+        other => println!("   {other:?}"),
+    }
+    println!("done — see the other examples for the full comparisons.");
+    Ok(())
+}

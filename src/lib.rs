@@ -1,0 +1,37 @@
+//! # nvpg — nonvolatile power-gating for FinFET NV-SRAM
+//!
+//! Facade crate re-exporting the whole workspace, which reproduces
+//! *"Comparative study of power-gating architectures for nonvolatile
+//! FinFET-SRAM using spintronics-based retention technology"* (Shuto,
+//! Yamamoto & Sugahara, DATE 2015) from scratch in Rust:
+//!
+//! * [`units`] — physical quantities;
+//! * [`numeric`] — LU / Newton / Brent / RKF45 kernels;
+//! * [`circuit`] — a SPICE-class MNA simulator (DC, sweeps, transient);
+//! * [`devices`] — 20 nm FinFET and STT-MTJ compact models;
+//! * [`cells`] — 6T and PS-FinFET NV-SRAM cells, operations,
+//!   characterisation;
+//! * [`core`] — the paper's architecture-level analysis (OSR/NVPG/NOF
+//!   benchmark sequences, `E_cyc`, break-even time, experiments).
+//!
+//! See the `examples/` directory for runnable entry points
+//! (`quickstart`, `cache_power_domain`, `normally_off_mcu`,
+//! `bet_design_space`) and `crates/bench` for the harness that
+//! regenerates every figure of the paper.
+//!
+//! ```no_run
+//! use nvpg::cells::design::CellDesign;
+//! use nvpg::core::{Architecture, BenchmarkParams, Experiments};
+//!
+//! let exp = Experiments::new(CellDesign::table1())?;
+//! let e = exp.model().e_cyc(Architecture::Nvpg, &BenchmarkParams::fig7_default());
+//! println!("NVPG E_cyc = {e}");
+//! # Ok::<(), nvpg::circuit::CircuitError>(())
+//! ```
+
+pub use nvpg_cells as cells;
+pub use nvpg_circuit as circuit;
+pub use nvpg_core as core;
+pub use nvpg_devices as devices;
+pub use nvpg_numeric as numeric;
+pub use nvpg_units as units;

@@ -1,0 +1,263 @@
+//! Property-based tests (proptest) across the workspace's core
+//! invariants: the linear solver, the circuit simulator on randomised
+//! linear networks, device-model monotonicity, and the energy model's
+//! structural properties under random (physically-ordered)
+//! characterisations.
+
+use proptest::prelude::*;
+
+use nvpg::cells::characterize::{CellCharacterization, StaticPowerTable};
+use nvpg::circuit::{dc, Circuit};
+use nvpg::core::bet::bet_closed_form;
+use nvpg::core::{Architecture, BenchmarkParams, Bet, EnergyModel, PowerDomain};
+use nvpg::devices::finfet::{FinFet, FinFetParams};
+use nvpg::devices::mtj::{Mtj, MtjParams, MtjState};
+use nvpg::numeric::DenseMatrix;
+
+// ---------------------------------------------------------------------
+// Numeric layer
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// LU solve on random diagonally-dominant systems reproduces the
+    /// right-hand side to near machine precision.
+    #[test]
+    fn lu_solves_diagonally_dominant(
+        entries in proptest::collection::vec(-1.0f64..1.0, 36),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 6),
+    ) {
+        let n = 6;
+        let mut a = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = entries[i * n + j];
+            }
+            a[(i, i)] += n as f64 + 1.0;
+        }
+        let x = a.lu().expect("diagonally dominant is nonsingular").solve(&rhs);
+        let ax = a.mul_vec(&x);
+        for (axi, bi) in ax.iter().zip(&rhs) {
+            prop_assert!((axi - bi).abs() < 1e-9);
+        }
+    }
+
+    /// Brent finds the root of any line with nonzero slope bracketed in
+    /// the search interval.
+    #[test]
+    fn brent_solves_lines(slope in 0.01f64..100.0, root in -5.0f64..5.0) {
+        let f = |x: f64| slope * (x - root);
+        let found = nvpg::numeric::brent(f, -10.0, 10.0, 1e-14).expect("bracketed");
+        prop_assert!((found - root).abs() < 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Circuit layer
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// A randomly-valued voltage divider always solves to the analytic
+    /// node voltage, regardless of the resistance decade.
+    #[test]
+    fn divider_matches_analytic(
+        v in 0.1f64..2.0,
+        r1_exp in 1.0f64..7.0,
+        r2_exp in 1.0f64..7.0,
+    ) {
+        let (r1, r2) = (10f64.powf(r1_exp), 10f64.powf(r2_exp));
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        let out = ckt.node("out");
+        ckt.vsource("v1", vin, Circuit::GROUND, v).unwrap();
+        ckt.resistor("r1", vin, out, r1).unwrap();
+        ckt.resistor("r2", out, Circuit::GROUND, r2).unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        let expect = v * r2 / (r1 + r2);
+        // gmin (1e-12 S) slightly loads high-impedance dividers.
+        prop_assert!((op.voltage(out) - expect).abs() < 1e-3 * v + 1e-9);
+    }
+
+    /// Ladder networks of random resistors: every node voltage lies
+    /// between the rails (discrete maximum principle).
+    #[test]
+    fn ladder_voltages_bounded(
+        rs in proptest::collection::vec(10.0f64..1e6, 2..8),
+    ) {
+        let mut ckt = Circuit::new();
+        let top = ckt.node("top");
+        ckt.vsource("v1", top, Circuit::GROUND, 1.0).unwrap();
+        let mut prev = top;
+        for (i, &r) in rs.iter().enumerate() {
+            let n = ckt.node(&format!("n{i}"));
+            ckt.resistor(&format!("r{i}"), prev, n, r).unwrap();
+            prev = n;
+        }
+        ckt.resistor("rload", prev, Circuit::GROUND, 1e3).unwrap();
+        let op = dc::operating_point(&mut ckt, &Default::default()).unwrap();
+        for i in 0..rs.len() {
+            let v = op.voltage_by_name(&format!("n{i}")).unwrap();
+            prop_assert!((-1e-9..=1.0 + 1e-9).contains(&v), "n{i} = {v}");
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Device layer
+// ---------------------------------------------------------------------
+
+proptest! {
+    /// FinFET drain current is monotone non-decreasing in the gate
+    /// voltage (fixed drain/source), across polarity mirroring.
+    #[test]
+    fn finfet_monotone_in_gate(
+        vg1 in 0.0f64..0.9,
+        dv in 0.001f64..0.3,
+        vd in 0.05f64..0.9,
+    ) {
+        let m = FinFet::new("m", nvpg::circuit::NodeId::GROUND,
+            nvpg::circuit::NodeId::GROUND, nvpg::circuit::NodeId::GROUND,
+            FinFetParams::nmos_20nm());
+        let lo = m.ids(vd, vg1, 0.0);
+        let hi = m.ids(vd, vg1 + dv, 0.0);
+        prop_assert!(hi >= lo, "I({}) = {lo:e} > I({}) = {hi:e}", vg1, vg1 + dv);
+    }
+
+    /// MTJ conductance is positive and the AP resistance never falls
+    /// below the P resistance at any bias.
+    #[test]
+    fn mtj_resistance_ordering(v in -1.0f64..1.0) {
+        let p = MtjParams::table1();
+        let m_p = Mtj::new("p", nvpg::circuit::NodeId::GROUND,
+            nvpg::circuit::NodeId::GROUND, p, MtjState::Parallel);
+        let m_ap = Mtj::new("ap", nvpg::circuit::NodeId::GROUND,
+            nvpg::circuit::NodeId::GROUND, p, MtjState::AntiParallel);
+        prop_assert!(m_p.resistance(v) > 0.0);
+        prop_assert!(m_ap.resistance(v) >= m_p.resistance(v));
+        // TMR roll-off keeps R_AP within [R_P, R_P·(1+TMR0)].
+        prop_assert!(m_ap.resistance(v) <= m_p.resistance(v) * (1.0 + p.tmr0) + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Architecture layer
+// ---------------------------------------------------------------------
+
+/// A random but physically-ordered characterisation: sleep < normal
+/// static power, shutdown ≪ sleep, positive energies.
+fn arb_characterization() -> impl Strategy<Value = CellCharacterization> {
+    (
+        1e-9f64..20e-9,     // p_6t_normal
+        0.3f64..0.9,        // sleep/normal ratio
+        1e-12f64..1e-10,    // p shutdown super
+        50e-15f64..500e-15, // e_read
+        2e-15f64..50e-15,   // e_write
+        100e-15f64..1e-12,  // e_store
+        20e-15f64..300e-15, // e_restore
+        1.0f64..1.3,        // NV/6T overhead factor
+    )
+        .prop_map(
+            |(p_norm, sleep_ratio, p_sd, e_read, e_write, e_store, e_restore, nv)| {
+                CellCharacterization {
+                    static_power: StaticPowerTable {
+                        p_6t_normal: p_norm,
+                        p_6t_sleep: p_norm * sleep_ratio,
+                        p_nv_normal: p_norm * nv,
+                        p_nv_sleep: p_norm * sleep_ratio * nv,
+                        p_nv_shutdown: p_sd * 10.0,
+                        p_nv_shutdown_super: p_sd,
+                    },
+                    t_cycle: 3.33e-9,
+                    e_read_6t: e_read,
+                    e_write_6t: e_write,
+                    e_read_nv: e_read * nv,
+                    e_write_nv: e_write * nv,
+                    e_store,
+                    t_store: 21e-9,
+                    e_restore,
+                    t_restore: 10e-9,
+                    store_ok: true,
+                    restore_ok: true,
+                }
+            },
+        )
+}
+
+proptest! {
+    /// E_cyc is monotone in t_SD for every architecture and any
+    /// physically-ordered characterisation.
+    #[test]
+    fn e_cyc_monotone_in_tsd(
+        ch in arb_characterization(),
+        t1 in 1e-6f64..1e-3,
+        scale in 1.1f64..100.0,
+    ) {
+        let m = EnergyModel::new(ch);
+        let p = |t_sd| BenchmarkParams { t_sd, ..BenchmarkParams::fig7_default() };
+        for arch in Architecture::ALL {
+            let lo = m.e_cyc(arch, &p(t1)).0;
+            let hi = m.e_cyc(arch, &p(t1 * scale)).0;
+            prop_assert!(hi >= lo, "{arch}: {lo:e} -> {hi:e}");
+        }
+    }
+
+    /// The breakdown components are individually non-negative and sum to
+    /// the total, for all architectures and random parameters.
+    #[test]
+    fn breakdown_consistency(
+        ch in arb_characterization(),
+        n_rw in 1u32..5000,
+        rows_exp in 0u32..7,
+        t_sl in 0.0f64..1e-6,
+        t_sd in 0.0f64..1e-2,
+    ) {
+        let m = EnergyModel::new(ch);
+        let p = BenchmarkParams {
+            n_rw,
+            t_sl,
+            t_sd,
+            domain: PowerDomain::new(32 << rows_exp, 32),
+            reads_per_write: 1,
+            store_free: false,
+        };
+        for arch in Architecture::ALL {
+            let b = m.breakdown(arch, &p);
+            prop_assert!(b.active >= 0.0);
+            prop_assert!(b.short_standby >= 0.0);
+            prop_assert!(b.store >= 0.0);
+            prop_assert!(b.long_standby >= 0.0);
+            prop_assert!(b.restore >= 0.0);
+            let total = m.e_cyc(arch, &p).0;
+            prop_assert!((b.total() - total).abs() <= 1e-12 * total.abs().max(1e-30));
+        }
+    }
+
+    /// If an NVPG BET exists, the architecture genuinely wins beyond it
+    /// and loses below it (definition check against the raw model).
+    #[test]
+    fn bet_separates_win_and_loss(ch in arb_characterization(), n_rw in 1u32..1000) {
+        let m = EnergyModel::new(ch);
+        let params = BenchmarkParams { n_rw, ..BenchmarkParams::fig7_default() };
+        if let Bet::At(t) = bet_closed_form(&m, Architecture::Nvpg, &params) {
+            let e = |arch, t_sd| m.e_cyc(arch, &BenchmarkParams { t_sd, ..params }).0;
+            let above = 2.0 * t.0;
+            let below = 0.5 * t.0;
+            prop_assert!(e(Architecture::Nvpg, above) < e(Architecture::Osr, above));
+            prop_assert!(e(Architecture::Nvpg, below) > e(Architecture::Osr, below));
+        }
+    }
+
+    /// Store-free shutdown never increases E_cyc.
+    #[test]
+    fn store_free_never_hurts(
+        ch in arb_characterization(),
+        n_rw in 1u32..1000,
+        t_sd in 0.0f64..1e-2,
+    ) {
+        let m = EnergyModel::new(ch);
+        let base = BenchmarkParams { n_rw, t_sd, ..BenchmarkParams::fig7_default() };
+        let free = BenchmarkParams { store_free: true, ..base };
+        for arch in [Architecture::Nvpg, Architecture::Nof] {
+            prop_assert!(m.e_cyc(arch, &free).0 <= m.e_cyc(arch, &base).0);
+        }
+    }
+}
