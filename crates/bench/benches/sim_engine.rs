@@ -9,7 +9,7 @@ use nvpg_cells::design::CellDesign;
 use nvpg_circuit::dc::{operating_point, DcOptions};
 use nvpg_circuit::transient::{transient, TransientOptions};
 use nvpg_circuit::Circuit;
-use nvpg_numeric::DenseMatrix;
+use nvpg_numeric::{DenseMatrix, LuWorkspace};
 use std::hint::black_box;
 
 fn lu_bench(c: &mut Criterion) {
@@ -31,6 +31,22 @@ fn lu_bench(c: &mut Criterion) {
                     .solve(black_box(&b))
             })
         });
+        // The zero-allocation path the Newton loop runs: same
+        // factorisation arithmetic, but into a reused workspace and a
+        // caller-owned solution buffer.
+        let mut ws = LuWorkspace::with_dim(n);
+        let mut x = vec![0.0; n];
+        g.bench_with_input(
+            BenchmarkId::new("workspace_factor_and_solve", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| {
+                    ws.factor_from(black_box(&a)).expect("nonsingular");
+                    ws.solve_into(black_box(&b), &mut x);
+                    black_box(x[0])
+                })
+            },
+        );
     }
     g.finish();
 }

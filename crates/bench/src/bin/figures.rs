@@ -1,32 +1,53 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! figures [IDS...] [--csv DIR] [--full]
+//! figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR]
+//!         [--report FILE] [--full]
 //! ```
 //!
-//! With no arguments, all figures are produced in paper order. `--csv`
-//! additionally writes one CSV per figure into `DIR`; `--full` prints
-//! every data point instead of a downsampled table.
+//! With no ids, all figures are produced in paper order. Ids can be given
+//! positionally or via repeatable `--only` flags (comma lists accepted).
+//! `--jobs N` sets the worker-pool width for both the figure fan-out and
+//! the per-figure sweeps (default: available parallelism; `1` forces a
+//! serial run). Output is byte-identical for every `--jobs` value:
+//! figures run concurrently but print in paper order.
+//!
+//! `--csv` additionally writes one CSV per figure into `DIR`; `--full`
+//! prints every data point instead of a downsampled table. Per-figure
+//! wall-clock timings go to stderr.
 //!
 //! Figure ids: `table1 fig3a fig3b fig3c fig4 fig6a fig6b fig6c fig7a
-//! fig7b fig7c fig8a fig8b fig9a fig9b`.
+//! fig7b fig7c fig8a fig8b fig9a fig9b ext_policy ext_wer ext_breakdown
+//! ext_thermal`.
 
 use std::collections::BTreeSet;
 use std::error::Error;
 use std::path::PathBuf;
+use std::time::{Duration, Instant};
 
 use nvpg_bench::report::generate_report;
 use nvpg_bench::svg::render_svg;
 use nvpg_bench::{render_text, summarize, to_csv};
 use nvpg_cells::design::CellDesign;
-use nvpg_core::{Experiments, Figure, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
+use nvpg_core::{Experiments, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
+
+/// One rendered figure, ready to print/write in canonical order.
+struct Rendered {
+    id: String,
+    stdout: String,
+    csv: Option<(PathBuf, String)>,
+    svg: Option<(PathBuf, String)>,
+    elapsed: Duration,
+}
 
 fn main() -> Result<(), Box<dyn Error>> {
+    let t_start = Instant::now();
     let mut ids: BTreeSet<String> = BTreeSet::new();
     let mut csv_dir: Option<PathBuf> = None;
     let mut svg_dir: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
     let mut full = false;
+    let mut jobs: usize = 0;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,10 +66,24 @@ fn main() -> Result<(), Box<dyn Error>> {
                     args.next().ok_or("--report requires a file path")?,
                 ));
             }
+            "--only" => {
+                let list = args.next().ok_or("--only requires a figure id")?;
+                for id in list.split(',').filter(|s| !s.is_empty()) {
+                    ids.insert(id.to_owned());
+                }
+            }
+            "--jobs" | "-j" => {
+                jobs = args
+                    .next()
+                    .ok_or("--jobs requires a worker count")?
+                    .parse()
+                    .map_err(|_| "--jobs requires an integer")?;
+            }
             "--full" => full = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: figures [IDS...] [--csv DIR] [--svg DIR] [--report FILE] [--full]"
+                    "usage: figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR] \
+                     [--report FILE] [--full]"
                 );
                 println!(
                     "ids: {} {} {}",
@@ -61,6 +96,20 @@ fn main() -> Result<(), Box<dyn Error>> {
             other => {
                 ids.insert(other.to_owned());
             }
+        }
+    }
+    if jobs > 0 {
+        nvpg_exec::set_default_jobs(jobs);
+    }
+    let all_ids: Vec<&str> = FIGURE_IDS
+        .iter()
+        .chain(BET_FIGURE_IDS.iter())
+        .chain(EXTENSION_IDS.iter())
+        .copied()
+        .collect();
+    for id in &ids {
+        if !all_ids.contains(&id.as_str()) {
+            return Err(format!("unknown figure id: {id}").into());
         }
     }
     let run_all = ids.is_empty();
@@ -78,24 +127,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         ch.e_restore * 1e15
     );
 
-    let emit = |fig: &Figure| -> Result<(), Box<dyn Error>> {
-        println!("{}", render_text(fig, max_rows));
-        println!("{}", summarize(fig));
-        if let Some(dir) = &csv_dir {
-            std::fs::create_dir_all(dir)?;
-            let path = dir.join(format!("{}.csv", fig.id));
-            std::fs::write(&path, to_csv(fig))?;
-            eprintln!("  wrote {}", path.display());
-        }
-        if let Some(dir) = &svg_dir {
-            std::fs::create_dir_all(dir)?;
-            let path = dir.join(format!("{}.svg", fig.id));
-            std::fs::write(&path, render_svg(fig))?;
-            eprintln!("  wrote {}", path.display());
-        }
-        Ok(())
-    };
-
     if want("table1") {
         println!("== table1 — device and circuit parameters (live model echo)");
         for (k, v) in exp.table1_rows() {
@@ -103,66 +134,75 @@ fn main() -> Result<(), Box<dyn Error>> {
         }
         println!();
     }
-    if want("fig3a") {
-        emit(&exp.fig3a()?)?;
+
+    // Fan the selected plot figures out over the worker pool; each worker
+    // renders everything to strings so the figures can be printed and
+    // written in paper order regardless of completion order.
+    let selected: Vec<&str> = all_ids
+        .iter()
+        .copied()
+        .filter(|&id| id != "table1" && want(id))
+        .collect();
+    let rendered: Result<Vec<Rendered>, Box<dyn Error + Send + Sync>> =
+        nvpg_exec::par_try_map(jobs, &selected, |_, &id| {
+            let t0 = Instant::now();
+            let fig = exp
+                .figure_by_id(id)
+                .expect("id validated above")
+                .map_err(|e| format!("{id}: {e}"))?;
+            let mut stdout = String::new();
+            stdout.push_str(&render_text(&fig, max_rows));
+            stdout.push('\n');
+            stdout.push_str(&summarize(&fig));
+            stdout.push('\n');
+            let csv = csv_dir
+                .as_ref()
+                .map(|dir| (dir.join(format!("{}.csv", fig.id)), to_csv(&fig)));
+            let svg = svg_dir
+                .as_ref()
+                .map(|dir| (dir.join(format!("{}.svg", fig.id)), render_svg(&fig)));
+            Ok(Rendered {
+                id: id.to_owned(),
+                stdout,
+                csv,
+                svg,
+                elapsed: t0.elapsed(),
+            })
+        });
+    let rendered = rendered.map_err(|e| -> Box<dyn Error> { e })?;
+
+    for r in &rendered {
+        print!("{}", r.stdout);
+        if let Some((path, csv)) = &r.csv {
+            std::fs::create_dir_all(path.parent().expect("csv dir"))?;
+            std::fs::write(path, csv)?;
+            eprintln!("  wrote {}", path.display());
+        }
+        if let Some((path, svg)) = &r.svg {
+            std::fs::create_dir_all(path.parent().expect("svg dir"))?;
+            std::fs::write(path, svg)?;
+            eprintln!("  wrote {}", path.display());
+        }
     }
-    if want("fig3b") {
-        emit(&exp.fig3b()?)?;
-    }
-    if want("fig3c") {
-        emit(&exp.fig3c()?)?;
-    }
-    if want("fig4") {
-        emit(&exp.fig4()?)?;
-    }
-    if want("fig6a") {
-        emit(&exp.fig6a()?)?;
-    }
-    if want("fig6b") {
-        emit(&exp.fig6b()?)?;
-    }
-    if want("fig6c") {
-        emit(&exp.fig6c()?)?;
-    }
-    if want("fig7a") {
-        emit(&exp.fig7a())?;
-    }
-    if want("fig7b") {
-        emit(&exp.fig7b())?;
-    }
-    if want("fig7c") {
-        emit(&exp.fig7c())?;
-    }
-    if want("fig8a") {
-        emit(&exp.fig8a())?;
-    }
-    if want("fig8b") {
-        emit(&exp.fig8b())?;
-    }
-    if want("fig9a") {
-        emit(&exp.fig9a())?;
-    }
-    if want("ext_policy") {
-        emit(&exp.ext_policy())?;
-    }
-    if want("ext_wer") {
-        emit(&exp.ext_wer())?;
-    }
-    if want("ext_breakdown") {
-        emit(&exp.ext_breakdown())?;
-    }
-    if want("ext_thermal") {
-        eprintln!("temperature sweep (re-characterises per point)...");
-        emit(&exp.ext_thermal()?)?;
-    }
-    if want("fig9b") {
-        eprintln!("characterising the Fig. 9(b) design point (1 GHz, low J_C)...");
-        emit(&Experiments::fig9b()?)?;
-    }
+
     if let Some(path) = &report_path {
         eprintln!("generating the live measurement report...");
         std::fs::write(path, generate_report(&exp)?)?;
         eprintln!("  wrote {}", path.display());
     }
+
+    for r in &rendered {
+        eprintln!("  {:<14} {:>9.1} ms", r.id, r.elapsed.as_secs_f64() * 1e3);
+    }
+    eprintln!(
+        "total: {:.1} ms across {} figure(s) (jobs = {})",
+        t_start.elapsed().as_secs_f64() * 1e3,
+        rendered.len(),
+        if jobs == 0 {
+            nvpg_exec::default_jobs()
+        } else {
+            jobs
+        }
+    );
     Ok(())
 }

@@ -71,23 +71,25 @@ pub fn leakage_vs_vctrl(
     let op6 = normal_mode_op(&mut c6, &n6, design.conditions.vdd, true)?;
     let i_6t = -op6.source_current(sources::VDD).expect("vdd exists");
 
-    let mut ckt = Circuit::new();
-    let nodes = build_cell(&mut ckt, design, CellKind::NvSram, MtjConfig::stored(true))?;
-    let mut out = Vec::with_capacity(v_ctrl_points.len());
-    for &v in v_ctrl_points {
+    // Each sweep point solves an independent DC problem from the same
+    // nodesets, so the points fan out over the worker pool — a fresh
+    // cell per point (a cell is ~20 unknowns; building one is far
+    // cheaper than its Newton solve).
+    nvpg_exec::par_try_map(0, v_ctrl_points, |_, &v| {
+        let mut ckt = Circuit::new();
+        let nodes = build_cell(&mut ckt, design, CellKind::NvSram, MtjConfig::stored(true))?;
         ckt.set_source(sources::VCTRL, v)?;
         let op = normal_mode_op(&mut ckt, &nodes, design.conditions.vdd, true)?;
         let i_nv = -op.source_current(sources::VDD).expect("vdd exists");
         let p_vdd = i_nv * design.conditions.vdd;
         let p_ctrl = op.source_power(sources::VCTRL, v).expect("vctrl exists");
-        out.push(LeakagePoint {
+        Ok(LeakagePoint {
             v_ctrl: v,
             i_nv,
             i_6t,
             p_total_nv: p_vdd + p_ctrl,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// One sample of a store-current characteristic (Fig. 3(b)/(c)).
@@ -117,22 +119,20 @@ pub fn store_current_vs_vsr(
         left: MtjState::Parallel,
         right: MtjState::Parallel,
     };
-    let mut ckt = Circuit::new();
-    let nodes = build_cell(&mut ckt, design, CellKind::NvSram, mtjs)?;
-    ckt.set_source(sources::VCTRL, 0.0)?;
-    let mut out = Vec::with_capacity(v_sr_points.len());
-    for &v in v_sr_points {
+    nvpg_exec::par_try_map(0, v_sr_points, |_, &v| {
+        let mut ckt = Circuit::new();
+        let nodes = build_cell(&mut ckt, design, CellKind::NvSram, mtjs)?;
+        ckt.set_source(sources::VCTRL, 0.0)?;
         ckt.set_source(sources::VSR, v)?;
         let op = normal_mode_op(&mut ckt, &nodes, design.conditions.vdd, true)?;
         // Positive ammeter current = cell → CTRL (the H-store direction).
         let i = op.source_current(sources::IAM_L).expect("ammeter exists");
-        out.push(StoreCurrentPoint {
+        Ok(StoreCurrentPoint {
             bias: v,
             i_mtj: i,
             overdrive: i / ic,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// L-store current `I_MTJ^{AP→P}` through the L-side (antiparallel-state)
@@ -152,22 +152,20 @@ pub fn store_current_vs_vctrl(
         left: MtjState::AntiParallel,
         right: MtjState::AntiParallel,
     };
-    let mut ckt = Circuit::new();
-    let nodes = build_cell(&mut ckt, design, CellKind::NvSram, mtjs)?;
-    ckt.set_source(sources::VSR, design.conditions.v_sr)?;
-    let mut out = Vec::with_capacity(v_ctrl_points.len());
-    for &v in v_ctrl_points {
+    nvpg_exec::par_try_map(0, v_ctrl_points, |_, &v| {
+        let mut ckt = Circuit::new();
+        let nodes = build_cell(&mut ckt, design, CellKind::NvSram, mtjs)?;
+        ckt.set_source(sources::VSR, design.conditions.v_sr)?;
         ckt.set_source(sources::VCTRL, v)?;
         let op = normal_mode_op(&mut ckt, &nodes, design.conditions.vdd, true)?;
         // L-store current flows CTRL → cell: negative on the ammeter.
         let i = -op.source_current(sources::IAM_R).expect("ammeter exists");
-        out.push(StoreCurrentPoint {
+        Ok(StoreCurrentPoint {
             bias: v,
             i_mtj: i,
             overdrive: i / ic,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// One sample of the Fig. 4 virtual-V_DD characteristic.
@@ -191,8 +189,7 @@ pub fn vvdd_vs_nfsw(
     design: &CellDesign,
     fin_counts: &[u32],
 ) -> Result<Vec<VvddPoint>, CircuitError> {
-    let mut out = Vec::with_capacity(fin_counts.len());
-    for &n_fsw in fin_counts {
+    nvpg_exec::par_try_map(0, fin_counts, |_, &n_fsw| {
         let d = design.with_power_switch_fins(n_fsw);
         let mtjs = MtjConfig {
             left: MtjState::Parallel,
@@ -207,13 +204,12 @@ pub fn vvdd_vs_nfsw(
         ckt.set_source(sources::VCTRL, 0.0)?;
         let op = normal_mode_op(&mut ckt, &nodes, d.conditions.vdd, true)?;
         let vvdd_store = op.voltage(nodes.vvdd);
-        out.push(VvddPoint {
+        Ok(VvddPoint {
             n_fsw,
             vvdd_normal,
             vvdd_store,
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 /// Static power of both cells in every mode (Fig. 6(c)).
@@ -350,6 +346,34 @@ pub fn characterize(design: &CellDesign) -> Result<CellCharacterization, Circuit
     })
 }
 
+/// Memoised [`characterize`]: experiments sharing one [`CellDesign`]
+/// reuse a single [`CellCharacterization`] instead of re-running the
+/// cell-level simulations.
+///
+/// The cache key is the design's `Debug` rendering — Rust prints `f64`s
+/// with round-trip precision, so distinct designs get distinct keys.
+/// Errors are not cached (a failing design re-runs on the next call).
+///
+/// # Errors
+///
+/// Propagates simulation errors from any stage.
+pub fn characterize_cached(design: &CellDesign) -> Result<CellCharacterization, CircuitError> {
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<String, CellCharacterization>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = format!("{design:?}");
+    if let Some(ch) = cache.lock().expect("characterization cache").get(&key) {
+        return Ok(*ch);
+    }
+    let ch = characterize(design)?;
+    cache
+        .lock()
+        .expect("characterization cache")
+        .insert(key, ch);
+    Ok(ch)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,6 +381,16 @@ mod tests {
 
     fn design() -> CellDesign {
         CellDesign::table1()
+    }
+
+    #[test]
+    fn cached_characterization_matches_fresh() {
+        let d = design();
+        let fresh = characterize(&d).unwrap();
+        let cached = characterize_cached(&d).unwrap();
+        assert_eq!(fresh, cached);
+        // Second hit returns the identical value from the memo.
+        assert_eq!(characterize_cached(&d).unwrap(), cached);
     }
 
     #[test]

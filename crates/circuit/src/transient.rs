@@ -123,8 +123,8 @@ impl Recorder {
         )
     }
 
-    fn sample(&self, circuit: &Circuit, x: &[f64], t: f64, trace: &mut Trace) {
-        let mut row = Vec::with_capacity(trace.signal_names().len());
+    fn sample(&self, circuit: &Circuit, x: &[f64], t: f64, trace: &mut Trace, row: &mut Vec<f64>) {
+        row.clear();
         for &n in &self.nodes {
             row.push(x[n.unknown_index().expect("non-ground")]);
         }
@@ -149,7 +149,7 @@ impl Recorder {
                 }
             }
         }
-        trace.push(t, &row);
+        trace.push(t, row);
     }
 }
 
@@ -178,6 +178,10 @@ pub struct TransientResult {
     pub trace: Trace,
     /// MNA state at `t_stop` (node voltages + branch currents).
     pub final_state: DcSolution,
+    /// Newton iterations summed over every attempted step.
+    pub newton_iterations: u64,
+    /// Newton solves attempted (accepted + rejected steps).
+    pub newton_solves: u64,
 }
 
 /// Runs a transient analysis starting from the operating point `initial`.
@@ -218,8 +222,13 @@ pub fn transient(
     let mut x = initial.as_slice().to_vec();
     sys.init_integration(&x, opts.method);
 
+    // Per-step scratch, allocated once: the Newton trial vector and the
+    // recorder's sample row. The step loop itself is allocation-free.
+    let mut x_try = x.clone();
+    let mut row: Vec<f64> = Vec::with_capacity(trace.signal_names().len());
+
     let mut t = 0.0_f64;
-    recorder.sample(sys.circuit, &x, t, &mut trace);
+    recorder.sample(sys.circuit, &x, t, &mut trace, &mut row);
 
     let mut dt = opts.dt_init.min(opts.dt_max);
     let mut bp_iter = bps.iter().copied().peekable();
@@ -252,13 +261,13 @@ pub fn transient(
         if let Some(integ) = &mut sys.ctx.integ {
             integ.dt = step;
         }
-        let mut x_try = x.clone();
+        x_try.copy_from_slice(&x);
         match solver.solve(&mut sys, &mut x_try) {
             NewtonOutcome::Converged { iterations } => {
-                x = x_try;
+                std::mem::swap(&mut x, &mut x_try);
                 sys.accept_step(&x, t_new, step);
                 t = t_new;
-                recorder.sample(sys.circuit, &x, t, &mut trace);
+                recorder.sample(sys.circuit, &x, t, &mut trace, &mut row);
                 if iterations <= 5 {
                     dt = (step * 1.5).min(opts.dt_max);
                 } else if iterations > 20 {
@@ -278,7 +287,12 @@ pub fn transient(
     }
 
     let final_state = DcSolution::new(sys.circuit, x);
-    Ok(TransientResult { trace, final_state })
+    Ok(TransientResult {
+        trace,
+        final_state,
+        newton_iterations: solver.total_iterations(),
+        newton_solves: solver.total_solves(),
+    })
 }
 
 #[cfg(test)]

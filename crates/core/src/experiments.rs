@@ -8,7 +8,7 @@
 //! them.
 
 use nvpg_cells::characterize::{
-    characterize, leakage_vs_vctrl, static_power_by_mode, store_current_vs_vctrl,
+    characterize_cached, leakage_vs_vctrl, static_power_by_mode, store_current_vs_vctrl,
     store_current_vs_vsr, vvdd_vs_nfsw, CellCharacterization,
 };
 use nvpg_cells::design::CellDesign;
@@ -89,7 +89,7 @@ impl Experiments {
     ///
     /// Propagates simulation errors from the characterisation flow.
     pub fn new(design: CellDesign) -> Result<Self, CircuitError> {
-        let ch = characterize(&design)?;
+        let ch = characterize_cached(&design)?;
         Ok(Experiments {
             design,
             ch,
@@ -765,6 +765,54 @@ impl Experiments {
             log_y: true,
             series,
         }
+    }
+
+    /// Renders one figure by its id, or `None` for an unknown id.
+    ///
+    /// `table1` is not covered (it is parameter rows, not a plot); every
+    /// other id in [`FIGURE_IDS`], [`BET_FIGURE_IDS`] and
+    /// [`EXTENSION_IDS`] dispatches to its `figN…`/`ext_…` method.
+    pub fn figure_by_id(&self, id: &str) -> Option<Result<Figure, CircuitError>> {
+        Some(match id {
+            "fig3a" => self.fig3a(),
+            "fig3b" => self.fig3b(),
+            "fig3c" => self.fig3c(),
+            "fig4" => self.fig4(),
+            "fig6a" => self.fig6a(),
+            "fig6b" => self.fig6b(),
+            "fig6c" => self.fig6c(),
+            "fig7a" => Ok(self.fig7a()),
+            "fig7b" => Ok(self.fig7b()),
+            "fig7c" => Ok(self.fig7c()),
+            "fig8a" => Ok(self.fig8a()),
+            "fig8b" => Ok(self.fig8b()),
+            "fig9a" => Ok(self.fig9a()),
+            "fig9b" => Self::fig9b(),
+            "ext_policy" => Ok(self.ext_policy()),
+            "ext_wer" => Ok(self.ext_wer()),
+            "ext_breakdown" => Ok(self.ext_breakdown()),
+            "ext_thermal" => self.ext_thermal(),
+            _ => return None,
+        })
+    }
+
+    /// Renders several figures concurrently over the worker pool
+    /// (`jobs = 0` uses the pool default), returning them in the order of
+    /// `ids`. Results are identical to calling [`Self::figure_by_id`]
+    /// serially — only wall-clock changes with `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (lowest-index) figure error.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an id not known to [`Self::figure_by_id`].
+    pub fn run_figures(&self, ids: &[&str], jobs: usize) -> Result<Vec<Figure>, CircuitError> {
+        nvpg_exec::par_try_map(jobs, ids, |_, &id| {
+            self.figure_by_id(id)
+                .unwrap_or_else(|| panic!("unknown figure id: {id}"))
+        })
     }
 }
 

@@ -11,7 +11,7 @@
 //! [`temperature_sweep`] re-characterises the cell across a temperature
 //! list with both effects applied.
 
-use nvpg_cells::characterize::{characterize, CellCharacterization};
+use nvpg_cells::characterize::{characterize_cached, CellCharacterization};
 use nvpg_cells::design::CellDesign;
 use nvpg_circuit::CircuitError;
 
@@ -53,22 +53,23 @@ pub fn temperature_sweep(
     temps: &[f64],
     params: &BenchmarkParams,
 ) -> Result<Vec<ThermalPoint>, CircuitError> {
-    let mut out = Vec::with_capacity(temps.len());
-    for &temp in temps {
+    // Each point characterises an independent design, so the sweep fans
+    // out over the worker pool; the memoised characterisation also lets
+    // repeated sweeps over the same temperatures come back instantly.
+    nvpg_exec::par_try_map(0, temps, |_, &temp| {
         let design = at_temperature(base, temp);
-        let ch = characterize(&design)?;
+        let ch = characterize_cached(&design)?;
         let bet = match bet_closed_form(&EnergyModel::new(ch), Architecture::Nvpg, params) {
             Bet::At(t) => Some(t.0),
             _ => None,
         };
-        out.push(ThermalPoint {
+        Ok(ThermalPoint {
             temp,
             characterization: ch,
             bet,
             retention: design.mtj.retention_time(),
-        });
-    }
-    Ok(out)
+        })
+    })
 }
 
 #[cfg(test)]

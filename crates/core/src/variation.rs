@@ -7,9 +7,13 @@
 //! variations on `(V_th, TMR₀, J_C)`, re-characterises the cell per
 //! sample, and reports the BET distribution alongside store/restore
 //! failure counts.
+//!
+//! Samples fan out across a bounded worker pool ([`nvpg_exec`]). Each
+//! sample draws from its own counter-derived RNG sub-stream
+//! ([`Rng64::split`]), so the sampled designs — and therefore the BET
+//! statistics — are identical for any worker count, including 1.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvpg_numeric::rng::Rng64;
 
 use nvpg_cells::characterize::characterize;
 use nvpg_cells::design::CellDesign;
@@ -85,27 +89,30 @@ impl VariationOutcome {
     }
 }
 
-/// Standard-normal sample via Box–Muller.
-fn normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
 /// Draws one varied design point.
-fn sample_design(base: &CellDesign, spec: &VariationSpec, rng: &mut StdRng) -> CellDesign {
+fn sample_design(base: &CellDesign, spec: &VariationSpec, rng: &mut Rng64) -> CellDesign {
     let mut d = *base;
-    d.nmos.vth0 += spec.sigma_vth * normal(rng);
-    d.pmos.vth0 += spec.sigma_vth * normal(rng);
-    d.mtj.tmr0 = (d.mtj.tmr0 * (1.0 + spec.sigma_tmr_rel * normal(rng))).max(0.1);
-    d.mtj.jc = (d.mtj.jc * (1.0 + spec.sigma_jc_rel * normal(rng))).max(1e9);
+    d.nmos.vth0 += spec.sigma_vth * rng.normal();
+    d.pmos.vth0 += spec.sigma_vth * rng.normal();
+    d.mtj.tmr0 = (d.mtj.tmr0 * (1.0 + spec.sigma_tmr_rel * rng.normal())).max(0.1);
+    d.mtj.jc = (d.mtj.jc * (1.0 + spec.sigma_jc_rel * rng.normal())).max(1e9);
     d
 }
 
-/// Runs the Monte-Carlo study: per sample, re-characterises the varied
-/// cell and solves the NVPG BET under `params`.
+/// What one Monte-Carlo sample contributed.
+enum SampleResult {
+    Bet(f64),
+    NoBet,
+    StoreFailure,
+    RestoreFailure,
+    SimulationFailure,
+}
+
+/// Runs the Monte-Carlo study with the pool's default worker count.
 ///
-/// Individual non-convergent samples are counted, not fatal.
+/// Per sample, re-characterises the varied cell and solves the NVPG BET
+/// under `params`. Individual non-convergent samples are counted, not
+/// fatal.
 ///
 /// # Errors
 ///
@@ -116,32 +123,56 @@ pub fn run_variation(
     spec: &VariationSpec,
     params: &BenchmarkParams,
 ) -> Result<VariationOutcome, CircuitError> {
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    run_variation_jobs(base, spec, params, 0)
+}
+
+/// [`run_variation`] with an explicit worker count (`0` = pool default).
+///
+/// The outcome is bit-identical for every `jobs` value: samples are
+/// seeded per-index and folded in index order.
+///
+/// # Errors
+///
+/// See [`run_variation`].
+pub fn run_variation_jobs(
+    base: &CellDesign,
+    spec: &VariationSpec,
+    params: &BenchmarkParams,
+    jobs: usize,
+) -> Result<VariationOutcome, CircuitError> {
+    let indices: Vec<u64> = (0..u64::from(spec.samples)).collect();
+    let results = nvpg_exec::par_map(jobs, &indices, |_, &i| {
+        let mut rng = Rng64::split(spec.seed, i);
+        let design = sample_design(base, spec, &mut rng);
+        let ch = match characterize(&design) {
+            Ok(ch) => ch,
+            Err(_) => return SampleResult::SimulationFailure,
+        };
+        if !ch.store_ok {
+            return SampleResult::StoreFailure;
+        }
+        if !ch.restore_ok {
+            return SampleResult::RestoreFailure;
+        }
+        match bet_closed_form(&EnergyModel::new(ch), Architecture::Nvpg, params) {
+            Bet::At(t) => SampleResult::Bet(t.0),
+            _ => SampleResult::NoBet,
+        }
+    });
+
     let mut outcome = VariationOutcome {
         bets: Vec::with_capacity(spec.samples as usize),
         store_failures: 0,
         restore_failures: 0,
         simulation_failures: 0,
     };
-    for _ in 0..spec.samples {
-        let design = sample_design(base, spec, &mut rng);
-        let ch = match characterize(&design) {
-            Ok(ch) => ch,
-            Err(_) => {
-                outcome.simulation_failures += 1;
-                continue;
-            }
-        };
-        if !ch.store_ok {
-            outcome.store_failures += 1;
-            continue;
-        }
-        if !ch.restore_ok {
-            outcome.restore_failures += 1;
-            continue;
-        }
-        if let Bet::At(t) = bet_closed_form(&EnergyModel::new(ch), Architecture::Nvpg, params) {
-            outcome.bets.push(t.0);
+    for r in results {
+        match r {
+            SampleResult::Bet(t) => outcome.bets.push(t),
+            SampleResult::NoBet => {}
+            SampleResult::StoreFailure => outcome.store_failures += 1,
+            SampleResult::RestoreFailure => outcome.restore_failures += 1,
+            SampleResult::SimulationFailure => outcome.simulation_failures += 1,
         }
     }
     Ok(outcome)
@@ -155,21 +186,25 @@ mod tests {
     fn reproducible_sampling() {
         let base = CellDesign::table1();
         let spec = VariationSpec::default();
-        let mut r1 = StdRng::seed_from_u64(spec.seed);
-        let mut r2 = StdRng::seed_from_u64(spec.seed);
+        let mut r1 = Rng64::split(spec.seed, 0);
+        let mut r2 = Rng64::split(spec.seed, 0);
         let d1 = sample_design(&base, &spec, &mut r1);
         let d2 = sample_design(&base, &spec, &mut r2);
         assert_eq!(d1.nmos.vth0, d2.nmos.vth0);
         assert_eq!(d1.mtj.jc, d2.mtj.jc);
         // And actually varied from the base.
         assert_ne!(d1.nmos.vth0, base.nmos.vth0);
+        // A different sub-stream draws a different design.
+        let mut r3 = Rng64::split(spec.seed, 1);
+        let d3 = sample_design(&base, &spec, &mut r3);
+        assert_ne!(d3.nmos.vth0, d1.nmos.vth0);
     }
 
     #[test]
     fn normal_has_sane_moments() {
-        let mut rng = StdRng::seed_from_u64(42);
+        let mut rng = Rng64::seed_from_u64(42);
         let n = 20_000;
-        let xs: Vec<f64> = (0..n).map(|_| normal(&mut rng)).collect();
+        let xs: Vec<f64> = (0..n).map(|_| rng.normal()).collect();
         let mean = xs.iter().sum::<f64>() / n as f64;
         let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
         assert!(mean.abs() < 0.03, "mean = {mean}");
@@ -200,6 +235,26 @@ mod tests {
         let mean = out.mean_bet().unwrap();
         assert!((1e-6..1e-2).contains(&mean), "mean BET = {mean:e}");
         assert!(out.std_bet().unwrap() < mean, "spread should be moderate");
+    }
+
+    #[test]
+    fn parallel_run_matches_serial_exactly() {
+        // The acceptance bar for the parallel engine: fixed seed ⇒
+        // bit-identical BET statistics at jobs=1 and jobs=8.
+        let spec = VariationSpec {
+            sigma_vth: 5e-3,
+            sigma_tmr_rel: 0.02,
+            sigma_jc_rel: 0.02,
+            samples: 8,
+            seed: 0x0D15_EA5E,
+        };
+        let base = CellDesign::table1();
+        let params = BenchmarkParams::fig7_default();
+        let serial = run_variation_jobs(&base, &spec, &params, 1).unwrap();
+        let parallel = run_variation_jobs(&base, &spec, &params, 8).unwrap();
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.mean_bet(), parallel.mean_bet());
+        assert_eq!(serial.std_bet(), parallel.std_bet());
     }
 
     #[test]

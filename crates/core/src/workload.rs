@@ -9,8 +9,7 @@
 //! the oracle lower-bounds every policy on every trace, and the
 //! `Timeout(BET)` policy stays within the ski-rental factor of it.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use nvpg_numeric::rng::Rng64;
 
 use crate::arch::Architecture;
 use crate::energy::{BenchmarkParams, EnergyModel};
@@ -47,13 +46,13 @@ impl Workload {
         idle_dist: IdleDistribution,
     ) -> Self {
         assert!(mean_rounds >= 1.0, "bursts need at least one round");
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng64::seed_from_u64(seed);
         let p = 1.0 / mean_rounds;
         let events = (0..n_events)
             .map(|_| {
                 // Geometric burst length (≥ 1).
                 let mut rounds = 1u32;
-                while rng.gen::<f64>() > p && rounds < 100_000 {
+                while rng.gen_f64() > p && rounds < 100_000 {
                     rounds += 1;
                 }
                 // Inverse-transform idle sample: survival(x) = u.

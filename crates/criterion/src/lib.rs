@@ -1,0 +1,334 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `criterion`
+//! cannot be fetched. This in-tree package keeps the `benches/` files
+//! source-compatible and functional: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`bench_with_input`](BenchmarkGroup::bench_with_input),
+//! [`Bencher::iter`], [`BenchmarkId`], [`criterion_group!`] and
+//! [`criterion_main!`].
+//!
+//! Measurement model (simpler than the real crate, adequate for the
+//! regression tracking this workspace does):
+//!
+//! * per benchmark: a warm-up run, then `sample_size` timed samples of a
+//!   batch whose iteration count targets ~`NVPG_BENCH_MS` (default 40) ms
+//!   of wall-clock per sample for fast benchmarks;
+//! * reported statistic: the median per-iteration time, with min/max;
+//! * output: an aligned line per benchmark on stdout, plus an optional
+//!   machine-readable JSON report appended to the path in
+//!   `NVPG_BENCH_JSON` (consumed by the perf-trajectory tooling).
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// One measured benchmark, as recorded into the JSON report.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// `group/name` identifier.
+    pub id: String,
+    /// Median per-iteration nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample (ns/iter).
+    pub min_ns: f64,
+    /// Slowest sample (ns/iter).
+    pub max_ns: f64,
+    /// Iterations per timed sample.
+    pub iters_per_sample: u64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+impl BenchRecord {
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"id\":\"{}\",\"median_ns\":{:.1},\"min_ns\":{:.1},\"max_ns\":{:.1},\"iters_per_sample\":{},\"samples\":{}}}",
+            self.id.replace('"', "'"),
+            self.median_ns,
+            self.min_ns,
+            self.max_ns,
+            self.iters_per_sample,
+            self.samples
+        )
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    records: Vec<BenchRecord>,
+}
+
+impl Criterion {
+    /// Creates a driver (used by the [`criterion_main!`] expansion).
+    pub fn new() -> Self {
+        Criterion::default()
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: default_sample_size(),
+        }
+    }
+
+    /// Runs an ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let n = default_sample_size();
+        self.run_one(id, n, f);
+    }
+
+    fn run_one<F>(&mut self, id: String, sample_size: usize, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            sample_size,
+            record: None,
+        };
+        f(&mut bencher);
+        if let Some(mut record) = bencher.record {
+            record.id = id;
+            println!(
+                "{:<60} median {:>12}  (min {}, max {}, {} iters x {} samples)",
+                record.id,
+                format_ns(record.median_ns),
+                format_ns(record.min_ns),
+                format_ns(record.max_ns),
+                record.iters_per_sample,
+                record.samples,
+            );
+            self.records.push(record);
+        }
+    }
+
+    /// All records measured so far.
+    pub fn records(&self) -> &[BenchRecord] {
+        &self.records
+    }
+
+    /// Appends the JSON report if `NVPG_BENCH_JSON` is set (one JSON
+    /// object per line).
+    pub fn flush_json(&self) {
+        if let Ok(path) = std::env::var("NVPG_BENCH_JSON") {
+            if path.is_empty() {
+                return;
+            }
+            use std::io::Write;
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path);
+            match file {
+                Ok(mut f) => {
+                    for r in &self.records {
+                        let _ = writeln!(f, "{}", r.to_json());
+                    }
+                }
+                Err(e) => eprintln!("criterion shim: cannot write {path}: {e}"),
+            }
+        }
+    }
+}
+
+fn default_sample_size() -> usize {
+    std::env::var("NVPG_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &usize| n >= 2)
+        .unwrap_or(20)
+}
+
+fn target_sample_time() -> Duration {
+    let ms = std::env::var("NVPG_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n: &u64| n > 0)
+        .unwrap_or(40);
+    Duration::from_millis(ms)
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        self.criterion.run_one(id, self.sample_size, f);
+        self
+    }
+
+    /// Runs one parameterised benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.id);
+        let n = self.sample_size;
+        self.criterion.run_one(id, n, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (the shim reports incrementally, so this is a
+    /// no-op kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A `name/parameter` benchmark identifier.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id like `"factor_and_solve/32"`.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// The per-benchmark measurement handle.
+pub struct Bencher {
+    sample_size: usize,
+    record: Option<BenchRecord>,
+}
+
+impl Bencher {
+    /// Measures `routine`: calibrates an iteration count against the
+    /// target sample time, then times `sample_size` batches.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up + calibration: run until ~the target sample time to pick
+        // the batch size.
+        let target = target_sample_time();
+        let calib_start = Instant::now();
+        let mut calib_iters: u64 = 0;
+        loop {
+            black_box(routine());
+            calib_iters += 1;
+            if calib_start.elapsed() >= target || calib_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = calib_start.elapsed().as_nanos() as f64 / calib_iters as f64;
+        let iters = ((target.as_nanos() as f64 / per_iter).round() as u64).max(1);
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = samples_ns[samples_ns.len() / 2];
+        self.record = Some(BenchRecord {
+            id: String::new(),
+            median_ns: median,
+            min_ns: samples_ns[0],
+            max_ns: *samples_ns.last().expect("nonempty"),
+            iters_per_sample: iters,
+            samples: samples_ns.len(),
+        });
+    }
+}
+
+/// Declares a benchmark group runner, mirroring the real macro's simple
+/// form: `criterion_group!(benches, target_a, target_b);`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running every group and
+/// flushing the optional JSON report.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::new();
+            $($group(&mut c);)+
+            c.flush_json();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_measure_something() {
+        std::env::set_var("NVPG_BENCH_MS", "1");
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        g.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        assert_eq!(c.records().len(), 2);
+        assert_eq!(c.records()[0].id, "g/add");
+        assert_eq!(c.records()[1].id, "g/param/7");
+        assert!(c.records()[0].median_ns > 0.0);
+        std::env::remove_var("NVPG_BENCH_MS");
+    }
+
+    #[test]
+    fn json_escape_and_shape() {
+        let r = BenchRecord {
+            id: "a\"b".into(),
+            median_ns: 1.5,
+            min_ns: 1.0,
+            max_ns: 2.0,
+            iters_per_sample: 10,
+            samples: 3,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"id\":\"a'b\""));
+        assert!(j.contains("\"median_ns\":1.5"));
+    }
+}

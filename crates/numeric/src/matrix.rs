@@ -139,6 +139,11 @@ impl DenseMatrix {
 
     /// LU-factorises a square matrix with partial pivoting.
     ///
+    /// This is the allocating convenience wrapper around the in-place
+    /// kernel; hot paths should hold a [`LuWorkspace`] and call
+    /// [`LuWorkspace::factor_from`] instead so the factor storage is
+    /// reused across solves.
+    ///
     /// # Errors
     ///
     /// Returns [`SingularMatrixError`] if a pivot smaller than `1e-300` in
@@ -152,40 +157,207 @@ impl DenseMatrix {
         let n = self.rows;
         let mut lu = self.data.clone();
         let mut perm: Vec<usize> = (0..n).collect();
-        let mut sign = 1.0;
+        let sign = factor_in_place(n, &mut lu, &mut perm)?;
+        Ok(LuFactors { n, lu, perm, sign })
+    }
+}
 
-        for k in 0..n {
-            // Partial pivot: largest |entry| in column k at or below row k.
-            let mut pivot_row = k;
-            let mut pivot_val = lu[k * n + k].abs();
-            for i in (k + 1)..n {
-                let v = lu[i * n + k].abs();
-                if v > pivot_val {
-                    pivot_val = v;
-                    pivot_row = i;
-                }
-            }
-            if pivot_val < 1e-300 {
-                return Err(SingularMatrixError { column: k });
-            }
-            if pivot_row != k {
-                for j in 0..n {
-                    lu.swap(k * n + j, pivot_row * n + j);
-                }
-                perm.swap(k, pivot_row);
-                sign = -sign;
-            }
-            let pivot = lu[k * n + k];
-            for i in (k + 1)..n {
-                let factor = lu[i * n + k] / pivot;
-                lu[i * n + k] = factor;
-                for j in (k + 1)..n {
-                    lu[i * n + j] -= factor * lu[k * n + j];
-                }
+/// The in-place Doolittle factorisation kernel shared by [`DenseMatrix::lu`]
+/// and [`LuWorkspace::factor_from`]: overwrites `lu` with the combined L/U
+/// factors, fills `perm`, and returns the permutation sign.
+fn factor_in_place(
+    n: usize,
+    lu: &mut [f64],
+    perm: &mut [usize],
+) -> Result<f64, SingularMatrixError> {
+    debug_assert_eq!(lu.len(), n * n);
+    debug_assert_eq!(perm.len(), n);
+    let mut sign = 1.0;
+    for k in 0..n {
+        // Partial pivot: largest |entry| in column k at or below row k.
+        let mut pivot_row = k;
+        let mut pivot_val = lu[k * n + k].abs();
+        for i in (k + 1)..n {
+            let v = lu[i * n + k].abs();
+            if v > pivot_val {
+                pivot_val = v;
+                pivot_row = i;
             }
         }
+        if pivot_val < 1e-300 {
+            return Err(SingularMatrixError { column: k });
+        }
+        if pivot_row != k {
+            for j in 0..n {
+                lu.swap(k * n + j, pivot_row * n + j);
+            }
+            perm.swap(k, pivot_row);
+            sign = -sign;
+        }
+        let pivot = lu[k * n + k];
+        for i in (k + 1)..n {
+            let factor = lu[i * n + k] / pivot;
+            lu[i * n + k] = factor;
+            for j in (k + 1)..n {
+                lu[i * n + j] -= factor * lu[k * n + j];
+            }
+        }
+    }
+    Ok(sign)
+}
 
-        Ok(LuFactors { n, lu, perm, sign })
+/// Permuted forward/backward substitution on combined L/U factors,
+/// writing the solution into `x`. `x` must already hold the permuted
+/// right-hand side (`x[i] = b[perm[i]]`).
+#[allow(clippy::needless_range_loop)] // forward/backward substitution
+fn substitute_in_place(n: usize, lu: &[f64], x: &mut [f64]) {
+    // Forward substitution (L has unit diagonal).
+    for i in 1..n {
+        let mut sum = x[i];
+        for j in 0..i {
+            sum -= lu[i * n + j] * x[j];
+        }
+        x[i] = sum;
+    }
+    // Backward substitution with U.
+    for i in (0..n).rev() {
+        let mut sum = x[i];
+        for j in (i + 1)..n {
+            sum -= lu[i * n + j] * x[j];
+        }
+        x[i] = sum / lu[i * n + i];
+    }
+}
+
+/// Reusable LU factorisation workspace: factor storage, permutation and
+/// right-hand-side scratch that survive across repeated factor/solve
+/// cycles, so a Newton iteration performs zero heap allocations after
+/// the first solve at a given dimension.
+///
+/// # Examples
+///
+/// ```
+/// use nvpg_numeric::{DenseMatrix, LuWorkspace};
+///
+/// let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+/// let mut ws = LuWorkspace::new();
+/// ws.factor_from(&a)?;
+/// let mut x = [0.0; 2];
+/// ws.solve_into(&[3.0, 5.0], &mut x);
+/// assert!((x[0] - 0.8).abs() < 1e-12);
+/// assert!((x[1] - 1.4).abs() < 1e-12);
+/// # Ok::<(), nvpg_numeric::SingularMatrixError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct LuWorkspace {
+    n: usize,
+    lu: Vec<f64>,
+    perm: Vec<usize>,
+    sign: f64,
+    factored: bool,
+}
+
+impl LuWorkspace {
+    /// Creates an empty workspace; storage grows on first use.
+    pub fn new() -> Self {
+        LuWorkspace::default()
+    }
+
+    /// Creates a workspace with storage pre-sized for `n × n` systems.
+    pub fn with_dim(n: usize) -> Self {
+        LuWorkspace {
+            n,
+            lu: vec![0.0; n * n],
+            perm: (0..n).collect(),
+            sign: 1.0,
+            factored: false,
+        }
+    }
+
+    /// Dimension of the last factored (or pre-sized) system.
+    pub fn dim(&self) -> usize {
+        self.n
+    }
+
+    /// Copies `matrix` into the workspace and factorises it in place.
+    /// Reuses the existing storage whenever the dimension matches the
+    /// previous call (the hot-loop case), so no allocation happens.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SingularMatrixError`] on a numerically singular matrix;
+    /// the workspace is left unfactored.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `matrix` is not square.
+    pub fn factor_from(&mut self, matrix: &DenseMatrix) -> Result<(), SingularMatrixError> {
+        assert_eq!(matrix.rows, matrix.cols, "LU requires a square matrix");
+        let n = matrix.rows;
+        if self.lu.len() != n * n {
+            self.lu.resize(n * n, 0.0);
+            self.perm.resize(n, 0);
+        }
+        self.n = n;
+        self.lu.copy_from_slice(&matrix.data);
+        for (i, p) in self.perm.iter_mut().enumerate() {
+            *p = i;
+        }
+        self.factored = false;
+        self.sign = factor_in_place(n, &mut self.lu, &mut self.perm)?;
+        self.factored = true;
+        Ok(())
+    }
+
+    /// Solves `A·x = b` with the stored factors, writing into `x` without
+    /// allocating.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace holds no factorisation or the slice
+    /// lengths don't match its dimension.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert!(self.factored, "solve_into before a successful factor_from");
+        assert_eq!(b.len(), self.n, "dimension mismatch in solve_into");
+        assert_eq!(x.len(), self.n, "dimension mismatch in solve_into");
+        for i in 0..self.n {
+            x[i] = b[self.perm[i]];
+        }
+        substitute_in_place(self.n, &self.lu, x);
+    }
+
+    /// Solves `A·x = -b` (the Newton right-hand side) into `x` without
+    /// allocating or materialising the negated vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace holds no factorisation or the slice
+    /// lengths don't match its dimension.
+    pub fn solve_neg_into(&self, b: &[f64], x: &mut [f64]) {
+        assert!(
+            self.factored,
+            "solve_neg_into before a successful factor_from"
+        );
+        assert_eq!(b.len(), self.n, "dimension mismatch in solve_neg_into");
+        assert_eq!(x.len(), self.n, "dimension mismatch in solve_neg_into");
+        for i in 0..self.n {
+            x[i] = -b[self.perm[i]];
+        }
+        substitute_in_place(self.n, &self.lu, x);
+    }
+
+    /// Determinant of the last factored matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace holds no factorisation.
+    pub fn det(&self) -> f64 {
+        assert!(self.factored, "det before a successful factor_from");
+        let mut d = self.sign;
+        for i in 0..self.n {
+            d *= self.lu[i * self.n + i];
+        }
+        d
     }
 }
 
@@ -244,27 +416,12 @@ impl LuFactors {
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
-    #[allow(clippy::needless_range_loop)] // forward/backward substitution
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
         assert_eq!(b.len(), self.n, "dimension mismatch in solve");
         let n = self.n;
-        // Apply permutation, then forward substitution (L has unit diagonal).
+        // Apply permutation, then substitute in place.
         let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
-        for i in 1..n {
-            let mut sum = x[i];
-            for j in 0..i {
-                sum -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = sum;
-        }
-        // Backward substitution with U.
-        for i in (0..n).rev() {
-            let mut sum = x[i];
-            for j in (i + 1)..n {
-                sum -= self.lu[i * n + j] * x[j];
-            }
-            x[i] = sum / self.lu[i * n + i];
-        }
+        substitute_in_place(n, &self.lu, &mut x);
         x
     }
 
@@ -391,5 +548,52 @@ mod tests {
     fn display_is_nonempty() {
         let s = DenseMatrix::identity(2).to_string();
         assert!(s.contains('['));
+    }
+
+    #[test]
+    fn workspace_matches_allocating_lu() {
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0, 2.0], &[3.0, 4.0, 5.0], &[6.0, 7.0, 9.0]]);
+        let b = [1.0, -2.0, 3.0];
+        let expect = a.lu().unwrap().solve(&b);
+        let mut ws = LuWorkspace::new();
+        ws.factor_from(&a).unwrap();
+        let mut x = [0.0; 3];
+        ws.solve_into(&b, &mut x);
+        assert_eq!(x.to_vec(), expect);
+        assert!((ws.det() - a.lu().unwrap().det()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn workspace_solve_neg() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let mut ws = LuWorkspace::with_dim(2);
+        ws.factor_from(&a).unwrap();
+        let mut x = [0.0; 2];
+        ws.solve_neg_into(&[-3.0, -5.0], &mut x);
+        assert!(residual(&a, &x, &[3.0, 5.0]) < 1e-12);
+    }
+
+    #[test]
+    fn workspace_reuse_across_dimensions() {
+        let mut ws = LuWorkspace::new();
+        ws.factor_from(&DenseMatrix::identity(4)).unwrap();
+        assert_eq!(ws.dim(), 4);
+        let a = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        ws.factor_from(&a).unwrap();
+        let mut x = [0.0; 2];
+        ws.solve_into(&[2.0, 3.0], &mut x);
+        assert_eq!(x, [3.0, 2.0]);
+    }
+
+    #[test]
+    fn workspace_singular_left_unfactored() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0]]);
+        let mut ws = LuWorkspace::new();
+        assert!(ws.factor_from(&a).is_err());
+        // A later successful factorisation recovers the workspace.
+        ws.factor_from(&DenseMatrix::identity(2)).unwrap();
+        let mut x = [0.0; 2];
+        ws.solve_into(&[5.0, 7.0], &mut x);
+        assert_eq!(x, [5.0, 7.0]);
     }
 }

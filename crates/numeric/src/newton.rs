@@ -12,7 +12,7 @@
 //! * the caller supplies a [`NonlinearSystem`] that evaluates the residual
 //!   and Jacobian together (devices naturally produce both at once).
 
-use crate::matrix::DenseMatrix;
+use crate::matrix::{DenseMatrix, LuWorkspace};
 
 /// A nonlinear system `F(x) = 0` with analytic Jacobian.
 pub trait NonlinearSystem {
@@ -112,6 +112,10 @@ pub struct NewtonSolver {
     options: NewtonOptions,
     residual: Vec<f64>,
     jacobian: DenseMatrix,
+    lu: LuWorkspace,
+    delta: Vec<f64>,
+    total_iterations: u64,
+    total_solves: u64,
 }
 
 impl NewtonSolver {
@@ -121,6 +125,10 @@ impl NewtonSolver {
             options,
             residual: Vec::new(),
             jacobian: DenseMatrix::zeros(0, 0),
+            lu: LuWorkspace::new(),
+            delta: Vec::new(),
+            total_iterations: 0,
+            total_solves: 0,
         }
     }
 
@@ -129,7 +137,23 @@ impl NewtonSolver {
         &self.options
     }
 
+    /// Newton iterations accumulated over every `solve` call on this
+    /// workspace (convergence telemetry for benchmarks).
+    pub fn total_iterations(&self) -> u64 {
+        self.total_iterations
+    }
+
+    /// Number of `solve` calls on this workspace.
+    pub fn total_solves(&self) -> u64 {
+        self.total_solves
+    }
+
     /// Runs Newton iteration on `system`, starting from and updating `x`.
+    ///
+    /// After the first iteration at a given dimension the loop performs
+    /// no heap allocations: the Jacobian is factored in place in a
+    /// reusable [`LuWorkspace`] and the update is solved directly into a
+    /// persistent `delta` buffer.
     ///
     /// # Panics
     ///
@@ -140,7 +164,9 @@ impl NewtonSolver {
         if self.residual.len() != n {
             self.residual = vec![0.0; n];
             self.jacobian = DenseMatrix::zeros(n, n);
+            self.delta = vec![0.0; n];
         }
+        self.total_solves += 1;
 
         let mut last_delta = f64::INFINITY;
         let mut last_residual = f64::INFINITY;
@@ -149,35 +175,35 @@ impl NewtonSolver {
             self.residual.fill(0.0);
             self.jacobian.clear();
             system.eval(x, &mut self.residual, &mut self.jacobian);
+            self.total_iterations += 1;
 
             last_residual = self.residual.iter().fold(0.0_f64, |m, r| m.max(r.abs()));
 
-            let factors = match self.jacobian.lu() {
-                Ok(f) => f,
-                Err(_) => return NewtonOutcome::SingularJacobian { iteration: iter },
-            };
-            // Newton step: J·Δ = -F  ⇒  Δ = -J⁻¹F.
-            let neg_f: Vec<f64> = self.residual.iter().map(|r| -r).collect();
-            let mut delta = factors.solve(&neg_f);
+            if self.lu.factor_from(&self.jacobian).is_err() {
+                return NewtonOutcome::SingularJacobian { iteration: iter };
+            }
+            // Newton step: J·Δ = -F  ⇒  Δ = -J⁻¹F, solved without
+            // materialising -F or allocating Δ.
+            self.lu.solve_neg_into(&self.residual, &mut self.delta);
 
             // Damping: clip the whole step so no unknown moves more than
             // max_step (preserves direction scaling per component, which is
             // what SPICE's voltage limiting effectively does).
             if self.options.max_step.is_finite() {
-                for d in &mut delta {
+                for d in &mut self.delta {
                     *d = d.clamp(-self.options.max_step, self.options.max_step);
                 }
             }
 
             let mut converged = true;
             last_delta = 0.0;
-            for i in 0..n {
-                x[i] += delta[i];
-                let tol = self.options.abstol + self.options.reltol * x[i].abs();
-                if delta[i].abs() > tol {
+            for (xi, di) in x.iter_mut().zip(&self.delta) {
+                *xi += di;
+                let tol = self.options.abstol + self.options.reltol * xi.abs();
+                if di.abs() > tol {
                     converged = false;
                 }
-                last_delta = last_delta.max(delta[i].abs());
+                last_delta = last_delta.max(di.abs());
             }
 
             if converged && last_residual <= self.options.residual_tol {
@@ -335,5 +361,23 @@ mod tests {
         let mut x2 = vec![1.0, 1.0];
         assert!(solver.solve(&mut Poly, &mut x2).is_converged());
         assert_eq!(solver.options().max_iter, 200);
+    }
+
+    #[test]
+    fn iteration_telemetry_accumulates() {
+        let mut solver = NewtonSolver::new(NewtonOptions::default());
+        assert_eq!(solver.total_iterations(), 0);
+        assert_eq!(solver.total_solves(), 0);
+        let mut x = vec![1.0, 1.0];
+        let outcome = solver.solve(&mut Poly, &mut x);
+        let NewtonOutcome::Converged { iterations } = outcome else {
+            panic!("{outcome:?}");
+        };
+        assert_eq!(solver.total_iterations(), iterations as u64);
+        assert_eq!(solver.total_solves(), 1);
+        let mut x2 = vec![1.0, 1.0];
+        solver.solve(&mut Poly, &mut x2);
+        assert_eq!(solver.total_solves(), 2);
+        assert!(solver.total_iterations() >= 2 * iterations as u64);
     }
 }

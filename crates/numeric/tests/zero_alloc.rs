@@ -1,0 +1,102 @@
+//! Verifies the Newton hot path performs zero heap allocations after
+//! warm-up: the first `solve` sizes the residual/Jacobian/LU/delta
+//! buffers, and every subsequent solve at the same dimension reuses them.
+//!
+//! The check uses a counting global allocator, so this lives in its own
+//! integration-test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use nvpg_numeric::{DenseMatrix, NewtonOptions, NewtonSolver, NonlinearSystem};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+struct CountingAllocator;
+
+// SAFETY: delegates every operation to the system allocator unchanged;
+// only a counter is added.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+/// A dense nonlinear system with the flavour of an MNA stamp: diagonally
+/// dominant linear part plus a cubic diagonal nonlinearity.
+struct CubicNetwork {
+    n: usize,
+}
+
+impl NonlinearSystem for CubicNetwork {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn eval(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut DenseMatrix) {
+        let n = self.n;
+        for i in 0..n {
+            let mut r = x[i] * x[i] * x[i] + 4.0 * x[i] - 1.0;
+            jacobian[(i, i)] = 3.0 * x[i] * x[i] + 4.0;
+            for j in 0..n {
+                if j != i {
+                    let g = 0.25 / (1.0 + (i + j) as f64);
+                    r += g * (x[i] - x[j]);
+                    jacobian[(i, i)] += g;
+                    jacobian[(i, j)] -= g;
+                }
+            }
+            residual[i] = r;
+        }
+    }
+}
+
+#[test]
+fn newton_solve_allocates_nothing_after_warmup() {
+    let n = 24;
+    let mut solver = NewtonSolver::new(NewtonOptions {
+        max_step: f64::INFINITY,
+        ..NewtonOptions::default()
+    });
+    let mut system = CubicNetwork { n };
+    let mut x = vec![0.5; n];
+
+    // Warm-up: sizes every internal buffer for dimension `n`.
+    assert!(solver.solve(&mut system, &mut x).is_converged());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..10 {
+        // Perturb so each solve genuinely iterates.
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi += 0.3 * (1.0 + (round + i) as f64 * 0.01);
+        }
+        assert!(solver.solve(&mut system, &mut x).is_converged());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "Newton hot path allocated {} time(s) after warm-up",
+        after - before
+    );
+    assert!(solver.total_iterations() > 10);
+}

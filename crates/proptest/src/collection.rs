@@ -1,0 +1,64 @@
+//! Collection strategies: `collection::vec(strategy, size)`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Anything accepted as a `vec` size: a fixed length or a `lo..hi` range.
+pub trait SizeRange {
+    /// Draws the length for one generated vector.
+    fn sample_len(&self, rng: &mut TestRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut TestRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut TestRng) -> usize {
+        Strategy::sample(self, rng)
+    }
+}
+
+/// Strategy for vectors of `inner`-generated elements.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, Z> {
+    inner: S,
+    size: Z,
+}
+
+impl<S: Strategy, Z: SizeRange> Strategy for VecStrategy<S, Z> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.inner.sample(rng)).collect()
+    }
+}
+
+/// Generates vectors whose elements come from `strategy` and whose length
+/// comes from `size` (a fixed `usize` or a `lo..hi` range).
+pub fn vec<S: Strategy, Z: SizeRange>(strategy: S, size: Z) -> VecStrategy<S, Z> {
+    VecStrategy {
+        inner: strategy,
+        size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = case_rng("vec", 0);
+        let v = vec(0.0f64..1.0, 7usize).sample(&mut rng);
+        assert_eq!(v.len(), 7);
+        for _ in 0..100 {
+            let v = vec(0.0f64..1.0, 2..8usize).sample(&mut rng);
+            assert!((2..8).contains(&v.len()));
+        }
+    }
+}

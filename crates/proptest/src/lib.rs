@@ -1,0 +1,83 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no crates.io access, so the real `proptest`
+//! cannot be fetched. This in-tree package keeps the workspace's ~900
+//! lines of property tests source-compatible: the [`proptest!`] macro,
+//! [`prop_assert!`]/[`prop_assert_eq!`], range and tuple strategies,
+//! `prop_map`, and `collection::vec`.
+//!
+//! Differences from the real crate (deliberate, to stay tiny):
+//!
+//! * no shrinking — a failing case reports its case number and the
+//!   deterministic per-test seed instead of a minimised input;
+//! * cases are generated from a fixed per-test seed (derived from the
+//!   test name), so runs are fully reproducible; set `PROPTEST_CASES`
+//!   to change the case count (default 64).
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The glob-import surface: `use proptest::prelude::*;`.
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, proptest};
+}
+
+/// Property assertion: like `assert!`, reported through the shim's case
+/// context on failure.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        assert!($cond);
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        assert!($cond, $($fmt)*);
+    };
+}
+
+/// Property equality assertion: like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {
+        assert_eq!($a, $b);
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        assert_eq!($a, $b, $($fmt)*);
+    };
+}
+
+/// Declares property tests: each `fn name(arg in strategy, ...)` becomes
+/// an ordinary `#[test]` that samples its strategies for a fixed number
+/// of deterministic cases and runs the body on each.
+#[macro_export]
+macro_rules! proptest {
+    () => {};
+    (
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let cases = $crate::test_runner::cases();
+            for case in 0..cases {
+                let mut rng = $crate::test_runner::case_rng(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                let outcome = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(
+                    || $body,
+                ));
+                if let Err(panic) = outcome {
+                    eprintln!(
+                        "proptest shim: property '{}' failed at case {} of {}",
+                        stringify!($name),
+                        case,
+                        cases,
+                    );
+                    ::std::panic::resume_unwind(panic);
+                }
+            }
+        }
+        $crate::proptest! { $($rest)* }
+    };
+}

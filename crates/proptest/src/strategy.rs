@@ -1,0 +1,172 @@
+//! Value-generation strategies: ranges, tuples, and `prop_map`.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A source of random values of one type.
+///
+/// Unlike the real proptest there is no value tree or shrinking: a
+/// strategy is just a sampler.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    pub(crate) inner: S,
+    pub(crate) f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        assert!(
+            self.start < self.end && self.start.is_finite() && self.end.is_finite(),
+            "f64 strategy range must be finite and non-empty"
+        );
+        let x = self.start + (self.end - self.start) * rng.unit_f64();
+        if x >= self.end {
+            self.start
+        } else {
+            x
+        }
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "integer strategy range must be non-empty");
+                let span = u64::from(self.end as u64 - self.start as u64);
+                let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return self.start + (v % span) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_range_strategy {
+    ($($t:ty => $u:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "integer strategy range must be non-empty");
+                let span = (self.end as i64 - self.start as i64) as u64;
+                let zone = u64::MAX - u64::MAX.wrapping_rem(span);
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return (self.start as i64 + (v % span) as i64) as $t;
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+signed_range_strategy!(i8 => u8, i16 => u16, i32 => u32, i64 => u64);
+
+/// A strategy that always yields clones of one value (the real crate's
+/// `Just`).
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::case_rng;
+
+    #[test]
+    fn range_samples_stay_in_bounds() {
+        let mut rng = case_rng("range", 0);
+        for _ in 0..1000 {
+            let x = (2.0f64..3.0).sample(&mut rng);
+            assert!((2.0..3.0).contains(&x));
+            let n = (1u32..5).sample(&mut rng);
+            assert!((1..5).contains(&n));
+            let s = (-3i32..4).sample(&mut rng);
+            assert!((-3..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn prop_map_and_tuples() {
+        let strat = (0.0f64..1.0, 1u32..10).prop_map(|(x, n)| x * n as f64);
+        let mut rng = case_rng("map", 0);
+        for _ in 0..100 {
+            let v = strat.sample(&mut rng);
+            assert!((0.0..10.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn just_yields_value() {
+        let mut rng = case_rng("just", 0);
+        assert_eq!(Just(41).sample(&mut rng), 41);
+    }
+}

@@ -41,6 +41,47 @@ proptest! {
         }
     }
 
+    /// The in-place factorisation ([`nvpg::numeric::LuWorkspace`]) agrees
+    /// with the allocating `lu()` path bit-for-bit: same solution vector,
+    /// same determinant, on random diagonally-dominant systems — and the
+    /// workspace keeps agreeing when reused across factorisations.
+    #[test]
+    fn lu_workspace_matches_allocating_lu(
+        entries in proptest::collection::vec(-1.0f64..1.0, 72),
+        rhs in proptest::collection::vec(-10.0f64..10.0, 6),
+    ) {
+        let n = 6;
+        let mut ws = nvpg::numeric::LuWorkspace::new();
+        // Two systems back-to-back through ONE workspace: reuse must not
+        // leak state from the previous factorisation.
+        for sys in 0..2 {
+            let mut a = DenseMatrix::zeros(n, n);
+            for i in 0..n {
+                for j in 0..n {
+                    a[(i, j)] = entries[sys * n * n + i * n + j];
+                }
+                a[(i, i)] += n as f64 + 1.0;
+            }
+            let factors = a.lu().expect("diagonally dominant is nonsingular");
+            ws.factor_from(&a).expect("same matrix, same pivoting");
+            let x_alloc = factors.solve(&rhs);
+            let mut x_ws = vec![0.0; n];
+            ws.solve_into(&rhs, &mut x_ws);
+            for (a_i, w_i) in x_alloc.iter().zip(&x_ws) {
+                prop_assert_eq!(a_i, w_i, "identical arithmetic, identical bits");
+            }
+            prop_assert_eq!(factors.det(), ws.det());
+            // solve_neg_into(b) is exactly solve(-b).
+            let neg_rhs: Vec<f64> = rhs.iter().map(|b| -b).collect();
+            let x_neg_alloc = factors.solve(&neg_rhs);
+            let mut x_neg = vec![0.0; n];
+            ws.solve_neg_into(&rhs, &mut x_neg);
+            for (a_i, w_i) in x_neg_alloc.iter().zip(&x_neg) {
+                prop_assert_eq!(a_i, w_i);
+            }
+        }
+    }
+
     /// Brent finds the root of any line with nonzero slope bracketed in
     /// the search interval.
     #[test]
