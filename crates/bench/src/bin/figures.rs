@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR]
-//!         [--report FILE] [--full]
+//!         [--report FILE] [--full] [--strict]
+//!         [--fault-rate R] [--fault-seed S]
 //! ```
 //!
 //! With no ids, all figures are produced in paper order. Ids can be given
@@ -11,6 +12,16 @@
 //! the per-figure sweeps (default: available parallelism; `1` forces a
 //! serial run). Output is byte-identical for every `--jobs` value:
 //! figures run concurrently but print in paper order.
+//!
+//! The run is **fail-soft by default**: a figure whose simulation fails
+//! (or panics) becomes a gap, the remaining figures still render, and a
+//! failures appendix naming every broken figure is printed at the end
+//! (exit code stays 0 so partial artefacts survive CI). `--strict`
+//! restores the old abort-on-first-failure behaviour with a nonzero exit.
+//!
+//! `--fault-rate R` (with optional `--fault-seed S`) injects
+//! deterministic solver faults into that fraction of Newton solves —
+//! exercising the rescue ladder and the failure reporting end-to-end.
 //!
 //! `--csv` additionally writes one CSV per figure into `DIR`; `--full`
 //! prints every data point instead of a downsampled table. Per-figure
@@ -29,7 +40,10 @@ use nvpg_bench::report::generate_report;
 use nvpg_bench::svg::render_svg;
 use nvpg_bench::{render_text, summarize, to_csv};
 use nvpg_cells::design::CellDesign;
-use nvpg_core::{Experiments, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
+use nvpg_circuit::fault::{with_fault_plan, FaultKind, FaultPlan};
+use nvpg_circuit::{CircuitError, RescueStats};
+use nvpg_core::{Experiments, PointStatus, RunReport, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
+use nvpg_exec::{Budget, Settled};
 
 /// One rendered figure, ready to print/write in canonical order.
 struct Rendered {
@@ -47,7 +61,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut svg_dir: Option<PathBuf> = None;
     let mut report_path: Option<PathBuf> = None;
     let mut full = false;
+    let mut strict = false;
     let mut jobs: usize = 0;
+    let mut fault_rate: f64 = 0.0;
+    let mut fault_seed: u64 = 0xFA17;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -80,10 +97,28 @@ fn main() -> Result<(), Box<dyn Error>> {
                     .map_err(|_| "--jobs requires an integer")?;
             }
             "--full" => full = true,
+            "--strict" => strict = true,
+            "--fault-rate" => {
+                fault_rate = args
+                    .next()
+                    .ok_or("--fault-rate requires a probability")?
+                    .parse()
+                    .map_err(|_| "--fault-rate requires a number in [0, 1]")?;
+                if !(0.0..=1.0).contains(&fault_rate) {
+                    return Err("--fault-rate must be in [0, 1]".into());
+                }
+            }
+            "--fault-seed" => {
+                fault_seed = args
+                    .next()
+                    .ok_or("--fault-seed requires an integer")?
+                    .parse()
+                    .map_err(|_| "--fault-seed requires an integer")?;
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR] \
-                     [--report FILE] [--full]"
+                     [--report FILE] [--full] [--strict] [--fault-rate R] [--fault-seed S]"
                 );
                 println!(
                     "ids: {} {} {}",
@@ -137,19 +172,29 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // Fan the selected plot figures out over the worker pool; each worker
     // renders everything to strings so the figures can be printed and
-    // written in paper order regardless of completion order.
+    // written in paper order regardless of completion order. Each figure
+    // settles independently: a failure (or a panic) becomes a gap plus a
+    // run-report entry instead of aborting the whole regeneration.
     let selected: Vec<&str> = all_ids
         .iter()
         .copied()
         .filter(|&id| id != "table1" && want(id))
         .collect();
-    let rendered: Result<Vec<Rendered>, Box<dyn Error + Send + Sync>> =
-        nvpg_exec::par_try_map(jobs, &selected, |_, &id| {
+    let fault_plan =
+        (fault_rate > 0.0).then(|| FaultPlan::random(fault_seed, fault_rate, &FaultKind::ALL));
+    if let Some(plan) = &fault_plan {
+        eprintln!("fault injection active: {plan:?}");
+    }
+    let settled: Vec<Settled<Rendered, CircuitError>> =
+        nvpg_exec::par_map_settled(jobs, &selected, Budget::unlimited(), |i, &id| {
             let t0 = Instant::now();
-            let fig = exp
-                .figure_by_id(id)
-                .expect("id validated above")
-                .map_err(|e| format!("{id}: {e}"))?;
+            let render = || exp.figure_by_id(id).expect("id validated above");
+            let fig = match &fault_plan {
+                // Key the schedule to the figure, not the thread, so a
+                // given seed breaks the same figures at any --jobs.
+                Some(plan) => with_fault_plan(&plan.for_point(i as u64), render),
+                None => render(),
+            }?;
             let mut stdout = String::new();
             stdout.push_str(&render_text(&fig, max_rows));
             stdout.push('\n');
@@ -169,7 +214,38 @@ fn main() -> Result<(), Box<dyn Error>> {
                 elapsed: t0.elapsed(),
             })
         });
-    let rendered = rendered.map_err(|e| -> Box<dyn Error> { e })?;
+
+    let mut run_report = RunReport::new();
+    let mut rendered: Vec<Rendered> = Vec::new();
+    for (&id, s) in selected.iter().zip(settled) {
+        match s {
+            Settled::Ok(r) => {
+                run_report.push(id, "figure", PointStatus::Ok, RescueStats::default());
+                rendered.push(r);
+            }
+            Settled::Err(e) => run_report.push(
+                id,
+                "figure",
+                PointStatus::Failed {
+                    taxonomy: e.taxonomy().to_owned(),
+                    message: e.to_string(),
+                },
+                RescueStats::default(),
+            ),
+            Settled::Panicked(msg) => run_report.push(
+                id,
+                "figure",
+                PointStatus::Failed {
+                    taxonomy: "panic".to_owned(),
+                    message: msg,
+                },
+                RescueStats::default(),
+            ),
+            Settled::Skipped => {
+                run_report.push(id, "figure", PointStatus::Skipped, RescueStats::default());
+            }
+        }
+    }
 
     for r in &rendered {
         print!("{}", r.stdout);
@@ -182,6 +258,18 @@ fn main() -> Result<(), Box<dyn Error>> {
             std::fs::create_dir_all(path.parent().expect("svg dir"))?;
             std::fs::write(path, svg)?;
             eprintln!("  wrote {}", path.display());
+        }
+    }
+
+    if !run_report.all_ok() {
+        println!("{}", run_report.render());
+        if strict {
+            return Err(format!(
+                "{} of {} figure(s) failed (run without --strict to keep partial output)",
+                run_report.failed() + run_report.skipped(),
+                run_report.records.len()
+            )
+            .into());
         }
     }
 

@@ -415,6 +415,28 @@ impl Circuit {
         self.nodes.unknown_count() + self.branch_count()
     }
 
+    /// Human-readable name of the `idx`-th MNA unknown: `v(<node>)` for a
+    /// node voltage, `i(<element>)` for a branch current. Used by
+    /// non-convergence diagnostics to name the worst-residual unknown.
+    pub fn unknown_name(&self, idx: usize) -> String {
+        let nv = self.nodes.unknown_count();
+        if idx < nv {
+            if let Some((_, name)) = self
+                .nodes
+                .iter()
+                .find(|(id, _)| id.unknown_index() == Some(idx))
+            {
+                return format!("v({name})");
+            }
+        } else {
+            let branches = self.branch_indices();
+            if let Some(eidx) = branches.iter().position(|&b| b == Some(idx)) {
+                return format!("i({})", self.elements[eidx].name());
+            }
+        }
+        format!("x[{idx}]")
+    }
+
     pub(crate) fn branch_count(&self) -> usize {
         self.elements
             .iter()

@@ -8,12 +8,14 @@
 
 use std::collections::HashMap;
 
-use nvpg_numeric::newton::{NewtonOptions, NewtonSolver};
+use nvpg_numeric::newton::{NewtonOptions, NewtonOutcome, NewtonSolver};
 
 use crate::circuit::Circuit;
 use crate::engine::{MnaContext, MnaSystem};
 use crate::error::CircuitError;
+use crate::fault::{self, FaultKind};
 use crate::node::NodeId;
+use crate::rescue::RescueStats;
 use crate::solution::DcSolution;
 
 /// Options for [`operating_point`] and [`sweep`].
@@ -62,6 +64,32 @@ fn initial_vector(circuit: &Circuit, opts: &DcOptions) -> Vec<f64> {
     x
 }
 
+/// Runs one Newton solve with the thread's fault plan applied: consults
+/// the plan, stamps the chosen corruption into the assembly, and demotes a
+/// converged solve to failure when a `RejectStep` fault fired.
+pub(crate) fn solve_with_faults(
+    solver: &mut NewtonSolver,
+    sys: &mut MnaSystem<'_>,
+    x: &mut [f64],
+    stats: &mut RescueStats,
+) -> NewtonOutcome {
+    let action = fault::begin_solve();
+    if action.is_some() {
+        stats.injected_faults += 1;
+    }
+    sys.fault = action;
+    let outcome = solver.solve(sys, x);
+    sys.fault = None;
+    if action == Some(FaultKind::RejectStep) && outcome.is_converged() {
+        return NewtonOutcome::IterationLimit {
+            last_delta: f64::INFINITY,
+            last_residual: f64::INFINITY,
+            worst_index: 0,
+        };
+    }
+    outcome
+}
+
 /// Computes the DC operating point of `circuit`.
 ///
 /// Strategy: plain Newton from the nodeset-seeded guess; on failure, gmin
@@ -82,6 +110,21 @@ pub fn operating_point(
     operating_point_from(circuit, opts, &x0)
 }
 
+/// [`operating_point`] plus the [`RescueStats`] describing which rungs of
+/// the convergence ladder (damped retry, gmin stepping, source stepping)
+/// the solve needed.
+///
+/// # Errors
+///
+/// Same as [`operating_point`].
+pub fn operating_point_report(
+    circuit: &mut Circuit,
+    opts: &DcOptions,
+) -> Result<(DcSolution, RescueStats), CircuitError> {
+    let x0 = initial_vector(circuit, opts);
+    operating_point_from_report(circuit, opts, &x0)
+}
+
 /// Like [`operating_point`] but starting from an explicit full unknown
 /// vector (warm start), e.g. the previous point of a sweep.
 ///
@@ -97,24 +140,80 @@ pub fn operating_point_from(
     opts: &DcOptions,
     x0: &[f64],
 ) -> Result<DcSolution, CircuitError> {
+    operating_point_from_report(circuit, opts, x0).map(|(sol, _)| sol)
+}
+
+/// [`operating_point_from`] plus the [`RescueStats`] for the solve.
+///
+/// The rescue ladder, in order: plain Newton from the warm start; a
+/// damped retry with backtracking line search; gmin stepping; source
+/// stepping. The first rung to converge wins; the stats record which
+/// rungs ran.
+///
+/// # Errors
+///
+/// Same as [`operating_point`], plus [`CircuitError::InvalidOptions`] for
+/// malformed Newton settings.
+///
+/// # Panics
+///
+/// Panics if `x0.len() != circuit.unknown_count()`.
+pub fn operating_point_from_report(
+    circuit: &mut Circuit,
+    opts: &DcOptions,
+    x0: &[f64],
+) -> Result<(DcSolution, RescueStats), CircuitError> {
     assert_eq!(
         x0.len(),
         circuit.unknown_count(),
         "warm-start vector has wrong length"
     );
+    opts.newton.validate()?;
+    let mut stats = RescueStats::default();
     let mut solver = NewtonSolver::new(opts.newton);
+    let mut saw_nonfinite = false;
 
     // 1. Plain Newton.
     let mut x = x0.to_vec();
     {
         let mut sys = MnaSystem::new(circuit, MnaContext::dc());
-        if solver.solve(&mut sys, &mut x).is_converged() {
-            return Ok(DcSolution::new(circuit, x));
+        let outcome = solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats);
+        if outcome.is_converged() {
+            return Ok((DcSolution::new(circuit, x), stats));
         }
+        saw_nonfinite |= matches!(outcome, NewtonOutcome::NonFiniteState { .. });
     }
 
-    // 2. Gmin stepping: relax with a large shunt conductance, then tighten.
+    // 2. Damped retry: quarter the step cap and enable the backtracking
+    // line search — the standard cure when plain Newton overshoots an
+    // exponential device model and oscillates.
+    {
+        stats.damped_retries += 1;
+        let damped = NewtonOptions {
+            max_step: if opts.newton.max_step.is_finite() {
+                opts.newton.max_step * 0.25
+            } else {
+                0.25
+            },
+            backtrack: 4,
+            max_iter: opts.newton.max_iter * 2,
+            ..opts.newton
+        };
+        solver.set_options(damped);
+        let mut x = x0.to_vec();
+        let mut sys = MnaSystem::new(circuit, MnaContext::dc());
+        let outcome = solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats);
+        if outcome.is_converged() {
+            stats.rescued_solves += 1;
+            return Ok((DcSolution::new(circuit, x), stats));
+        }
+        saw_nonfinite |= matches!(outcome, NewtonOutcome::NonFiniteState { .. });
+        solver.set_options(opts.newton);
+    }
+
+    // 3. Gmin stepping: relax with a large shunt conductance, then tighten.
     if opts.gmin_stepping {
+        stats.gmin_ramps += 1;
         let mut x = x0.to_vec();
         let mut ok = true;
         let mut exp = -3;
@@ -125,7 +224,7 @@ pub fn operating_point_from(
                 ..MnaContext::dc()
             };
             let mut sys = MnaSystem::new(circuit, ctx);
-            if !solver.solve(&mut sys, &mut x).is_converged() {
+            if !solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats).is_converged() {
                 ok = false;
                 break;
             }
@@ -134,13 +233,14 @@ pub fn operating_point_from(
         if ok {
             // Final polish without the extra gmin.
             let mut sys = MnaSystem::new(circuit, MnaContext::dc());
-            if solver.solve(&mut sys, &mut x).is_converged() {
-                return Ok(DcSolution::new(circuit, x));
+            if solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats).is_converged() {
+                stats.rescued_solves += 1;
+                return Ok((DcSolution::new(circuit, x), stats));
             }
         }
     }
 
-    // 3. Source stepping: ramp all independent sources from 0.
+    // 4. Source stepping: ramp all independent sources from 0.
     if opts.source_stepping {
         let mut x = vec![0.0; x0.len()];
         let mut scale = 0.0_f64;
@@ -154,7 +254,7 @@ pub fn operating_point_from(
             };
             let mut backup = x.clone();
             let mut sys = MnaSystem::new(circuit, ctx);
-            if solver.solve(&mut sys, &mut x).is_converged() {
+            if solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats).is_converged() {
                 scale = next;
                 step = (step * 1.5).min(0.25);
             } else {
@@ -164,17 +264,25 @@ pub fn operating_point_from(
                 if step < 1e-6 || failures > 60 {
                     return Err(CircuitError::DcNonConvergence {
                         detail: format!(
-                            "source stepping stalled at scale {scale:.4} (step {step:e})"
+                            "source stepping stalled at scale {scale:.4} (step {step:e}) \
+                             after rescue ladder [{stats}]"
                         ),
                     });
                 }
             }
         }
-        return Ok(DcSolution::new(circuit, x));
+        stats.rescued_solves += 1;
+        return Ok((DcSolution::new(circuit, x), stats));
     }
 
+    if saw_nonfinite {
+        return Err(CircuitError::NonFiniteSolution {
+            analysis: "dc",
+            time: 0.0,
+        });
+    }
     Err(CircuitError::DcNonConvergence {
-        detail: "Newton failed and fallback strategies are disabled".to_owned(),
+        detail: format!("Newton failed and fallback strategies are disabled [{stats}]"),
     })
 }
 

@@ -11,6 +11,7 @@ use nvpg_numeric::newton::NonlinearSystem;
 
 use crate::circuit::Circuit;
 use crate::element::{DeviceStamp, Element};
+use crate::fault::FaultKind;
 use crate::node::NodeId;
 
 /// Implicit integration scheme for the transient companion models.
@@ -76,6 +77,9 @@ impl MnaContext {
 pub(crate) struct MnaSystem<'a> {
     pub circuit: &'a mut Circuit,
     pub ctx: MnaContext,
+    /// Fault to inject into the next solve's assemblies (set by the
+    /// analysis driver from the active [`crate::fault::FaultPlan`]).
+    pub fault: Option<FaultKind>,
     branch_idx: Vec<Option<usize>>,
     nv: usize,
     dim: usize,
@@ -119,6 +123,7 @@ impl<'a> MnaSystem<'a> {
         MnaSystem {
             circuit,
             ctx,
+            fault: None,
             branch_idx,
             nv,
             dim,
@@ -423,6 +428,19 @@ impl NonlinearSystem for MnaSystem<'_> {
                     dev_ord += 1;
                 }
             }
+        }
+
+        // Injected faults corrupt the assembled system at its natural
+        // site; `RejectStep` is handled by the analysis driver instead.
+        match self.fault {
+            Some(FaultKind::NanResidual) => {
+                if let Some(r) = residual.first_mut() {
+                    *r = f64::NAN;
+                }
+            }
+            Some(FaultKind::SingularMatrix) => jacobian.clear(),
+            Some(FaultKind::Panic) => panic!("injected fault: panic during MNA assembly"),
+            Some(FaultKind::RejectStep) | None => {}
         }
     }
 }

@@ -28,16 +28,46 @@ pub enum CircuitError {
         /// Diagnostic detail from the last strategy attempted.
         detail: String,
     },
-    /// A transient step failed to converge at the minimum step size.
+    /// A transient step failed to converge at the minimum step size, even
+    /// after the rescue ladder (damped retry, gmin ramp, method fallback).
     TransientNonConvergence {
         /// Simulation time at which the failure occurred.
         time: f64,
+        /// Name of the unknown with the largest residual at the last
+        /// failed solve (`v(<node>)` or `i(<element>)`), when known.
+        worst_unknown: String,
+        /// ∞-norm of the residual at the last failed solve.
+        residual: f64,
     },
     /// The MNA matrix is structurally singular (floating node or voltage
     /// source loop).
     SingularMatrix {
         /// Diagnostic detail.
         detail: String,
+    },
+    /// The state vector or residual went non-finite (NaN/∞) during a
+    /// solve and could not be rescued.
+    NonFiniteSolution {
+        /// The analysis that hit it (`"dc"` or `"transient"`).
+        analysis: &'static str,
+        /// Simulation time (transient) or 0 (DC).
+        time: f64,
+    },
+    /// Analysis options failed validation (inverted step bounds,
+    /// non-positive or non-finite tolerances, …).
+    InvalidOptions {
+        /// The offending field, e.g. `"dt_min"`.
+        field: &'static str,
+        /// Why the value was rejected.
+        reason: String,
+    },
+    /// The transient step budget ([`crate::TransientOptions::max_steps`])
+    /// was exhausted before `t_stop`.
+    StepBudgetExhausted {
+        /// Simulation time reached when the budget ran out.
+        time: f64,
+        /// The exhausted budget.
+        steps: u64,
     },
 }
 
@@ -56,17 +86,72 @@ impl fmt::Display for CircuitError {
             CircuitError::DcNonConvergence { detail } => {
                 write!(f, "DC operating point did not converge: {detail}")
             }
-            CircuitError::TransientNonConvergence { time } => {
-                write!(f, "transient analysis failed to converge at t = {time:e} s")
+            CircuitError::TransientNonConvergence {
+                time,
+                worst_unknown,
+                residual,
+            } => {
+                write!(
+                    f,
+                    "transient analysis failed to converge at t = {time:e} s \
+                     (worst residual {residual:e} on {unknown})",
+                    unknown = if worst_unknown.is_empty() {
+                        "<unknown>"
+                    } else {
+                        worst_unknown
+                    }
+                )
             }
             CircuitError::SingularMatrix { detail } => {
                 write!(f, "singular MNA matrix: {detail}")
+            }
+            CircuitError::NonFiniteSolution { analysis, time } => {
+                write!(
+                    f,
+                    "{analysis} solve produced a non-finite state vector at t = {time:e} s"
+                )
+            }
+            CircuitError::InvalidOptions { field, reason } => {
+                write!(f, "invalid analysis option `{field}`: {reason}")
+            }
+            CircuitError::StepBudgetExhausted { time, steps } => {
+                write!(
+                    f,
+                    "transient step budget ({steps} steps) exhausted at t = {time:e} s"
+                )
             }
         }
     }
 }
 
 impl std::error::Error for CircuitError {}
+
+impl From<nvpg_numeric::InvalidOptionsError> for CircuitError {
+    fn from(e: nvpg_numeric::InvalidOptionsError) -> Self {
+        CircuitError::InvalidOptions {
+            field: e.field,
+            reason: e.reason,
+        }
+    }
+}
+
+impl CircuitError {
+    /// A short, stable taxonomy tag for failure reports
+    /// (`"dc_nonconvergence"`, `"singular_matrix"`, …).
+    pub fn taxonomy(&self) -> &'static str {
+        match self {
+            CircuitError::InvalidValue { .. } => "invalid_value",
+            CircuitError::DuplicateName { .. } => "duplicate_name",
+            CircuitError::UnknownSource { .. } => "unknown_source",
+            CircuitError::DcNonConvergence { .. } => "dc_nonconvergence",
+            CircuitError::TransientNonConvergence { .. } => "transient_nonconvergence",
+            CircuitError::SingularMatrix { .. } => "singular_matrix",
+            CircuitError::NonFiniteSolution { .. } => "nonfinite_solution",
+            CircuitError::InvalidOptions { .. } => "invalid_options",
+            CircuitError::StepBudgetExhausted { .. } => "step_budget_exhausted",
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -76,8 +161,14 @@ mod tests {
     fn display_messages() {
         let e = CircuitError::UnknownSource { name: "vdd".into() };
         assert_eq!(e.to_string(), "no source named `vdd` in the circuit");
-        let e = CircuitError::TransientNonConvergence { time: 1e-9 };
+        let e = CircuitError::TransientNonConvergence {
+            time: 1e-9,
+            worst_unknown: "v(q)".into(),
+            residual: 3.5e-2,
+        };
         assert!(e.to_string().contains("1e-9"));
+        assert!(e.to_string().contains("v(q)"));
+        assert_eq!(e.taxonomy(), "transient_nonconvergence");
         let e = CircuitError::DuplicateName { name: "r1".into() };
         assert!(e.to_string().contains("r1"));
     }

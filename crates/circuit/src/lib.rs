@@ -45,8 +45,10 @@ pub mod element;
 mod engine;
 pub use engine::IntegrationMethod;
 pub mod error;
+pub mod fault;
 pub mod node;
 pub mod parser;
+pub mod rescue;
 pub mod solution;
 pub mod trace;
 pub mod transient;
@@ -57,7 +59,9 @@ pub use ac::{ac_sweep, AcSweep};
 pub use circuit::Circuit;
 pub use element::{DeviceStamp, NonlinearDevice};
 pub use error::CircuitError;
+pub use fault::{with_fault_plan, with_fault_plan_logged, FaultKind, FaultPlan};
 pub use node::NodeId;
+pub use rescue::RescueStats;
 pub use solution::DcSolution;
 pub use trace::Trace;
 pub use transient::{TransientOptions, TransientResult};

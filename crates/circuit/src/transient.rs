@@ -11,10 +11,12 @@
 use nvpg_numeric::newton::{NewtonOptions, NewtonOutcome, NewtonSolver};
 
 use crate::circuit::Circuit;
+use crate::dc::solve_with_faults;
 use crate::element::Element;
 use crate::engine::{IntegrationMethod, MnaContext, MnaSystem};
 use crate::error::CircuitError;
 use crate::node::NodeId;
+use crate::rescue::RescueStats;
 use crate::solution::DcSolution;
 use crate::trace::Trace;
 
@@ -36,6 +38,10 @@ pub struct TransientOptions {
     pub record_device_state: bool,
     /// Implicit integration scheme for linear capacitors.
     pub method: IntegrationMethod,
+    /// Hard cap on attempted steps (accepted + rejected): a runaway run
+    /// fails with [`CircuitError::StepBudgetExhausted`] instead of looping
+    /// forever at `dt_min`.
+    pub max_steps: u64,
 }
 
 impl Default for TransientOptions {
@@ -51,6 +57,7 @@ impl Default for TransientOptions {
             },
             record_device_state: false,
             method: IntegrationMethod::BackwardEuler,
+            max_steps: 10_000_000,
         }
     }
 }
@@ -66,6 +73,48 @@ impl TransientOptions {
             dt_init: dt_max / 10.0,
             ..TransientOptions::default()
         }
+    }
+
+    /// Checks the options for sanity: every time quantity positive and
+    /// finite, `dt_min <= dt_max`, a nonzero step budget, and valid Newton
+    /// settings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CircuitError::InvalidOptions`] naming the first offending
+    /// field.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let pos_finite = |field: &'static str, v: f64| -> Result<(), CircuitError> {
+            if !v.is_finite() || v <= 0.0 {
+                Err(CircuitError::InvalidOptions {
+                    field,
+                    reason: format!("must be positive and finite, got {v}"),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        pos_finite("t_stop", self.t_stop)?;
+        pos_finite("dt_max", self.dt_max)?;
+        pos_finite("dt_min", self.dt_min)?;
+        pos_finite("dt_init", self.dt_init)?;
+        if self.dt_min > self.dt_max {
+            return Err(CircuitError::InvalidOptions {
+                field: "dt_min",
+                reason: format!(
+                    "dt_min ({:e}) exceeds dt_max ({:e})",
+                    self.dt_min, self.dt_max
+                ),
+            });
+        }
+        if self.max_steps == 0 {
+            return Err(CircuitError::InvalidOptions {
+                field: "max_steps",
+                reason: "must be at least 1".to_owned(),
+            });
+        }
+        self.newton.validate()?;
+        Ok(())
     }
 }
 
@@ -182,6 +231,9 @@ pub struct TransientResult {
     pub newton_iterations: u64,
     /// Newton solves attempted (accepted + rejected steps).
     pub newton_solves: u64,
+    /// Rescue-ladder telemetry: step rejections, damped retries, gmin
+    /// ramps, method fallbacks, injected faults. All zero for a clean run.
+    pub rescue: RescueStats,
 }
 
 /// Runs a transient analysis starting from the operating point `initial`.
@@ -198,8 +250,13 @@ pub struct TransientResult {
 ///
 /// # Errors
 ///
-/// Returns [`CircuitError::TransientNonConvergence`] if a step fails to
-/// converge at `dt_min`.
+/// Returns [`CircuitError::InvalidOptions`] for malformed options,
+/// [`CircuitError::StepBudgetExhausted`] if the attempted-step budget runs
+/// out, and [`CircuitError::TransientNonConvergence`] (or
+/// [`CircuitError::NonFiniteSolution`] / [`CircuitError::SingularMatrix`])
+/// if a step fails to converge at `dt_min` even after the rescue ladder:
+/// a damped/backtracking Newton retry, a gmin ramp, and — for trapezoidal
+/// runs — a fallback to backward Euler.
 ///
 /// # Panics
 ///
@@ -214,13 +271,15 @@ pub fn transient(
         circuit.unknown_count(),
         "initial solution does not match circuit"
     );
+    opts.validate()?;
     let bps = breakpoints(circuit, opts.t_stop);
     let (recorder, mut trace) = Recorder::build(circuit, opts.record_device_state);
 
     let mut solver = NewtonSolver::new(opts.newton);
     let mut sys = MnaSystem::new(circuit, MnaContext::dc());
     let mut x = initial.as_slice().to_vec();
-    sys.init_integration(&x, opts.method);
+    let mut method = opts.method;
+    sys.init_integration(&x, method);
 
     // Per-step scratch, allocated once: the Newton trial vector and the
     // recorder's sample row. The step loop itself is allocation-free.
@@ -232,6 +291,8 @@ pub fn transient(
 
     let mut dt = opts.dt_init.min(opts.dt_max);
     let mut bp_iter = bps.iter().copied().peekable();
+    let mut rescue = RescueStats::default();
+    let mut attempted: u64 = 0;
 
     while t < opts.t_stop {
         // Aim for the next breakpoint or the end of the run.
@@ -256,33 +317,127 @@ pub fn transient(
             step = limit - t;
         }
 
+        attempted += 1;
+        if attempted > opts.max_steps {
+            return Err(CircuitError::StepBudgetExhausted {
+                time: t,
+                steps: opts.max_steps,
+            });
+        }
+
         let t_new = t + step;
         sys.ctx.time = t_new;
         if let Some(integ) = &mut sys.ctx.integ {
             integ.dt = step;
         }
         x_try.copy_from_slice(&x);
-        match solver.solve(&mut sys, &mut x_try) {
-            NewtonOutcome::Converged { iterations } => {
-                std::mem::swap(&mut x, &mut x_try);
-                sys.accept_step(&x, t_new, step);
-                t = t_new;
-                recorder.sample(sys.circuit, &x, t, &mut trace, &mut row);
-                if iterations <= 5 {
-                    dt = (step * 1.5).min(opts.dt_max);
-                } else if iterations > 20 {
-                    dt = (step * 0.5).max(opts.dt_min);
-                } else {
-                    dt = step;
-                }
-            }
-            _ => {
-                let reduced = step * 0.25;
-                if reduced < opts.dt_min {
-                    return Err(CircuitError::TransientNonConvergence { time: t });
-                }
+        let mut outcome = solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue);
+
+        if !outcome.is_converged() {
+            rescue.rejected_steps += 1;
+            let reduced = step * 0.25;
+            if reduced >= opts.dt_min {
+                // Cheapest cure first: retry the step 4× smaller.
                 dt = reduced;
+                continue;
             }
+
+            // At the dt_min floor; escalate through the rescue ladder at
+            // the current step size before giving up.
+
+            // Rung 1: damped Newton with backtracking line search.
+            rescue.damped_retries += 1;
+            let damped = NewtonOptions {
+                max_step: if opts.newton.max_step.is_finite() {
+                    opts.newton.max_step * 0.25
+                } else {
+                    0.25
+                },
+                backtrack: 4,
+                max_iter: opts.newton.max_iter * 2,
+                ..opts.newton
+            };
+            solver.set_options(damped);
+            x_try.copy_from_slice(&x);
+            outcome = solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue);
+            solver.set_options(opts.newton);
+
+            // Rung 2: gmin ramp — solve with a shrinking extra shunt
+            // conductance, then polish without it.
+            if !outcome.is_converged() {
+                rescue.gmin_ramps += 1;
+                x_try.copy_from_slice(&x);
+                let mut ramped = true;
+                for exp in [-3_i32, -6, -9, -12] {
+                    sys.ctx.extra_gmin = 10f64.powi(exp);
+                    if !solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue)
+                        .is_converged()
+                    {
+                        ramped = false;
+                        break;
+                    }
+                }
+                sys.ctx.extra_gmin = 0.0;
+                if ramped {
+                    outcome = solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue);
+                }
+            }
+
+            // Rung 3: integration-method fallback. Trapezoidal rings on
+            // hard discontinuities; restart the companion history with
+            // L-stable backward Euler and retry.
+            if !outcome.is_converged() && method == IntegrationMethod::Trapezoidal {
+                rescue.method_fallbacks += 1;
+                method = IntegrationMethod::BackwardEuler;
+                sys.init_integration(&x, method);
+                if let Some(integ) = &mut sys.ctx.integ {
+                    integ.dt = step;
+                }
+                x_try.copy_from_slice(&x);
+                outcome = solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue);
+            }
+
+            if outcome.is_converged() {
+                rescue.rescued_solves += 1;
+            } else {
+                return Err(match outcome {
+                    NewtonOutcome::NonFiniteState { .. } => CircuitError::NonFiniteSolution {
+                        analysis: "transient",
+                        time: t_new,
+                    },
+                    NewtonOutcome::SingularJacobian { iteration } => CircuitError::SingularMatrix {
+                        detail: format!(
+                            "transient step at t = {t_new:e} s (Newton iteration {iteration}, \
+                             after rescue ladder [{rescue}])"
+                        ),
+                    },
+                    NewtonOutcome::IterationLimit {
+                        last_residual,
+                        worst_index,
+                        ..
+                    } => CircuitError::TransientNonConvergence {
+                        time: t_new,
+                        worst_unknown: sys.circuit.unknown_name(worst_index),
+                        residual: last_residual,
+                    },
+                    NewtonOutcome::Converged { .. } => unreachable!(),
+                });
+            }
+        }
+
+        let NewtonOutcome::Converged { iterations } = outcome else {
+            unreachable!()
+        };
+        std::mem::swap(&mut x, &mut x_try);
+        sys.accept_step(&x, t_new, step);
+        t = t_new;
+        recorder.sample(sys.circuit, &x, t, &mut trace, &mut row);
+        if iterations <= 5 {
+            dt = (step * 1.5).min(opts.dt_max);
+        } else if iterations > 20 {
+            dt = (step * 0.5).max(opts.dt_min);
+        } else {
+            dt = step;
         }
     }
 
@@ -292,6 +447,7 @@ pub fn transient(
         final_state,
         newton_iterations: solver.total_iterations(),
         newton_solves: solver.total_solves(),
+        rescue,
     })
 }
 

@@ -1,0 +1,119 @@
+//! The unified experiment-level error chain.
+//!
+//! A solver failure deep inside a sweep is useless without its context:
+//! *which* experiment, *which* point, *which* analysis. [`SimError`] wraps
+//! a [`CircuitError`] with that chain so a run report (or a panicking
+//! test) names the exact failing site — `fig3a / point 17 (V_CTRL=0.17) /
+//! transient: …` — instead of a bare solver message.
+
+use std::fmt;
+
+use nvpg_circuit::CircuitError;
+
+/// A simulation failure with its experiment → point → analysis context.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimError {
+    /// Experiment or figure id (`"fig3a"`, `"variation"`, …).
+    pub experiment: String,
+    /// The failing point: index plus a human-readable coordinate, e.g.
+    /// `"point 17 (V_CTRL=0.17)"`. Empty when the failure is not
+    /// point-scoped (setup, characterisation).
+    pub point: String,
+    /// The analysis that failed (`"dc"`, `"transient"`, `"characterize"`,
+    /// …). Empty when unknown.
+    pub analysis: String,
+    /// The underlying solver error.
+    pub source: CircuitError,
+}
+
+impl SimError {
+    /// Wraps `source` with just an experiment id; point and analysis can
+    /// be attached later with the builder methods.
+    pub fn new(experiment: impl Into<String>, source: CircuitError) -> Self {
+        SimError {
+            experiment: experiment.into(),
+            point: String::new(),
+            analysis: String::new(),
+            source,
+        }
+    }
+
+    /// Attaches the failing point description.
+    #[must_use]
+    pub fn at_point(mut self, point: impl Into<String>) -> Self {
+        self.point = point.into();
+        self
+    }
+
+    /// Attaches the failing analysis name.
+    #[must_use]
+    pub fn in_analysis(mut self, analysis: impl Into<String>) -> Self {
+        self.analysis = analysis.into();
+        self
+    }
+
+    /// The stable failure-taxonomy tag of the underlying error
+    /// (see [`CircuitError::taxonomy`]).
+    pub fn taxonomy(&self) -> &'static str {
+        self.source.taxonomy()
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.experiment)?;
+        if !self.point.is_empty() {
+            write!(f, " / {}", self.point)?;
+        }
+        if !self.analysis.is_empty() {
+            write!(f, " / {}", self.analysis)?;
+        }
+        write!(f, ": {}", self.source)
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+impl From<SimError> for CircuitError {
+    fn from(e: SimError) -> Self {
+        e.source
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error;
+
+    #[test]
+    fn display_includes_full_chain() {
+        let e = SimError::new(
+            "fig3a",
+            CircuitError::DcNonConvergence {
+                detail: "stalled".into(),
+            },
+        )
+        .at_point("point 17 (V_CTRL=0.17)")
+        .in_analysis("dc");
+        let s = e.to_string();
+        assert!(s.starts_with("fig3a / point 17 (V_CTRL=0.17) / dc:"), "{s}");
+        assert!(s.contains("stalled"), "{s}");
+        assert_eq!(e.taxonomy(), "dc_nonconvergence");
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn empty_segments_are_elided() {
+        let e = SimError::new(
+            "variation",
+            CircuitError::SingularMatrix {
+                detail: "zero pivot".into(),
+            },
+        );
+        assert_eq!(e.to_string(), "variation: singular MNA matrix: zero pivot");
+    }
+}

@@ -12,13 +12,16 @@ use nvpg_cells::characterize::{
     store_current_vs_vsr, vvdd_vs_nfsw, CellCharacterization,
 };
 use nvpg_cells::design::CellDesign;
-use nvpg_circuit::CircuitError;
+use nvpg_circuit::{CircuitError, RescueStats};
+use nvpg_exec::{Budget, Settled};
 use nvpg_units::{linspace, logspace};
 
 use crate::arch::Architecture;
 use crate::bet::{bet_closed_form, Bet};
 use crate::domain::PowerDomain;
 use crate::energy::{BenchmarkParams, EnergyModel};
+use crate::error::SimError;
+use crate::report::{PointStatus, RunReport};
 use crate::sequence::{run_sequence, SequenceParams};
 
 /// A labelled data series.
@@ -813,6 +816,68 @@ impl Experiments {
             self.figure_by_id(id)
                 .unwrap_or_else(|| panic!("unknown figure id: {id}"))
         })
+    }
+
+    /// Fail-soft variant of [`Self::run_figures`]: every figure settles
+    /// independently. A figure that errors — or *panics* — becomes a `None`
+    /// gap in the output while all others render, and the returned
+    /// [`RunReport`] names every failure with its taxonomy. An unknown id
+    /// is reported as a failure, not a panic.
+    ///
+    /// Output (figures and report) is identical at any `jobs` count.
+    pub fn run_figures_settled(
+        &self,
+        ids: &[&str],
+        jobs: usize,
+    ) -> (Vec<Option<Figure>>, RunReport) {
+        let settled: Vec<Settled<Figure, CircuitError>> =
+            nvpg_exec::par_map_settled(jobs, ids, Budget::unlimited(), |_, &id| {
+                self.figure_by_id(id).unwrap_or_else(|| {
+                    Err(CircuitError::InvalidValue {
+                        element: id.to_owned(),
+                        reason: "unknown figure id".to_owned(),
+                    })
+                })
+            });
+        let mut report = RunReport::new();
+        let mut figures = Vec::with_capacity(ids.len());
+        for (&id, s) in ids.iter().zip(settled) {
+            match s {
+                Settled::Ok(fig) => {
+                    report.push(id, "figure", PointStatus::Ok, RescueStats::default());
+                    figures.push(Some(fig));
+                }
+                Settled::Err(e) => {
+                    report.push(
+                        id,
+                        "figure",
+                        PointStatus::Failed {
+                            taxonomy: e.taxonomy().to_owned(),
+                            message: SimError::new(id, e).to_string(),
+                        },
+                        RescueStats::default(),
+                    );
+                    figures.push(None);
+                }
+                Settled::Panicked(msg) => {
+                    report.push(
+                        id,
+                        "figure",
+                        PointStatus::Failed {
+                            taxonomy: "panic".to_owned(),
+                            message: msg,
+                        },
+                        RescueStats::default(),
+                    );
+                    figures.push(None);
+                }
+                Settled::Skipped => {
+                    report.push(id, "figure", PointStatus::Skipped, RescueStats::default());
+                    figures.push(None);
+                }
+            }
+        }
+        (figures, report)
     }
 }
 

@@ -44,8 +44,10 @@ pub mod bet;
 pub mod corners;
 pub mod domain;
 pub mod energy;
+pub mod error;
 pub mod experiments;
 pub mod policy;
+pub mod report;
 pub mod sequence;
 pub mod thermal;
 pub mod variation;
@@ -56,8 +58,10 @@ pub use bet::{bet_closed_form, bet_iterative, Bet};
 pub use corners::{corner_analysis, Corner, CornerResult};
 pub use domain::PowerDomain;
 pub use energy::{BenchmarkParams, EnergyBreakdown, EnergyModel};
+pub use error::SimError;
 pub use experiments::{Experiments, Figure, Series, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
 pub use policy::{IdleDistribution, PolicyModel};
+pub use report::{PointRecord, PointStatus, RunReport};
 pub use sequence::{run_sequence, SequenceParams, SequenceRun};
 pub use thermal::{at_temperature, temperature_sweep, ThermalPoint};
 pub use workload::{simulate_trace, GatingPolicy, TraceOutcome, Workload, WorkloadEvent};

@@ -1,0 +1,281 @@
+//! Structured run reports for fail-soft experiment orchestration.
+//!
+//! A sweep or Monte-Carlo run no longer stops at its first broken point:
+//! each point settles into a [`PointStatus`] and the whole run is
+//! summarised by a [`RunReport`] — per-point status, rescue-ladder
+//! telemetry, and a failure taxonomy — that the figures binary renders as
+//! a "failures appendix" under the partial figures.
+//!
+//! Reports are deterministic: records are kept in point order and carry no
+//! timestamps, so a report is byte-identical across worker counts.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use nvpg_circuit::RescueStats;
+
+/// How one experiment point ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PointStatus {
+    /// Converged with no rescue rung taken.
+    Ok,
+    /// Converged, but only via the rescue ladder.
+    Rescued,
+    /// Failed; carries the taxonomy tag and the full error message.
+    Failed {
+        /// Stable failure-taxonomy tag (`"dc_nonconvergence"`, …).
+        taxonomy: String,
+        /// Human-readable error chain.
+        message: String,
+    },
+    /// Never started (budget exhausted before the point was claimed).
+    Skipped,
+}
+
+impl PointStatus {
+    /// `true` for [`PointStatus::Ok`] and [`PointStatus::Rescued`].
+    pub fn succeeded(&self) -> bool {
+        matches!(self, PointStatus::Ok | PointStatus::Rescued)
+    }
+}
+
+/// One point's record in a [`RunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PointRecord {
+    /// Experiment id the point belongs to (`"fig3a"`, `"variation"`, …).
+    pub experiment: String,
+    /// The point: its index plus a coordinate when one exists, e.g.
+    /// `"sample 7"` or `"point 3 (V_SR=0.45)"`.
+    pub point: String,
+    /// How the point ended.
+    pub status: PointStatus,
+    /// Rescue telemetry for the point (all-zero when unknown).
+    pub rescue: RescueStats,
+}
+
+/// The structured outcome of a fail-soft run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Per-point records in point order.
+    pub records: Vec<PointRecord>,
+}
+
+impl RunReport {
+    /// An empty report.
+    pub fn new() -> Self {
+        RunReport::default()
+    }
+
+    /// Appends one point record.
+    pub fn push(
+        &mut self,
+        experiment: impl Into<String>,
+        point: impl Into<String>,
+        status: PointStatus,
+        rescue: RescueStats,
+    ) {
+        self.records.push(PointRecord {
+            experiment: experiment.into(),
+            point: point.into(),
+            status,
+            rescue,
+        });
+    }
+
+    /// Merges another report's records after this one's.
+    pub fn extend(&mut self, other: RunReport) {
+        self.records.extend(other.records);
+    }
+
+    /// Number of points that succeeded (clean or rescued).
+    pub fn succeeded(&self) -> usize {
+        self.records.iter().filter(|r| r.status.succeeded()).count()
+    }
+
+    /// Number of points that failed.
+    pub fn failed(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, PointStatus::Failed { .. }))
+            .count()
+    }
+
+    /// Number of points rescued by the convergence ladder.
+    pub fn rescued(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, PointStatus::Rescued))
+            .count()
+    }
+
+    /// Number of points skipped by a budget.
+    pub fn skipped(&self) -> usize {
+        self.records
+            .iter()
+            .filter(|r| matches!(r.status, PointStatus::Skipped))
+            .count()
+    }
+
+    /// `true` when every point succeeded.
+    pub fn all_ok(&self) -> bool {
+        self.failed() == 0 && self.skipped() == 0
+    }
+
+    /// Failure counts per taxonomy tag, sorted by tag (deterministic).
+    pub fn taxonomy_counts(&self) -> BTreeMap<String, usize> {
+        let mut counts = BTreeMap::new();
+        for r in &self.records {
+            if let PointStatus::Failed { taxonomy, .. } = &r.status {
+                *counts.entry(taxonomy.clone()).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Total rescue telemetry summed over every point.
+    pub fn total_rescue(&self) -> RescueStats {
+        let mut total = RescueStats::default();
+        for r in &self.records {
+            total += r.rescue;
+        }
+        total
+    }
+
+    /// Renders the report as text: a one-line summary, then — only when
+    /// something went wrong — a failures appendix naming every failed or
+    /// skipped point with its taxonomy, message and rescue counts.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let total = self.records.len();
+        out.push_str(&format!(
+            "run report: {total} points, {ok} ok, {rescued} rescued, {failed} failed, \
+             {skipped} skipped\n",
+            ok = self.succeeded() - self.rescued(),
+            rescued = self.rescued(),
+            failed = self.failed(),
+            skipped = self.skipped(),
+        ));
+        let rescue = self.total_rescue();
+        if rescue.any() {
+            out.push_str(&format!("rescue totals: {rescue}\n"));
+        }
+        if self.all_ok() {
+            return out;
+        }
+        let taxa = self.taxonomy_counts();
+        if !taxa.is_empty() {
+            out.push_str("failure taxonomy:");
+            for (tag, n) in &taxa {
+                out.push_str(&format!(" {tag}×{n}"));
+            }
+            out.push('\n');
+        }
+        out.push_str("failures appendix:\n");
+        for r in &self.records {
+            match &r.status {
+                PointStatus::Failed { taxonomy, message } => {
+                    out.push_str(&format!(
+                        "  FAILED  {} / {} [{}]: {}",
+                        r.experiment, r.point, taxonomy, message
+                    ));
+                    if r.rescue.any() {
+                        out.push_str(&format!(" (rescue: {})", r.rescue));
+                    }
+                    out.push('\n');
+                }
+                PointStatus::Skipped => {
+                    out.push_str(&format!(
+                        "  SKIPPED {} / {} (budget exhausted)\n",
+                        r.experiment, r.point
+                    ));
+                }
+                PointStatus::Ok | PointStatus::Rescued => {}
+            }
+        }
+        out
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn failed(taxonomy: &str, message: &str) -> PointStatus {
+        PointStatus::Failed {
+            taxonomy: taxonomy.into(),
+            message: message.into(),
+        }
+    }
+
+    #[test]
+    fn counts_and_render() {
+        let mut rep = RunReport::new();
+        rep.push("fig3a", "point 0", PointStatus::Ok, RescueStats::default());
+        rep.push(
+            "fig3a",
+            "point 1",
+            PointStatus::Rescued,
+            RescueStats {
+                damped_retries: 1,
+                rescued_solves: 1,
+                ..RescueStats::default()
+            },
+        );
+        rep.push(
+            "fig3a",
+            "point 2",
+            failed("dc_nonconvergence", "stalled"),
+            RescueStats::default(),
+        );
+        rep.push(
+            "fig3a",
+            "point 3",
+            PointStatus::Skipped,
+            RescueStats::default(),
+        );
+        assert_eq!(rep.succeeded(), 2);
+        assert_eq!(rep.rescued(), 1);
+        assert_eq!(rep.failed(), 1);
+        assert_eq!(rep.skipped(), 1);
+        assert!(!rep.all_ok());
+        assert_eq!(rep.taxonomy_counts().get("dc_nonconvergence"), Some(&1));
+        let text = rep.render();
+        assert!(
+            text.contains("4 points, 1 ok, 1 rescued, 1 failed, 1 skipped"),
+            "{text}"
+        );
+        assert!(
+            text.contains("FAILED  fig3a / point 2 [dc_nonconvergence]: stalled"),
+            "{text}"
+        );
+        assert!(text.contains("SKIPPED fig3a / point 3"), "{text}");
+        assert!(text.contains("damped-retry×1"), "{text}");
+    }
+
+    #[test]
+    fn clean_report_has_no_appendix() {
+        let mut rep = RunReport::new();
+        rep.push("fig4", "point 0", PointStatus::Ok, RescueStats::default());
+        assert!(rep.all_ok());
+        let text = rep.render();
+        assert!(!text.contains("appendix"), "{text}");
+        assert_eq!(text.lines().count(), 1, "{text}");
+    }
+
+    #[test]
+    fn extend_concatenates_in_order() {
+        let mut a = RunReport::new();
+        a.push("x", "p0", PointStatus::Ok, RescueStats::default());
+        let mut b = RunReport::new();
+        b.push("y", "p0", PointStatus::Ok, RescueStats::default());
+        a.extend(b);
+        assert_eq!(a.records.len(), 2);
+        assert_eq!(a.records[1].experiment, "y");
+    }
+}

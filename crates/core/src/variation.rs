@@ -17,11 +17,15 @@ use nvpg_numeric::rng::Rng64;
 
 use nvpg_cells::characterize::characterize;
 use nvpg_cells::design::CellDesign;
-use nvpg_circuit::CircuitError;
+use nvpg_circuit::fault::{with_fault_plan_logged, FaultPlan};
+use nvpg_circuit::{CircuitError, RescueStats};
+use nvpg_exec::{Budget, Settled};
 
 use crate::arch::Architecture;
 use crate::bet::{bet_closed_form, Bet};
 use crate::energy::{BenchmarkParams, EnergyModel};
+use crate::error::SimError;
+use crate::report::{PointStatus, RunReport};
 
 /// Gaussian variation magnitudes and sampling controls.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -105,7 +109,14 @@ enum SampleResult {
     NoBet,
     StoreFailure,
     RestoreFailure,
-    SimulationFailure,
+}
+
+/// One sample's full result for the fail-soft runner: the physical
+/// outcome (or the simulation error), plus how many faults the active
+/// [`FaultPlan`] injected into it.
+struct SampleRun {
+    outcome: Result<SampleResult, CircuitError>,
+    injected: u32,
 }
 
 /// Runs the Monte-Carlo study with the pool's default worker count.
@@ -140,25 +151,64 @@ pub fn run_variation_jobs(
     params: &BenchmarkParams,
     jobs: usize,
 ) -> Result<VariationOutcome, CircuitError> {
+    let (outcome, _) = run_variation_report(base, spec, params, jobs, None);
+    Ok(outcome)
+}
+
+/// Fail-soft Monte-Carlo runner: every sample settles independently and
+/// the [`RunReport`] names each failed sample with its error taxonomy and
+/// injected-fault count.
+///
+/// When `faults` is given, each sample runs under its point-derived plan
+/// ([`FaultPlan::for_point`]), so the injection schedule — like the
+/// sampling itself — is a pure function of the sample index and identical
+/// at every `jobs` count. A sample that the injected fault kills (even by
+/// panic) is counted as a simulation failure; samples the rescue ladder
+/// saves, and samples with no fired fault, produce BETs byte-identical to
+/// a fault-free run.
+pub fn run_variation_report(
+    base: &CellDesign,
+    spec: &VariationSpec,
+    params: &BenchmarkParams,
+    jobs: usize,
+    faults: Option<&FaultPlan>,
+) -> (VariationOutcome, RunReport) {
     let indices: Vec<u64> = (0..u64::from(spec.samples)).collect();
-    let results = nvpg_exec::par_map(jobs, &indices, |_, &i| {
-        let mut rng = Rng64::split(spec.seed, i);
-        let design = sample_design(base, spec, &mut rng);
-        let ch = match characterize(&design) {
-            Ok(ch) => ch,
-            Err(_) => return SampleResult::SimulationFailure,
-        };
-        if !ch.store_ok {
-            return SampleResult::StoreFailure;
-        }
-        if !ch.restore_ok {
-            return SampleResult::RestoreFailure;
-        }
-        match bet_closed_form(&EnergyModel::new(ch), Architecture::Nvpg, params) {
-            Bet::At(t) => SampleResult::Bet(t.0),
-            _ => SampleResult::NoBet,
-        }
-    });
+    let results: Vec<Settled<SampleRun, CircuitError>> =
+        nvpg_exec::par_map_settled(jobs, &indices, Budget::unlimited(), |_, &i| {
+            let run = || -> Result<SampleResult, CircuitError> {
+                let mut rng = Rng64::split(spec.seed, i);
+                let design = sample_design(base, spec, &mut rng);
+                let ch = characterize(&design)?;
+                if !ch.store_ok {
+                    return Ok(SampleResult::StoreFailure);
+                }
+                if !ch.restore_ok {
+                    return Ok(SampleResult::RestoreFailure);
+                }
+                Ok(
+                    match bet_closed_form(&EnergyModel::new(ch), Architecture::Nvpg, params) {
+                        Bet::At(t) => SampleResult::Bet(t.0),
+                        _ => SampleResult::NoBet,
+                    },
+                )
+            };
+            Ok(match faults {
+                Some(plan) => {
+                    // Install the plan *inside* the worker closure so the
+                    // schedule keys off the sample, not the thread.
+                    let (outcome, log) = with_fault_plan_logged(&plan.for_point(i), run);
+                    SampleRun {
+                        outcome,
+                        injected: log.len() as u32,
+                    }
+                }
+                None => SampleRun {
+                    outcome: run(),
+                    injected: 0,
+                },
+            })
+        });
 
     let mut outcome = VariationOutcome {
         bets: Vec::with_capacity(spec.samples as usize),
@@ -166,16 +216,92 @@ pub fn run_variation_jobs(
         restore_failures: 0,
         simulation_failures: 0,
     };
-    for r in results {
-        match r {
-            SampleResult::Bet(t) => outcome.bets.push(t),
-            SampleResult::NoBet => {}
-            SampleResult::StoreFailure => outcome.store_failures += 1,
-            SampleResult::RestoreFailure => outcome.restore_failures += 1,
-            SampleResult::SimulationFailure => outcome.simulation_failures += 1,
+    let mut report = RunReport::new();
+    for (i, settled) in results.into_iter().enumerate() {
+        let point = format!("sample {i}");
+        match settled {
+            Settled::Ok(SampleRun {
+                outcome: Ok(res),
+                injected,
+            }) => {
+                match res {
+                    SampleResult::Bet(t) => outcome.bets.push(t),
+                    SampleResult::NoBet => {}
+                    SampleResult::StoreFailure => outcome.store_failures += 1,
+                    SampleResult::RestoreFailure => outcome.restore_failures += 1,
+                }
+                let rescue = RescueStats {
+                    injected_faults: injected,
+                    ..RescueStats::default()
+                };
+                let status = if injected > 0 {
+                    // A fired fault that still produced a result means the
+                    // rescue ladder absorbed it.
+                    PointStatus::Rescued
+                } else {
+                    PointStatus::Ok
+                };
+                report.push("variation", point, status, rescue);
+            }
+            Settled::Ok(SampleRun {
+                outcome: Err(e),
+                injected,
+            }) => {
+                outcome.simulation_failures += 1;
+                report.push(
+                    "variation",
+                    point.clone(),
+                    PointStatus::Failed {
+                        taxonomy: e.taxonomy().to_owned(),
+                        message: SimError::new("variation", e)
+                            .at_point(point)
+                            .in_analysis("characterize")
+                            .to_string(),
+                    },
+                    RescueStats {
+                        injected_faults: injected,
+                        ..RescueStats::default()
+                    },
+                );
+            }
+            Settled::Err(e) => {
+                // Unreachable in practice (the closure folds errors into
+                // SampleRun), kept total for future refactors.
+                outcome.simulation_failures += 1;
+                report.push(
+                    "variation",
+                    point,
+                    PointStatus::Failed {
+                        taxonomy: e.taxonomy().to_owned(),
+                        message: e.to_string(),
+                    },
+                    RescueStats::default(),
+                );
+            }
+            Settled::Panicked(msg) => {
+                outcome.simulation_failures += 1;
+                report.push(
+                    "variation",
+                    point,
+                    PointStatus::Failed {
+                        taxonomy: "panic".to_owned(),
+                        message: msg,
+                    },
+                    RescueStats::default(),
+                );
+            }
+            Settled::Skipped => {
+                outcome.simulation_failures += 1;
+                report.push(
+                    "variation",
+                    point,
+                    PointStatus::Skipped,
+                    RescueStats::default(),
+                );
+            }
         }
     }
-    Ok(outcome)
+    (outcome, report)
 }
 
 #[cfg(test)]

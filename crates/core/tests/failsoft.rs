@@ -1,0 +1,222 @@
+//! Fail-soft orchestration: Monte-Carlo and figure runs keep going past
+//! broken points, report every failure by name, and produce byte-identical
+//! output at any worker count — with or without injected solver faults.
+
+use proptest::prelude::*;
+
+use nvpg_cells::design::CellDesign;
+use nvpg_circuit::{with_fault_plan, CircuitError, FaultKind, FaultPlan, RescueStats};
+use nvpg_core::variation::{run_variation_report, VariationSpec};
+use nvpg_core::{BenchmarkParams, Experiments, PointStatus, RunReport};
+use nvpg_exec::{Budget, Settled};
+
+fn tiny_spec() -> VariationSpec {
+    VariationSpec {
+        sigma_vth: 5e-3,
+        sigma_tmr_rel: 0.02,
+        sigma_jc_rel: 0.02,
+        samples: 4,
+        seed: 7,
+    }
+}
+
+/// The acceptance scenario of the fault-injection harness: a Monte-Carlo
+/// run where a deterministic fraction of the Newton solves is corrupted
+/// completes fail-soft, the report names every sample, the schedule (and
+/// hence the whole report) is identical at every worker count, and every
+/// sample the faults did not touch reproduces the fault-free BET bit for
+/// bit.
+#[test]
+fn faulted_variation_run_is_failsoft_and_jobs_invariant() {
+    let base = CellDesign::table1();
+    let spec = tiny_spec();
+    let params = BenchmarkParams::fig7_default();
+
+    let (clean, clean_rep) = run_variation_report(&base, &spec, &params, 1, None);
+    assert!(clean_rep.all_ok(), "{}", clean_rep.render());
+    assert_eq!(clean.bets.len(), spec.samples as usize);
+
+    // Exclude Panic so failures stay quiet errors; the panic path is
+    // exercised separately below.
+    let kinds = [
+        FaultKind::RejectStep,
+        FaultKind::NanResidual,
+        FaultKind::SingularMatrix,
+    ];
+    let plan = FaultPlan::random(0xFA17, 5e-5, &kinds);
+    let (f1, r1) = run_variation_report(&base, &spec, &params, 1, Some(&plan));
+    let (f4, r4) = run_variation_report(&base, &spec, &params, 4, Some(&plan));
+
+    // Byte-identical across worker counts: same BETs, same counters, same
+    // report (records are in sample order and carry no timestamps).
+    assert_eq!(f1, f4);
+    assert_eq!(r1, r4);
+
+    // Every sample is named in the report, in order.
+    assert_eq!(r1.records.len(), spec.samples as usize);
+    for (i, rec) in r1.records.iter().enumerate() {
+        assert_eq!(rec.experiment, "variation");
+        assert_eq!(rec.point, format!("sample {i}"));
+        if let PointStatus::Failed { taxonomy, message } = &rec.status {
+            assert!(!taxonomy.is_empty());
+            assert!(message.contains(&format!("sample {i}")), "{message}");
+        }
+    }
+
+    // The schedule actually fired: at least 10 % of the samples saw an
+    // injected fault (deterministic for this seed/rate).
+    let faulted = r1
+        .records
+        .iter()
+        .filter(|r| r.rescue.injected_faults > 0)
+        .count();
+    assert!(
+        faulted * 10 >= r1.records.len(),
+        "only {faulted}/{} samples saw faults — raise the rate",
+        r1.records.len()
+    );
+    // ... and at least one sample ran completely clean, so the
+    // bit-identity check below is not vacuous.
+    assert!(
+        faulted < r1.records.len(),
+        "every sample was hit — lower the rate"
+    );
+
+    // Untouched samples reproduce the fault-free run bit for bit.
+    assert_eq!(
+        f1.bets.len(),
+        r1.succeeded(),
+        "every surviving sample of this spec yields a BET"
+    );
+    let mut cursor = 0;
+    let mut verified = 0;
+    for (i, rec) in r1.records.iter().enumerate() {
+        if rec.status.succeeded() {
+            let bet = f1.bets[cursor];
+            cursor += 1;
+            if rec.rescue.injected_faults == 0 {
+                assert_eq!(
+                    bet.to_bits(),
+                    clean.bets[i].to_bits(),
+                    "untouched sample {i} drifted"
+                );
+                verified += 1;
+            }
+        }
+    }
+    assert!(verified > 0);
+
+    // The rendered report carries the failure appendix when anything broke.
+    let text = r1.render();
+    assert!(text.contains(&format!("{} points", spec.samples)), "{text}");
+    if !r1.all_ok() {
+        assert!(text.contains("failures appendix:"), "{text}");
+    }
+}
+
+/// Figure orchestration settles per figure: an unknown id becomes a gap
+/// plus a report entry, and neighbouring figures are unaffected.
+#[test]
+fn figures_settle_independently() {
+    let exp = Experiments::new(CellDesign::table1()).unwrap();
+    let (figs, rep) = exp.run_figures_settled(&["fig7a", "nope", "fig8a"], 2);
+    assert!(figs[0].is_some());
+    assert!(figs[1].is_none());
+    assert!(figs[2].is_some());
+    assert_eq!(rep.failed(), 1);
+    let text = rep.render();
+    assert!(
+        text.contains("nope") && text.contains("invalid_value"),
+        "{text}"
+    );
+
+    // The gap does not disturb its neighbours.
+    let (clean, clean_rep) = exp.run_figures_settled(&["fig7a", "fig8a"], 1);
+    assert!(clean_rep.all_ok());
+    assert_eq!(figs[0], clean[0]);
+    assert_eq!(figs[2], clean[1]);
+}
+
+/// A panic inside a figure worker is contained: with one (serial) worker
+/// the injected panic fires on this thread, settles as a failure with the
+/// `panic` taxonomy, and the run still returns.
+#[test]
+fn figure_panic_becomes_report_entry() {
+    let exp = Experiments::new(CellDesign::table1()).unwrap();
+    let (figs, rep) = with_fault_plan(&FaultPlan::always(FaultKind::Panic), || {
+        exp.run_figures_settled(&["fig3a"], 1)
+    });
+    assert!(figs[0].is_none());
+    assert_eq!(rep.failed(), 1);
+    assert_eq!(rep.taxonomy_counts().get("panic"), Some(&1));
+    assert!(rep.render().contains("injected fault"), "{}", rep.render());
+}
+
+/// Builds a report from a synthetic settled batch the same way the
+/// production folds do.
+fn synthetic_report(
+    jobs: usize,
+    n: u64,
+    fail_mod: u64,
+) -> (Vec<Settled<u64, CircuitError>>, RunReport) {
+    let items: Vec<u64> = (0..n).collect();
+    let settled = nvpg_exec::par_map_settled(jobs, &items, Budget::unlimited(), |_, &i| {
+        if i % fail_mod == 0 {
+            Err(CircuitError::InvalidValue {
+                element: format!("item {i}"),
+                reason: "synthetic".to_owned(),
+            })
+        } else {
+            Ok(i * 3)
+        }
+    });
+    let mut rep = RunReport::new();
+    for (i, s) in settled.iter().enumerate() {
+        let status = match s {
+            Settled::Ok(_) => PointStatus::Ok,
+            Settled::Err(e) => PointStatus::Failed {
+                taxonomy: e.taxonomy().to_owned(),
+                message: e.to_string(),
+            },
+            Settled::Panicked(m) => PointStatus::Failed {
+                taxonomy: "panic".to_owned(),
+                message: m.clone(),
+            },
+            Settled::Skipped => PointStatus::Skipped,
+        };
+        rep.push(
+            "synthetic",
+            format!("point {i}"),
+            status,
+            RescueStats::default(),
+        );
+    }
+    (settled, rep)
+}
+
+proptest! {
+    /// Settled batches — and the run reports folded from them — are
+    /// byte-identical for any pair of worker counts.
+    #[test]
+    fn settled_report_identical_across_jobs(
+        jobs_a in 1usize..6,
+        jobs_b in 1usize..6,
+        n in 0u64..40,
+        fail_mod in 2u64..7,
+    ) {
+        let (sa, ra) = synthetic_report(jobs_a, n, fail_mod);
+        let (sb, rb) = synthetic_report(jobs_b, n, fail_mod);
+        prop_assert_eq!(sa.len(), sb.len());
+        for (x, y) in sa.iter().zip(&sb) {
+            match (x, y) {
+                (Settled::Ok(a), Settled::Ok(b)) => prop_assert_eq!(a, b),
+                (Settled::Err(a), Settled::Err(b)) => {
+                    prop_assert_eq!(a.to_string(), b.to_string());
+                }
+                _ => prop_assert!(false, "settled kinds diverged across jobs"),
+            }
+        }
+        prop_assert_eq!(ra, rb);
+        prop_assert_eq!(ra.render(), rb.render());
+    }
+}

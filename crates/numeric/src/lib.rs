@@ -40,7 +40,9 @@ pub mod roots;
 pub use complex::{ComplexMatrix, C64};
 pub use interp::{LinearInterp, MonotoneCubic};
 pub use matrix::{DenseMatrix, LuFactors, LuWorkspace, SingularMatrixError};
-pub use newton::{NewtonOptions, NewtonOutcome, NewtonSolver, NonlinearSystem};
+pub use newton::{
+    InvalidOptionsError, NewtonOptions, NewtonOutcome, NewtonSolver, NonlinearSystem,
+};
 pub use ode::{rk4_step, Rkf45, Rkf45Options};
 pub use rng::Rng64;
 pub use roots::{bisect, brent, BracketError};

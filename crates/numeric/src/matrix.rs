@@ -184,7 +184,10 @@ fn factor_in_place(
                 pivot_row = i;
             }
         }
-        if pivot_val < 1e-300 {
+        // A NaN diagonal start survives the `>` comparisons above (NaN
+        // compares false), so a poisoned matrix must be rejected here
+        // explicitly rather than factored into garbage.
+        if !pivot_val.is_finite() || pivot_val < 1e-300 {
             return Err(SingularMatrixError { column: k });
         }
         if pivot_row != k {

@@ -12,7 +12,28 @@
 //! * the caller supplies a [`NonlinearSystem`] that evaluates the residual
 //!   and Jacobian together (devices naturally produce both at once).
 
+use std::fmt;
+
 use crate::matrix::{DenseMatrix, LuWorkspace};
+
+/// A solver option failed validation (non-finite tolerance, inverted
+/// bounds, …). Produced by [`NewtonOptions::validate`] and by the
+/// analysis-level option validators built on top of it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidOptionsError {
+    /// The offending field, e.g. `"reltol"`.
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for InvalidOptionsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid option `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for InvalidOptionsError {}
 
 /// A nonlinear system `F(x) = 0` with analytic Jacobian.
 pub trait NonlinearSystem {
@@ -40,6 +61,11 @@ pub struct NewtonOptions {
     /// Per-iteration cap on any unknown's update magnitude; `f64::INFINITY`
     /// disables damping.
     pub max_step: f64,
+    /// Maximum residual-backtracking halvings per iteration (`0` disables
+    /// the line search; the default). When enabled, a Newton step whose
+    /// trial residual is worse than the current one is halved up to this
+    /// many times — the middle rung of the convergence-rescue ladder.
+    pub backtrack: u32,
 }
 
 impl Default for NewtonOptions {
@@ -50,7 +76,46 @@ impl Default for NewtonOptions {
             residual_tol: 1e-9,
             max_iter: 200,
             max_step: 0.5,
+            backtrack: 0,
         }
+    }
+}
+
+impl NewtonOptions {
+    /// Checks every field for sanity: tolerances must be positive and
+    /// finite, the iteration limit nonzero, and `max_step` positive
+    /// (infinity allowed — it disables damping).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first offending field as an [`InvalidOptionsError`].
+    pub fn validate(&self) -> Result<(), InvalidOptionsError> {
+        let finite_positive = |field: &'static str, v: f64| {
+            if !v.is_finite() || v <= 0.0 {
+                Err(InvalidOptionsError {
+                    field,
+                    reason: format!("must be positive and finite, got {v}"),
+                })
+            } else {
+                Ok(())
+            }
+        };
+        finite_positive("reltol", self.reltol)?;
+        finite_positive("abstol", self.abstol)?;
+        finite_positive("residual_tol", self.residual_tol)?;
+        if self.max_iter == 0 {
+            return Err(InvalidOptionsError {
+                field: "max_iter",
+                reason: "must be at least 1".to_owned(),
+            });
+        }
+        if self.max_step.is_nan() || self.max_step <= 0.0 {
+            return Err(InvalidOptionsError {
+                field: "max_step",
+                reason: format!("must be positive (infinity allowed), got {}", self.max_step),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -68,10 +133,19 @@ pub enum NewtonOutcome {
         last_delta: f64,
         /// Final residual ∞-norm.
         last_residual: f64,
+        /// Index of the unknown with the largest final residual — the
+        /// circuit layer maps this back to a node name for diagnostics.
+        worst_index: usize,
     },
     /// The Jacobian went singular.
     SingularJacobian {
         /// Iteration at which it happened.
+        iteration: usize,
+    },
+    /// The residual or the state vector went non-finite (NaN/∞); the
+    /// iteration bails out immediately instead of spinning to the limit.
+    NonFiniteState {
+        /// Iteration at which the first non-finite value appeared.
         iteration: usize,
     },
 }
@@ -114,8 +188,11 @@ pub struct NewtonSolver {
     jacobian: DenseMatrix,
     lu: LuWorkspace,
     delta: Vec<f64>,
+    /// Trial point for the backtracking line search.
+    x_try: Vec<f64>,
     total_iterations: u64,
     total_solves: u64,
+    total_backtracks: u64,
 }
 
 impl NewtonSolver {
@@ -127,8 +204,10 @@ impl NewtonSolver {
             jacobian: DenseMatrix::zeros(0, 0),
             lu: LuWorkspace::new(),
             delta: Vec::new(),
+            x_try: Vec::new(),
             total_iterations: 0,
             total_solves: 0,
+            total_backtracks: 0,
         }
     }
 
@@ -148,6 +227,18 @@ impl NewtonSolver {
         self.total_solves
     }
 
+    /// Backtracking half-steps taken across every `solve` call (zero
+    /// unless [`NewtonOptions::backtrack`] is enabled).
+    pub fn total_backtracks(&self) -> u64 {
+        self.total_backtracks
+    }
+
+    /// Replaces the active options (used by the rescue ladder to retry a
+    /// failed solve with stronger damping on the same warm workspace).
+    pub fn set_options(&mut self, options: NewtonOptions) {
+        self.options = options;
+    }
+
     /// Runs Newton iteration on `system`, starting from and updating `x`.
     ///
     /// After the first iteration at a given dimension the loop performs
@@ -165,11 +256,13 @@ impl NewtonSolver {
             self.residual = vec![0.0; n];
             self.jacobian = DenseMatrix::zeros(n, n);
             self.delta = vec![0.0; n];
+            self.x_try = vec![0.0; n];
         }
         self.total_solves += 1;
 
         let mut last_delta = f64::INFINITY;
         let mut last_residual = f64::INFINITY;
+        let mut worst_index = 0usize;
 
         for iter in 0..self.options.max_iter {
             self.residual.fill(0.0);
@@ -177,7 +270,19 @@ impl NewtonSolver {
             system.eval(x, &mut self.residual, &mut self.jacobian);
             self.total_iterations += 1;
 
-            last_residual = self.residual.iter().fold(0.0_f64, |m, r| m.max(r.abs()));
+            // ∞-norm with explicit NaN detection: `f64::max` drops NaN
+            // operands, so a folded max would silently mask a poisoned
+            // residual and spin to the iteration limit.
+            last_residual = 0.0;
+            for (i, r) in self.residual.iter().enumerate() {
+                if !r.is_finite() {
+                    return NewtonOutcome::NonFiniteState { iteration: iter };
+                }
+                if r.abs() > last_residual {
+                    last_residual = r.abs();
+                    worst_index = i;
+                }
+            }
 
             if self.lu.factor_from(&self.jacobian).is_err() {
                 return NewtonOutcome::SingularJacobian { iteration: iter };
@@ -195,15 +300,44 @@ impl NewtonSolver {
                 }
             }
 
+            // Backtracking line search (rescue rung, off by default):
+            // halve the step while the trial residual is worse than the
+            // current one, up to `backtrack` times.
+            let mut scale = 1.0_f64;
+            if self.options.backtrack > 0 {
+                for _ in 0..self.options.backtrack {
+                    for ((t, xi), di) in self.x_try.iter_mut().zip(x.iter()).zip(&self.delta) {
+                        *t = xi + scale * di;
+                    }
+                    self.residual.fill(0.0);
+                    self.jacobian.clear();
+                    system.eval(&self.x_try, &mut self.residual, &mut self.jacobian);
+                    let trial_norm = self
+                        .residual
+                        .iter()
+                        .map(|r| r.abs())
+                        .fold(0.0_f64, f64::max);
+                    if trial_norm.is_finite() && trial_norm < last_residual {
+                        break;
+                    }
+                    scale *= 0.5;
+                    self.total_backtracks += 1;
+                }
+            }
+
             let mut converged = true;
             last_delta = 0.0;
             for (xi, di) in x.iter_mut().zip(&self.delta) {
-                *xi += di;
+                let step = scale * di;
+                *xi += step;
+                if !xi.is_finite() {
+                    return NewtonOutcome::NonFiniteState { iteration: iter };
+                }
                 let tol = self.options.abstol + self.options.reltol * xi.abs();
-                if di.abs() > tol {
+                if step.abs() > tol {
                     converged = false;
                 }
-                last_delta = last_delta.max(di.abs());
+                last_delta = last_delta.max(step.abs());
             }
 
             if converged && last_residual <= self.options.residual_tol {
@@ -216,6 +350,7 @@ impl NewtonSolver {
         NewtonOutcome::IterationLimit {
             last_delta,
             last_residual,
+            worst_index,
         }
     }
 }
