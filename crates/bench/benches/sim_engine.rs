@@ -23,12 +23,17 @@ fn lu_bench(c: &mut Criterion) {
             a[(i, i)] += n as f64;
         }
         let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+        // Factor allocates fresh `LuFactors` each iteration, but the solve
+        // goes through the non-allocating `solve_into` path like every
+        // other call-site in the tree.
+        let mut x_factors = vec![0.0; n];
         g.bench_with_input(BenchmarkId::new("factor_and_solve", n), &n, |bench, _| {
             bench.iter(|| {
                 black_box(&a)
                     .lu()
                     .expect("nonsingular")
-                    .solve(black_box(&b))
+                    .solve_into(black_box(&b), &mut x_factors);
+                black_box(x_factors[0])
             })
         });
         // The zero-allocation path the Newton loop runs: same

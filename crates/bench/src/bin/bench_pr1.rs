@@ -42,23 +42,33 @@ fn comparison_ids() -> Vec<&'static str> {
 struct Pass {
     jobs: usize,
     total_s: f64,
-    per_figure_s: Vec<(String, f64)>,
+    /// Per figure: `(id, wall seconds, CPU seconds)`. CPU time is the
+    /// worker thread's on-CPU time ([`nvpg_exec::thread_cpu_time`]);
+    /// `None` where the platform doesn't expose it. On an oversubscribed
+    /// host the parallel pass inflates wall time with scheduler
+    /// contention while CPU time stays put — recording both makes that
+    /// anomaly visible instead of looking like a slower solver.
+    per_figure: Vec<(String, f64, Option<f64>)>,
 }
 
 fn run_pass(exp: &Experiments, ids: &[&str], jobs: usize) -> Pass {
     nvpg_exec::set_default_jobs(jobs);
     let t0 = Instant::now();
-    let timed: Vec<(String, f64)> = nvpg_exec::par_map(jobs, ids, |_, &id| {
+    let timed: Vec<(String, f64, Option<f64>)> = nvpg_exec::par_map(jobs, ids, |_, &id| {
         let t = Instant::now();
+        let c0 = nvpg_exec::thread_cpu_time();
         exp.figure_by_id(id)
             .expect("known id")
             .expect("figure renders");
-        (id.to_owned(), t.elapsed().as_secs_f64())
+        let cpu = nvpg_exec::thread_cpu_time()
+            .zip(c0)
+            .map(|(c1, c0)| (c1 - c0).as_secs_f64());
+        (id.to_owned(), t.elapsed().as_secs_f64(), cpu)
     });
     Pass {
         jobs,
         total_s: t0.elapsed().as_secs_f64(),
-        per_figure_s: timed,
+        per_figure: timed,
     }
 }
 
@@ -69,11 +79,25 @@ fn pass_json(pass: &Pass) -> String {
         "{{\"jobs\": {}, \"total_s\": {:.6}, \"per_figure_s\": {{",
         pass.jobs, pass.total_s
     );
-    for (i, (id, secs)) in pass.per_figure_s.iter().enumerate() {
+    for (i, (id, secs, _)) in pass.per_figure.iter().enumerate() {
         if i > 0 {
             s.push_str(", ");
         }
         let _ = write!(s, "\"{id}\": {secs:.6}");
+    }
+    s.push_str("}, \"per_figure_cpu_s\": {");
+    for (i, (id, _, cpu)) in pass.per_figure.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        match cpu {
+            Some(c) => {
+                let _ = write!(s, "\"{id}\": {c:.6}");
+            }
+            None => {
+                let _ = write!(s, "\"{id}\": null");
+            }
+        }
     }
     s.push_str("}}");
     s

@@ -88,6 +88,19 @@ pub trait NonlinearDevice: std::fmt::Debug {
     fn state(&self) -> Vec<(String, f64)> {
         Vec::new()
     }
+
+    /// Scale factor on the engine's device-eval bypass tolerance.
+    ///
+    /// The transient engine may skip [`load`](Self::load) and re-emit the
+    /// cached stamp when every terminal voltage moved less than
+    /// `bypass_tol × this` since the last full evaluation. Devices whose
+    /// stamp depends on fast-moving *internal* state return `0.0` while
+    /// that state is in flight (e.g. an MTJ mid-switching), which vetoes
+    /// bypass regardless of how quiet the terminals are. The default of
+    /// `1.0` takes the engine tolerance as-is.
+    fn bypass_tolerance_scale(&self) -> f64 {
+        1.0
+    }
 }
 
 /// A circuit element.

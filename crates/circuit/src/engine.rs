@@ -85,6 +85,50 @@ pub(crate) struct MnaSystem<'a> {
     dim: usize,
     /// Scratch stamps, one per nonlinear device (ordinal order).
     stamps: Vec<DeviceStamp>,
+    /// Device-eval bypass tolerance on terminal voltages; `0.0` disables
+    /// bypass (the DC default). Set by the transient driver from
+    /// [`crate::transient::TransientOptions::device_bypass_tol`].
+    bypass_tol: f64,
+    /// Terminal voltages at which each device's stamp was last computed.
+    dev_v_cache: Vec<Vec<f64>>,
+    /// Whether the corresponding stamp/voltage cache entry is usable.
+    dev_cache_valid: Vec<bool>,
+    /// Scratch: current terminal voltages of the device being assembled.
+    dev_v_scratch: Vec<f64>,
+    /// Scratch: voltage deltas vs the cached linearisation point.
+    dev_dv_scratch: Vec<f64>,
+    /// Full `dev.load` evaluations performed (bypass telemetry).
+    device_evals: u64,
+    /// Evaluations skipped by re-emitting the cached stamp.
+    device_bypasses: u64,
+}
+
+/// Jacobian destination for [`MnaSystem::assemble`]: either the real
+/// matrix (full Newton iteration) or a no-op sink (residual-only
+/// evaluation for modified-Newton stale iterations). Monomorphised, so
+/// the residual-only path pays nothing for the abstraction.
+pub(crate) trait JacSink {
+    /// `false` for the no-op sink — lets assembly skip derivative-only
+    /// arithmetic.
+    const ACTIVE: bool;
+    fn add(&mut self, r: usize, c: usize, v: f64);
+}
+
+/// Discards Jacobian entries (residual-only assembly).
+pub(crate) struct NoJac;
+
+impl JacSink for NoJac {
+    const ACTIVE: bool = false;
+    #[inline]
+    fn add(&mut self, _r: usize, _c: usize, _v: f64) {}
+}
+
+impl JacSink for DenseMatrix {
+    const ACTIVE: bool = true;
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        DenseMatrix::add(self, r, c, v);
+    }
 }
 
 #[inline]
@@ -112,7 +156,7 @@ impl<'a> MnaSystem<'a> {
         let branch_idx = circuit.branch_indices();
         let nv = circuit.nodes.unknown_count();
         let dim = circuit.unknown_count();
-        let stamps = circuit
+        let stamps: Vec<DeviceStamp> = circuit
             .elements
             .iter()
             .filter_map(|e| match e {
@@ -120,6 +164,9 @@ impl<'a> MnaSystem<'a> {
                 _ => None,
             })
             .collect();
+        let dev_v_cache: Vec<Vec<f64>> = stamps.iter().map(|s| vec![0.0; s.terminals()]).collect();
+        let max_terminals = stamps.iter().map(|s| s.terminals()).max().unwrap_or(0);
+        let n_devs = stamps.len();
         MnaSystem {
             circuit,
             ctx,
@@ -128,7 +175,32 @@ impl<'a> MnaSystem<'a> {
             nv,
             dim,
             stamps,
+            bypass_tol: 0.0,
+            dev_v_cache,
+            dev_cache_valid: vec![false; n_devs],
+            dev_v_scratch: vec![0.0; max_terminals],
+            dev_dv_scratch: vec![0.0; max_terminals],
+            device_evals: 0,
+            device_bypasses: 0,
         }
+    }
+
+    /// Enables device-eval bypass: devices whose terminal voltages moved
+    /// less than `tol` (scaled per device) since their last full
+    /// evaluation re-emit the cached stamp, linearised at the cached
+    /// point, instead of re-running the I–V model. `0.0` disables.
+    pub(crate) fn set_bypass_tol(&mut self, tol: f64) {
+        self.bypass_tol = tol;
+    }
+
+    /// Full device-model evaluations performed.
+    pub(crate) fn device_evals(&self) -> u64 {
+        self.device_evals
+    }
+
+    /// Device evaluations skipped via the bypass cache.
+    pub(crate) fn device_bypasses(&self) -> u64 {
+        self.device_bypasses
     }
 
     /// Initialises integration state from a converged solution `x` at the
@@ -143,10 +215,14 @@ impl<'a> MnaSystem<'a> {
                     cap_v_prev.push(volt(x, *a) - volt(x, *b));
                 }
                 Element::Nonlinear(dev) => {
-                    let v: Vec<f64> = dev.nodes().iter().map(|&n| volt(x, n)).collect();
+                    let cache = &mut self.dev_v_cache[dev_ord];
+                    for (c, &n) in cache.iter_mut().zip(dev.nodes()) {
+                        *c = volt(x, n);
+                    }
                     let stamp = &mut self.stamps[dev_ord];
                     stamp.clear();
-                    dev.load(&v, stamp);
+                    dev.load(cache, stamp);
+                    self.dev_cache_valid[dev_ord] = true;
                     dev_q_prev.push(stamp.charge.clone());
                     dev_ord += 1;
                 }
@@ -201,12 +277,19 @@ impl<'a> MnaSystem<'a> {
                     cap_ord += 1;
                 }
                 Element::Nonlinear(dev) => {
-                    let v: Vec<f64> = dev.nodes().iter().map(|&n| volt(x, n)).collect();
-                    dev.accept_step(&v, t, dt);
-                    // Re-evaluate charge at the accepted voltages/state.
+                    let cache = &mut self.dev_v_cache[dev_ord];
+                    for (c, &n) in cache.iter_mut().zip(dev.nodes().iter()) {
+                        *c = volt(x, n);
+                    }
+                    dev.accept_step(cache, t, dt);
+                    // Re-evaluate charge at the accepted voltages/state;
+                    // this also refreshes the bypass linearisation point,
+                    // so a stamp cached here reflects the post-advance
+                    // device state.
                     let stamp = &mut self.stamps[dev_ord];
                     stamp.clear();
-                    dev.load(&v, stamp);
+                    dev.load(cache, stamp);
+                    self.dev_cache_valid[dev_ord] = true;
                     integ.dev_q_prev[dev_ord].copy_from_slice(&stamp.charge);
                     dev_ord += 1;
                 }
@@ -223,6 +306,39 @@ impl NonlinearSystem for MnaSystem<'_> {
     }
 
     fn eval(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut DenseMatrix) {
+        self.assemble(x, residual, jacobian);
+
+        // Injected faults corrupt the assembled system at its natural
+        // site; `RejectStep` is handled by the analysis driver instead.
+        match self.fault {
+            Some(FaultKind::NanResidual) => {
+                if let Some(r) = residual.first_mut() {
+                    *r = f64::NAN;
+                }
+            }
+            Some(FaultKind::SingularMatrix) => jacobian.clear(),
+            Some(FaultKind::Panic) => panic!("injected fault: panic during MNA assembly"),
+            Some(FaultKind::RejectStep) | None => {}
+        }
+    }
+
+    fn eval_residual_only(&mut self, x: &[f64], residual: &mut [f64]) -> bool {
+        // A pending fault must land on a full assembly, so every
+        // corruption site (residual, Jacobian, panic) stays reachable on
+        // the modified-Newton path.
+        if self.fault.is_some() {
+            return false;
+        }
+        self.assemble(x, residual, &mut NoJac);
+        true
+    }
+}
+
+impl MnaSystem<'_> {
+    /// Stamps the whole MNA system into `residual` and `jacobian`; the
+    /// latter may be [`NoJac`], which turns this into the residual-only
+    /// evaluation used by stale modified-Newton iterations.
+    fn assemble<J: JacSink>(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut J) {
         let gmin = self.circuit.gmin + self.ctx.extra_gmin;
         for i in 0..self.nv {
             residual[i] += gmin * x[i];
@@ -299,22 +415,25 @@ impl NonlinearSystem for MnaSystem<'_> {
                     let (ln_on, ln_off) = ((1.0 / r_on).ln(), (1.0 / r_off).ln());
                     let ln_g = ln_off + (ln_on - ln_off) * s;
                     let g = ln_g.exp();
-                    let ds_dz = s * (1.0 - s);
-                    let dg_dvc = g * (ln_on - ln_off) * ds_dz / smooth;
 
                     let vab = volt(x, *a) - volt(x, *b);
                     let i = g * vab;
                     add_current(residual, *a, i);
                     add_current(residual, *b, -i);
                     stamp_g_only(jacobian, *a, *b, g);
-                    // ∂i/∂vc terms.
-                    for (node, sign) in [(*a, 1.0), (*b, -1.0)] {
-                        if let Some(r) = node.unknown_index() {
-                            if let Some(cp) = ctrl_pos.unknown_index() {
-                                jacobian.add(r, cp, sign * vab * dg_dvc);
-                            }
-                            if let Some(cn) = ctrl_neg.unknown_index() {
-                                jacobian.add(r, cn, -sign * vab * dg_dvc);
+                    // ∂i/∂vc terms (derivative-only work, skipped by the
+                    // residual-only sink).
+                    if J::ACTIVE {
+                        let ds_dz = s * (1.0 - s);
+                        let dg_dvc = g * (ln_on - ln_off) * ds_dz / smooth;
+                        for (node, sign) in [(*a, 1.0), (*b, -1.0)] {
+                            if let Some(r) = node.unknown_index() {
+                                if let Some(cp) = ctrl_pos.unknown_index() {
+                                    jacobian.add(r, cp, sign * vab * dg_dvc);
+                                }
+                                if let Some(cn) = ctrl_neg.unknown_index() {
+                                    jacobian.add(r, cn, -sign * vab * dg_dvc);
+                                }
                             }
                         }
                     }
@@ -401,26 +520,69 @@ impl NonlinearSystem for MnaSystem<'_> {
                 }
                 Element::Nonlinear(dev) => {
                     let nodes = dev.nodes();
-                    let v: Vec<f64> = nodes.iter().map(|&n| volt(x, n)).collect();
-                    let stamp = &mut self.stamps[dev_ord];
-                    stamp.clear();
-                    dev.load(&v, stamp);
+                    let nt = nodes.len();
+                    let vs = &mut self.dev_v_scratch[..nt];
+                    for (s, &n) in vs.iter_mut().zip(nodes) {
+                        *s = volt(x, n);
+                    }
 
-                    for (t, &nt) in nodes.iter().enumerate() {
+                    // Device-eval bypass: if every terminal voltage is
+                    // within tolerance of the cached linearisation point,
+                    // re-emit the cached stamp instead of re-running the
+                    // I–V model. Devices veto by scaling the tolerance to
+                    // zero (e.g. an MTJ mid-switching).
+                    let tol = self.bypass_tol * dev.bypass_tolerance_scale();
+                    let cache = &mut self.dev_v_cache[dev_ord];
+                    let bypass = tol > 0.0
+                        && self.dev_cache_valid[dev_ord]
+                        && vs
+                            .iter()
+                            .zip(cache.iter())
+                            .all(|(s, c)| (s - c).abs() <= tol);
+                    let stamp = &mut self.stamps[dev_ord];
+                    if bypass {
+                        self.device_bypasses += 1;
+                    } else {
+                        stamp.clear();
+                        dev.load(vs, stamp);
+                        cache.copy_from_slice(vs);
+                        self.dev_cache_valid[dev_ord] = true;
+                        self.device_evals += 1;
+                    }
+
+                    // Linearise the stamp at the cached point:
+                    // i(v) ≈ i(v_c) + G·(v − v_c), q(v) ≈ q(v_c) + C·(v − v_c).
+                    // After a fresh evaluation dv is identically zero, so
+                    // this is exact; under bypass the model error is
+                    // bounded by the curvature over a ≤ tol interval, and
+                    // the stamped Jacobian G stays consistent with the
+                    // residual, so Newton sees a genuinely linear device.
+                    let dv = &mut self.dev_dv_scratch[..nt];
+                    for ((d, s), c) in dv.iter_mut().zip(vs.iter()).zip(cache.iter()) {
+                        *d = s - c;
+                    }
+                    for (t, &node_t) in nodes.iter().enumerate() {
                         let mut i_t = stamp.current[t];
+                        let mut q_t = stamp.charge[t];
+                        for (u, d) in dv.iter().enumerate() {
+                            i_t += stamp.conductance[t][u] * d;
+                            q_t += stamp.capacitance[t][u] * d;
+                        }
                         // Charge contribution (backward Euler) in transient.
                         if let Some(integ) = &self.ctx.integ {
-                            i_t += (stamp.charge[t] - integ.dev_q_prev[dev_ord][t]) / integ.dt;
+                            i_t += (q_t - integ.dev_q_prev[dev_ord][t]) / integ.dt;
                         }
-                        add_current(residual, nt, i_t);
-                        if let Some(r) = nt.unknown_index() {
-                            for (u, &nu) in nodes.iter().enumerate() {
-                                if let Some(c) = nu.unknown_index() {
-                                    let mut g = stamp.conductance[t][u];
-                                    if let Some(integ) = &self.ctx.integ {
-                                        g += stamp.capacitance[t][u] / integ.dt;
+                        add_current(residual, node_t, i_t);
+                        if J::ACTIVE {
+                            if let Some(r) = node_t.unknown_index() {
+                                for (u, &nu) in nodes.iter().enumerate() {
+                                    if let Some(c) = nu.unknown_index() {
+                                        let mut g = stamp.conductance[t][u];
+                                        if let Some(integ) = &self.ctx.integ {
+                                            g += stamp.capacitance[t][u] / integ.dt;
+                                        }
+                                        jacobian.add(r, c, g);
                                     }
-                                    jacobian.add(r, c, g);
                                 }
                             }
                         }
@@ -428,19 +590,6 @@ impl NonlinearSystem for MnaSystem<'_> {
                     dev_ord += 1;
                 }
             }
-        }
-
-        // Injected faults corrupt the assembled system at its natural
-        // site; `RejectStep` is handled by the analysis driver instead.
-        match self.fault {
-            Some(FaultKind::NanResidual) => {
-                if let Some(r) = residual.first_mut() {
-                    *r = f64::NAN;
-                }
-            }
-            Some(FaultKind::SingularMatrix) => jacobian.clear(),
-            Some(FaultKind::Panic) => panic!("injected fault: panic during MNA assembly"),
-            Some(FaultKind::RejectStep) | None => {}
         }
     }
 }
@@ -454,9 +603,9 @@ fn add_current(residual: &mut [f64], node: NodeId, i: f64) {
 
 /// Stamps a two-terminal conductance's current and Jacobian.
 #[inline]
-fn stamp_conductance(
+fn stamp_conductance<J: JacSink>(
     residual: &mut [f64],
-    jacobian: &mut DenseMatrix,
+    jacobian: &mut J,
     x: &[f64],
     a: NodeId,
     b: NodeId,
@@ -470,7 +619,7 @@ fn stamp_conductance(
 
 /// Stamps only the Jacobian entries of a two-terminal conductance.
 #[inline]
-fn stamp_g_only(jacobian: &mut DenseMatrix, a: NodeId, b: NodeId, g: f64) {
+fn stamp_g_only<J: JacSink>(jacobian: &mut J, a: NodeId, b: NodeId, g: f64) {
     if let Some(ia) = a.unknown_index() {
         jacobian.add(ia, ia, g);
         if let Some(ib) = b.unknown_index() {

@@ -1,12 +1,22 @@
 //! Adaptive-step transient analysis (backward Euler).
 //!
-//! Implicit integration with per-step Newton solves; the step controller
-//! is iteration-count based (grow on easy steps, shrink on hard ones,
-//! quarter on failure) and always lands exactly on waveform breakpoints so
-//! nanosecond store pulses are never stepped over. Backward Euler is
-//! unconditionally stable and damps the parasitic ringing that trapezoidal
-//! integration exhibits on switching circuits; the dynamic-energy error it
-//! introduces is controlled by `dt_max`.
+//! Implicit integration with per-step Newton solves. The step size is
+//! driven by a second-order local-truncation-error (LTE) controller: a
+//! linear polynomial predictor extrapolates each unknown across the step,
+//! the predictor–corrector difference estimates the curvature term
+//! `(dt²/2)·x″` of the backward-Euler error, and the step is rejected and
+//! redone smaller whenever that estimate exceeds the per-unknown error
+//! tolerance. Through quiescent intervals the estimate collapses and dt
+//! grows geometrically to `dt_max`; at waveform edges it spikes and dt
+//! shrinks — exactly the store/restore-pulse-between-long-sleeps profile
+//! of the paper's NV-SRAM sequences. The pre-existing iteration-count
+//! heuristic survives as the inner rescue for Newton failures (quarter the
+//! step, then escalate through the rescue ladder), and every step still
+//! lands exactly on waveform breakpoints so nanosecond store pulses are
+//! never stepped over. Backward Euler is unconditionally stable and damps
+//! the parasitic ringing that trapezoidal integration exhibits on
+//! switching circuits; under trapezoidal integration the same (BE-form)
+//! error estimate is used, which is conservative for the smoother method.
 
 use nvpg_numeric::newton::{NewtonOptions, NewtonOutcome, NewtonSolver};
 
@@ -18,6 +28,7 @@ use crate::error::CircuitError;
 use crate::node::NodeId;
 use crate::rescue::RescueStats;
 use crate::solution::DcSolution;
+use crate::steptel::StepStats;
 use crate::trace::Trace;
 
 /// Options for [`transient`].
@@ -42,6 +53,25 @@ pub struct TransientOptions {
     /// fails with [`CircuitError::StepBudgetExhausted`] instead of looping
     /// forever at `dt_min`.
     pub max_steps: u64,
+    /// Local-truncation-error step control (the default). When `false`,
+    /// the controller falls back to the iteration-count heuristic alone
+    /// (grow ×1.5 on easy steps, halve on hard ones) — useful for
+    /// fixed-step convergence studies.
+    pub lte_control: bool,
+    /// Relative per-unknown LTE tolerance: each unknown's estimated
+    /// truncation error must stay below `lte_abstol + lte_reltol·|x|`.
+    pub lte_reltol: f64,
+    /// Absolute per-unknown LTE tolerance (volts / amps).
+    pub lte_abstol: f64,
+    /// Safety factor applied to the ideal next step (in `(0, 1]`).
+    pub lte_safety: f64,
+    /// Cap on step growth per accepted step (≥ 1).
+    pub lte_max_growth: f64,
+    /// Device-eval bypass tolerance: nonlinear devices whose terminal
+    /// voltages all moved less than this (scaled per device) since their
+    /// last full evaluation re-emit a linearised cached stamp instead of
+    /// re-running the compact model. `0.0` disables bypass.
+    pub device_bypass_tol: f64,
 }
 
 impl Default for TransientOptions {
@@ -53,11 +83,22 @@ impl Default for TransientOptions {
             dt_init: 1e-12,
             newton: NewtonOptions {
                 max_iter: 100,
+                // Modified Newton: carry the LU factorisation across
+                // iterations and accepted steps; the residual is still
+                // evaluated genuinely every iteration, so converged
+                // solutions meet the same tolerances.
+                reuse_jacobian: true,
                 ..NewtonOptions::default()
             },
             record_device_state: false,
             method: IntegrationMethod::BackwardEuler,
             max_steps: 10_000_000,
+            lte_control: true,
+            lte_reltol: 1e-3,
+            lte_abstol: 1e-6,
+            lte_safety: 0.9,
+            lte_max_growth: 2.5,
+            device_bypass_tol: 0.0,
         }
     }
 }
@@ -111,6 +152,29 @@ impl TransientOptions {
             return Err(CircuitError::InvalidOptions {
                 field: "max_steps",
                 reason: "must be at least 1".to_owned(),
+            });
+        }
+        pos_finite("lte_reltol", self.lte_reltol)?;
+        pos_finite("lte_abstol", self.lte_abstol)?;
+        if !self.lte_safety.is_finite() || self.lte_safety <= 0.0 || self.lte_safety > 1.0 {
+            return Err(CircuitError::InvalidOptions {
+                field: "lte_safety",
+                reason: format!("must lie in (0, 1], got {}", self.lte_safety),
+            });
+        }
+        if !self.lte_max_growth.is_finite() || self.lte_max_growth < 1.0 {
+            return Err(CircuitError::InvalidOptions {
+                field: "lte_max_growth",
+                reason: format!("must be at least 1, got {}", self.lte_max_growth),
+            });
+        }
+        if !self.device_bypass_tol.is_finite() || self.device_bypass_tol < 0.0 {
+            return Err(CircuitError::InvalidOptions {
+                field: "device_bypass_tol",
+                reason: format!(
+                    "must be non-negative and finite (0 disables), got {}",
+                    self.device_bypass_tol
+                ),
             });
         }
         self.newton.validate()?;
@@ -232,8 +296,12 @@ pub struct TransientResult {
     /// Newton solves attempted (accepted + rejected steps).
     pub newton_solves: u64,
     /// Rescue-ladder telemetry: step rejections, damped retries, gmin
-    /// ramps, method fallbacks, injected faults. All zero for a clean run.
+    /// ramps, method fallbacks, injected faults. All zero for a clean run
+    /// (LTE rejections are routine step control, not rescue events, and
+    /// are counted in [`steps`](TransientResult::steps) instead).
     pub rescue: RescueStats,
+    /// Step-control and solver-reuse telemetry.
+    pub steps: StepStats,
 }
 
 /// Runs a transient analysis starting from the operating point `initial`.
@@ -277,13 +345,16 @@ pub fn transient(
 
     let mut solver = NewtonSolver::new(opts.newton);
     let mut sys = MnaSystem::new(circuit, MnaContext::dc());
+    sys.set_bypass_tol(opts.device_bypass_tol);
     let mut x = initial.as_slice().to_vec();
     let mut method = opts.method;
     sys.init_integration(&x, method);
 
-    // Per-step scratch, allocated once: the Newton trial vector and the
-    // recorder's sample row. The step loop itself is allocation-free.
+    // Per-step scratch, allocated once: the Newton trial vector, the
+    // LTE controller's solution history, and the recorder's sample row.
+    // The step loop itself is allocation-free.
     let mut x_try = x.clone();
+    let mut x_prev = x.clone();
     let mut row: Vec<f64> = Vec::with_capacity(trace.signal_names().len());
 
     let mut t = 0.0_f64;
@@ -292,7 +363,15 @@ pub fn transient(
     let mut dt = opts.dt_init.min(opts.dt_max);
     let mut bp_iter = bps.iter().copied().peekable();
     let mut rescue = RescueStats::default();
+    let mut steps = StepStats::default();
     let mut attempted: u64 = 0;
+    // LTE history: the previous accepted solution and its step size.
+    let mut dt_prev = 0.0_f64;
+    let mut have_history = false;
+    // Step size the retained LU factorisation was built at: changing dt
+    // rescales every companion-model C/dt term, so the factorisation must
+    // be refreshed even though the residual stays exact.
+    let mut dt_of_lu = f64::NAN;
 
     while t < opts.t_stop {
         // Aim for the next breakpoint or the end of the run.
@@ -330,11 +409,28 @@ pub fn transient(
         if let Some(integ) = &mut sys.ctx.integ {
             integ.dt = step;
         }
-        x_try.copy_from_slice(&x);
+        // A retained LU is only as good as its companion terms: any dt
+        // change invalidates it. Through quiescent intervals dt pins at
+        // dt_max, so reuse thrives exactly where the work is.
+        if step != dt_of_lu {
+            solver.invalidate_jacobian();
+            dt_of_lu = step;
+        }
+        if opts.lte_control && have_history {
+            // Seed Newton from the polynomial predictor — in smooth
+            // intervals it starts within the convergence tolerance.
+            let a = step / dt_prev;
+            for ((xt, &xi), &xp) in x_try.iter_mut().zip(x.iter()).zip(x_prev.iter()) {
+                *xt = xi + a * (xi - xp);
+            }
+        } else {
+            x_try.copy_from_slice(&x);
+        }
         let mut outcome = solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue);
 
         if !outcome.is_converged() {
             rescue.rejected_steps += 1;
+            steps.rejected_newton += 1;
             let reduced = step * 0.25;
             if reduced >= opts.dt_min {
                 // Cheapest cure first: retry the step 4× smaller.
@@ -343,7 +439,14 @@ pub fn transient(
             }
 
             // At the dt_min floor; escalate through the rescue ladder at
-            // the current step size before giving up.
+            // the current step size before giving up. The rungs run full
+            // Newton: a stale factorisation is the last thing a solve
+            // that already failed needs.
+            let no_reuse = NewtonOptions {
+                reuse_jacobian: false,
+                ..opts.newton
+            };
+            solver.invalidate_jacobian();
 
             // Rung 1: damped Newton with backtracking line search.
             rescue.damped_retries += 1;
@@ -355,12 +458,12 @@ pub fn transient(
                 },
                 backtrack: 4,
                 max_iter: opts.newton.max_iter * 2,
-                ..opts.newton
+                ..no_reuse
             };
             solver.set_options(damped);
             x_try.copy_from_slice(&x);
             outcome = solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue);
-            solver.set_options(opts.newton);
+            solver.set_options(no_reuse);
 
             // Rung 2: gmin ramp — solve with a shrinking extra shunt
             // conductance, then polish without it.
@@ -397,6 +500,10 @@ pub fn transient(
                 outcome = solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue);
             }
 
+            solver.set_options(opts.newton);
+            solver.invalidate_jacobian();
+            dt_of_lu = f64::NAN;
+
             if outcome.is_converged() {
                 rescue.rescued_solves += 1;
             } else {
@@ -428,11 +535,71 @@ pub fn transient(
         let NewtonOutcome::Converged { iterations } = outcome else {
             unreachable!()
         };
+
+        // LTE estimate from the predictor–corrector difference. With a
+        // linear predictor over history step `dt_prev` and the backward-
+        // Euler corrector, d = x_new − x_pred = (dt(2dt + dt_prev)/2)·x″,
+        // while the corrector's own truncation error is (dt²/2)·x″ — so
+        // LTE = |d|·dt/(2dt + dt_prev), normalised per unknown against
+        // `lte_abstol + lte_reltol·|x|`.
+        let mut lte_ratio = 0.0_f64;
+        if opts.lte_control && have_history {
+            let a = step / dt_prev;
+            let scale = step / (2.0 * step + dt_prev);
+            for ((&xn, &xi), &xp) in x_try.iter().zip(x.iter()).zip(x_prev.iter()) {
+                let pred = xi + a * (xi - xp);
+                let lte = (xn - pred).abs() * scale;
+                let tol = opts.lte_abstol + opts.lte_reltol * xn.abs();
+                lte_ratio = lte_ratio.max(lte / tol);
+            }
+            if lte_ratio > 1.0 && step > opts.dt_min {
+                let shrink = (opts.lte_safety / lte_ratio.sqrt()).clamp(0.1, 0.9);
+                let dt_retry = (step * shrink).max(opts.dt_min);
+                // The retry re-derives its step from the unchanged t and
+                // limit, including the sliver stretch; if that bounces it
+                // straight back to the step just rejected, no smaller
+                // step exists and rejecting would loop forever — accept.
+                let mut retry_step = dt_retry.min(opts.dt_max).min(limit - t);
+                if limit - (t + retry_step) < opts.dt_min {
+                    retry_step = limit - t;
+                }
+                if retry_step < step {
+                    // Converged but too inaccurate: redo the step
+                    // smaller. Routine step control, not a rescue event.
+                    steps.rejected_lte += 1;
+                    dt = dt_retry;
+                    continue;
+                }
+            }
+            // At the dt_min floor (or when the limit leaves no smaller
+            // step) the step is accepted regardless, and the ratio shows
+            // up in `max_lte_ratio`.
+        }
+
+        steps.accepted_steps += 1;
+        steps.max_lte_ratio = steps.max_lte_ratio.max(lte_ratio);
+        x_prev.copy_from_slice(&x);
+        dt_prev = step;
+        have_history = true;
         std::mem::swap(&mut x, &mut x_try);
         sys.accept_step(&x, t_new, step);
         t = t_new;
         recorder.sample(sys.circuit, &x, t, &mut trace, &mut row);
-        if iterations <= 5 {
+
+        if opts.lte_control && have_history {
+            // Ideal next step for a first-order method: LTE ∝ dt², so
+            // dt_next = dt·safety/√ratio, growth-capped. A hard Newton
+            // solve still halves the step as the inner heuristic.
+            let factor = if lte_ratio > 0.0 {
+                (opts.lte_safety / lte_ratio.sqrt()).min(opts.lte_max_growth)
+            } else {
+                opts.lte_max_growth
+            };
+            dt = (step * factor).clamp(opts.dt_min, opts.dt_max);
+            if iterations > 20 {
+                dt = (dt * 0.5).max(opts.dt_min);
+            }
+        } else if iterations <= 5 {
             dt = (step * 1.5).min(opts.dt_max);
         } else if iterations > 20 {
             dt = (step * 0.5).max(opts.dt_min);
@@ -441,6 +608,13 @@ pub fn transient(
         }
     }
 
+    steps.newton_iterations = solver.total_iterations();
+    steps.newton_solves = solver.total_solves();
+    steps.jacobian_refactorizations = solver.total_refactorizations();
+    steps.refactorizations_avoided = solver.refactorizations_avoided();
+    steps.device_evals = sys.device_evals();
+    steps.device_bypasses = sys.device_bypasses();
+
     let final_state = DcSolution::new(sys.circuit, x);
     Ok(TransientResult {
         trace,
@@ -448,6 +622,7 @@ pub fn transient(
         newton_iterations: solver.total_iterations(),
         newton_solves: solver.total_solves(),
         rescue,
+        steps,
     })
 }
 
@@ -635,6 +810,9 @@ mod tests {
                 dt_max,
                 dt_init: dt_max,
                 method,
+                // Fixed-step accuracy comparison: the LTE controller
+                // would shrink the coarse steps and defeat the point.
+                lte_control: false,
                 ..TransientOptions::default()
             };
             let tr = transient(&mut ckt, &opts, &op).unwrap().trace;

@@ -10,7 +10,7 @@
 use nvpg_cells::bench::{CellBench, PhaseResult};
 use nvpg_cells::cell::{CellKind, MtjConfig};
 use nvpg_cells::design::CellDesign;
-use nvpg_circuit::CircuitError;
+use nvpg_circuit::{CircuitError, StepStats};
 use nvpg_units::{Joules, Seconds};
 
 use crate::arch::Architecture;
@@ -26,6 +26,8 @@ pub struct SequenceRun {
     pub energy: Joules,
     /// Total duration.
     pub duration: Seconds,
+    /// Step-control and solver telemetry aggregated over every phase.
+    pub steps: StepStats,
 }
 
 impl SequenceRun {
@@ -66,11 +68,16 @@ impl SequenceRun {
 fn finish(arch: Architecture, phases: Vec<PhaseResult>) -> SequenceRun {
     let energy = Joules(phases.iter().map(|p| p.energy.0).sum());
     let duration = Seconds(phases.iter().map(|p| p.duration.0).sum());
+    let mut steps = StepStats::default();
+    for phase in &phases {
+        steps += phase.steps;
+    }
     SequenceRun {
         arch,
         phases,
         energy,
         duration,
+        steps,
     }
 }
 
@@ -188,6 +195,10 @@ mod tests {
         assert!(run.phase("read").is_some());
         assert!(run.phase("sleep").is_some());
         assert!(run.phase("store-H").is_none(), "OSR never stores");
+        // Telemetry aggregates across phases and the optimisations fire.
+        assert!(run.steps.accepted_steps > 100);
+        assert!(run.steps.newton_iterations >= run.steps.newton_solves);
+        assert!(run.steps.refactorizations_avoided > 0, "{}", run.steps);
     }
 
     #[test]

@@ -43,7 +43,10 @@ fn faulted_variation_run_is_failsoft_and_jobs_invariant() {
         FaultKind::NanResidual,
         FaultKind::SingularMatrix,
     ];
-    let plan = FaultPlan::random(0xFA17, 5e-5, &kinds);
+    // The LTE step controller cut Newton-solve counts by an order of
+    // magnitude, so the per-solve rate is higher than it was under the
+    // fixed-heuristic stepper to keep the same expected fault count.
+    let plan = FaultPlan::random(0xFA17, 2e-4, &kinds);
     let (f1, r1) = run_variation_report(&base, &spec, &params, 1, Some(&plan));
     let (f4, r4) = run_variation_report(&base, &spec, &params, 4, Some(&plan));
 

@@ -332,6 +332,17 @@ impl NonlinearDevice for Mtj {
             ("progress".to_owned(), self.progress),
         ]
     }
+
+    fn bypass_tolerance_scale(&self) -> f64 {
+        // While a switching event is in flight the next accept_step may
+        // flip the state and change the resistance by ~2×; force a full
+        // re-evaluation every iteration until the integrator settles.
+        if self.progress > 0.0 {
+            0.0
+        } else {
+            1.0
+        }
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,25 @@ fn effective_jobs(jobs: usize, items: usize) -> usize {
     j.clamp(1, items.max(1))
 }
 
+/// CPU time consumed by the *calling thread* so far, or `None` where the
+/// platform doesn't expose it.
+///
+/// Benchmarks record this next to wall-clock per work item: on an
+/// oversubscribed host the wall time of a parallel pass inflates with
+/// scheduler contention while CPU time stays put, so the pair
+/// distinguishes "the solver got slower" from "the machine was busy".
+///
+/// Linux-only (reads `/proc/thread-self/schedstat`, whose first field is
+/// the thread's on-CPU nanoseconds); elsewhere it returns `None` and
+/// callers degrade to wall-clock-only reporting. Time spent in *other*
+/// threads — e.g. a nested [`par_map`] fan-out — is not attributed to the
+/// caller.
+pub fn thread_cpu_time() -> Option<Duration> {
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    let ns: u64 = text.split_whitespace().next()?.parse().ok()?;
+    Some(Duration::from_nanos(ns))
+}
+
 /// Applies `f` to every item on a bounded pool of scoped threads and
 /// returns the results in input order.
 ///
@@ -391,6 +410,21 @@ mod tests {
                 );
             assert_eq!(r.unwrap_err(), 3, "jobs = {jobs}");
         }
+    }
+
+    #[test]
+    fn thread_cpu_time_is_monotonic_when_available() {
+        let Some(before) = thread_cpu_time() else {
+            return; // platform doesn't expose it — nothing to check
+        };
+        // Burn a little CPU so the counter has a chance to advance.
+        let mut acc = 0u64;
+        for i in 0..2_000_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let after = thread_cpu_time().expect("stays available within a thread");
+        assert!(after >= before, "{after:?} < {before:?}");
     }
 
     #[test]

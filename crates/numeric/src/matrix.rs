@@ -416,16 +416,32 @@ impl LuFactors {
 
     /// Solves `A·x = b` using the stored factors.
     ///
+    /// Allocates the solution vector; hot loops should prefer
+    /// [`solve_into`](LuFactors::solve_into) (or an [`LuWorkspace`]) to
+    /// reuse a caller-owned buffer instead.
+    ///
     /// # Panics
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn solve(&self, b: &[f64]) -> Vec<f64> {
-        assert_eq!(b.len(), self.n, "dimension mismatch in solve");
-        let n = self.n;
-        // Apply permutation, then substitute in place.
-        let mut x: Vec<f64> = (0..n).map(|i| b[self.perm[i]]).collect();
-        substitute_in_place(n, &self.lu, &mut x);
+        let mut x = vec![0.0; self.n];
+        self.solve_into(b, &mut x);
         x
+    }
+
+    /// Solves `A·x = b` into a caller-owned buffer, allocating nothing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `x.len()` differ from `self.dim()`.
+    pub fn solve_into(&self, b: &[f64], x: &mut [f64]) {
+        assert_eq!(b.len(), self.n, "dimension mismatch in solve");
+        assert_eq!(x.len(), self.n, "solution buffer dimension mismatch");
+        // Apply permutation, then substitute in place.
+        for (xi, &p) in x.iter_mut().zip(&self.perm) {
+            *xi = b[p];
+        }
+        substitute_in_place(self.n, &self.lu, x);
     }
 
     /// Determinant of the original matrix (product of U's diagonal, signed

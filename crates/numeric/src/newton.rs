@@ -45,6 +45,20 @@ pub trait NonlinearSystem {
     /// `residual` and `jacobian` arrive zeroed; implementations accumulate
     /// ("stamp") into them.
     fn eval(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut DenseMatrix);
+
+    /// Evaluates only the residual `F(x)`, skipping Jacobian assembly.
+    ///
+    /// Returns `true` if the system supports the cheap path; the default
+    /// returns `false`, which makes the solver fall back to a full
+    /// [`eval`](NonlinearSystem::eval) plus refactorisation. Used by the
+    /// modified-Newton iteration ([`NewtonOptions::reuse_jacobian`]) so
+    /// that iterations running on a stale LU factorisation avoid both
+    /// Jacobian assembly and factorisation.
+    ///
+    /// `residual` arrives zeroed; implementations accumulate into it.
+    fn eval_residual_only(&mut self, _x: &[f64], _residual: &mut [f64]) -> bool {
+        false
+    }
 }
 
 /// Tuning knobs for the Newton iteration.
@@ -66,6 +80,22 @@ pub struct NewtonOptions {
     /// trial residual is worse than the current one is halved up to this
     /// many times — the middle rung of the convergence-rescue ladder.
     pub backtrack: u32,
+    /// Modified-Newton mode: keep the previous LU factorisation across
+    /// iterations *and* across `solve` calls, refreshing only when the
+    /// step contraction rate degrades past [`reuse_contraction`]
+    /// (NewtonOptions::reuse_contraction) or the factorisation exceeds
+    /// [`reuse_max_age`](NewtonOptions::reuse_max_age) stale iterations.
+    /// Residuals are still evaluated genuinely every iteration, so a
+    /// converged answer satisfies the same tolerances as full Newton.
+    pub reuse_jacobian: bool,
+    /// Contraction threshold for the stale-Jacobian monitor: a reused
+    /// factorisation is kept while ‖δ_k‖ ≤ `reuse_contraction`·‖δ_{k-1}‖;
+    /// when a stale iteration contracts slower than this, the next
+    /// iteration refactorises. Must lie in `(0, 1)`.
+    pub reuse_contraction: f64,
+    /// Hard cap on consecutive stale iterations per factorisation (a
+    /// safety net on top of the contraction monitor). Must be ≥ 1.
+    pub reuse_max_age: usize,
 }
 
 impl Default for NewtonOptions {
@@ -77,6 +107,9 @@ impl Default for NewtonOptions {
             max_iter: 200,
             max_step: 0.5,
             backtrack: 0,
+            reuse_jacobian: false,
+            reuse_contraction: 0.5,
+            reuse_max_age: 50,
         }
     }
 }
@@ -113,6 +146,24 @@ impl NewtonOptions {
             return Err(InvalidOptionsError {
                 field: "max_step",
                 reason: format!("must be positive (infinity allowed), got {}", self.max_step),
+            });
+        }
+        if !self.reuse_contraction.is_finite()
+            || self.reuse_contraction <= 0.0
+            || self.reuse_contraction >= 1.0
+        {
+            return Err(InvalidOptionsError {
+                field: "reuse_contraction",
+                reason: format!(
+                    "must lie strictly between 0 and 1, got {}",
+                    self.reuse_contraction
+                ),
+            });
+        }
+        if self.reuse_max_age == 0 {
+            return Err(InvalidOptionsError {
+                field: "reuse_max_age",
+                reason: "must be at least 1".to_owned(),
             });
         }
         Ok(())
@@ -190,9 +241,19 @@ pub struct NewtonSolver {
     delta: Vec<f64>,
     /// Trial point for the backtracking line search.
     x_try: Vec<f64>,
+    /// Whether `lu` holds a usable factorisation from an earlier iteration
+    /// or solve (modified-Newton reuse).
+    jac_valid: bool,
+    /// Consecutive stale iterations served by the current factorisation.
+    jac_age: usize,
+    /// Refresh request latched by the contraction monitor: the next
+    /// iteration must refactorise even if reuse is otherwise allowed.
+    jac_refresh: bool,
     total_iterations: u64,
     total_solves: u64,
     total_backtracks: u64,
+    total_refactorizations: u64,
+    refactorizations_avoided: u64,
 }
 
 impl NewtonSolver {
@@ -205,9 +266,14 @@ impl NewtonSolver {
             lu: LuWorkspace::new(),
             delta: Vec::new(),
             x_try: Vec::new(),
+            jac_valid: false,
+            jac_age: 0,
+            jac_refresh: false,
             total_iterations: 0,
             total_solves: 0,
             total_backtracks: 0,
+            total_refactorizations: 0,
+            refactorizations_avoided: 0,
         }
     }
 
@@ -231,6 +297,30 @@ impl NewtonSolver {
     /// unless [`NewtonOptions::backtrack`] is enabled).
     pub fn total_backtracks(&self) -> u64 {
         self.total_backtracks
+    }
+
+    /// LU refactorisations performed across every `solve` call.
+    pub fn total_refactorizations(&self) -> u64 {
+        self.total_refactorizations
+    }
+
+    /// Iterations served by a stale (reused) factorisation — each one
+    /// skipped both Jacobian assembly and LU factorisation. Zero unless
+    /// [`NewtonOptions::reuse_jacobian`] is enabled and the system
+    /// implements [`NonlinearSystem::eval_residual_only`].
+    pub fn refactorizations_avoided(&self) -> u64 {
+        self.refactorizations_avoided
+    }
+
+    /// Discards the retained LU factorisation so the next iteration
+    /// refactorises. Callers must invoke this whenever the system's
+    /// Jacobian changes shape out from under the solver — e.g. the
+    /// transient engine changes the time step, which rescales every
+    /// companion-model `C/dt` term.
+    pub fn invalidate_jacobian(&mut self) {
+        self.jac_valid = false;
+        self.jac_age = 0;
+        self.jac_refresh = false;
     }
 
     /// Replaces the active options (used by the rescue ladder to retry a
@@ -257,17 +347,38 @@ impl NewtonSolver {
             self.jacobian = DenseMatrix::zeros(n, n);
             self.delta = vec![0.0; n];
             self.x_try = vec![0.0; n];
+            self.invalidate_jacobian();
         }
         self.total_solves += 1;
 
         let mut last_delta = f64::INFINITY;
         let mut last_residual = f64::INFINITY;
+        let mut prev_delta = f64::INFINITY;
         let mut worst_index = 0usize;
 
         for iter in 0..self.options.max_iter {
-            self.residual.fill(0.0);
-            self.jacobian.clear();
-            system.eval(x, &mut self.residual, &mut self.jacobian);
+            // Modified-Newton fast path: when the retained factorisation is
+            // still trusted, evaluate only the residual and skip Jacobian
+            // assembly + LU entirely. The system may decline (returns
+            // `false`), in which case this iteration is a full one.
+            let mut stale = false;
+            if self.options.reuse_jacobian
+                && self.jac_valid
+                && !self.jac_refresh
+                && self.jac_age < self.options.reuse_max_age
+            {
+                self.residual.fill(0.0);
+                if system.eval_residual_only(x, &mut self.residual) {
+                    stale = true;
+                    self.jac_age += 1;
+                    self.refactorizations_avoided += 1;
+                }
+            }
+            if !stale {
+                self.residual.fill(0.0);
+                self.jacobian.clear();
+                system.eval(x, &mut self.residual, &mut self.jacobian);
+            }
             self.total_iterations += 1;
 
             // ∞-norm with explicit NaN detection: `f64::max` drops NaN
@@ -276,6 +387,7 @@ impl NewtonSolver {
             last_residual = 0.0;
             for (i, r) in self.residual.iter().enumerate() {
                 if !r.is_finite() {
+                    self.invalidate_jacobian();
                     return NewtonOutcome::NonFiniteState { iteration: iter };
                 }
                 if r.abs() > last_residual {
@@ -284,8 +396,15 @@ impl NewtonSolver {
                 }
             }
 
-            if self.lu.factor_from(&self.jacobian).is_err() {
-                return NewtonOutcome::SingularJacobian { iteration: iter };
+            if !stale {
+                if self.lu.factor_from(&self.jacobian).is_err() {
+                    self.invalidate_jacobian();
+                    return NewtonOutcome::SingularJacobian { iteration: iter };
+                }
+                self.jac_valid = true;
+                self.jac_age = 0;
+                self.jac_refresh = false;
+                self.total_refactorizations += 1;
             }
             // Newton step: J·Δ = -F  ⇒  Δ = -J⁻¹F, solved without
             // materialising -F or allocating Δ.
@@ -309,9 +428,14 @@ impl NewtonSolver {
                     for ((t, xi), di) in self.x_try.iter_mut().zip(x.iter()).zip(&self.delta) {
                         *t = xi + scale * di;
                     }
+                    // Trial points only need the residual norm; take the
+                    // cheap path when the system offers one.
                     self.residual.fill(0.0);
-                    self.jacobian.clear();
-                    system.eval(&self.x_try, &mut self.residual, &mut self.jacobian);
+                    if !system.eval_residual_only(&self.x_try, &mut self.residual) {
+                        self.residual.fill(0.0);
+                        self.jacobian.clear();
+                        system.eval(&self.x_try, &mut self.residual, &mut self.jacobian);
+                    }
                     let trial_norm = self
                         .residual
                         .iter()
@@ -331,6 +455,7 @@ impl NewtonSolver {
                 let step = scale * di;
                 *xi += step;
                 if !xi.is_finite() {
+                    self.invalidate_jacobian();
                     return NewtonOutcome::NonFiniteState { iteration: iter };
                 }
                 let tol = self.options.abstol + self.options.reltol * xi.abs();
@@ -345,8 +470,18 @@ impl NewtonSolver {
                     iterations: iter + 1,
                 };
             }
+
+            // Contraction monitor: a healthy (even stale) Newton iteration
+            // shrinks the step geometrically. When a stale iteration stops
+            // contracting fast enough, latch a refresh so the next
+            // iteration rebuilds and refactorises the Jacobian.
+            if stale && last_delta > self.options.reuse_contraction * prev_delta {
+                self.jac_refresh = true;
+            }
+            prev_delta = last_delta;
         }
 
+        self.invalidate_jacobian();
         NewtonOutcome::IterationLimit {
             last_delta,
             last_residual,
@@ -496,6 +631,120 @@ mod tests {
         let mut x2 = vec![1.0, 1.0];
         assert!(solver.solve(&mut Poly, &mut x2).is_converged());
         assert_eq!(solver.options().max_iter, 200);
+    }
+
+    /// Poly with a residual-only fast path and call counters, for
+    /// exercising the modified-Newton reuse policy.
+    struct CountingPoly {
+        full_evals: u32,
+        cheap_evals: u32,
+        support_cheap: bool,
+    }
+
+    impl CountingPoly {
+        fn new(support_cheap: bool) -> Self {
+            CountingPoly {
+                full_evals: 0,
+                cheap_evals: 0,
+                support_cheap,
+            }
+        }
+    }
+
+    impl NonlinearSystem for CountingPoly {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval(&mut self, x: &[f64], r: &mut [f64], j: &mut DenseMatrix) {
+            self.full_evals += 1;
+            r[0] = x[0] * x[0] + x[1] - 3.0;
+            r[1] = x[0] + x[1] * x[1] - 5.0;
+            j[(0, 0)] = 2.0 * x[0];
+            j[(0, 1)] = 1.0;
+            j[(1, 0)] = 1.0;
+            j[(1, 1)] = 2.0 * x[1];
+        }
+        fn eval_residual_only(&mut self, x: &[f64], r: &mut [f64]) -> bool {
+            if !self.support_cheap {
+                return false;
+            }
+            self.cheap_evals += 1;
+            r[0] = x[0] * x[0] + x[1] - 3.0;
+            r[1] = x[0] + x[1] * x[1] - 5.0;
+            true
+        }
+    }
+
+    #[test]
+    fn modified_newton_reuses_factorisation_and_stays_accurate() {
+        let mut solver = NewtonSolver::new(NewtonOptions {
+            reuse_jacobian: true,
+            ..Default::default()
+        });
+        let mut sys = CountingPoly::new(true);
+        let mut x = vec![1.0, 1.0];
+        assert!(solver.solve(&mut sys, &mut x).is_converged());
+        // Stale iterations really happened and skipped full assembly.
+        assert!(solver.refactorizations_avoided() > 0);
+        assert!(sys.cheap_evals > 0);
+        // The answer satisfies the same tolerances as full Newton.
+        assert!((x[0] * x[0] + x[1] - 3.0).abs() < 1e-8);
+        assert!((x[0] + x[1] * x[1] - 5.0).abs() < 1e-8);
+
+        // A second solve from the same start reuses the retained LU across
+        // the solve boundary: its first iteration is already stale.
+        let avoided = solver.refactorizations_avoided();
+        let mut x2 = vec![1.0, 1.0];
+        assert!(solver.solve(&mut sys, &mut x2).is_converged());
+        assert!(solver.refactorizations_avoided() > avoided);
+    }
+
+    #[test]
+    fn reuse_declined_by_system_falls_back_to_full_newton() {
+        let mut solver = NewtonSolver::new(NewtonOptions {
+            reuse_jacobian: true,
+            ..Default::default()
+        });
+        let mut sys = CountingPoly::new(false);
+        let mut x = vec![1.0, 1.0];
+        assert!(solver.solve(&mut sys, &mut x).is_converged());
+        assert_eq!(solver.refactorizations_avoided(), 0);
+        assert_eq!(sys.cheap_evals, 0);
+        assert!(sys.full_evals > 0);
+    }
+
+    #[test]
+    fn invalidate_jacobian_forces_refactorisation() {
+        let mut solver = NewtonSolver::new(NewtonOptions {
+            reuse_jacobian: true,
+            ..Default::default()
+        });
+        let mut sys = CountingPoly::new(true);
+        let mut x = vec![1.0, 1.0];
+        assert!(solver.solve(&mut sys, &mut x).is_converged());
+        solver.invalidate_jacobian();
+        let refactors = solver.total_refactorizations();
+        let mut x2 = vec![1.0, 1.0];
+        assert!(solver.solve(&mut sys, &mut x2).is_converged());
+        // First iteration after invalidation cannot run stale.
+        assert!(solver.total_refactorizations() > refactors);
+    }
+
+    #[test]
+    fn reuse_options_are_validated() {
+        let bad_contraction = NewtonOptions {
+            reuse_contraction: 1.0,
+            ..Default::default()
+        };
+        assert_eq!(
+            bad_contraction.validate().unwrap_err().field,
+            "reuse_contraction"
+        );
+        let bad_age = NewtonOptions {
+            reuse_max_age: 0,
+            ..Default::default()
+        };
+        assert_eq!(bad_age.validate().unwrap_err().field, "reuse_max_age");
     }
 
     #[test]

@@ -41,9 +41,28 @@ unsafe impl GlobalAlloc for CountingAllocator {
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
 /// A dense nonlinear system with the flavour of an MNA stamp: diagonally
-/// dominant linear part plus a cubic diagonal nonlinearity.
+/// dominant linear part plus a cubic diagonal nonlinearity. When
+/// `cheap_residuals` is set it also serves residual-only evaluations, so
+/// the modified-Newton stale-LU path is reachable.
 struct CubicNetwork {
     n: usize,
+    cheap_residuals: bool,
+}
+
+impl CubicNetwork {
+    fn residual(&self, x: &[f64], residual: &mut [f64]) {
+        let n = self.n;
+        for i in 0..n {
+            let mut r = x[i] * x[i] * x[i] + 4.0 * x[i] - 1.0;
+            for j in 0..n {
+                if j != i {
+                    let g = 0.25 / (1.0 + (i + j) as f64);
+                    r += g * (x[i] - x[j]);
+                }
+            }
+            residual[i] = r;
+        }
+    }
 }
 
 impl NonlinearSystem for CubicNetwork {
@@ -53,19 +72,25 @@ impl NonlinearSystem for CubicNetwork {
 
     fn eval(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut DenseMatrix) {
         let n = self.n;
+        self.residual(x, residual);
         for i in 0..n {
-            let mut r = x[i] * x[i] * x[i] + 4.0 * x[i] - 1.0;
             jacobian[(i, i)] = 3.0 * x[i] * x[i] + 4.0;
             for j in 0..n {
                 if j != i {
                     let g = 0.25 / (1.0 + (i + j) as f64);
-                    r += g * (x[i] - x[j]);
                     jacobian[(i, i)] += g;
                     jacobian[(i, j)] -= g;
                 }
             }
-            residual[i] = r;
         }
+    }
+
+    fn eval_residual_only(&mut self, x: &[f64], residual: &mut [f64]) -> bool {
+        if !self.cheap_residuals {
+            return false;
+        }
+        self.residual(x, residual);
+        true
     }
 }
 
@@ -76,7 +101,10 @@ fn newton_solve_allocates_nothing_after_warmup() {
         max_step: f64::INFINITY,
         ..NewtonOptions::default()
     });
-    let mut system = CubicNetwork { n };
+    let mut system = CubicNetwork {
+        n,
+        cheap_residuals: false,
+    };
     let mut x = vec![0.5; n];
 
     // Warm-up: sizes every internal buffer for dimension `n`.
@@ -99,4 +127,90 @@ fn newton_solve_allocates_nothing_after_warmup() {
         after - before
     );
     assert!(solver.total_iterations() > 10);
+}
+
+#[test]
+fn modified_newton_stale_path_allocates_nothing_after_warmup() {
+    let n = 24;
+    let mut solver = NewtonSolver::new(NewtonOptions {
+        max_step: f64::INFINITY,
+        reuse_jacobian: true,
+        ..NewtonOptions::default()
+    });
+    let mut system = CubicNetwork {
+        n,
+        cheap_residuals: true,
+    };
+    let mut x = vec![0.5; n];
+    assert!(solver.solve(&mut system, &mut x).is_converged());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..10 {
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi += 0.1 * (1.0 + (round + i) as f64 * 0.01);
+        }
+        assert!(solver.solve(&mut system, &mut x).is_converged());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "modified-Newton stale path allocated {} time(s) after warm-up",
+        after - before
+    );
+    // The stale-LU path actually ran: iterations were served without a
+    // refactorisation.
+    assert!(
+        solver.refactorizations_avoided() > 0,
+        "no iteration reused the factorisation"
+    );
+}
+
+#[test]
+fn lu_solve_into_allocates_nothing() {
+    use nvpg_numeric::LuWorkspace;
+
+    let n = 16;
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        a[(i, i)] = 4.0 + i as f64;
+        if i + 1 < n {
+            a[(i, i + 1)] = -1.0;
+            a[(i + 1, i)] = -1.0;
+        }
+    }
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+
+    // `LuFactors::solve_into`: factor once (allocates), then solve
+    // repeatedly into a caller buffer with zero allocations.
+    let factors = a.lu().expect("nonsingular");
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for _ in 0..10 {
+        factors.solve_into(&b, &mut x);
+    }
+    assert_eq!(
+        ALLOCATIONS.load(Ordering::SeqCst) - before,
+        0,
+        "LuFactors::solve_into allocated"
+    );
+    assert!(x.iter().all(|v| v.is_finite() && *v != 0.0));
+
+    // `LuWorkspace`: after the first factorisation sizes the buffers,
+    // refactor + solve cycles allocate nothing.
+    let mut ws = LuWorkspace::with_dim(n);
+    ws.factor_from(&a).expect("nonsingular");
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..10 {
+        a[(0, 0)] = 4.0 + round as f64 * 0.1;
+        ws.factor_from(&a).expect("nonsingular");
+        ws.solve_into(&b, &mut x);
+        ws.solve_neg_into(&b, &mut x);
+    }
+    assert_eq!(
+        ALLOCATIONS.load(Ordering::SeqCst) - before,
+        0,
+        "LuWorkspace factor/solve cycle allocated"
+    );
 }
