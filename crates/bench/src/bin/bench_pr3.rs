@@ -2,7 +2,7 @@
 //! modified-Newton Jacobian reuse, and the device-eval bypass.
 //!
 //! ```text
-//! bench_pr3 [--out FILE] [--check]
+//! bench_pr3 [--out FILE] [--check] [--profile] [--trace-dir DIR]
 //! ```
 //!
 //! Writes `BENCH_PR3.json` (or `FILE`) containing:
@@ -23,10 +23,17 @@
 //! `--check` recomputes only the *deterministic* counters (no
 //! wall-clock) and exits nonzero if any falls outside the committed
 //! bounds — the CI perf-regression smoke gate.
+//!
+//! `--profile` traces the run and prints a per-span self-time table to
+//! stderr, plus `profile.folded` (collapsed stacks) under the trace
+//! directory (`--trace-dir DIR`, default `trace/`).
 
 use std::error::Error;
 use std::fmt::Write as _;
+use std::path::PathBuf;
 use std::time::Instant;
+
+use nvpg_bench::obs_cli::{self, ObsOptions};
 
 use nvpg_cells::cell::{build_cell, CellKind, MtjConfig};
 use nvpg_cells::characterize::characterize_cached;
@@ -249,20 +256,29 @@ fn check() -> Result<(), Box<dyn Error>> {
 fn main() -> Result<(), Box<dyn Error>> {
     let mut out = String::from("BENCH_PR3.json");
     let mut check_only = false;
+    let mut obs = ObsOptions::default();
+    let mut trace_dir = PathBuf::from("trace");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--out" => out = args.next().ok_or("--out requires a path")?,
             "--check" => check_only = true,
+            "--profile" => obs.profile = true,
+            "--trace-dir" => {
+                trace_dir = PathBuf::from(args.next().ok_or("--trace-dir requires a directory")?);
+            }
             "--help" | "-h" => {
-                println!("usage: bench_pr3 [--out FILE] [--check]");
+                println!("usage: bench_pr3 [--out FILE] [--check] [--profile] [--trace-dir DIR]");
                 return Ok(());
             }
             other => return Err(format!("unknown argument: {other}").into()),
         }
     }
+    obs.install();
     if check_only {
-        return check();
+        let result = check();
+        obs_cli::finish(&obs, &trace_dir, "bench_pr3", env!("CARGO_PKG_VERSION"))?;
+        return result;
     }
 
     eprintln!("measuring step telemetry (100 ns NV-SRAM transient)...");
@@ -364,5 +380,6 @@ fn main() -> Result<(), Box<dyn Error>> {
         "wrote {out} (fig6a {speedup_6a:.2}x, fig6b {speedup_6b:.2}x vs PR1 serial; \
          {speedup_jobs:.2}x at {par_jobs} jobs on {host} core(s))"
     );
+    obs_cli::finish(&obs, &trace_dir, "bench_pr3", env!("CARGO_PKG_VERSION"))?;
     Ok(())
 }

@@ -4,6 +4,7 @@
 //! figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR]
 //!         [--report FILE] [--full] [--strict]
 //!         [--fault-rate R] [--fault-seed S]
+//!         [--trace] [--profile] [--trace-dir DIR]
 //! ```
 //!
 //! With no ids, all figures are produced in paper order. Ids can be given
@@ -27,6 +28,14 @@
 //! prints every data point instead of a downsampled table. Per-figure
 //! wall-clock timings go to stderr.
 //!
+//! `--trace` records hierarchical spans (experiment → sequence → phase →
+//! solve) and solver counters, writing `trace.jsonl` and `manifest.json`
+//! into the trace directory (`--trace-dir DIR`, default `trace/`).
+//! `--profile` additionally prints a per-span self-time table to stderr
+//! and writes `profile.folded` (collapsed stacks). Both are off by
+//! default and leave `stdout` byte-identical; all observability output
+//! goes to stderr or the trace directory.
+//!
 //! Figure ids: `table1 fig3a fig3b fig3c fig4 fig6a fig6b fig6c fig7a
 //! fig7b fig7c fig8a fig8b fig9a fig9b ext_policy ext_wer ext_breakdown
 //! ext_thermal`.
@@ -36,6 +45,7 @@ use std::error::Error;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use nvpg_bench::obs_cli::{self, ObsOptions};
 use nvpg_bench::report::generate_report;
 use nvpg_bench::svg::render_svg;
 use nvpg_bench::{render_text, summarize, to_csv};
@@ -65,6 +75,8 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut jobs: usize = 0;
     let mut fault_rate: f64 = 0.0;
     let mut fault_seed: u64 = 0xFA17;
+    let mut obs = ObsOptions::default();
+    let mut trace_dir = PathBuf::from("trace");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -98,6 +110,11 @@ fn main() -> Result<(), Box<dyn Error>> {
             }
             "--full" => full = true,
             "--strict" => strict = true,
+            "--trace" => obs.trace = true,
+            "--profile" => obs.profile = true,
+            "--trace-dir" => {
+                trace_dir = PathBuf::from(args.next().ok_or("--trace-dir requires a directory")?);
+            }
             "--fault-rate" => {
                 fault_rate = args
                     .next()
@@ -118,7 +135,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR] \
-                     [--report FILE] [--full] [--strict] [--fault-rate R] [--fault-seed S]"
+                     [--report FILE] [--full] [--strict] [--fault-rate R] [--fault-seed S] \
+                     [--trace] [--profile] [--trace-dir DIR]"
                 );
                 println!(
                     "ids: {} {} {}",
@@ -136,6 +154,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     if jobs > 0 {
         nvpg_exec::set_default_jobs(jobs);
     }
+    obs.install();
     let all_ids: Vec<&str> = FIGURE_IDS
         .iter()
         .chain(BET_FIGURE_IDS.iter())
@@ -262,6 +281,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     }
 
     if !run_report.all_ok() {
+        if obs.active() {
+            // Failing traced runs carry the counter totals in the report.
+            run_report.attach_metrics();
+        }
         println!("{}", run_report.render());
         if strict {
             return Err(format!(
@@ -292,5 +315,6 @@ fn main() -> Result<(), Box<dyn Error>> {
             jobs
         }
     );
+    obs_cli::finish(&obs, &trace_dir, "figures", env!("CARGO_PKG_VERSION"))?;
     Ok(())
 }

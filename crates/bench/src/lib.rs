@@ -4,6 +4,7 @@
 //! benches use these helpers to turn [`Figure`] data into aligned text
 //! tables and CSV files.
 
+pub mod obs_cli;
 pub mod report;
 pub mod svg;
 

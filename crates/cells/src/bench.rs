@@ -206,6 +206,7 @@ impl CellBench {
         duration: f64,
         waves: &[(&str, Waveform)],
     ) -> Result<PhaseResult, CircuitError> {
+        let _span = nvpg_obs::span_labeled("phase", name);
         for (src, wave) in waves {
             self.ckt.set_source(src, wave.clone())?;
         }

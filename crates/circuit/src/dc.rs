@@ -163,6 +163,23 @@ pub fn operating_point_from_report(
     opts: &DcOptions,
     x0: &[f64],
 ) -> Result<(DcSolution, RescueStats), CircuitError> {
+    let _span = nvpg_obs::span_labeled("solve", "dc");
+    let result = operating_point_ladder(circuit, opts, x0);
+    if let Ok((_, stats)) = &result {
+        // One registry deposit per successful solve, from the aggregated
+        // stats, so global metrics reconcile with returned RescueStats.
+        stats.record_metrics();
+        nvpg_obs::metrics::counters::DC_SOLVES.add(1);
+    }
+    result
+}
+
+/// The rescue ladder itself (see [`operating_point_from_report`]).
+fn operating_point_ladder(
+    circuit: &mut Circuit,
+    opts: &DcOptions,
+    x0: &[f64],
+) -> Result<(DcSolution, RescueStats), CircuitError> {
     assert_eq!(
         x0.len(),
         circuit.unknown_count(),

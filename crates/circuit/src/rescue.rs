@@ -41,6 +41,20 @@ impl RescueStats {
     pub fn attempts(&self) -> u32 {
         self.rejected_steps + self.damped_retries + self.gmin_ramps + self.method_fallbacks
     }
+
+    /// Adds this analysis' rescue telemetry into the global `nvpg-obs`
+    /// `rescue.*` metrics registry. Called once per analysis from the
+    /// aggregated stats, so registry totals reconcile exactly with the
+    /// sum of returned `RescueStats`. A no-op while tracing is disabled.
+    pub fn record_metrics(&self) {
+        use nvpg_obs::metrics::counters;
+        counters::RESCUE_REJECTED_STEPS.add(self.rejected_steps.into());
+        counters::RESCUE_DAMPED_RETRIES.add(self.damped_retries.into());
+        counters::RESCUE_GMIN_RAMPS.add(self.gmin_ramps.into());
+        counters::RESCUE_METHOD_FALLBACKS.add(self.method_fallbacks.into());
+        counters::RESCUE_RESCUED_SOLVES.add(self.rescued_solves.into());
+        counters::RESCUE_INJECTED_FAULTS.add(self.injected_faults.into());
+    }
 }
 
 impl AddAssign for RescueStats {

@@ -75,6 +75,25 @@ impl StepStats {
     pub fn attempted_steps(&self) -> u64 {
         self.accepted_steps + self.rejected_newton + self.rejected_lte
     }
+
+    /// Adds this run's telemetry into the global `nvpg-obs` `solve.*`
+    /// metrics registry. Called once per analysis from its aggregated
+    /// stats (never per step), so the registry total equals the sum of
+    /// every returned `StepStats` exactly — the reconciliation the
+    /// jobs-invariance test asserts. A no-op while tracing is disabled.
+    pub fn record_metrics(&self) {
+        use nvpg_obs::metrics::{counters, gauges};
+        counters::ACCEPTED_STEPS.add(self.accepted_steps);
+        counters::REJECTED_NEWTON.add(self.rejected_newton);
+        counters::REJECTED_LTE.add(self.rejected_lte);
+        counters::NEWTON_ITERATIONS.add(self.newton_iterations);
+        counters::NEWTON_SOLVES.add(self.newton_solves);
+        counters::LU_REFACTORIZATIONS.add(self.jacobian_refactorizations);
+        counters::LU_REUSES.add(self.refactorizations_avoided);
+        counters::DEVICE_EVALS.add(self.device_evals);
+        counters::DEVICE_BYPASSES.add(self.device_bypasses);
+        gauges::MAX_LTE_RATIO.max(self.max_lte_ratio);
+    }
 }
 
 impl AddAssign for StepStats {

@@ -92,6 +92,18 @@ impl Trace {
         &self.names
     }
 
+    /// Iterates `(name, samples)` pairs in column order.
+    ///
+    /// The structural accessor for exporters walking every signal: unlike
+    /// per-name [`signal`](Trace::signal) lookups, it cannot fail on a
+    /// name the trace itself supplied.
+    pub fn columns(&self) -> impl Iterator<Item = (&str, &[f64])> {
+        self.names
+            .iter()
+            .map(String::as_str)
+            .zip(self.cols.iter().map(Vec::as_slice))
+    }
+
     /// The samples of a signal.
     ///
     /// # Errors

@@ -267,7 +267,13 @@ impl Recorder {
 }
 
 /// Collects, sorts and dedups waveform breakpoints in `(0, t_stop]`.
-fn breakpoints(circuit: &Circuit, t_stop: f64) -> Vec<f64> {
+///
+/// Waveforms are user input (PWL corner lists in particular), so a
+/// non-finite corner time is reported as [`CircuitError::InvalidOptions`]
+/// up front. The finiteness check runs *before* the range filter: a NaN
+/// fails every comparison, so `retain` would silently drop it and the
+/// run would proceed with the user's breakpoint list quietly truncated.
+fn breakpoints(circuit: &Circuit, t_stop: f64) -> Result<Vec<f64>, CircuitError> {
     let mut bps = Vec::new();
     for e in circuit.elements() {
         match e {
@@ -277,10 +283,18 @@ fn breakpoints(circuit: &Circuit, t_stop: f64) -> Vec<f64> {
             _ => {}
         }
     }
+    if let Some(bad) = bps.iter().find(|t| !t.is_finite()) {
+        return Err(CircuitError::InvalidOptions {
+            field: "waveform breakpoints",
+            reason: format!("non-finite breakpoint time {bad}"),
+        });
+    }
     bps.retain(|&t| t > 0.0 && t <= t_stop);
-    bps.sort_by(|a, b| a.partial_cmp(b).expect("finite breakpoints"));
+    // All values are finite here, but total_cmp keeps the sort panic-free
+    // by construction rather than by the check above.
+    bps.sort_by(f64::total_cmp);
     bps.dedup_by(|a, b| (*a - *b).abs() < 1e-18);
-    bps
+    Ok(bps)
 }
 
 /// Output of a transient run: the recorded waveforms plus the final
@@ -340,7 +354,8 @@ pub fn transient(
         "initial solution does not match circuit"
     );
     opts.validate()?;
-    let bps = breakpoints(circuit, opts.t_stop);
+    let _span = nvpg_obs::span_labeled("solve", "transient");
+    let bps = breakpoints(circuit, opts.t_stop)?;
     let (recorder, mut trace) = Recorder::build(circuit, opts.record_device_state);
 
     let mut solver = NewtonSolver::new(opts.newton);
@@ -615,6 +630,12 @@ pub fn transient(
     steps.device_evals = sys.device_evals();
     steps.device_bypasses = sys.device_bypasses();
 
+    // One registry deposit per run, from the aggregated stats, so the
+    // global metrics reconcile exactly with the sum of returned stats.
+    steps.record_metrics();
+    rescue.record_metrics();
+    nvpg_obs::metrics::counters::TRANSIENT_RUNS.add(1);
+
     let final_state = DcSolution::new(sys.circuit, x);
     Ok(TransientResult {
         trace,
@@ -662,6 +683,53 @@ mod tests {
         // At 5 RC, nearly settled.
         let v = tr.value_at("v(out)", 5e-9).unwrap();
         assert!(v > 0.99, "v(5RC) = {v}");
+    }
+
+    /// A NaN corner time in a source waveform must surface as a typed
+    /// error, not a sort panic (and not be silently filtered out, which
+    /// is what `retain(t > 0.0)` used to do to NaNs).
+    #[test]
+    fn nan_breakpoint_is_a_typed_error() {
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        ckt.vsource(
+            "v1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (f64::NAN, 1.0), (2e-9, 1.0)]),
+        )
+        .unwrap();
+        ckt.resistor("r1", vin, Circuit::GROUND, 1e3).unwrap();
+
+        let op = DcSolution::new(&ckt, vec![0.0; ckt.unknown_count()]);
+        let opts = TransientOptions {
+            t_stop: 5e-9,
+            ..TransientOptions::default()
+        };
+        let err = transient(&mut ckt, &opts, &op).unwrap_err();
+        match err {
+            CircuitError::InvalidOptions { field, reason } => {
+                assert_eq!(field, "waveform breakpoints");
+                assert!(reason.contains("NaN"), "{reason}");
+            }
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+        // Infinite corner times are equally invalid.
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("vin");
+        ckt.vsource(
+            "v1",
+            vin,
+            Circuit::GROUND,
+            Waveform::Pwl(vec![(0.0, 0.0), (f64::INFINITY, 1.0)]),
+        )
+        .unwrap();
+        ckt.resistor("r1", vin, Circuit::GROUND, 1e3).unwrap();
+        let op = DcSolution::new(&ckt, vec![0.0; ckt.unknown_count()]);
+        assert!(matches!(
+            transient(&mut ckt, &opts, &op),
+            Err(CircuitError::InvalidOptions { .. })
+        ));
     }
 
     /// Energy drawn from the source charging C through R: C·V²

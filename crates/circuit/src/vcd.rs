@@ -1,4 +1,4 @@
-//! VCD (Value Change Dump) export for transient traces.
+//! VCD (Value Change Dump) import/export for transient traces.
 //!
 //! Writes a [`Trace`] as an IEEE-1364 VCD file with `real` variables, so
 //! simulations can be inspected in standard waveform viewers (GTKWave,
@@ -6,8 +6,13 @@
 //! trace's span; values are only dumped when they change beyond a
 //! relative tolerance, which keeps files compact on the long flat
 //! stretches typical of power-gating sequences.
+//!
+//! [`parse_vcd`] reads the same dialect back. VCD text is external input
+//! (hand-edited files, other tools' exports), so every malformation is
+//! reported as a typed [`VcdError`] with a line number — never a panic.
 
-use std::fmt::Write as _;
+use std::collections::HashMap;
+use std::fmt::{self, Write as _};
 
 use crate::trace::Trace;
 
@@ -76,21 +81,24 @@ pub fn to_vcd(trace: &Trace, module: &str) -> String {
     let _ = writeln!(out, "$version nvpg-circuit $end");
     let _ = writeln!(out, "$timescale {label} $end");
     let _ = writeln!(out, "$scope module {} $end", sanitize(module));
-    let names = trace.signal_names();
-    for (i, name) in names.iter().enumerate() {
+    // Walk columns structurally: a by-name lookup here could only fail on
+    // a name the trace itself provided, which is the kind of "can't
+    // happen" that still deserves not being an `expect`.
+    let columns: Vec<(&str, &[f64])> = trace.columns().collect();
+    for (i, (name, _)) in columns.iter().enumerate() {
         let _ = writeln!(out, "$var real 64 {} {} $end", id_code(i), sanitize(name));
     }
     let _ = writeln!(out, "$upscope $end");
     let _ = writeln!(out, "$enddefinitions $end");
 
-    let mut last: Vec<Option<f64>> = vec![None; names.len()];
+    let mut last: Vec<Option<f64>> = vec![None; columns.len()];
     let mut last_tick: Option<u64> = None;
     for (k, &t) in trace.time().iter().enumerate() {
         let tick = (t / scale).round() as u64;
         // Collect which signals changed at this sample.
         let mut changes = Vec::new();
-        for (i, name) in names.iter().enumerate() {
-            let v = trace.signal(name).expect("known signal")[k];
+        for (i, (_, samples)) in columns.iter().enumerate() {
+            let v = samples[k];
             let dump = match last[i] {
                 None => true,
                 Some(prev) => {
@@ -115,6 +123,275 @@ pub fn to_vcd(trace: &Trace, module: &str) -> String {
         }
     }
     out
+}
+
+/// A malformed-VCD failure from [`parse_vcd`], with the 1-based line the
+/// problem was found on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VcdError {
+    /// Input ended inside a construct (header, directive, value).
+    UnexpectedEof {
+        /// What was being parsed when the input ran out.
+        context: &'static str,
+    },
+    /// A token that fits no VCD construct, or a construct with a bad
+    /// payload (unparsable timestamp, unparsable real value, short
+    /// `$var`, duplicate signal).
+    Malformed {
+        /// 1-based source line.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A value change referenced an identifier code no `$var` declared.
+    UnknownId {
+        /// 1-based source line.
+        line: usize,
+        /// The undeclared identifier code.
+        id: String,
+    },
+    /// A `$var` of a type this reader does not handle (only `real`
+    /// variables are supported, matching what [`to_vcd`] emits).
+    UnsupportedVar {
+        /// 1-based source line.
+        line: usize,
+        /// The declared type (`wire`, `reg`, …).
+        var_type: String,
+    },
+    /// A `#timestamp` smaller than its predecessor.
+    NonMonotonicTime {
+        /// 1-based source line.
+        line: usize,
+    },
+}
+
+impl fmt::Display for VcdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VcdError::UnexpectedEof { context } => {
+                write!(f, "VCD input ended unexpectedly while reading {context}")
+            }
+            VcdError::Malformed { line, reason } => {
+                write!(f, "malformed VCD at line {line}: {reason}")
+            }
+            VcdError::UnknownId { line, id } => {
+                write!(f, "VCD line {line} references undeclared identifier `{id}`")
+            }
+            VcdError::UnsupportedVar { line, var_type } => {
+                write!(
+                    f,
+                    "VCD line {line} declares unsupported variable type `{var_type}` \
+                     (only `real` is supported)"
+                )
+            }
+            VcdError::NonMonotonicTime { line } => {
+                write!(f, "VCD line {line}: timestamp goes backwards")
+            }
+        }
+    }
+}
+
+impl std::error::Error for VcdError {}
+
+/// Whitespace tokens paired with their 1-based source line.
+fn tokenize(text: &str) -> Vec<(usize, &str)> {
+    text.lines()
+        .enumerate()
+        .flat_map(|(i, l)| l.split_whitespace().map(move |t| (i + 1, t)))
+        .collect()
+}
+
+/// Consumes tokens up to (and including) the closing `$end` of a
+/// directive, returning the payload tokens.
+fn directive_body<'a>(
+    tokens: &[(usize, &'a str)],
+    pos: &mut usize,
+    context: &'static str,
+) -> Result<Vec<(usize, &'a str)>, VcdError> {
+    let mut body = Vec::new();
+    loop {
+        let Some(&(line, tok)) = tokens.get(*pos) else {
+            return Err(VcdError::UnexpectedEof { context });
+        };
+        *pos += 1;
+        if tok == "$end" {
+            return Ok(body);
+        }
+        body.push((line, tok));
+    }
+}
+
+/// Parses a `$timescale` payload (`1 ns`, `10ps`, …) into seconds per
+/// tick.
+fn parse_timescale(body: &[(usize, &str)]) -> Result<f64, VcdError> {
+    let line = body.first().map_or(0, |&(l, _)| l);
+    let joined: String = body.iter().map(|&(_, t)| t).collect();
+    let split = joined
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(joined.len());
+    let (mag, unit) = joined.split_at(split);
+    let mag: f64 = mag.parse().map_err(|_| VcdError::Malformed {
+        line,
+        reason: format!("bad $timescale magnitude in `{joined}`"),
+    })?;
+    let unit = match unit {
+        "s" => 1.0,
+        "ms" => 1e-3,
+        "us" => 1e-6,
+        "ns" => 1e-9,
+        "ps" => 1e-12,
+        "fs" => 1e-15,
+        other => {
+            return Err(VcdError::Malformed {
+                line,
+                reason: format!("unknown $timescale unit `{other}`"),
+            })
+        }
+    };
+    Ok(mag * unit)
+}
+
+/// Parses a VCD document (the dialect [`to_vcd`] writes: `real`
+/// variables, change-only dumps) back into a [`Trace`].
+///
+/// Values are carried forward between timestamps, inverting the writer's
+/// change-only compression; signals with no dump before the first
+/// timestamp start at 0.0. Scopes are flattened — signal names are taken
+/// as declared, whatever scope they sit in.
+///
+/// # Errors
+///
+/// Returns a typed [`VcdError`] for truncated input, unparsable tokens,
+/// non-`real` variables, undeclared identifier codes and backwards
+/// timestamps. Malformed input never panics.
+pub fn parse_vcd(text: &str) -> Result<Trace, VcdError> {
+    let tokens = tokenize(text);
+    let mut pos = 0;
+
+    // Header: everything up to $enddefinitions.
+    let mut names: Vec<String> = Vec::new();
+    let mut ids: HashMap<String, usize> = HashMap::new();
+    let mut scale = 1.0_f64;
+    loop {
+        let Some(&(line, tok)) = tokens.get(pos) else {
+            return Err(VcdError::UnexpectedEof {
+                context: "the header (no $enddefinitions)",
+            });
+        };
+        pos += 1;
+        match tok {
+            "$enddefinitions" => {
+                directive_body(&tokens, &mut pos, "$enddefinitions")?;
+                break;
+            }
+            "$timescale" => {
+                let body = directive_body(&tokens, &mut pos, "$timescale")?;
+                scale = parse_timescale(&body)?;
+            }
+            "$var" => {
+                let body = directive_body(&tokens, &mut pos, "$var")?;
+                if body.len() < 4 {
+                    return Err(VcdError::Malformed {
+                        line,
+                        reason: "$var needs `type width id name`".to_owned(),
+                    });
+                }
+                let var_type = body[0].1;
+                if var_type != "real" {
+                    return Err(VcdError::UnsupportedVar {
+                        line,
+                        var_type: var_type.to_owned(),
+                    });
+                }
+                let id = body[2].1.to_owned();
+                // Multi-token names (reference indices like `sig [7:0]`)
+                // collapse back to one name.
+                let name = body[3..]
+                    .iter()
+                    .map(|&(_, t)| t)
+                    .collect::<Vec<_>>()
+                    .join(" ");
+                if names.contains(&name) {
+                    return Err(VcdError::Malformed {
+                        line,
+                        reason: format!("duplicate signal name `{name}`"),
+                    });
+                }
+                if ids.insert(id.clone(), names.len()).is_some() {
+                    return Err(VcdError::Malformed {
+                        line,
+                        reason: format!("duplicate identifier code `{id}`"),
+                    });
+                }
+                names.push(name);
+            }
+            t if t.starts_with('$') => {
+                // $date, $version, $comment, $scope, $upscope, …: skip.
+                directive_body(&tokens, &mut pos, "a header directive")?;
+            }
+            other => {
+                return Err(VcdError::Malformed {
+                    line,
+                    reason: format!("unexpected token `{other}` in header"),
+                });
+            }
+        }
+    }
+
+    // Body: timestamps and change-only value dumps.
+    let mut trace = Trace::new(names.iter().cloned());
+    let mut current = vec![0.0_f64; names.len()];
+    let mut pending_t: Option<f64> = None;
+    while pos < tokens.len() {
+        let (line, tok) = tokens[pos];
+        pos += 1;
+        if let Some(tick_text) = tok.strip_prefix('#') {
+            let tick: u64 = tick_text.parse().map_err(|_| VcdError::Malformed {
+                line,
+                reason: format!("bad timestamp `{tok}`"),
+            })?;
+            let t = tick as f64 * scale;
+            if let Some(prev) = pending_t {
+                if t < prev {
+                    return Err(VcdError::NonMonotonicTime { line });
+                }
+                trace.push(prev, &current);
+            }
+            pending_t = Some(t);
+        } else if let Some(value_text) = tok.strip_prefix('r') {
+            let v: f64 = value_text.parse().map_err(|_| VcdError::Malformed {
+                line,
+                reason: format!("bad real value `{tok}`"),
+            })?;
+            let Some(&(id_line, id)) = tokens.get(pos) else {
+                return Err(VcdError::UnexpectedEof {
+                    context: "the identifier of a value change",
+                });
+            };
+            pos += 1;
+            let col = *ids.get(id).ok_or_else(|| VcdError::UnknownId {
+                line: id_line,
+                id: id.to_owned(),
+            })?;
+            current[col] = v;
+        } else if matches!(
+            tok,
+            "$dumpvars" | "$dumpall" | "$dumpon" | "$dumpoff" | "$end"
+        ) {
+            // Dump-section markers carry no payload of their own.
+        } else if tok == "$comment" {
+            directive_body(&tokens, &mut pos, "$comment")?;
+        } else {
+            return Err(VcdError::Malformed {
+                line,
+                reason: format!("unexpected token `{tok}` in dump section"),
+            });
+        }
+    }
+    if let Some(t) = pending_t {
+        trace.push(t, &current);
+    }
+    Ok(trace)
 }
 
 #[cfg(test)]
@@ -196,5 +473,123 @@ mod tests {
         let vcd = to_vcd(&tr, "tb");
         assert!(vcd.contains("$enddefinitions"));
         assert!(!vcd.contains('#'));
+        // And reads back as an empty trace with the declared signal.
+        let back = parse_vcd(&vcd).unwrap();
+        assert_eq!(back.signal_names(), &["x".to_owned()]);
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn round_trips_through_parse() {
+        let original = ramp_trace();
+        let back = parse_vcd(&to_vcd(&original, "tb")).unwrap();
+        assert_eq!(back.signal_names(), original.signal_names());
+        assert_eq!(back.len(), original.len());
+        for (t_back, t_orig) in back.time().iter().zip(original.time()) {
+            // Times round-trip through integer fs ticks.
+            assert!((t_back - t_orig).abs() <= 1e-15, "{t_back} vs {t_orig}");
+        }
+        for (name, samples) in original.columns() {
+            let got = back.signal(name).unwrap();
+            for (g, w) in got.iter().zip(samples) {
+                // Change-only dumping re-dumps anything past 1e-9 relative.
+                assert!(
+                    (g - w).abs() <= 1e-9 * w.abs().max(1.0),
+                    "{name}: {g} vs {w}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let vcd = to_vcd(&ramp_trace(), "tb");
+        // Cut inside the header: no $enddefinitions ever arrives.
+        let cut = &vcd[..vcd.find("$enddefinitions").unwrap()];
+        assert!(matches!(
+            parse_vcd(cut),
+            Err(VcdError::UnexpectedEof { .. })
+        ));
+        // Cut right after a value prefix: the identifier is missing.
+        let cut = format!("{}\n#12\nr1.5", &vcd[..vcd.find('#').unwrap()]);
+        assert!(matches!(
+            parse_vcd(&cut),
+            Err(VcdError::UnexpectedEof { .. })
+        ));
+    }
+
+    #[test]
+    fn garbage_input_is_a_typed_error() {
+        assert!(matches!(
+            parse_vcd("this is not a vcd file"),
+            Err(VcdError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(parse_vcd(""), Err(VcdError::UnexpectedEof { .. })));
+        let header = "$timescale 1 ns $end\n$var real 64 ! x $end\n$enddefinitions $end\n";
+        type Check = fn(&VcdError) -> bool;
+        let cases: [(&str, Check); 4] = [
+            ("#notanumber", |e| matches!(e, VcdError::Malformed { .. })),
+            ("#0\nrbogus !", |e| matches!(e, VcdError::Malformed { .. })),
+            (
+                "#0\nr1.0 Z",
+                |e| matches!(e, VcdError::UnknownId { id, .. } if id == "Z"),
+            ),
+            ("#5\nr1.0 !\n#3", |e| {
+                matches!(e, VcdError::NonMonotonicTime { line: 6 })
+            }),
+        ];
+        for (body, check) in cases {
+            let err = parse_vcd(&format!("{header}{body}\n")).unwrap_err();
+            assert!(check(&err), "{body}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_header_variants() {
+        assert!(matches!(
+            parse_vcd("$var wire 1 ! clk $end\n$enddefinitions $end\n"),
+            Err(VcdError::UnsupportedVar { var_type, .. }) if var_type == "wire"
+        ));
+        assert!(matches!(
+            parse_vcd("$var real 64 $end\n$enddefinitions $end\n"),
+            Err(VcdError::Malformed { .. })
+        ));
+        let dup_name = "$var real 64 ! x $end\n$var real 64 \" x $end\n$enddefinitions $end\n";
+        assert!(matches!(
+            parse_vcd(dup_name),
+            Err(VcdError::Malformed { .. })
+        ));
+        let dup_id = "$var real 64 ! x $end\n$var real 64 ! y $end\n$enddefinitions $end\n";
+        assert!(matches!(parse_vcd(dup_id), Err(VcdError::Malformed { .. })));
+        assert!(matches!(
+            parse_vcd("$timescale 1 lightyears $end\n$enddefinitions $end\n"),
+            Err(VcdError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn values_carry_forward_between_timestamps() {
+        let text = "$timescale 1 ns $end\n\
+                    $var real 64 ! a $end\n\
+                    $var real 64 \" b $end\n\
+                    $enddefinitions $end\n\
+                    #0\nr1.0 !\nr2.0 \"\n\
+                    #10\nr3.0 !\n\
+                    #20\nr4.0 \"\n";
+        let tr = parse_vcd(text).unwrap();
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.signal("a").unwrap(), &[1.0, 3.0, 3.0]);
+        assert_eq!(tr.signal("b").unwrap(), &[2.0, 2.0, 4.0]);
+        assert!((tr.time()[1] - 10e-9).abs() < 1e-20);
+    }
+
+    #[test]
+    fn error_messages_name_the_line() {
+        let err = parse_vcd("hello").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err = VcdError::UnexpectedEof {
+            context: "the header",
+        };
+        assert!(err.to_string().contains("the header"));
     }
 }

@@ -87,11 +87,17 @@ impl Pulse {
                 start + tr + self.width,
                 start + tr + self.width + tf,
             ] {
-                if bp <= t_end {
+                // Non-finite corners pass through so the analysis driver
+                // can reject them: `bp <= t_end` is false for NaN, which
+                // would silently hide a malformed pulse.
+                if bp <= t_end || !bp.is_finite() {
                     out.push(bp);
                 }
             }
-            if !(self.period.is_finite() && self.period > 0.0) {
+            if !(self.period.is_finite() && self.period > 0.0 && start.is_finite()) {
+                // The non-finite guard also ends what would otherwise be
+                // an unbreakable loop: with a NaN start, `start > t_end`
+                // below never turns true.
                 break;
             }
             start += self.period;
@@ -161,7 +167,13 @@ impl Waveform {
             Waveform::Dc(_) | Waveform::Sine { .. } => {}
             Waveform::Pulse(p) => p.breakpoints(t_end, out),
             Waveform::Pwl(pts) => {
-                out.extend(pts.iter().map(|&(t, _)| t).filter(|&t| t <= t_end));
+                // Keep non-finite corner times so the caller's validator
+                // sees them (NaN fails `t <= t_end` and would vanish).
+                out.extend(
+                    pts.iter()
+                        .map(|&(t, _)| t)
+                        .filter(|&t| t <= t_end || !t.is_finite()),
+                );
             }
         }
     }

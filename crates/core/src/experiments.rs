@@ -776,6 +776,7 @@ impl Experiments {
     /// other id in [`FIGURE_IDS`], [`BET_FIGURE_IDS`] and
     /// [`EXTENSION_IDS`] dispatches to its `figN…`/`ext_…` method.
     pub fn figure_by_id(&self, id: &str) -> Option<Result<Figure, CircuitError>> {
+        let _span = nvpg_obs::span_labeled("experiment", id);
         Some(match id {
             "fig3a" => self.fig3a(),
             "fig3b" => self.fig3b(),

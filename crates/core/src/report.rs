@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 use std::fmt;
 
 use nvpg_circuit::RescueStats;
+use nvpg_obs::MetricsSnapshot;
 
 /// How one experiment point ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -58,6 +59,10 @@ pub struct PointRecord {
 pub struct RunReport {
     /// Per-point records in point order.
     pub records: Vec<PointRecord>,
+    /// Global metrics-registry snapshot for the run, when tracing was on
+    /// (attached via [`RunReport::attach_metrics`]); `None` otherwise so
+    /// untraced reports render byte-identically to before.
+    pub metrics: Option<MetricsSnapshot>,
 }
 
 impl RunReport {
@@ -82,9 +87,24 @@ impl RunReport {
         });
     }
 
-    /// Merges another report's records after this one's.
+    /// Merges another report's records after this one's. A metrics
+    /// snapshot already attached here wins over the other report's (the
+    /// registry is global, so snapshots are not summable).
     pub fn extend(&mut self, other: RunReport) {
         self.records.extend(other.records);
+        if self.metrics.is_none() {
+            self.metrics = other.metrics;
+        }
+    }
+
+    /// Attaches the current global metrics-registry snapshot, taken at
+    /// the end of a traced run. Snapshots where nothing counted (tracing
+    /// was off) are dropped so untraced reports render unchanged.
+    pub fn attach_metrics(&mut self) {
+        let snap = nvpg_obs::metrics::snapshot();
+        if !snap.is_zero() {
+            self.metrics = Some(snap);
+        }
     }
 
     /// Number of points that succeeded (clean or rescued).
@@ -158,6 +178,19 @@ impl RunReport {
         let rescue = self.total_rescue();
         if rescue.any() {
             out.push_str(&format!("rescue totals: {rescue}\n"));
+        }
+        if let Some(metrics) = &self.metrics {
+            out.push_str("metrics:\n");
+            for &(name, value) in &metrics.counters {
+                if value != 0 {
+                    out.push_str(&format!("  {name} = {value}\n"));
+                }
+            }
+            for &(name, value) in &metrics.gauges {
+                if value != 0.0 {
+                    out.push_str(&format!("  {name} = {value:.3}\n"));
+                }
+            }
         }
         if self.all_ok() {
             return out;
@@ -266,6 +299,22 @@ mod tests {
         let text = rep.render();
         assert!(!text.contains("appendix"), "{text}");
         assert_eq!(text.lines().count(), 1, "{text}");
+    }
+
+    #[test]
+    fn metrics_section_renders_only_when_attached() {
+        let mut rep = RunReport::new();
+        rep.push("fig4", "point 0", PointStatus::Ok, RescueStats::default());
+        assert!(!rep.render().contains("metrics:"));
+        rep.metrics = Some(MetricsSnapshot {
+            counters: vec![("solve.newton_solves", 12), ("solve.dc_solves", 0)],
+            gauges: vec![("solve.max_lte_ratio", 0.5)],
+        });
+        let text = rep.render();
+        assert!(text.contains("metrics:"), "{text}");
+        assert!(text.contains("  solve.newton_solves = 12"), "{text}");
+        assert!(!text.contains("dc_solves"), "zero metrics omitted: {text}");
+        assert!(text.contains("  solve.max_lte_ratio = 0.500"), "{text}");
     }
 
     #[test]

@@ -117,6 +117,7 @@ pub fn run_sequence(
     arch: Architecture,
     params: &SequenceParams,
 ) -> Result<SequenceRun, CircuitError> {
+    let _span = nvpg_obs::span_labeled("sequence", &arch.to_string());
     let kind = match arch {
         Architecture::Osr => CellKind::Volatile6T,
         _ => CellKind::NvSram,

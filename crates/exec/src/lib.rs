@@ -110,19 +110,22 @@ where
     slots.resize_with(items.len(), || None);
     let slot_refs = Mutex::new(&mut slots);
     let cursor = AtomicUsize::new(0);
+    // Workers inherit the spawner's observability span, so solves running
+    // on pool threads attribute to the experiment that fanned them out.
+    let parent_span = nvpg_obs::current_span();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(jobs);
         for _ in 0..jobs {
             handles.push(scope.spawn(|| {
                 let mut local: Vec<(usize, R)> = Vec::new();
-                loop {
+                nvpg_obs::with_parent(parent_span, || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
                     local.push((i, f(i, &items[i])));
-                }
+                });
                 let mut slots = slot_refs.lock().expect("result mutex");
                 for (i, r) in local {
                     slots[i] = Some(r);
@@ -277,19 +280,20 @@ where
     slots.resize_with(items.len(), || None);
     let slot_refs = Mutex::new(&mut slots);
     let cursor = AtomicUsize::new(0);
+    let parent_span = nvpg_obs::current_span();
 
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(jobs);
         for _ in 0..jobs {
             handles.push(scope.spawn(|| {
                 let mut local: Vec<(usize, Settled<R, E>)> = Vec::new();
-                loop {
+                nvpg_obs::with_parent(parent_span, || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
                     local.push((i, run_one(i, &items[i])));
-                }
+                });
                 let mut slots = slot_refs.lock().expect("result mutex");
                 for (i, r) in local {
                     slots[i] = Some(r);
@@ -514,6 +518,31 @@ mod tests {
         let s: Settled<u32, ()> = Settled::Skipped;
         assert!(!s.is_ok());
         assert_eq!(s.ok(), None);
+    }
+
+    #[test]
+    fn workers_inherit_the_spawners_span() {
+        // Serialised against other obs users by the fact that this is the
+        // only test in this crate touching the global tracing switch.
+        nvpg_obs::reset_for_test();
+        nvpg_obs::enable();
+        let items: Vec<u32> = (0..16).collect();
+        let root = nvpg_obs::span_labeled("experiment", "pool-test");
+        let root_id = root.id();
+        par_map(4, &items, |_, _| {
+            let g = nvpg_obs::span("solve");
+            drop(g);
+        });
+        drop(root);
+        let events = nvpg_obs::drain_events();
+        nvpg_obs::reset_for_test();
+        assert_eq!(events.len(), items.len() + 1);
+        for ev in events.iter().filter(|e| e.name == "solve") {
+            assert_eq!(
+                ev.parent, root_id,
+                "pool workers must parent to the spawner"
+            );
+        }
     }
 
     #[test]

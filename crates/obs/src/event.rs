@@ -1,0 +1,157 @@
+//! Completed-span events and their JSON-lines serialisation.
+//!
+//! The event log is one JSON object per line: every completed span
+//! (`"type": "span"`), then — when a metrics snapshot is passed — every
+//! counter (`"type": "counter"`) and gauge (`"type": "gauge"`). The
+//! format is pinned by `schemas/obs-events.schema.json` and enforced by
+//! [`crate::schema::validate_jsonl`], which CI runs against a real
+//! traced figure regeneration.
+
+use std::fmt::Write as _;
+
+use crate::json::escape;
+use crate::metrics::MetricsSnapshot;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Unique id (process-wide, starting at 1).
+    pub id: u64,
+    /// Enclosing span's id, 0 for a root span.
+    pub parent: u64,
+    /// Hierarchy level: `"experiment"`, `"sequence"`, `"phase"`,
+    /// `"solve"`, …
+    pub name: &'static str,
+    /// Instance label (figure id, phase name, …); may be empty.
+    pub label: String,
+    /// Dense id of the thread the span ran on.
+    pub thread: u64,
+    /// Wall-clock start, nanoseconds since the trace epoch.
+    pub t_start_ns: u64,
+    /// Wall-clock end, nanoseconds since the trace epoch (≥ start).
+    pub t_end_ns: u64,
+    /// The thread's on-CPU nanoseconds across the span, where the
+    /// platform exposes them.
+    pub cpu_ns: Option<u64>,
+}
+
+impl SpanEvent {
+    /// Wall-clock duration in nanoseconds.
+    pub fn wall_ns(&self) -> u64 {
+        self.t_end_ns - self.t_start_ns
+    }
+
+    /// `name:label`, or just `name` when the label is empty — the key
+    /// profiling renderers aggregate on.
+    pub fn key(&self) -> String {
+        if self.label.is_empty() {
+            self.name.to_owned()
+        } else {
+            format!("{}:{}", self.name, self.label)
+        }
+    }
+
+    /// This event as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(128);
+        let _ = write!(
+            s,
+            "{{\"type\":\"span\",\"id\":{},\"parent\":{},\"name\":\"{}\",\"label\":\"{}\",\
+             \"thread\":{},\"t_start_ns\":{},\"t_end_ns\":{},\"cpu_ns\":",
+            self.id,
+            self.parent,
+            escape(self.name),
+            escape(&self.label),
+            self.thread,
+            self.t_start_ns,
+            self.t_end_ns,
+        );
+        match self.cpu_ns {
+            Some(ns) => {
+                let _ = write!(s, "{ns}");
+            }
+            None => s.push_str("null"),
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// Renders span events plus a metrics snapshot as a JSONL document
+/// (trailing newline included). Pass `MetricsSnapshot::default()` to
+/// omit metric lines.
+pub fn to_jsonl(events: &[SpanEvent], metrics: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for ev in events {
+        out.push_str(&ev.to_json());
+        out.push('\n');
+    }
+    for &(name, value) in &metrics.counters {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            escape(name)
+        );
+    }
+    for &(name, value) in &metrics.gauges {
+        let _ = writeln!(
+            out,
+            "{{\"type\":\"gauge\",\"name\":\"{}\",\"value\":{value:e}}}",
+            escape(name)
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev() -> SpanEvent {
+        SpanEvent {
+            id: 2,
+            parent: 1,
+            name: "solve",
+            label: "transient".into(),
+            thread: 1,
+            t_start_ns: 100,
+            t_end_ns: 350,
+            cpu_ns: Some(200),
+        }
+    }
+
+    #[test]
+    fn span_json_shape() {
+        let line = ev().to_json();
+        assert!(line.starts_with("{\"type\":\"span\""), "{line}");
+        assert!(line.contains("\"name\":\"solve\""));
+        assert!(line.contains("\"label\":\"transient\""));
+        assert!(line.contains("\"cpu_ns\":200"));
+        let mut no_cpu = ev();
+        no_cpu.cpu_ns = None;
+        assert!(no_cpu.to_json().contains("\"cpu_ns\":null"));
+    }
+
+    #[test]
+    fn key_joins_name_and_label() {
+        assert_eq!(ev().key(), "solve:transient");
+        let mut bare = ev();
+        bare.label.clear();
+        assert_eq!(bare.key(), "solve");
+        assert_eq!(ev().wall_ns(), 250);
+    }
+
+    #[test]
+    fn jsonl_appends_metric_lines() {
+        let metrics = MetricsSnapshot {
+            counters: vec![("solve.newton_solves", 7)],
+            gauges: vec![("solve.max_lte_ratio", 0.5)],
+        };
+        let text = to_jsonl(&[ev()], &metrics);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[1].contains("\"type\":\"counter\""), "{}", lines[1]);
+        assert!(lines[1].contains("\"value\":7"));
+        assert!(lines[2].contains("\"type\":\"gauge\""), "{}", lines[2]);
+    }
+}

@@ -1,0 +1,305 @@
+//! The metrics registry: a fixed set of `static` atomic counters and
+//! gauges.
+//!
+//! Every sink is a process-global atomic, so workers on any number of
+//! threads aggregate into the same cell and a `--jobs 4` run reports
+//! exactly the totals of a `--jobs 1` run (verified by the
+//! jobs-invariance test in `nvpg-core`). Adds are gated on
+//! [`crate::enabled`]: with tracing off a counter add is a relaxed load
+//! plus an untaken branch.
+//!
+//! Names follow `<subsystem>.<quantity>` — `solve.*` for the step
+//! controller and Newton/LU telemetry (absorbing `StepStats`),
+//! `rescue.*` for the convergence-rescue ladder (absorbing
+//! `RescueStats`), `alloc.*` for allocator instrumentation.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A monotonically increasing event count.
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a named counter (used by the static registry below).
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// The counter's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` when tracing is enabled; a load-and-branch otherwise.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last/maximum-value metric carrying an `f64` in atomic bits.
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// Creates a named gauge holding 0.0.
+    pub const fn new(name: &'static str) -> Self {
+        Gauge {
+            name,
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// The gauge's registry name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the gauge when tracing is enabled.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if crate::enabled() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger (compare-and-swap loop; NaN is
+    /// ignored). The high-water-mark update used for `max_lte_ratio`.
+    #[inline]
+    pub fn max(&self, v: f64) {
+        if !crate::enabled() || v.is_nan() {
+            return;
+        }
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The counter registry. Adding a counter here (and to [`ALL_COUNTERS`])
+/// is the whole registration ceremony.
+pub mod counters {
+    use super::Counter;
+
+    /// Transient steps accepted into a trace.
+    pub static ACCEPTED_STEPS: Counter = Counter::new("solve.accepted_steps");
+    /// Steps rejected by the LTE controller.
+    pub static REJECTED_LTE: Counter = Counter::new("solve.rejected_lte");
+    /// Steps rejected because Newton failed to converge.
+    pub static REJECTED_NEWTON: Counter = Counter::new("solve.rejected_newton");
+    /// Newton iterations over every attempted solve.
+    pub static NEWTON_ITERATIONS: Counter = Counter::new("solve.newton_iterations");
+    /// Newton solves attempted.
+    pub static NEWTON_SOLVES: Counter = Counter::new("solve.newton_solves");
+    /// LU refactorisations actually performed.
+    pub static LU_REFACTORIZATIONS: Counter = Counter::new("solve.lu_refactorizations");
+    /// Newton iterations served by a stale LU (modified Newton).
+    pub static LU_REUSES: Counter = Counter::new("solve.lu_reuses");
+    /// Full nonlinear-device model evaluations.
+    pub static DEVICE_EVALS: Counter = Counter::new("solve.device_evals");
+    /// Device evaluations answered from the terminal-voltage bypass.
+    pub static DEVICE_BYPASSES: Counter = Counter::new("solve.device_bypasses");
+    /// Completed transient analyses.
+    pub static TRANSIENT_RUNS: Counter = Counter::new("solve.transient_runs");
+    /// Completed DC operating-point solves.
+    pub static DC_SOLVES: Counter = Counter::new("solve.dc_solves");
+
+    /// Transient steps rejected and retried smaller (rescue view).
+    pub static RESCUE_REJECTED_STEPS: Counter = Counter::new("rescue.rejected_steps");
+    /// Damped/backtracking Newton retries.
+    pub static RESCUE_DAMPED_RETRIES: Counter = Counter::new("rescue.damped_retries");
+    /// Gmin-ramp rescues attempted.
+    pub static RESCUE_GMIN_RAMPS: Counter = Counter::new("rescue.gmin_ramps");
+    /// Trapezoidal → backward-Euler fallbacks.
+    pub static RESCUE_METHOD_FALLBACKS: Counter = Counter::new("rescue.method_fallbacks");
+    /// Solves that only converged via a rescue rung.
+    pub static RESCUE_RESCUED_SOLVES: Counter = Counter::new("rescue.rescued_solves");
+    /// Faults injected by an active fault plan.
+    pub static RESCUE_INJECTED_FAULTS: Counter = Counter::new("rescue.injected_faults");
+
+    /// Heap bytes requested (fed by an instrumenting allocator where one
+    /// is installed — the zero-alloc test harnesses; 0 otherwise).
+    pub static ALLOC_BYTES: Counter = Counter::new("alloc.bytes");
+    /// Heap allocations requested (same caveat as [`ALLOC_BYTES`]).
+    pub static ALLOC_COUNT: Counter = Counter::new("alloc.count");
+}
+
+/// The gauge registry.
+pub mod gauges {
+    use super::Gauge;
+
+    /// Largest normalised LTE ratio observed on an accepted step.
+    pub static MAX_LTE_RATIO: Gauge = Gauge::new("solve.max_lte_ratio");
+}
+
+/// Every registered counter, in render order.
+static ALL_COUNTERS: [&Counter; 19] = [
+    &counters::ACCEPTED_STEPS,
+    &counters::REJECTED_LTE,
+    &counters::REJECTED_NEWTON,
+    &counters::NEWTON_ITERATIONS,
+    &counters::NEWTON_SOLVES,
+    &counters::LU_REFACTORIZATIONS,
+    &counters::LU_REUSES,
+    &counters::DEVICE_EVALS,
+    &counters::DEVICE_BYPASSES,
+    &counters::TRANSIENT_RUNS,
+    &counters::DC_SOLVES,
+    &counters::RESCUE_REJECTED_STEPS,
+    &counters::RESCUE_DAMPED_RETRIES,
+    &counters::RESCUE_GMIN_RAMPS,
+    &counters::RESCUE_METHOD_FALLBACKS,
+    &counters::RESCUE_RESCUED_SOLVES,
+    &counters::RESCUE_INJECTED_FAULTS,
+    &counters::ALLOC_BYTES,
+    &counters::ALLOC_COUNT,
+];
+
+/// Every registered gauge, in render order.
+static ALL_GAUGES: [&Gauge; 1] = [&gauges::MAX_LTE_RATIO];
+
+/// A point-in-time copy of the whole registry, in registry order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` per counter.
+    pub counters: Vec<(&'static str, u64)>,
+    /// `(name, value)` per gauge.
+    pub gauges: Vec<(&'static str, f64)>,
+}
+
+impl MetricsSnapshot {
+    /// Looks up a counter value by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// `true` when every metric is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counters.iter().all(|&(_, v)| v == 0) && self.gauges.iter().all(|&(_, v)| v == 0.0)
+    }
+}
+
+/// Copies the current registry values (registry order, deterministic).
+pub fn snapshot() -> MetricsSnapshot {
+    MetricsSnapshot {
+        counters: ALL_COUNTERS.iter().map(|c| (c.name(), c.get())).collect(),
+        gauges: ALL_GAUGES.iter().map(|g| (g.name(), g.get())).collect(),
+    }
+}
+
+/// Zeroes every counter and gauge.
+pub fn reset() {
+    for c in ALL_COUNTERS {
+        c.reset();
+    }
+    for g in ALL_GAUGES {
+        g.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::obs_lock;
+
+    #[test]
+    fn counters_gate_on_enabled() {
+        let _l = obs_lock();
+        crate::reset_for_test();
+        counters::NEWTON_SOLVES.add(5);
+        assert_eq!(counters::NEWTON_SOLVES.get(), 0, "disabled add is a no-op");
+        crate::enable();
+        counters::NEWTON_SOLVES.add(5);
+        counters::NEWTON_SOLVES.add(2);
+        assert_eq!(counters::NEWTON_SOLVES.get(), 7);
+        crate::reset_for_test();
+        assert_eq!(counters::NEWTON_SOLVES.get(), 0);
+    }
+
+    #[test]
+    fn gauge_max_is_a_high_water_mark() {
+        let _l = obs_lock();
+        crate::reset_for_test();
+        crate::enable();
+        gauges::MAX_LTE_RATIO.max(0.4);
+        gauges::MAX_LTE_RATIO.max(0.2);
+        gauges::MAX_LTE_RATIO.max(f64::NAN);
+        assert_eq!(gauges::MAX_LTE_RATIO.get(), 0.4);
+        gauges::MAX_LTE_RATIO.set(0.1);
+        assert_eq!(gauges::MAX_LTE_RATIO.get(), 0.1);
+        crate::reset_for_test();
+    }
+
+    #[test]
+    fn snapshot_is_registry_ordered_and_complete() {
+        let _l = obs_lock();
+        crate::reset_for_test();
+        crate::enable();
+        counters::DEVICE_EVALS.add(3);
+        let snap = snapshot();
+        assert_eq!(snap.counters.len(), ALL_COUNTERS.len());
+        assert_eq!(snap.gauges.len(), ALL_GAUGES.len());
+        assert_eq!(snap.counter("solve.device_evals"), Some(3));
+        assert_eq!(snap.counter("no.such.metric"), None);
+        assert!(!snap.is_zero());
+        crate::reset_for_test();
+        assert!(snapshot().is_zero());
+    }
+
+    #[test]
+    fn counters_aggregate_across_threads() {
+        let _l = obs_lock();
+        crate::reset_for_test();
+        crate::enable();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        counters::DEVICE_BYPASSES.add(1);
+                    }
+                });
+            }
+        });
+        assert_eq!(counters::DEVICE_BYPASSES.get(), 4000);
+        crate::reset_for_test();
+    }
+}

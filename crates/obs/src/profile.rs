@@ -1,0 +1,245 @@
+//! Profiling renderers over a drained span buffer: a per-key self-time
+//! table and a collapsed-stack dump for flamegraph tooling.
+//!
+//! *Self time* is a span's wall time minus the wall time of its direct
+//! children, saturating at zero — children running in parallel on worker
+//! threads can legitimately sum past their parent, and a negative self
+//! time has no profile meaning.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt::Write as _;
+
+use crate::event::SpanEvent;
+
+/// Aggregated timing for one span key (`name:label`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SelfTime {
+    /// The span key rows are aggregated on.
+    pub key: String,
+    /// How many spans shared the key.
+    pub count: u64,
+    /// Total wall nanoseconds across those spans.
+    pub wall_ns: u64,
+    /// Total self nanoseconds (wall minus direct children, per span).
+    pub self_ns: u64,
+    /// Total on-CPU nanoseconds, where the platform reported them.
+    pub cpu_ns: Option<u64>,
+}
+
+/// Per-span self time: wall minus the wall of direct children, clamped
+/// at zero. Returned as a map keyed by span id.
+fn self_ns_by_id(events: &[SpanEvent]) -> HashMap<u64, u64> {
+    let mut child_wall: HashMap<u64, u64> = HashMap::new();
+    for ev in events {
+        if ev.parent != 0 {
+            *child_wall.entry(ev.parent).or_insert(0) += ev.wall_ns();
+        }
+    }
+    events
+        .iter()
+        .map(|ev| {
+            let children = child_wall.get(&ev.id).copied().unwrap_or(0);
+            (ev.id, ev.wall_ns().saturating_sub(children))
+        })
+        .collect()
+}
+
+/// Aggregates events into per-key [`SelfTime`] rows, sorted by
+/// descending self time (key as the tie-break, so output is
+/// deterministic).
+pub fn self_time_table(events: &[SpanEvent]) -> Vec<SelfTime> {
+    let self_ns = self_ns_by_id(events);
+    let mut rows: BTreeMap<String, SelfTime> = BTreeMap::new();
+    for ev in events {
+        let row = rows.entry(ev.key()).or_insert_with(|| SelfTime {
+            key: ev.key(),
+            count: 0,
+            wall_ns: 0,
+            self_ns: 0,
+            cpu_ns: None,
+        });
+        row.count += 1;
+        row.wall_ns += ev.wall_ns();
+        row.self_ns += self_ns.get(&ev.id).copied().unwrap_or(0);
+        if let Some(cpu) = ev.cpu_ns {
+            *row.cpu_ns.get_or_insert(0) += cpu;
+        }
+    }
+    let mut rows: Vec<SelfTime> = rows.into_values().collect();
+    rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.key.cmp(&b.key)));
+    rows
+}
+
+/// Renders a [`self_time_table`] as an aligned text table (for stderr —
+/// figure stdout must stay byte-identical whether or not profiling is
+/// on).
+pub fn render_self_time_table(rows: &[SelfTime]) -> String {
+    let ms = |ns: u64| ns as f64 / 1e6;
+    let total_self: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let key_w = rows
+        .iter()
+        .map(|r| r.key.len())
+        .chain(std::iter::once("span".len()))
+        .max()
+        .unwrap_or(4);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<key_w$}  {:>7}  {:>12}  {:>12}  {:>12}  {:>6}",
+        "span", "count", "wall ms", "self ms", "cpu ms", "self%"
+    );
+    for r in rows {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * r.self_ns as f64 / total_self as f64
+        };
+        let cpu = match r.cpu_ns {
+            Some(ns) => format!("{:.3}", ms(ns)),
+            None => "-".to_owned(),
+        };
+        let _ = writeln!(
+            out,
+            "{:<key_w$}  {:>7}  {:>12.3}  {:>12.3}  {:>12}  {:>5.1}%",
+            r.key,
+            r.count,
+            ms(r.wall_ns),
+            ms(r.self_ns),
+            cpu,
+            pct
+        );
+    }
+    let _ = writeln!(
+        out,
+        "{:<key_w$}  {:>7}  {:>12}  {:>12.3}  {:>12}  {:>6}",
+        "total",
+        rows.iter().map(|r| r.count).sum::<u64>(),
+        "",
+        ms(total_self),
+        "",
+        ""
+    );
+    out
+}
+
+/// Renders events in collapsed-stack ("folded") format — one
+/// `root;child;leaf value` line per distinct stack, value in self
+/// microseconds — the input `flamegraph.pl` and speedscope ingest.
+/// Lines are sorted for deterministic output; zero-valued stacks are
+/// kept so the full hierarchy is visible.
+pub fn collapsed_stacks(events: &[SpanEvent]) -> String {
+    let by_id: HashMap<u64, &SpanEvent> = events.iter().map(|ev| (ev.id, ev)).collect();
+    let self_ns = self_ns_by_id(events);
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for ev in events {
+        let mut stack = vec![ev.key()];
+        let mut cursor = ev.parent;
+        // Parent chains are short (experiment → sequence → phase →
+        // solve); the id check also terminates on truncated buffers.
+        while cursor != 0 {
+            match by_id.get(&cursor) {
+                Some(parent) => {
+                    stack.push(parent.key());
+                    cursor = parent.parent;
+                }
+                None => break,
+            }
+        }
+        stack.reverse();
+        let micros = self_ns.get(&ev.id).copied().unwrap_or(0) / 1_000;
+        *folded.entry(stack.join(";")).or_insert(0) += micros;
+    }
+    let mut out = String::new();
+    for (stack, micros) in folded {
+        let _ = writeln!(out, "{stack} {micros}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(
+        id: u64,
+        parent: u64,
+        name: &'static str,
+        label: &str,
+        start: u64,
+        end: u64,
+    ) -> SpanEvent {
+        SpanEvent {
+            id,
+            parent,
+            name,
+            label: label.to_owned(),
+            thread: 1,
+            t_start_ns: start,
+            t_end_ns: end,
+            cpu_ns: Some(end - start),
+        }
+    }
+
+    /// experiment(0..1000) { solve(100..400), solve(500..900) }
+    fn tree() -> Vec<SpanEvent> {
+        vec![
+            ev(2, 1, "solve", "transient", 100, 400),
+            ev(3, 1, "solve", "transient", 500, 900),
+            ev(1, 0, "experiment", "fig6a", 0, 1000),
+        ]
+    }
+
+    #[test]
+    fn self_time_subtracts_direct_children() {
+        let rows = self_time_table(&tree());
+        assert_eq!(rows.len(), 2);
+        // solve: 300 + 400 = 700 self; experiment: 1000 - 700 = 300.
+        assert_eq!(rows[0].key, "solve:transient");
+        assert_eq!(rows[0].count, 2);
+        assert_eq!(rows[0].wall_ns, 700);
+        assert_eq!(rows[0].self_ns, 700);
+        assert_eq!(rows[1].key, "experiment:fig6a");
+        assert_eq!(rows[1].self_ns, 300);
+        assert_eq!(rows[1].cpu_ns, Some(1000));
+    }
+
+    #[test]
+    fn parallel_children_saturate_parent_self_time_at_zero() {
+        // Two children overlapping in wall time sum past the parent.
+        let events = vec![
+            ev(2, 1, "solve", "", 0, 900),
+            ev(3, 1, "solve", "", 0, 900),
+            ev(1, 0, "phase", "read", 0, 1000),
+        ];
+        let rows = self_time_table(&events);
+        let phase = rows.iter().find(|r| r.key == "phase:read").unwrap();
+        assert_eq!(phase.self_ns, 0, "1000 - 1800 clamps to zero");
+    }
+
+    #[test]
+    fn collapsed_stacks_walk_parent_chains() {
+        let text = collapsed_stacks(&tree());
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(
+            lines,
+            vec!["experiment:fig6a 0", "experiment:fig6a;solve:transient 0",],
+            "300ns self rounds to 0µs; both stacks still present"
+        );
+        // Scale times up so the values are visible in microseconds.
+        let events = vec![
+            ev(2, 1, "solve", "", 0, 700_000),
+            ev(1, 0, "experiment", "fig3a", 0, 1_000_000),
+        ];
+        let text = collapsed_stacks(&events);
+        assert_eq!(text, "experiment:fig3a 300\nexperiment:fig3a;solve 700\n");
+    }
+
+    #[test]
+    fn table_renders_totals_and_percentages() {
+        let rendered = render_self_time_table(&self_time_table(&tree()));
+        assert!(rendered.contains("span"), "{rendered}");
+        assert!(rendered.contains("solve:transient"));
+        assert!(rendered.contains("70.0%"), "{rendered}");
+        assert!(rendered.lines().last().unwrap().starts_with("total"));
+    }
+}

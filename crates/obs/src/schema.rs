@@ -1,0 +1,297 @@
+//! Validation of JSONL event logs against the checked-in schema.
+//!
+//! `schemas/obs-events.schema.json` is the contract external tooling can
+//! rely on; this module is the in-tree enforcement of the same contract
+//! (the workspace has no JSON Schema engine, so the rules are mirrored
+//! by hand and a unit test pins the two against each other). CI runs
+//! [`validate_jsonl`] over a real traced figure regeneration.
+
+use std::fmt;
+
+use crate::json::{parse, Json};
+
+/// The checked-in schema document, embedded so the validator and the
+/// published contract cannot drift apart without a test noticing.
+pub const EMBEDDED_SCHEMA: &str = include_str!("../../../schemas/obs-events.schema.json");
+
+/// Required fields of a `"span"` line, mirroring the schema.
+const SPAN_FIELDS: &[&str] = &[
+    "type",
+    "id",
+    "parent",
+    "name",
+    "label",
+    "thread",
+    "t_start_ns",
+    "t_end_ns",
+    "cpu_ns",
+];
+
+/// Required fields of `"counter"` / `"gauge"` lines.
+const METRIC_FIELDS: &[&str] = &["type", "name", "value"];
+
+/// A validation failure, pointing at the offending line (1-based; 0 for
+/// whole-document failures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SchemaError {
+    /// 1-based line number, or 0 for cross-line failures.
+    pub line: usize,
+    /// What the line violated.
+    pub reason: String,
+}
+
+impl fmt::Display for SchemaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "event log invalid: {}", self.reason)
+        } else {
+            write!(f, "event log line {} invalid: {}", self.line, self.reason)
+        }
+    }
+}
+
+impl std::error::Error for SchemaError {}
+
+/// What a valid document contained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ValidationSummary {
+    /// Number of span lines.
+    pub spans: usize,
+    /// Number of counter lines.
+    pub counters: usize,
+    /// Number of gauge lines.
+    pub gauges: usize,
+}
+
+/// Validates a whole JSONL document: every non-empty line must parse as
+/// JSON and match one of the three schema shapes exactly (no missing or
+/// unknown fields), and every span's `parent` must be 0 or the id of
+/// another span line in the document.
+pub fn validate_jsonl(text: &str) -> Result<ValidationSummary, SchemaError> {
+    let mut summary = ValidationSummary::default();
+    let mut span_ids = Vec::new();
+    let mut parents = Vec::new();
+    for (idx, line) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let err = |reason: String| SchemaError {
+            line: lineno,
+            reason,
+        };
+        let value = parse(line).map_err(|e| err(e.to_string()))?;
+        let obj = value
+            .as_obj()
+            .ok_or_else(|| err("line is not a JSON object".into()))?;
+        let ty = obj
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| err("missing string field `type`".into()))?;
+        let fields: &[&str] = match ty {
+            "span" => SPAN_FIELDS,
+            "counter" | "gauge" => METRIC_FIELDS,
+            other => return Err(err(format!("unknown line type `{other}`"))),
+        };
+        for &f in fields {
+            if !obj.contains_key(f) {
+                return Err(err(format!("`{ty}` line missing field `{f}`")));
+            }
+        }
+        for key in obj.keys() {
+            if !fields.contains(&key.as_str()) {
+                return Err(err(format!("`{ty}` line has unknown field `{key}`")));
+            }
+        }
+        match ty {
+            "span" => {
+                let int = |f: &str| {
+                    obj[f]
+                        .as_u64()
+                        .ok_or_else(|| err(format!("`{f}` must be a non-negative integer")))
+                };
+                let id = int("id")?;
+                if id == 0 {
+                    return Err(err("span `id` must be >= 1".into()));
+                }
+                let parent = int("parent")?;
+                if int("thread")? == 0 {
+                    return Err(err("span `thread` must be >= 1".into()));
+                }
+                if int("t_end_ns")? < int("t_start_ns")? {
+                    return Err(err("span ends before it starts".into()));
+                }
+                match &obj["cpu_ns"] {
+                    Json::Null => {}
+                    v if v.as_u64().is_some() => {}
+                    _ => return Err(err("`cpu_ns` must be a non-negative integer or null".into())),
+                }
+                let name = obj["name"]
+                    .as_str()
+                    .ok_or_else(|| err("`name` must be a string".into()))?;
+                if name.is_empty() {
+                    return Err(err("`name` must be non-empty".into()));
+                }
+                if obj["label"].as_str().is_none() {
+                    return Err(err("`label` must be a string".into()));
+                }
+                span_ids.push(id);
+                parents.push((lineno, parent));
+                summary.spans += 1;
+            }
+            "counter" | "gauge" => {
+                let name = obj["name"]
+                    .as_str()
+                    .ok_or_else(|| err("`name` must be a string".into()))?;
+                if name.is_empty() {
+                    return Err(err("`name` must be non-empty".into()));
+                }
+                if ty == "counter" {
+                    obj["value"].as_u64().ok_or_else(|| {
+                        err("counter `value` must be a non-negative integer".into())
+                    })?;
+                    summary.counters += 1;
+                } else {
+                    obj["value"]
+                        .as_num()
+                        .ok_or_else(|| err("gauge `value` must be a number".into()))?;
+                    summary.gauges += 1;
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    span_ids.sort_unstable();
+    for (lineno, parent) in parents {
+        if parent != 0 && span_ids.binary_search(&parent).is_err() {
+            return Err(SchemaError {
+                line: lineno,
+                reason: format!("span parent {parent} does not match any span id in the document"),
+            });
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::to_jsonl;
+    use crate::metrics::MetricsSnapshot;
+    use crate::SpanEvent;
+
+    fn sample_jsonl() -> String {
+        let events = vec![
+            SpanEvent {
+                id: 2,
+                parent: 1,
+                name: "solve",
+                label: "transient".into(),
+                thread: 2,
+                t_start_ns: 10,
+                t_end_ns: 40,
+                cpu_ns: None,
+            },
+            SpanEvent {
+                id: 1,
+                parent: 0,
+                name: "experiment",
+                label: "fig6a".into(),
+                thread: 1,
+                t_start_ns: 0,
+                t_end_ns: 100,
+                cpu_ns: Some(90),
+            },
+        ];
+        let metrics = MetricsSnapshot {
+            counters: vec![("solve.newton_solves", 12)],
+            gauges: vec![("solve.max_lte_ratio", 0.73)],
+        };
+        to_jsonl(&events, &metrics)
+    }
+
+    #[test]
+    fn emitted_jsonl_validates() {
+        let summary = validate_jsonl(&sample_jsonl()).expect("valid");
+        assert_eq!(
+            summary,
+            ValidationSummary {
+                spans: 2,
+                counters: 1,
+                gauges: 1
+            }
+        );
+        assert_eq!(validate_jsonl("").unwrap(), ValidationSummary::default());
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        let cases: &[(&str, &str)] = &[
+            ("not json", "parse failure"),
+            ("[1,2]", "non-object line"),
+            ("{\"type\":\"widget\"}", "unknown type"),
+            ("{\"type\":\"counter\",\"name\":\"x\"}", "missing value"),
+            (
+                "{\"type\":\"counter\",\"name\":\"x\",\"value\":-3}",
+                "negative counter",
+            ),
+            (
+                "{\"type\":\"counter\",\"name\":\"x\",\"value\":1,\"extra\":true}",
+                "unknown field",
+            ),
+            (
+                "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"\",\"label\":\"\",\
+                 \"thread\":1,\"t_start_ns\":0,\"t_end_ns\":1,\"cpu_ns\":null}",
+                "empty span name",
+            ),
+            (
+                "{\"type\":\"span\",\"id\":1,\"parent\":0,\"name\":\"solve\",\"label\":\"\",\
+                 \"thread\":1,\"t_start_ns\":5,\"t_end_ns\":1,\"cpu_ns\":null}",
+                "ends before start",
+            ),
+            (
+                "{\"type\":\"span\",\"id\":1,\"parent\":7,\"name\":\"solve\",\"label\":\"\",\
+                 \"thread\":1,\"t_start_ns\":0,\"t_end_ns\":1,\"cpu_ns\":null}",
+                "dangling parent",
+            ),
+        ];
+        for (doc, what) in cases {
+            assert!(validate_jsonl(doc).is_err(), "expected rejection: {what}");
+        }
+    }
+
+    #[test]
+    fn error_reports_offending_line() {
+        let doc = format!("{}garbage\n", sample_jsonl());
+        let err = validate_jsonl(&doc).unwrap_err();
+        assert_eq!(err.line, 5);
+        assert!(err.to_string().contains("line 5"), "{err}");
+    }
+
+    /// Pins the hand-mirrored validator to the checked-in schema: the
+    /// `required` lists in `$defs` must match the field lists above.
+    #[test]
+    fn embedded_schema_matches_validator() {
+        let schema = parse(EMBEDDED_SCHEMA).expect("schema file is valid JSON");
+        let defs = schema.as_obj().unwrap()["$defs"].as_obj().unwrap();
+        let required = |def: &str| -> Vec<String> {
+            match &defs[def].as_obj().unwrap()["required"] {
+                Json::Arr(items) => items
+                    .iter()
+                    .map(|v| v.as_str().unwrap().to_owned())
+                    .collect(),
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(required("span"), SPAN_FIELDS);
+        assert_eq!(required("counter"), METRIC_FIELDS);
+        assert_eq!(required("gauge"), METRIC_FIELDS);
+        for def in ["span", "counter", "gauge"] {
+            assert_eq!(
+                defs[def].as_obj().unwrap()["additionalProperties"],
+                Json::Bool(false),
+                "schema `{def}` must forbid unknown fields like the validator does"
+            );
+        }
+    }
+}

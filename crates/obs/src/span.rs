@@ -1,0 +1,280 @@
+//! Hierarchical spans with thread-local nesting and cross-thread
+//! propagation.
+//!
+//! A span is opened with [`span`]/[`span_labeled`] and closed when its
+//! [`SpanGuard`] drops, at which point one [`SpanEvent`] is appended to
+//! the global event buffer. Nesting is tracked per thread: the guard
+//! installs its span id as the thread's current parent and restores the
+//! previous one on drop. Worker pools carry the spawner's span onto
+//! their threads with [`with_parent`].
+//!
+//! When tracing is disabled (the default) every entry point here is a
+//! relaxed atomic load plus a branch — no clock reads, no allocation,
+//! no locking.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::event::SpanEvent;
+
+/// The master switch. Relaxed is sufficient: the flag only gates
+/// telemetry, never synchronises data.
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Monotonic origin for event timestamps, fixed at the first [`enable`].
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Span ids start at 1; 0 means "no parent" (a root span).
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Small dense thread ids for the event log (std's `ThreadId` has no
+/// stable integer form).
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Completed spans, appended on guard drop.
+static EVENTS: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// The innermost open span on this thread (0 = none).
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+    /// This thread's dense id, assigned on first use.
+    static THREAD_ID: Cell<u64> = const { Cell::new(0) };
+}
+
+/// `true` while tracing is enabled.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns tracing on. The first call fixes the trace epoch that all event
+/// timestamps are measured from.
+pub fn enable() {
+    EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turns tracing off. Buffered events and metric values are kept until
+/// [`drain_events`] / [`crate::metrics::reset`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Clears every global sink (events and metrics) and disables tracing —
+/// for tests that need a clean slate in a shared process.
+pub fn reset_for_test() {
+    disable();
+    EVENTS.lock().expect("event buffer").clear();
+    crate::metrics::reset();
+}
+
+/// Nanoseconds since the trace epoch.
+fn now_ns() -> u64 {
+    EPOCH
+        .get()
+        .map(|e| e.elapsed().as_nanos() as u64)
+        .unwrap_or(0)
+}
+
+/// The calling thread's on-CPU nanoseconds (Linux `schedstat`), `None`
+/// where unavailable.
+fn thread_cpu_ns() -> Option<u64> {
+    let text = std::fs::read_to_string("/proc/thread-self/schedstat").ok()?;
+    text.split_whitespace().next()?.parse().ok()
+}
+
+/// This thread's dense id, assigning one on first use.
+fn thread_id() -> u64 {
+    THREAD_ID.with(|id| {
+        let v = id.get();
+        if v != 0 {
+            return v;
+        }
+        let v = NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed);
+        id.set(v);
+        v
+    })
+}
+
+/// The innermost open span on this thread (0 when none). Cheap enough to
+/// call unconditionally; worker pools capture it before spawning.
+pub fn current_span() -> u64 {
+    CURRENT.with(Cell::get)
+}
+
+/// Runs `f` with the thread's current span forced to `parent` — how a
+/// worker thread inherits the span of the code that fanned it out. The
+/// previous current span is restored afterwards.
+pub fn with_parent<R>(parent: u64, f: impl FnOnce() -> R) -> R {
+    let prev = CURRENT.with(|c| c.replace(parent));
+    let out = f();
+    CURRENT.with(|c| c.set(prev));
+    out
+}
+
+/// Opens an unlabelled span. See [`span_labeled`].
+pub fn span(name: &'static str) -> SpanGuard {
+    span_labeled(name, "")
+}
+
+/// Opens a span named `name` (the level: `"experiment"`, `"sequence"`,
+/// `"phase"`, `"solve"`) with a free-form `label` (the instance: a figure
+/// id, a phase name). Returns a guard that logs one [`SpanEvent`] when
+/// dropped. When tracing is disabled this is a no-op returning an inert
+/// guard — `label` is borrowed, so no allocation happens either way
+/// until a span is actually recorded.
+pub fn span_labeled(name: &'static str, label: &str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard(None);
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = CURRENT.with(|c| c.replace(id));
+    SpanGuard(Some(OpenSpan {
+        id,
+        parent,
+        name,
+        label: label.to_owned(),
+        thread: thread_id(),
+        t_start_ns: now_ns(),
+        cpu_start_ns: thread_cpu_ns(),
+    }))
+}
+
+/// Book-keeping for one open span.
+struct OpenSpan {
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    label: String,
+    thread: u64,
+    t_start_ns: u64,
+    cpu_start_ns: Option<u64>,
+}
+
+/// Guard for an open span; dropping it closes the span and appends the
+/// completed [`SpanEvent`] to the global buffer. Inert (and free) when
+/// tracing was disabled at open time.
+#[must_use = "a span guard measures the scope it lives in"]
+pub struct SpanGuard(Option<OpenSpan>);
+
+impl SpanGuard {
+    /// The span's id, or 0 for an inert guard.
+    pub fn id(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(open) = self.0.take() else {
+            return;
+        };
+        CURRENT.with(|c| c.set(open.parent));
+        let cpu_ns = thread_cpu_ns()
+            .zip(open.cpu_start_ns)
+            .map(|(end, start)| end.saturating_sub(start));
+        let ev = SpanEvent {
+            id: open.id,
+            parent: open.parent,
+            name: open.name,
+            label: open.label,
+            thread: open.thread,
+            t_start_ns: open.t_start_ns,
+            t_end_ns: now_ns().max(open.t_start_ns),
+            cpu_ns,
+        };
+        EVENTS.lock().expect("event buffer").push(ev);
+    }
+}
+
+/// Takes every buffered span event, leaving the buffer empty. Events
+/// appear in completion order (children before their parents).
+pub fn drain_events() -> Vec<SpanEvent> {
+    std::mem::take(&mut *EVENTS.lock().expect("event buffer"))
+}
+
+/// The span/metrics sinks are process globals; unit tests serialise on
+/// this lock so `cargo test`'s thread pool can't interleave them.
+#[cfg(test)]
+pub(crate) fn obs_lock() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_are_inert() {
+        let _l = obs_lock();
+        reset_for_test();
+        let g = span_labeled("solve", "dc");
+        assert_eq!(g.id(), 0);
+        assert_eq!(current_span(), 0);
+        drop(g);
+        assert!(drain_events().is_empty());
+    }
+
+    #[test]
+    fn nesting_restores_parent_and_links_ids() {
+        let _l = obs_lock();
+        reset_for_test();
+        enable();
+        let outer = span_labeled("experiment", "fig6a");
+        let outer_id = outer.id();
+        assert_eq!(current_span(), outer_id);
+        {
+            let inner = span("solve");
+            assert_ne!(inner.id(), outer_id);
+            assert_eq!(current_span(), inner.id());
+        }
+        assert_eq!(current_span(), outer_id);
+        drop(outer);
+        assert_eq!(current_span(), 0);
+
+        let events = drain_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "solve");
+        assert_eq!(events[0].parent, outer_id);
+        assert_eq!(events[1].name, "experiment");
+        assert_eq!(events[1].parent, 0);
+        assert!(events[0].t_end_ns >= events[0].t_start_ns);
+        disable();
+    }
+
+    #[test]
+    fn with_parent_carries_spans_across_threads() {
+        let _l = obs_lock();
+        reset_for_test();
+        enable();
+        let root = span_labeled("experiment", "mc");
+        let root_id = root.id();
+        let child_parent = std::thread::scope(|s| {
+            let parent = current_span();
+            s.spawn(move || {
+                with_parent(parent, || {
+                    let g = span("solve");
+                    let _ = g.id();
+                    current_span();
+                    drop(g);
+                });
+                assert_eq!(current_span(), 0, "worker restores its own state");
+            })
+            .join()
+            .expect("worker");
+            parent
+        });
+        assert_eq!(child_parent, root_id);
+        drop(root);
+        let events = drain_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].parent, root_id);
+        assert_ne!(events[0].thread, events[1].thread);
+        disable();
+    }
+}

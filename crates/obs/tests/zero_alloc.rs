@@ -1,0 +1,101 @@
+//! Proves the "zero-cost when disabled" contract with an allocator that
+//! counts: with tracing off, opening/dropping spans and bumping counters
+//! must perform zero heap allocations. The same counting allocator also
+//! demonstrates feeding the `alloc.*` metrics when tracing is on.
+//!
+//! Integration test (own process) so the `#[global_allocator]` cannot
+//! interfere with the unit-test binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+/// Both tests toggle the process-global tracing switch; serialise them.
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+struct CountingAllocator;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+static FEED_METRICS: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        if FEED_METRICS.load(Ordering::Relaxed) {
+            nvpg_obs::metrics::counters::ALLOC_COUNT.add(1);
+            nvpg_obs::metrics::counters::ALLOC_BYTES.add(layout.size() as u64);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+#[test]
+fn disabled_tracing_hot_path_never_allocates() {
+    let _l = lock();
+    nvpg_obs::reset_for_test();
+
+    // Warm up thread-locals and lazies outside the measured region.
+    {
+        let _g = nvpg_obs::span_labeled("solve", "warmup");
+        nvpg_obs::metrics::counters::NEWTON_SOLVES.add(1);
+        let _ = nvpg_obs::current_span();
+    }
+
+    let before = allocs();
+    for _ in 0..10_000 {
+        let g = nvpg_obs::span_labeled("solve", "transient");
+        nvpg_obs::metrics::counters::NEWTON_ITERATIONS.add(3);
+        nvpg_obs::metrics::counters::DEVICE_EVALS.add(40);
+        nvpg_obs::metrics::gauges::MAX_LTE_RATIO.max(0.7);
+        let parent = nvpg_obs::current_span();
+        nvpg_obs::with_parent(parent, || {
+            let inner = nvpg_obs::span("inner");
+            drop(inner);
+        });
+        drop(g);
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "disabled span/counter operations must not allocate"
+    );
+    assert_eq!(nvpg_obs::metrics::counters::NEWTON_ITERATIONS.get(), 0);
+    assert!(nvpg_obs::drain_events().is_empty());
+}
+
+#[test]
+fn counting_allocator_can_feed_alloc_metrics_when_enabled() {
+    let _l = lock();
+    nvpg_obs::reset_for_test();
+    nvpg_obs::enable();
+    FEED_METRICS.store(true, Ordering::Relaxed);
+    // A labelled span allocates its label String while enabled; that
+    // traffic must show up in the alloc.* counters.
+    {
+        let _g = nvpg_obs::span_labeled("solve", "a label long enough to heap-allocate");
+    }
+    FEED_METRICS.store(false, Ordering::Relaxed);
+    let snap = nvpg_obs::metrics::snapshot();
+    assert!(snap.counter("alloc.count").unwrap() > 0);
+    assert!(snap.counter("alloc.bytes").unwrap() > 0);
+    nvpg_obs::reset_for_test();
+}

@@ -58,17 +58,26 @@ impl fmt::Display for EngFormat<'_> {
         }
         let exp = v.abs().log10().floor() as i32;
         // Engineering exponent: multiple of 3, clamped to the prefix table.
-        let eng_exp = (exp.div_euclid(3) * 3).clamp(-18, 18);
-        let mantissa = v / 10f64.powi(eng_exp);
-        // Digits after the decimal point so that `sig_figs` total digits show.
-        let int_digits = if mantissa.abs() >= 100.0 {
-            3
-        } else if mantissa.abs() >= 10.0 {
-            2
-        } else {
-            1
-        };
-        let decimals = self.sig_figs.saturating_sub(int_digits);
+        let mut eng_exp = (exp.div_euclid(3) * 3).clamp(-18, 18);
+        let mut mantissa = v / 10f64.powi(eng_exp);
+        // log10().floor() can land one off right at exact powers of ten
+        // (log10(1000.0) may round just below 3); renormalise until the
+        // mantissa sits in [1, 1000) or the prefix table runs out.
+        while mantissa.abs() >= 1000.0 && eng_exp < 18 {
+            eng_exp += 3;
+            mantissa = v / 10f64.powi(eng_exp);
+        }
+        while mantissa.abs() < 1.0 && eng_exp > -18 {
+            eng_exp -= 3;
+            mantissa = v / 10f64.powi(eng_exp);
+        }
+        // Digits after the decimal point so that `sig_figs` total digits
+        // show — derived from where the mantissa's leading digit actually
+        // is, not from assuming it landed in [1, 1000). Values past the
+        // ends of the prefix table keep mantissas like 0.001 (sub-atto)
+        // or 1000 (supra-exa), where the assumption printed `0.00 aJ`.
+        let lead = (mantissa.abs().log10().floor() as i32) + 1;
+        let decimals = (self.sig_figs as i32 - lead).max(0) as usize;
         let prefix = PREFIXES[(eng_exp / 3 + 6) as usize];
         // Rounding can push e.g. 999.6 -> 1000; rewrap into the next prefix.
         let rounded = format!("{:.*}", decimals, mantissa);
@@ -138,11 +147,36 @@ mod tests {
 
     #[test]
     fn extreme_values_clamp_to_prefix_table() {
-        // Below atto: clamps to the atto prefix with a small mantissa.
-        let s = format_eng(1e-21, "J");
-        assert!(s.ends_with("aJ"), "{s}");
-        let s = format_eng(1e21, "J");
-        assert!(s.ends_with("EJ"), "{s}");
+        // Below atto the mantissa drops under 1; the decimal count must
+        // follow it so the significant digits survive (this used to
+        // print "0.00 aJ").
+        assert_eq!(format_eng(1e-21, "J"), "0.00100 aJ");
+        assert_eq!(format_eng(2.5e-20, "J"), "0.0250 aJ");
+        assert_eq!(format_eng(-1e-21, "J"), "-0.00100 aJ");
+        // Above exa the mantissa exceeds 1000 with no prefix to roll
+        // into; all integer digits still print.
+        assert_eq!(format_eng(1e21, "J"), "1000 EJ");
+        assert_eq!(format_eng(1.234e22, "J"), "12340 EJ");
+        assert_eq!(
+            EngFormat::new(1e-21, "J").precision(1).to_string(),
+            "0.001 aJ"
+        );
+    }
+
+    #[test]
+    fn exact_powers_of_ten_stay_in_range() {
+        // log10().floor() can come out one low at exact powers of ten;
+        // the mantissa must still land in [1, 1000) with a full-precision
+        // rendering, not 1000 ± rounding of the neighbouring prefix.
+        assert_eq!(format_eng(1e3, "Ω"), "1.00 kΩ");
+        assert_eq!(format_eng(1e-6, "A"), "1.00 µA");
+        assert_eq!(format_eng(1e-3, "V"), "1.00 mV");
+        assert_eq!(format_eng(1e6, "Hz"), "1.00 MHz");
+        assert_eq!(format_eng(1e-9, "F"), "1.00 nF");
+        assert_eq!(format_eng(1e-18, "J"), "1.00 aJ");
+        assert_eq!(format_eng(1e18, "J"), "1.00 EJ");
+        // Just below a power of ten must not round up a prefix early.
+        assert_eq!(format_eng(999.4e-9, "s"), "999 ns");
     }
 
     #[test]
