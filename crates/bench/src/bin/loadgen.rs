@@ -1,0 +1,402 @@
+//! `loadgen` — closed-loop load generator for the `nvpg-serve` daemon.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT | --spawn] [--requests N] [--concurrency C]
+//!         [--p99-ms MS] [--check] [--out BENCH_PR5.json]
+//! ```
+//!
+//! Runs a two-phase figure workload against a live daemon:
+//!
+//! 1. **cache-cold** — each figure id requested once; every request is a
+//!    miss and pays a real solve;
+//! 2. **cache-hot** — `--requests` requests round-robin over the same
+//!    ids from `--concurrency` closed-loop connections; every request is
+//!    a content-addressed cache hit.
+//!
+//! Per-phase it records throughput and a latency histogram
+//! (p50/p90/p99), writing the comparison to `--out`. With `--check` it
+//! acts as a CI gate: non-zero exit if any request failed or the
+//! cache-hot p99 exceeds `--p99-ms`.
+//!
+//! With `--spawn` it launches the sibling `nvpg-serve` binary on a free
+//! port, runs the workload, then terminates it with SIGTERM and verifies
+//! a clean drain (exit status 0). No HTTP library, no signal crate: raw
+//! `TcpStream`s and `/bin/kill`.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+/// The figure workload: one heavy transient figure (the cold phase pays
+/// a real solve) plus two cheap model sweeps (so the hot phase exercises
+/// several cache keys, not one).
+const FIGURE_IDS: [&str; 3] = ["fig6a", "fig7a", "fig8a"];
+
+struct Args {
+    addr: Option<String>,
+    spawn: bool,
+    requests: usize,
+    concurrency: usize,
+    p99_ms: f64,
+    check: bool,
+    out: String,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT | --spawn] [--requests N] [--concurrency C] \
+         [--p99-ms MS] [--check] [--out FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        addr: None,
+        spawn: false,
+        requests: 200,
+        concurrency: 4,
+        p99_ms: 250.0,
+        check: false,
+        out: "BENCH_PR5.json".to_owned(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match arg.as_str() {
+            "--addr" => out.addr = Some(value()),
+            "--spawn" => out.spawn = true,
+            "--requests" => out.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--concurrency" => out.concurrency = value().parse().unwrap_or_else(|_| usage()),
+            "--p99-ms" => out.p99_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--check" => out.check = true,
+            "--out" => out.out = value(),
+            _ => usage(),
+        }
+    }
+    if out.addr.is_none() && !out.spawn {
+        eprintln!("loadgen: need --addr or --spawn");
+        usage();
+    }
+    out
+}
+
+/// One GET on a fresh connection; returns (status, body length, latency).
+fn get(addr: &str, path: &str) -> Result<(u16, usize, Duration), String> {
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{}`", line.trim_end()))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let h = line.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().map_err(|_| "bad length".to_owned())?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok((status, body.len(), t0.elapsed()))
+}
+
+/// Latency summary of one phase.
+struct Phase {
+    requests: usize,
+    errors: usize,
+    elapsed: Duration,
+    p50_ms: f64,
+    p90_ms: f64,
+    p99_ms: f64,
+}
+
+impl Phase {
+    fn rps(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    fn json(&self, label: &str) -> String {
+        format!(
+            "\"{label}\": {{\"requests\": {}, \"errors\": {}, \"wall_clock_s\": {:.6}, \
+             \"throughput_rps\": {:.3}, \"latency_ms\": {{\"p50\": {:.3}, \"p90\": {:.3}, \"p99\": {:.3}}}}}",
+            self.requests,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.rps(),
+            self.p50_ms,
+            self.p90_ms,
+            self.p99_ms
+        )
+    }
+}
+
+fn summarize(mut latencies: Vec<Duration>, errors: usize, elapsed: Duration) -> Phase {
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((latencies.len() as f64 * p).ceil() as usize).clamp(1, latencies.len()) - 1;
+        latencies[idx].as_secs_f64() * 1e3
+    };
+    Phase {
+        requests: latencies.len() + errors,
+        errors,
+        elapsed,
+        p50_ms: pct(0.50),
+        p90_ms: pct(0.90),
+        p99_ms: pct(0.99),
+    }
+}
+
+/// Cache-cold phase: every figure once, sequentially (each is a solve).
+fn run_cold(addr: &str) -> Phase {
+    let t0 = Instant::now();
+    let mut latencies = Vec::new();
+    let mut errors = 0usize;
+    for id in FIGURE_IDS {
+        match get(addr, &format!("/figures/{id}?format=csv")) {
+            Ok((200, _, dt)) => latencies.push(dt),
+            Ok((status, ..)) => {
+                eprintln!("loadgen: cold {id} -> {status}");
+                errors += 1;
+            }
+            Err(e) => {
+                eprintln!("loadgen: cold {id}: {e}");
+                errors += 1;
+            }
+        }
+    }
+    summarize(latencies, errors, t0.elapsed())
+}
+
+/// Cache-hot phase: `requests` round-robin requests over the same
+/// figures from `concurrency` closed-loop worker threads.
+fn run_hot(addr: &str, requests: usize, concurrency: usize) -> Phase {
+    let t0 = Instant::now();
+    let cursor = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<(Vec<Duration>, usize)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency.max(1))
+            .map(|_| {
+                let cursor = &cursor;
+                scope.spawn(move || {
+                    let mut latencies = Vec::new();
+                    let mut errors = 0usize;
+                    loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= requests {
+                            break;
+                        }
+                        let id = FIGURE_IDS[i % FIGURE_IDS.len()];
+                        match get(addr, &format!("/figures/{id}?format=csv")) {
+                            Ok((200, _, dt)) => latencies.push(dt),
+                            Ok((status, ..)) => {
+                                eprintln!("loadgen: hot {id} -> {status}");
+                                errors += 1;
+                            }
+                            Err(e) => {
+                                eprintln!("loadgen: hot {id}: {e}");
+                                errors += 1;
+                            }
+                        }
+                    }
+                    (latencies, errors)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen worker"))
+            .collect()
+    });
+    let mut latencies = Vec::new();
+    let mut errors = 0usize;
+    for (l, e) in results {
+        latencies.extend(l);
+        errors += e;
+    }
+    summarize(latencies, errors, t0.elapsed())
+}
+
+/// Spawns the sibling `nvpg-serve` binary on a free port and returns the
+/// child plus the parsed listen address.
+fn spawn_daemon() -> Result<(Child, String), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let daemon = exe.parent().ok_or("no parent dir")?.join("nvpg-serve");
+    if !daemon.exists() {
+        return Err(format!(
+            "{} not found (build it: cargo build -p nvpg-serve)",
+            daemon.display()
+        ));
+    }
+    let mut child = Command::new(&daemon)
+        .args(["--listen", "127.0.0.1:0", "--jobs", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", daemon.display()))?;
+    let stdout = child.stdout.take().ok_or("no stdout")?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    // "nvpg-serve listening on 127.0.0.1:PORT (...)"
+    let addr = line
+        .split_whitespace()
+        .find(|tok| tok.contains(':') && tok.starts_with("127."))
+        .ok_or_else(|| format!("could not parse listen address from `{}`", line.trim_end()))?
+        .to_owned();
+    // Keep draining the pipe so the daemon never blocks on stdout.
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    Ok((child, addr))
+}
+
+/// SIGTERMs the daemon and verifies a clean drain (exit status 0).
+fn stop_daemon(mut child: Child) -> Result<(), String> {
+    let pid = child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .map_err(|e| format!("kill: {e}"))?;
+    if !status.success() {
+        let _ = child.kill();
+        return Err("kill -TERM failed".to_owned());
+    }
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait().map_err(|e| e.to_string())? {
+            Some(status) if status.success() => return Ok(()),
+            Some(status) => return Err(format!("daemon exited uncleanly: {status}")),
+            None if t0.elapsed() > Duration::from_secs(30) => {
+                let _ = child.kill();
+                return Err("daemon did not drain within 30 s of SIGTERM".to_owned());
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let (daemon, addr) = if args.spawn {
+        match spawn_daemon() {
+            Ok((child, addr)) => (Some(child), addr),
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        (None, args.addr.clone().expect("checked in parse_args"))
+    };
+
+    // Liveness first: a dead daemon should fail fast, not time out.
+    if let Err(e) = get(&addr, "/healthz") {
+        eprintln!("loadgen: daemon not healthy at {addr}: {e}");
+        std::process::exit(1);
+    }
+
+    eprintln!("loadgen: cache-cold pass over {:?}", FIGURE_IDS);
+    let cold = run_cold(&addr);
+    eprintln!(
+        "loadgen: cold {} req in {:.2} s ({:.2} rps), p99 {:.1} ms",
+        cold.requests,
+        cold.elapsed.as_secs_f64(),
+        cold.rps(),
+        cold.p99_ms
+    );
+    eprintln!(
+        "loadgen: cache-hot pass, {} requests x{} connections",
+        args.requests, args.concurrency
+    );
+    let hot = run_hot(&addr, args.requests, args.concurrency);
+    eprintln!(
+        "loadgen: hot {} req in {:.2} s ({:.2} rps), p99 {:.1} ms",
+        hot.requests,
+        hot.elapsed.as_secs_f64(),
+        hot.rps(),
+        hot.p99_ms
+    );
+
+    let drain = match daemon {
+        Some(child) => match stop_daemon(child) {
+            Ok(()) => {
+                eprintln!("loadgen: daemon drained cleanly on SIGTERM");
+                Some(true)
+            }
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                Some(false)
+            }
+        },
+        None => None,
+    };
+
+    let speedup = hot.rps() / cold.rps().max(1e-9);
+    let json = format!(
+        "{{\n  \"generated_by\": \"loadgen\",\n  \"workload\": {:?},\n  {},\n  {},\n  \
+         \"cache_hot_speedup\": {:.3},\n  \"clean_drain\": {},\n  \"notes\": \"cold pass pays one \
+         solve per figure (plus the one-off Table I characterisation on the first request); hot \
+         pass is served from the content-addressed cache without touching the solver.\"\n}}\n",
+        FIGURE_IDS.as_slice(),
+        cold.json("cache_cold"),
+        hot.json("cache_hot"),
+        speedup,
+        match drain {
+            Some(b) => b.to_string(),
+            None => "null".to_owned(),
+        }
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("loadgen: write {}: {e}", args.out);
+        std::process::exit(1);
+    }
+    eprintln!("loadgen: wrote {} (speedup {speedup:.1}x)", args.out);
+
+    if args.check {
+        let mut failures = Vec::new();
+        if cold.errors + hot.errors > 0 {
+            failures.push(format!("{} request errors", cold.errors + hot.errors));
+        }
+        if hot.p99_ms > args.p99_ms {
+            failures.push(format!(
+                "cache-hot p99 {:.1} ms exceeds the {:.1} ms gate",
+                hot.p99_ms, args.p99_ms
+            ));
+        }
+        if speedup < 10.0 {
+            failures.push(format!("cache-hot speedup {speedup:.1}x is below 10x"));
+        }
+        if drain == Some(false) {
+            failures.push("daemon did not drain cleanly".to_owned());
+        }
+        if !failures.is_empty() {
+            eprintln!("loadgen --check FAILED: {}", failures.join("; "));
+            std::process::exit(1);
+        }
+        eprintln!("loadgen --check passed");
+    }
+}

@@ -300,10 +300,18 @@ pub fn parse_deck(deck: &str) -> Result<Circuit, ParseDeckError> {
         if lower.starts_with(".ends") {
             match (current.take(), top.pop()) {
                 (Some(def), Some((_, marker))) if marker.starts_with(".__defining") => {
+                    // The marker is synthesised as `.__defining .subckt
+                    // <name> ...`, but recover through the error path
+                    // rather than panicking: decks arrive over the
+                    // network and a malformed one must never abort the
+                    // process.
                     let name = marker
                         .split_whitespace()
                         .nth(2)
-                        .expect("marker carries the name")
+                        .ok_or_else(|| ParseDeckError {
+                            line,
+                            reason: ".ends could not recover the .subckt name".to_owned(),
+                        })?
                         .to_ascii_lowercase();
                     subckts.insert(name, def);
                 }
@@ -383,7 +391,10 @@ fn process_card(
         });
     }
     let mut tokens = card.split_whitespace();
-    let head = tokens.next().expect("non-empty card");
+    let head = tokens.next().ok_or_else(|| ParseDeckError {
+        line,
+        reason: "empty card".to_owned(),
+    })?;
     if head.starts_with('.') {
         return Err(ParseDeckError {
             line,
@@ -394,7 +405,10 @@ fn process_card(
     let kind = head
         .chars()
         .next()
-        .expect("non-empty head")
+        .ok_or_else(|| ParseDeckError {
+            line,
+            reason: "empty element name".to_owned(),
+        })?
         .to_ascii_lowercase();
     let rest: Vec<&str> = tokens.collect();
     let need = |n: usize| -> Result<(), ParseDeckError> {
@@ -503,7 +517,13 @@ fn process_card(
         }
         'x' => {
             need(2)?;
-            let sub_name = rest.last().expect("need(2) checked").to_ascii_lowercase();
+            let sub_name = rest
+                .last()
+                .ok_or_else(|| ParseDeckError {
+                    line,
+                    reason: format!("`{head}` instance names no subcircuit"),
+                })?
+                .to_ascii_lowercase();
             let sub = subckts.get(&sub_name).ok_or_else(|| ParseDeckError {
                 line,
                 reason: format!("unknown subcircuit `{sub_name}`"),
@@ -568,6 +588,41 @@ mod tests {
         assert_eq!(parse_value("1e-9").unwrap(), 1e-9);
         assert!(parse_value("abc").is_err());
         assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn hostile_decks_error_instead_of_panicking() {
+        // Network-supplied decks exercise every internal invariant; each
+        // former `expect()` path must surface as a ParseDeckError. The
+        // catch_unwind double-checks the no-panic guarantee itself.
+        let hostile = [
+            // Unmatched `.ends` variants around the subckt marker path.
+            ".ends\n",
+            ".subckt a p1\nR1 p1 0 1k\n.ends\n.ends\n",
+            ".subckt a p1\n.subckt b p2\n",
+            // `x` instance edge cases around the trailing-name lookup.
+            "X1 nosuch\n",
+            "X1\n",
+            "X1 a b missing_sub\n",
+            // Degenerate cards.
+            ".\n",
+            "R1\n",
+            "R1 a 0 notanumber\n",
+        ];
+        for deck in hostile {
+            let outcome = std::panic::catch_unwind(|| parse_deck(deck));
+            let result = outcome.unwrap_or_else(|_| panic!("parser panicked on {deck:?}"));
+            assert!(result.is_err(), "expected a parse error for {deck:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_deck_errors_carry_line_numbers() {
+        let err = parse_deck("V1 a 0 1.0\nR1 a 0 oops\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        let err = parse_deck("R1 a 0 1k\nX9 a b ghost\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.reason.contains("ghost"), "{}", err.reason);
     }
 
     #[test]

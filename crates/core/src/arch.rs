@@ -27,6 +27,22 @@ impl Architecture {
     }
 }
 
+impl std::str::FromStr for Architecture {
+    type Err = String;
+
+    /// Parses a paper label (`"OSR"`, `"NVPG"`, `"NOF"`), case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_uppercase().as_str() {
+            "OSR" => Ok(Architecture::Osr),
+            "NVPG" => Ok(Architecture::Nvpg),
+            "NOF" => Ok(Architecture::Nof),
+            other => Err(format!(
+                "unknown architecture `{other}` (expected OSR, NVPG or NOF)"
+            )),
+        }
+    }
+}
+
 impl fmt::Display for Architecture {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -47,6 +63,26 @@ mod tests {
         assert_eq!(Architecture::Osr.to_string(), "OSR");
         assert_eq!(Architecture::Nvpg.to_string(), "NVPG");
         assert_eq!(Architecture::Nof.to_string(), "NOF");
+    }
+
+    #[test]
+    fn from_str_round_trips_and_rejects_unknowns() {
+        for arch in Architecture::ALL {
+            assert_eq!(arch.to_string().parse::<Architecture>().unwrap(), arch);
+            assert_eq!(
+                arch.to_string()
+                    .to_lowercase()
+                    .parse::<Architecture>()
+                    .unwrap(),
+                arch
+            );
+        }
+        assert_eq!(
+            " nvpg ".parse::<Architecture>().unwrap(),
+            Architecture::Nvpg
+        );
+        let err = "SRAM".parse::<Architecture>().unwrap_err();
+        assert!(err.contains("SRAM"), "{err}");
     }
 
     #[test]

@@ -41,6 +41,7 @@
 
 pub mod arch;
 pub mod bet;
+pub mod canon;
 pub mod corners;
 pub mod domain;
 pub mod energy;

@@ -26,6 +26,10 @@
 //! assert_eq!(sums.unwrap(), vec![1, 3, 5]);
 //! ```
 
+pub mod queue;
+
+pub use queue::{BoundedQueue, PushError};
+
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -315,8 +319,9 @@ where
         .collect()
 }
 
-/// Extracts a readable message from a panic payload.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Extracts a readable message from a panic payload (reused by the
+/// serving layer's fail-soft request path).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

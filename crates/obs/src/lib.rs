@@ -68,6 +68,6 @@ pub use manifest::RunManifest;
 pub use metrics::{Counter, Gauge, MetricsSnapshot};
 pub use profile::{collapsed_stacks, render_self_time_table, self_time_table, SelfTime};
 pub use span::{
-    current_span, disable, drain_events, enable, enabled, reset_for_test, span, span_labeled,
-    with_parent, SpanGuard,
+    current_span, disable, drain_events, enable, enable_metrics, enabled, metrics_enabled,
+    reset_for_test, span, span_labeled, with_parent, SpanGuard,
 };

@@ -35,10 +35,11 @@ impl Counter {
         self.name
     }
 
-    /// Adds `n` when tracing is enabled; a load-and-branch otherwise.
+    /// Adds `n` when the registry records (tracing or metrics-only
+    /// mode); a load-and-branch otherwise.
     #[inline]
     pub fn add(&self, n: u64) {
-        if crate::enabled() {
+        if crate::metrics_enabled() {
             self.value.fetch_add(n, Ordering::Relaxed);
         }
     }
@@ -73,10 +74,10 @@ impl Gauge {
         self.name
     }
 
-    /// Sets the gauge when tracing is enabled.
+    /// Sets the gauge when the registry records.
     #[inline]
     pub fn set(&self, v: f64) {
-        if crate::enabled() {
+        if crate::metrics_enabled() {
             self.bits.store(v.to_bits(), Ordering::Relaxed);
         }
     }
@@ -85,7 +86,7 @@ impl Gauge {
     /// ignored). The high-water-mark update used for `max_lte_ratio`.
     #[inline]
     pub fn max(&self, v: f64) {
-        if !crate::enabled() || v.is_nan() {
+        if !crate::metrics_enabled() || v.is_nan() {
             return;
         }
         let mut cur = self.bits.load(Ordering::Relaxed);
@@ -158,6 +159,19 @@ pub mod counters {
     pub static ALLOC_BYTES: Counter = Counter::new("alloc.bytes");
     /// Heap allocations requested (same caveat as [`ALLOC_BYTES`]).
     pub static ALLOC_COUNT: Counter = Counter::new("alloc.count");
+
+    /// HTTP requests handled by the `nvpg-serve` daemon (any status).
+    pub static SERVE_REQUESTS: Counter = Counter::new("serve.requests");
+    /// Requests answered from the response cache or deduplicated onto an
+    /// identical in-flight solve (single-flight followers).
+    pub static SERVE_CACHE_HITS: Counter = Counter::new("serve.cache_hits");
+    /// Connections rejected by admission control (queue full → 503).
+    pub static SERVE_REJECTED: Counter = Counter::new("serve.rejected");
+    /// Cacheable requests that actually invoked the solver/renderer
+    /// (cache miss, single-flight leader).
+    pub static SERVE_SOLVES: Counter = Counter::new("serve.solves");
+    /// Cached responses evicted under capacity pressure.
+    pub static SERVE_EVICTIONS: Counter = Counter::new("serve.evictions");
 }
 
 /// The gauge registry.
@@ -166,10 +180,15 @@ pub mod gauges {
 
     /// Largest normalised LTE ratio observed on an accepted step.
     pub static MAX_LTE_RATIO: Gauge = Gauge::new("solve.max_lte_ratio");
+
+    /// Requests currently being handled by `nvpg-serve` workers.
+    pub static SERVE_INFLIGHT: Gauge = Gauge::new("serve.inflight");
+    /// Bytes currently held by the `nvpg-serve` response cache.
+    pub static SERVE_CACHE_BYTES: Gauge = Gauge::new("serve.cache_bytes");
 }
 
 /// Every registered counter, in render order.
-static ALL_COUNTERS: [&Counter; 19] = [
+static ALL_COUNTERS: [&Counter; 24] = [
     &counters::ACCEPTED_STEPS,
     &counters::REJECTED_LTE,
     &counters::REJECTED_NEWTON,
@@ -189,10 +208,19 @@ static ALL_COUNTERS: [&Counter; 19] = [
     &counters::RESCUE_INJECTED_FAULTS,
     &counters::ALLOC_BYTES,
     &counters::ALLOC_COUNT,
+    &counters::SERVE_REQUESTS,
+    &counters::SERVE_CACHE_HITS,
+    &counters::SERVE_REJECTED,
+    &counters::SERVE_SOLVES,
+    &counters::SERVE_EVICTIONS,
 ];
 
 /// Every registered gauge, in render order.
-static ALL_GAUGES: [&Gauge; 1] = [&gauges::MAX_LTE_RATIO];
+static ALL_GAUGES: [&Gauge; 3] = [
+    &gauges::MAX_LTE_RATIO,
+    &gauges::SERVE_INFLIGHT,
+    &gauges::SERVE_CACHE_BYTES,
+];
 
 /// A point-in-time copy of the whole registry, in registry order.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -224,6 +252,32 @@ pub fn snapshot() -> MetricsSnapshot {
         counters: ALL_COUNTERS.iter().map(|c| (c.name(), c.get())).collect(),
         gauges: ALL_GAUGES.iter().map(|g| (g.name(), g.get())).collect(),
     }
+}
+
+/// Renders a snapshot in the line-oriented text exposition format served
+/// by `nvpg-serve`'s `/metrics` endpoint: one `<name> <value>` pair per
+/// line, counters first, then gauges, in registry order. Gauge values
+/// print with up to six significant digits (integral values print bare).
+///
+/// # Examples
+///
+/// ```
+/// let text = nvpg_obs::metrics::render_exposition(&nvpg_obs::metrics::snapshot());
+/// assert!(text.lines().any(|l| l.starts_with("serve.requests ")));
+/// ```
+pub fn render_exposition(snap: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            out.push_str(&format!("{name} {}\n", *v as i64));
+        } else {
+            out.push_str(&format!("{name} {v:.6e}\n"));
+        }
+    }
+    out
 }
 
 /// Zeroes every counter and gauge.
@@ -283,6 +337,55 @@ mod tests {
         assert!(!snap.is_zero());
         crate::reset_for_test();
         assert!(snapshot().is_zero());
+    }
+
+    #[test]
+    fn metrics_only_mode_counts_without_span_events() {
+        let _l = obs_lock();
+        crate::reset_for_test();
+        crate::enable_metrics();
+        assert!(crate::metrics_enabled());
+        assert!(!crate::enabled(), "span tracing must stay off");
+        counters::SERVE_REQUESTS.add(2);
+        gauges::SERVE_INFLIGHT.set(1.0);
+        assert_eq!(counters::SERVE_REQUESTS.get(), 2);
+        assert_eq!(gauges::SERVE_INFLIGHT.get(), 1.0);
+        // Spans stay inert: no events buffered while metrics-only.
+        let g = crate::span_labeled("solve", "noop");
+        assert_eq!(g.id(), 0);
+        drop(g);
+        assert!(crate::drain_events().is_empty());
+        crate::reset_for_test();
+        assert!(!crate::metrics_enabled());
+        assert_eq!(counters::SERVE_REQUESTS.get(), 0);
+    }
+
+    #[test]
+    fn exposition_renders_every_metric_once() {
+        let _l = obs_lock();
+        crate::reset_for_test();
+        crate::enable_metrics();
+        counters::SERVE_REQUESTS.add(7);
+        gauges::SERVE_INFLIGHT.set(3.0);
+        gauges::MAX_LTE_RATIO.set(0.25);
+        let text = render_exposition(&snapshot());
+        assert_eq!(
+            text.lines().count(),
+            ALL_COUNTERS.len() + ALL_GAUGES.len(),
+            "one line per metric"
+        );
+        assert!(text.contains("serve.requests 7\n"));
+        assert!(text.contains("serve.inflight 3\n"));
+        assert!(text.contains("solve.max_lte_ratio 2.500000e-1\n"), "{text}");
+        // Every line re-parses as `<name> <value>`.
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            let name = it.next().unwrap();
+            assert!(name.contains('.'), "registry name `{name}`");
+            it.next().unwrap().parse::<f64>().expect("numeric value");
+            assert_eq!(it.next(), None);
+        }
+        crate::reset_for_test();
     }
 
     #[test]

@@ -23,6 +23,12 @@ use crate::event::SpanEvent;
 /// telemetry, never synchronises data.
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
+/// Metrics-only switch: lets the counter/gauge registry record while
+/// span tracing (and its growing event buffer) stays off. A long-lived
+/// service exposing `/metrics` must count forever without accumulating
+/// span events; flipping [`enable`] instead would leak the event buffer.
+static METRICS_ONLY: AtomicBool = AtomicBool::new(false);
+
 /// Monotonic origin for event timestamps, fixed at the first [`enable`].
 static EPOCH: OnceLock<Instant> = OnceLock::new();
 
@@ -62,10 +68,27 @@ pub fn disable() {
     ENABLED.store(false, Ordering::SeqCst);
 }
 
+/// Turns the metrics registry on without span tracing: counters and
+/// gauges record, spans stay inert, and no events are buffered. Used by
+/// the `nvpg-serve` daemon, whose `/metrics` endpoint must stay live for
+/// the life of the process without unbounded event growth.
+pub fn enable_metrics() {
+    METRICS_ONLY.store(true, Ordering::SeqCst);
+}
+
+/// `true` while the metrics registry records — either because full
+/// tracing is on ([`enable`]) or metrics alone were requested
+/// ([`enable_metrics`]).
+#[inline]
+pub fn metrics_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed) || METRICS_ONLY.load(Ordering::Relaxed)
+}
+
 /// Clears every global sink (events and metrics) and disables tracing —
 /// for tests that need a clean slate in a shared process.
 pub fn reset_for_test() {
     disable();
+    METRICS_ONLY.store(false, Ordering::SeqCst);
     EVENTS.lock().expect("event buffer").clear();
     crate::metrics::reset();
 }

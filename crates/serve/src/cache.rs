@@ -1,0 +1,180 @@
+//! Sharded in-memory LRU response cache, content-addressed by the
+//! canonical request key.
+//!
+//! Every cacheable endpoint is a pure function of the canonical request
+//! (the solvers are deterministic), so a response cached under
+//! [`nvpg_core::canon::request_key`] is valid forever — eviction exists
+//! only to bound memory, never for freshness. The byte budget is divided
+//! across shards, each behind its own mutex, so worker threads serving
+//! disjoint keys rarely contend; within a shard, recency is a monotonic
+//! tick and eviction removes the stalest entry until the shard fits.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use nvpg_obs::metrics::{counters, gauges};
+
+use crate::http::Response;
+
+/// Number of shards; a power of two so shard selection is a mask.
+const SHARDS: usize = 8;
+
+struct Entry {
+    resp: Arc<Response>,
+    tick: u64,
+}
+
+struct Shard {
+    map: HashMap<u128, Entry>,
+    bytes: usize,
+}
+
+/// The cache. Cheap to share (`Arc` it once per server).
+pub struct ResponseCache {
+    shards: Vec<Mutex<Shard>>,
+    /// Per-shard byte budget.
+    shard_budget: usize,
+    /// Global recency clock.
+    tick: AtomicU64,
+    /// Total resident bytes across shards (mirrors the
+    /// `serve.cache_bytes` gauge, which only records while metrics are
+    /// enabled).
+    total_bytes: AtomicUsize,
+}
+
+impl ResponseCache {
+    /// Creates a cache bounded to roughly `capacity_bytes` of response
+    /// bodies. A zero capacity disables caching (every `get` misses).
+    pub fn new(capacity_bytes: usize) -> Self {
+        ResponseCache {
+            shards: (0..SHARDS)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        bytes: 0,
+                    })
+                })
+                .collect(),
+            shard_budget: capacity_bytes / SHARDS,
+            tick: AtomicU64::new(1),
+            total_bytes: AtomicUsize::new(0),
+        }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        // The key is already a hash; fold the high half in so shard
+        // selection uses all 128 bits.
+        let folded = (key as u64) ^ ((key >> 64) as u64);
+        &self.shards[(folded as usize) & (SHARDS - 1)]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: u128) -> Option<Arc<Response>> {
+        if self.shard_budget == 0 {
+            return None;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        let entry = shard.map.get_mut(&key)?;
+        entry.tick = self.tick.fetch_add(1, Ordering::Relaxed);
+        Some(Arc::clone(&entry.resp))
+    }
+
+    /// Inserts `resp` under `key`, evicting least-recently-used entries
+    /// in the shard until it fits. Responses larger than a whole shard
+    /// are served but not retained.
+    pub fn put(&self, key: u128, resp: Arc<Response>) {
+        let weight = resp.weight();
+        if weight > self.shard_budget {
+            return;
+        }
+        let mut shard = self.shard(key).lock().expect("cache shard");
+        if let Some(old) = shard.map.remove(&key) {
+            shard.bytes -= old.resp.weight();
+            self.total_bytes
+                .fetch_sub(old.resp.weight(), Ordering::Relaxed);
+        }
+        while shard.bytes + weight > self.shard_budget {
+            // O(n) stalest scan: shards stay small (dozens of figure/BET
+            // responses), so a heap would cost more than it saves.
+            let Some((&stale_key, _)) = shard.map.iter().min_by_key(|(_, e)| e.tick) else {
+                break;
+            };
+            let evicted = shard.map.remove(&stale_key).expect("present");
+            shard.bytes -= evicted.resp.weight();
+            self.total_bytes
+                .fetch_sub(evicted.resp.weight(), Ordering::Relaxed);
+            counters::SERVE_EVICTIONS.add(1);
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                resp,
+                tick: self.tick.fetch_add(1, Ordering::Relaxed),
+            },
+        );
+        shard.bytes += weight;
+        let total = self.total_bytes.fetch_add(weight, Ordering::Relaxed) + weight;
+        gauges::SERVE_CACHE_BYTES.set(total as f64);
+    }
+
+    /// Total resident bytes (approximate under concurrency).
+    pub fn bytes(&self) -> usize {
+        self.total_bytes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resp(n: usize) -> Arc<Response> {
+        Arc::new(Response::ok("text/plain", vec![b'x'; n]))
+    }
+
+    #[test]
+    fn hit_miss_and_recency() {
+        let cache = ResponseCache::new(64 * 1024);
+        assert!(cache.get(1).is_none());
+        cache.put(1, resp(100));
+        assert_eq!(cache.get(1).expect("hit").body.len(), 100);
+        assert!(cache.get(2).is_none());
+    }
+
+    #[test]
+    fn eviction_prefers_the_stalest_entry() {
+        // One shard's budget is capacity/8; three 300-byte entries (+64
+        // overhead each) can't all fit in 1 KiB.
+        let cache = ResponseCache::new(8 * 1024);
+        // Probe keys that land in the same shard.
+        let same_shard: Vec<u128> = (0u128..64)
+            .filter(|k| (*k as u64 ^ (k >> 64) as u64) & 7 == 0)
+            .take(3)
+            .collect();
+        let [a, b, c] = same_shard[..] else {
+            panic!("need three same-shard keys")
+        };
+        cache.put(a, resp(300));
+        cache.put(b, resp(300));
+        let _ = cache.get(a); // refresh a; b becomes stalest
+        cache.put(c, resp(300));
+        assert!(cache.get(a).is_some(), "recently used survives");
+        assert!(cache.get(b).is_none(), "stalest entry evicted");
+        assert!(cache.get(c).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = ResponseCache::new(0);
+        cache.put(1, resp(10));
+        assert!(cache.get(1).is_none());
+        assert_eq!(cache.bytes(), 0);
+    }
+
+    #[test]
+    fn oversized_responses_are_not_retained() {
+        let cache = ResponseCache::new(800); // shard budget 100
+        cache.put(1, resp(500));
+        assert!(cache.get(1).is_none());
+    }
+}

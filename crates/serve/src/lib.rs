@@ -1,0 +1,79 @@
+//! # nvpg-serve — a batching, caching simulation service
+//!
+//! The experiment engine answers *queries*: "given an architecture,
+//! workload, and design point, what is the energy/BET?" Every answer is
+//! deterministic, so a long-lived daemon can serve repeated queries from
+//! a content-addressed cache instead of re-running solvers. This crate
+//! is that daemon: HTTP/1.1 + JSON over `std::net`, dependency-free like
+//! the rest of the workspace.
+//!
+//! ## Request path
+//!
+//! ```text
+//! accept ─▶ bounded queue ─▶ worker ─▶ canonicalise ─▶ cache ──hit──▶ respond
+//!    │ full                                │ miss
+//!    ▼                                     ▼
+//!  503 + Retry-After              single-flight group ─▶ solve ─▶ cache ─▶ respond
+//! ```
+//!
+//! * **Admission control** — the only buffer is a
+//!   [`nvpg_exec::BoundedQueue`] of accepted sockets; past `queue_depth`
+//!   the acceptor sheds load with `503` + `Retry-After`, so memory under
+//!   overload is bounded.
+//! * **Content-addressed cache** — responses are keyed by
+//!   [`nvpg_core::canon::request_key`], which canonicalises the JSON
+//!   body (field order, whitespace, and number spelling don't matter)
+//!   and excludes server configuration (`--jobs` can't split the cache).
+//! * **Single-flight** — N identical in-flight requests perform exactly
+//!   one solve; followers share the leader's response and count as
+//!   cache hits.
+//! * **Fail-soft** — deck parsing returns structured `400`s (the parser
+//!   is panic-free on hostile input) and a panicking solve answers `500`
+//!   via `catch_unwind` without taking the worker down.
+//!
+//! ## Endpoints
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `GET /healthz` | liveness |
+//! | `GET /metrics` | text dump of the `nvpg_obs` metrics registry |
+//! | `GET /figures/{id}?format=csv\|json` | any paper figure (CSV byte-identical to the `figures` CLI) |
+//! | `POST /bet` | one break-even-time query |
+//! | `POST /sweep` | BET vs one swept parameter |
+//! | `POST /simulate` | SPICE deck → DC or transient results |
+
+pub mod cache;
+pub mod http;
+pub mod server;
+pub mod singleflight;
+
+pub use http::{Request, Response};
+pub use server::Server;
+
+/// Server configuration (the bin's `--listen/--jobs/--cache-mb/
+/// --queue-depth` flags).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (port `0` picks a free one).
+    pub listen: String,
+    /// Worker threads (0 = the `nvpg_exec` process default).
+    pub jobs: usize,
+    /// Response-cache capacity in bytes (0 disables caching).
+    pub cache_bytes: usize,
+    /// Accepted-connection queue depth (admission-control bound).
+    pub queue_depth: usize,
+    /// Expose `/debug/sleep` (deterministic worker stalls for tests/CI).
+    pub debug_endpoints: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            listen: "127.0.0.1:7878".to_owned(),
+            jobs: nvpg_exec::default_jobs(),
+            cache_bytes: 64 << 20,
+            queue_depth: 64,
+            debug_endpoints: false,
+        }
+    }
+}

@@ -1,0 +1,597 @@
+//! The request path: accept → admit → route → (cache | single-flight |
+//! solve) → respond.
+//!
+//! One acceptor thread owns the listener; `jobs` worker threads own the
+//! solvers. Between them sits a [`BoundedQueue`] of accepted
+//! connections — the *only* buffer in the system, so memory under
+//! overload is bounded by `queue_depth` sockets, and everything past it
+//! is shed with `503 Retry-After` before any parsing or allocation
+//! happens on its behalf.
+//!
+//! Deterministic endpoints (`/figures`, `/bet`, `/sweep`, `/simulate`)
+//! flow through the content-addressed [`ResponseCache`] and the
+//! [single-flight](crate::singleflight) group; the shared
+//! [`Experiments`] characterisation is built once behind a `OnceLock`
+//! on first use and reused by every worker for the life of the process.
+
+use std::io::BufReader;
+use std::net::{TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use nvpg_cells::design::CellDesign;
+use nvpg_circuit::dc::{operating_point, DcOptions};
+use nvpg_circuit::transient::{transient, TransientOptions};
+use nvpg_core::bet::{bet_closed_form, bet_iterative, Bet};
+use nvpg_core::canon::{
+    architecture_from_json, benchmark_params_from_json, canonical_json, request_key_raw,
+};
+use nvpg_core::{Architecture, Experiments, Figure};
+use nvpg_obs::json::{parse as parse_json, Json};
+use nvpg_obs::metrics::{counters, gauges};
+
+use nvpg_exec::queue::{BoundedQueue, PushError};
+
+use crate::cache::ResponseCache;
+use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::singleflight::{Group, Role};
+use crate::ServeConfig;
+
+/// The `Retry-After` hint attached to shed requests, seconds.
+const RETRY_AFTER_S: u32 = 1;
+
+/// The Table I characterisation, built once per process and shared by
+/// every worker. The heavy DC/transient characterisation runs on first
+/// demand, not at bind time, so `/healthz` answers immediately after
+/// startup.
+fn experiments() -> Result<&'static Experiments, String> {
+    static EXPERIMENTS: OnceLock<Result<Experiments, String>> = OnceLock::new();
+    EXPERIMENTS
+        .get_or_init(|| {
+            Experiments::new(CellDesign::table1()).map_err(|e| format!("characterisation: {e}"))
+        })
+        .as_ref()
+        .map_err(Clone::clone)
+}
+
+/// A running server. Dropping the handle shuts it down and joins every
+/// thread.
+pub struct Server {
+    addr: std::net::SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Returns the bind error text on failure.
+    pub fn start(config: ServeConfig) -> Result<Server, String> {
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| format!("bind {}: {e}", config.listen))?;
+        let addr = listener.local_addr().map_err(|e| e.to_string())?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth.max(1)));
+        let shared = Arc::new(Shared {
+            cache: ResponseCache::new(config.cache_bytes),
+            flights: Group::new(),
+            inflight: AtomicI64::new(0),
+            debug_endpoints: config.debug_endpoints,
+            shutdown: Arc::clone(&shutdown),
+        });
+
+        let workers = (0..config.jobs.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            serve_connection(stream, &shared);
+                        }
+                    })
+                    .map_err(|e| format!("spawn worker: {e}"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let acceptor = {
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("serve-acceptor".to_owned())
+                .spawn(move || accept_loop(&listener, &queue, &shutdown))
+                .map_err(|e| format!("spawn acceptor: {e}"))?
+        };
+
+        Ok(Server {
+            addr,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the assigned port).
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Requests shutdown: stop accepting, drain queued and in-flight
+    /// connections, join every thread. Idempotent; blocks until drained.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// State shared by every worker.
+struct Shared {
+    cache: ResponseCache,
+    flights: Group<Arc<Response>>,
+    inflight: AtomicI64,
+    debug_endpoints: bool,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Accepts connections until shutdown, applying admission control: a
+/// full queue sheds the connection with `503` immediately, so the
+/// acceptor never blocks on workers and memory stays bounded.
+fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>, shutdown: &AtomicBool) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => match queue.try_push(stream) {
+                Ok(()) => {}
+                Err(PushError::Full(mut stream) | PushError::Closed(mut stream)) => {
+                    counters::SERVE_REJECTED.add(1);
+                    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+                    let _ = write_response(&mut stream, &Response::overloaded(RETRY_AFTER_S), true);
+                }
+            },
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    // Stop feeding workers; queued connections still drain.
+    queue.close();
+}
+
+/// Serves one connection (keep-alive loop).
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let peer = stream.try_clone();
+    let Ok(write_half) = peer else { return };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(req) => req,
+            Err(ReadError::Eof) => return,
+            Err(ReadError::Malformed(reason)) => {
+                let _ = write_response(&mut write_half, &Response::error(400, &reason), true);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        };
+        counters::SERVE_REQUESTS.add(1);
+        let n = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
+        gauges::SERVE_INFLIGHT.set(n as f64);
+        let response = dispatch(&request, shared);
+        let n = shared.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
+        gauges::SERVE_INFLIGHT.set(n as f64);
+        // Drain protocol: during shutdown, finish this response, then
+        // close instead of waiting for another request.
+        let close = request.close || shared.shutdown.load(Ordering::SeqCst);
+        if write_response(&mut write_half, &response, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Routes one request, going through cache + single-flight for the
+/// deterministic endpoints.
+fn dispatch(request: &Request, shared: &Shared) -> Response {
+    let _span = nvpg_obs::span_labeled("request", &request.path);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::ok("text/plain", "ok\n"),
+        ("GET", "/metrics") => Response::ok(
+            "text/plain",
+            nvpg_obs::metrics::render_exposition(&nvpg_obs::metrics::snapshot()),
+        ),
+        ("GET", "/debug/sleep") if shared.debug_endpoints => {
+            let ms: u64 = request
+                .query_param("ms")
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(100)
+                .min(10_000);
+            std::thread::sleep(Duration::from_millis(ms));
+            Response::ok("text/plain", format!("slept {ms} ms\n"))
+        }
+        ("GET", path) if path.starts_with("/figures/") => cached(request, shared, figures),
+        ("POST", "/bet") => cached(request, shared, bet),
+        ("POST", "/sweep") => cached(request, shared, sweep),
+        ("POST", "/simulate") => cached(request, shared, simulate),
+        (method, "/bet" | "/sweep" | "/simulate") if method != "POST" => {
+            Response::error(405, "use POST")
+        }
+        _ => Response::error(404, &format!("no route for {}", request.path)),
+    }
+}
+
+/// The cache + single-flight wrapper around a deterministic handler.
+///
+/// Key facts the tests pin down: a cache hit (or a single-flight
+/// follower) increments `serve.cache_hits` and performs no solve; only
+/// `200` responses are cached (an error is recomputed — and therefore
+/// re-observed — on retry).
+fn cached(
+    request: &Request,
+    shared: &Shared,
+    handler: fn(&Request, &Json) -> Response,
+) -> Response {
+    // Canonicalise the body first: the cache key must see meaning, not
+    // bytes. A body that is not valid JSON cannot be canonicalised and
+    // is rejected before it reaches any handler.
+    let body_json = if request.body.is_empty() {
+        Json::Null
+    } else {
+        let text = match std::str::from_utf8(&request.body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "body is not UTF-8"),
+        };
+        match parse_json(text) {
+            Ok(v) => v,
+            Err(e) => return Response::error(400, &format!("body is not valid JSON: {e:?}")),
+        }
+    };
+    let canonical = canonical_json(&body_json);
+    let path_and_query = if request.query.is_empty() {
+        request.path.clone()
+    } else {
+        format!("{}?{}", request.path, request.query)
+    };
+    let key = request_key_raw(&request.method, &path_and_query, &canonical);
+
+    if let Some(hit) = shared.cache.get(key) {
+        counters::SERVE_CACHE_HITS.add(1);
+        return (*hit).clone();
+    }
+
+    let (response, role) = shared.flights.run(key, || {
+        counters::SERVE_SOLVES.add(1);
+        // Fail-soft: a panicking solve (injected fault, pathological
+        // deck) must answer this request with a structured 500, not
+        // take the worker down.
+        let resp = match catch_unwind(AssertUnwindSafe(|| handler(request, &body_json))) {
+            Ok(resp) => resp,
+            Err(payload) => {
+                let msg = nvpg_exec::panic_message(payload.as_ref());
+                Response::error(500, &format!("solver panicked: {msg}"))
+            }
+        };
+        let resp = Arc::new(resp);
+        if resp.status == 200 {
+            shared.cache.put(key, Arc::clone(&resp));
+        }
+        resp
+    });
+    if role == Role::Follower {
+        // A follower reused the leader's solve — same reuse semantics
+        // as a cache hit, and counted as one.
+        counters::SERVE_CACHE_HITS.add(1);
+    }
+    (*response).clone()
+}
+
+/// `GET /figures/{id}?format=csv|json`.
+fn figures(request: &Request, _body: &Json) -> Response {
+    let id = &request.path["/figures/".len()..];
+    let exp = match experiments() {
+        Ok(exp) => exp,
+        Err(e) => return Response::error(500, &e),
+    };
+    let figure = match exp.figure_by_id(id) {
+        Some(Ok(fig)) => fig,
+        Some(Err(e)) => return Response::error(500, &format!("figure {id}: {e}")),
+        None => return Response::error(404, &format!("unknown figure `{id}`")),
+    };
+    match request.query_param("format").unwrap_or("csv") {
+        "csv" => Response::ok("text/csv", nvpg_bench::to_csv(&figure)),
+        "json" => Response::ok("application/json", figure_json(&figure)),
+        other => Response::error(400, &format!("unknown format `{other}`")),
+    }
+}
+
+/// Renders a figure as JSON (same point data as the CSV).
+fn figure_json(fig: &Figure) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"id\":\"{}\",\"caption\":\"{}\",\"x_label\":\"{}\",\"y_label\":\"{}\",\"series\":[",
+        nvpg_obs::json::escape(&fig.id),
+        nvpg_obs::json::escape(&fig.caption),
+        nvpg_obs::json::escape(&fig.x_label),
+        nvpg_obs::json::escape(&fig.y_label),
+    ));
+    for (i, series) in fig.series.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"label\":\"{}\",\"points\":[",
+            nvpg_obs::json::escape(&series.label)
+        ));
+        for (j, (x, y)) in series.points.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("[{x:e},{y:e}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}\n");
+    out
+}
+
+/// Renders a BET outcome as a JSON fragment.
+fn bet_json(bet: Bet) -> String {
+    match bet {
+        Bet::At(t) => format!("{{\"kind\":\"at\",\"t_bet_s\":{:e}}}", t.0),
+        Bet::Always => "{\"kind\":\"always\"}".to_owned(),
+        Bet::Never => "{\"kind\":\"never\"}".to_owned(),
+    }
+}
+
+/// Decodes the common parts of `/bet` and `/sweep` bodies: architecture,
+/// solver choice, and benchmark parameters.
+fn bet_inputs(body: &Json) -> Result<(Architecture, bool, nvpg_core::BenchmarkParams), Response> {
+    let obj = body
+        .as_obj()
+        .ok_or_else(|| Response::error(400, "body must be a JSON object"))?;
+    let arch = match obj.get("arch") {
+        Some(v) => architecture_from_json(v).map_err(|e| Response::error(400, &e))?,
+        None => Architecture::Nvpg,
+    };
+    if !arch.is_nonvolatile() {
+        return Err(Response::error(
+            400,
+            "BET is defined against the OSR baseline; pick NVPG or NOF",
+        ));
+    }
+    let iterative = match obj.get("method").and_then(Json::as_str) {
+        None | Some("closed_form") => false,
+        Some("iterative") => true,
+        Some(other) => {
+            return Err(Response::error(
+                400,
+                &format!("unknown method `{other}` (closed_form or iterative)"),
+            ))
+        }
+    };
+    // The params decoder rejects unknown fields; strip ours first.
+    let mut params_obj = obj.clone();
+    params_obj.remove("arch");
+    params_obj.remove("method");
+    params_obj.remove("var");
+    params_obj.remove("values");
+    let params =
+        benchmark_params_from_json(&Json::Obj(params_obj)).map_err(|e| Response::error(400, &e))?;
+    Ok((arch, iterative, params))
+}
+
+/// Solves one BET query.
+fn solve_bet(
+    arch: Architecture,
+    iterative: bool,
+    params: &nvpg_core::BenchmarkParams,
+) -> Result<Bet, Response> {
+    let exp = experiments().map_err(|e| Response::error(500, &e))?;
+    Ok(if iterative {
+        bet_iterative(exp.model(), arch, params, 10.0)
+    } else {
+        bet_closed_form(exp.model(), arch, params)
+    })
+}
+
+/// `POST /bet` — one break-even-time query.
+fn bet(_request: &Request, body: &Json) -> Response {
+    let (arch, iterative, params) = match bet_inputs(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match solve_bet(arch, iterative, &params) {
+        Ok(bet) => Response::ok(
+            "application/json",
+            format!("{{\"arch\":\"{arch}\",\"bet\":{}}}\n", bet_json(bet)),
+        ),
+        Err(resp) => resp,
+    }
+}
+
+/// `POST /sweep` — BET as a function of one swept parameter
+/// (`var` ∈ {`rows`, `n_rw`, `t_sl`}, `values` an array).
+fn sweep(_request: &Request, body: &Json) -> Response {
+    let (arch, iterative, base) = match bet_inputs(body) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let obj = body.as_obj().expect("checked in bet_inputs");
+    let var = match obj.get("var").and_then(Json::as_str) {
+        Some(v @ ("rows" | "n_rw" | "t_sl")) => v.to_owned(),
+        Some(other) => {
+            return Response::error(
+                400,
+                &format!("unknown sweep var `{other}` (rows, n_rw or t_sl)"),
+            )
+        }
+        None => return Response::error(400, "`var` names the swept parameter"),
+    };
+    let values: Vec<f64> = match obj.get("values").and_then(|v| match v {
+        Json::Arr(items) => items.iter().map(Json::as_num).collect::<Option<Vec<f64>>>(),
+        _ => None,
+    }) {
+        Some(vs) if !vs.is_empty() && vs.len() <= 4096 => vs,
+        Some(_) => return Response::error(400, "`values` must hold 1..=4096 numbers"),
+        None => return Response::error(400, "`values` must be an array of numbers"),
+    };
+    let mut out = String::from("{\"arch\":\"");
+    out.push_str(&arch.to_string());
+    out.push_str("\",\"var\":\"");
+    out.push_str(&var);
+    out.push_str("\",\"points\":[");
+    for (i, &v) in values.iter().enumerate() {
+        let mut params = base;
+        match var.as_str() {
+            "rows" => {
+                if !(v >= 1.0 && v.fract() == 0.0 && v <= f64::from(u32::MAX)) {
+                    return Response::error(
+                        400,
+                        &format!("`values[{i}]` is not a valid row count"),
+                    );
+                }
+                params.domain = nvpg_core::PowerDomain::new(v as u32, params.domain.bits);
+            }
+            "n_rw" => {
+                if !(v >= 1.0 && v.fract() == 0.0 && v <= f64::from(u32::MAX)) {
+                    return Response::error(
+                        400,
+                        &format!("`values[{i}]` is not a valid round count"),
+                    );
+                }
+                params.n_rw = v as u32;
+            }
+            _ => {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Response::error(400, &format!("`values[{i}]` is not a valid time"));
+                }
+                params.t_sl = v;
+            }
+        }
+        let bet = match solve_bet(arch, iterative, &params) {
+            Ok(b) => b,
+            Err(resp) => return resp,
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("{{\"value\":{v:e},\"bet\":{}}}", bet_json(bet)));
+    }
+    out.push_str("]}\n");
+    Response::ok("application/json", out)
+}
+
+/// Cap on transient samples returned to the client.
+const MAX_TRAN_POINTS: usize = 2000;
+
+/// `POST /simulate` — parse a SPICE deck and run DC or transient.
+fn simulate(_request: &Request, body: &Json) -> Response {
+    let obj = match body.as_obj() {
+        Some(o) => o,
+        None => return Response::error(400, "body must be a JSON object"),
+    };
+    let deck = match obj.get("deck").and_then(Json::as_str) {
+        Some(d) => d,
+        None => return Response::error(400, "`deck` must hold the SPICE netlist text"),
+    };
+    let analysis = obj.get("analysis").and_then(Json::as_str).unwrap_or("dc");
+    let mut circuit = match nvpg_circuit::parser::parse_deck(deck) {
+        Ok(c) => c,
+        Err(e) => {
+            return Response::error(400, &format!("deck line {}: {}", e.line, e.reason));
+        }
+    };
+    match analysis {
+        "dc" => {
+            let op = match operating_point(&mut circuit, &DcOptions::default()) {
+                Ok(op) => op,
+                Err(e) => return Response::error(500, &format!("dc failed: {e}")),
+            };
+            let mut out = String::from("{\"analysis\":\"dc\",\"voltages\":{");
+            let mut first = true;
+            for (_, name) in circuit.node_names_iter() {
+                if name == "0" {
+                    continue;
+                }
+                let Some(v) = op.voltage_by_name(name) else {
+                    continue;
+                };
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!("\"{}\":{v:e}", nvpg_obs::json::escape(name)));
+            }
+            out.push_str("}}\n");
+            Response::ok("application/json", out)
+        }
+        "tran" => {
+            let t_stop = obj.get("t_stop").and_then(Json::as_num).unwrap_or(1e-9);
+            if !(t_stop.is_finite() && t_stop > 0.0 && t_stop <= 1.0) {
+                return Response::error(400, "`t_stop` must be a time in (0, 1] seconds");
+            }
+            let opts = TransientOptions::to(t_stop);
+            let initial = match operating_point(&mut circuit, &DcOptions::default()) {
+                Ok(op) => op,
+                Err(e) => return Response::error(500, &format!("dc failed: {e}")),
+            };
+            let result = match transient(&mut circuit, &opts, &initial) {
+                Ok(r) => r,
+                Err(e) => return Response::error(500, &format!("transient failed: {e}")),
+            };
+            let trace = &result.trace;
+            let n = trace.len();
+            // Decimate long traces: every stride-th sample, end included.
+            let stride = n.div_ceil(MAX_TRAN_POINTS).max(1);
+            let keep: Vec<usize> = (0..n).filter(|i| i % stride == 0 || *i == n - 1).collect();
+            let mut out = String::from("{\"analysis\":\"tran\",\"time\":[");
+            for (j, &i) in keep.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{:e}", trace.time()[i]));
+            }
+            out.push_str("],\"signals\":{");
+            for (c, (name, samples)) in trace.columns().enumerate() {
+                if c > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":[", nvpg_obs::json::escape(name)));
+                for (j, &i) in keep.iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{:e}", samples[i]));
+                }
+                out.push(']');
+            }
+            out.push_str(&format!("}},\"steps\":{}}}\n", result.newton_solves));
+            Response::ok("application/json", out)
+        }
+        other => Response::error(400, &format!("unknown analysis `{other}` (dc or tran)")),
+    }
+}

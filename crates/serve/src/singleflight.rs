@@ -1,0 +1,211 @@
+//! Single-flight deduplication of identical in-flight requests.
+//!
+//! When N identical requests arrive while none is cached, only the first
+//! (the *leader*) runs the solver; the others (*followers*) park on the
+//! leader's call and share its result. Combined with the response cache
+//! this gives the stampede guarantee the acceptance criteria pin down: N
+//! concurrent identical requests perform exactly one solve.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// How this thread obtained the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// This thread computed the value.
+    Leader,
+    /// This thread waited for a concurrent leader.
+    Follower,
+}
+
+struct Call<T> {
+    slot: Mutex<Option<T>>,
+    done: Condvar,
+}
+
+/// A group of keyed calls. One per server.
+pub struct Group<T> {
+    calls: Mutex<HashMap<u128, Arc<Call<T>>>>,
+}
+
+impl<T: Clone> Group<T> {
+    /// Creates an empty group.
+    pub fn new() -> Self {
+        Group {
+            calls: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Runs `compute` for `key`, unless an identical call is already in
+    /// flight — then blocks until the leader finishes and returns its
+    /// value. The leader's entry is removed before returning, so later
+    /// requests start a fresh call (they are expected to hit the response
+    /// cache instead).
+    ///
+    /// If the leader panics, its followers see the call abandoned and one
+    /// of them retries as the new leader — a poisoned entry never wedges
+    /// the key.
+    pub fn run(&self, key: u128, compute: impl FnOnce() -> T) -> (T, Role) {
+        let call = {
+            let mut calls = self.calls.lock().expect("singleflight registry");
+            match calls.get(&key) {
+                Some(existing) => {
+                    let call = Arc::clone(existing);
+                    drop(calls);
+                    // Follower: wait for the slot to fill.
+                    let mut slot = call.slot.lock().expect("singleflight slot");
+                    loop {
+                        if let Some(value) = slot.as_ref() {
+                            return (value.clone(), Role::Follower);
+                        }
+                        // A successful leader fills the slot *before*
+                        // deregistering, so "registry no longer maps the
+                        // key to this call, yet the slot is empty" can
+                        // only mean the leader panicked (its Drop guard
+                        // deregistered during unwind). Retry as leader.
+                        // (We hold the slot lock across both checks, so
+                        // a completing leader cannot slip between them.)
+                        let abandoned = !self
+                            .calls
+                            .lock()
+                            .expect("singleflight registry")
+                            .get(&key)
+                            .is_some_and(|cur| Arc::ptr_eq(cur, &call));
+                        if abandoned {
+                            drop(slot);
+                            return self.run(key, compute);
+                        }
+                        let (guard, _timeout) = call
+                            .done
+                            .wait_timeout(slot, std::time::Duration::from_millis(50))
+                            .expect("singleflight slot");
+                        slot = guard;
+                    }
+                }
+                None => {
+                    let call = Arc::new(Call {
+                        slot: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    calls.insert(key, Arc::clone(&call));
+                    call
+                }
+            }
+        };
+
+        // Leader path. Ensure the registry entry is removed even if
+        // `compute` panics, so followers can elect a new leader.
+        struct Deregister<'a, T> {
+            group: &'a Group<T>,
+            key: u128,
+        }
+        impl<T> Drop for Deregister<'_, T> {
+            fn drop(&mut self) {
+                self.group
+                    .calls
+                    .lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .remove(&self.key);
+            }
+        }
+        let _cleanup = Deregister { group: self, key };
+
+        let value = compute();
+        *call.slot.lock().expect("singleflight slot") = Some(value.clone());
+        call.done.notify_all();
+        (value, Role::Leader)
+    }
+}
+
+impl<T: Clone> Default for Group<T> {
+    fn default() -> Self {
+        Group::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    #[test]
+    fn concurrent_identical_calls_compute_once() {
+        let group = Arc::new(Group::new());
+        let computes = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let group = Arc::clone(&group);
+                let computes = Arc::clone(&computes);
+                std::thread::spawn(move || {
+                    group.run(42, || {
+                        computes.fetch_add(1, Ordering::SeqCst);
+                        // Hold the call open long enough for every
+                        // follower to attach.
+                        std::thread::sleep(Duration::from_millis(100));
+                        "value".to_owned()
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<(String, Role)> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect();
+        assert_eq!(computes.load(Ordering::SeqCst), 1, "exactly one solve");
+        assert!(results.iter().all(|(v, _)| v == "value"));
+        assert_eq!(
+            results.iter().filter(|(_, r)| *r == Role::Leader).count(),
+            1
+        );
+        assert_eq!(
+            results.iter().filter(|(_, r)| *r == Role::Follower).count(),
+            7
+        );
+    }
+
+    #[test]
+    fn distinct_keys_do_not_serialise() {
+        let group = Group::new();
+        let (a, role_a) = group.run(1, || 10);
+        let (b, role_b) = group.run(2, || 20);
+        assert_eq!((a, b), (10, 20));
+        assert_eq!((role_a, role_b), (Role::Leader, Role::Leader));
+    }
+
+    #[test]
+    fn sequential_calls_recompute() {
+        // Single-flight dedups *concurrent* work only; the response
+        // cache handles temporal reuse.
+        let group = Group::new();
+        let computes = AtomicUsize::new(0);
+        for _ in 0..3 {
+            group.run(7, || computes.fetch_add(1, Ordering::SeqCst));
+        }
+        assert_eq!(computes.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn leader_panic_elects_a_new_leader() {
+        let group = Arc::new(Group::new());
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let g2 = Arc::clone(&group);
+        let b2 = Arc::clone(&barrier);
+        let panicker = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                g2.run(9, || {
+                    b2.wait(); // follower is attached (or about to be)
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("leader dies");
+                    #[allow(unreachable_code)]
+                    0
+                })
+            }));
+            assert!(result.is_err());
+        });
+        barrier.wait();
+        let (v, _) = group.run(9, || 123);
+        assert_eq!(v, 123);
+        panicker.join().expect("panicker thread");
+    }
+}

@@ -1,0 +1,362 @@
+//! End-to-end tests of the `nvpg-serve` request path: byte-identity with
+//! the `figures` CLI, cache/single-flight accounting, admission control,
+//! hostile decks, and graceful drain.
+//!
+//! The obs metrics registry is process-global, so every test serialises
+//! on one mutex and asserts *deltas* of the serve counters.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+use nvpg_obs::metrics::counters;
+use nvpg_serve::{ServeConfig, Server};
+
+/// Serialises tests (shared metrics registry + shared Experiments memo).
+fn lock() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    nvpg_obs::enable_metrics();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+}
+
+fn test_config() -> ServeConfig {
+    ServeConfig {
+        listen: "127.0.0.1:0".to_owned(),
+        jobs: 4,
+        cache_bytes: 8 << 20,
+        queue_depth: 16,
+        debug_endpoints: true,
+    }
+}
+
+/// One HTTP exchange on a fresh connection.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn text(&self) -> &str {
+        std::str::from_utf8(&self.body).expect("utf8 body")
+    }
+}
+
+fn read_reply(stream: TcpStream) -> Reply {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("status line");
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).expect("header line");
+        let h = line.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        let (k, v) = h.split_once(':').expect("header colon");
+        if k.eq_ignore_ascii_case("content-length") {
+            content_length = v.trim().parse().expect("length");
+        }
+        headers.push((k.to_owned(), v.trim().to_owned()));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    Reply {
+        status,
+        headers,
+        body,
+    }
+}
+
+fn request(addr: std::net::SocketAddr, raw: &str) -> Reply {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .expect("timeout");
+    stream.write_all(raw.as_bytes()).expect("send");
+    read_reply(stream)
+}
+
+fn get(addr: std::net::SocketAddr, path: &str) -> Reply {
+    request(
+        addr,
+        &format!("GET {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"),
+    )
+}
+
+fn post(addr: std::net::SocketAddr, path: &str, body: &str) -> Reply {
+    request(
+        addr,
+        &format!(
+            "POST {path} HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        ),
+    )
+}
+
+#[test]
+fn healthz_metrics_and_unknown_routes() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    assert_eq!(get(addr, "/healthz").text(), "ok\n");
+    let metrics = get(addr, "/metrics");
+    assert_eq!(metrics.status, 200);
+    assert!(
+        metrics.text().contains("serve.requests "),
+        "metrics exposition lists serve counters: {}",
+        metrics.text()
+    );
+    assert_eq!(get(addr, "/nope").status, 404);
+    assert_eq!(
+        request(
+            addr,
+            "GET /bet HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n"
+        )
+        .status,
+        405
+    );
+}
+
+#[test]
+fn figures_csv_is_byte_identical_to_the_cli_cached_and_uncached() {
+    let _l = lock();
+    // What the `figures` CLI writes for fig6a: to_csv of the figure.
+    let exp = nvpg_core::Experiments::new(nvpg_cells::design::CellDesign::table1())
+        .expect("characterise");
+    let expected = nvpg_bench::to_csv(&exp.fig6a().expect("fig6a"));
+
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+    let solves0 = counters::SERVE_SOLVES.get();
+
+    let uncached = get(addr, "/figures/fig6a?format=csv");
+    assert_eq!(uncached.status, 200);
+    assert_eq!(uncached.body, expected.as_bytes(), "uncached path");
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1);
+
+    let hits0 = counters::SERVE_CACHE_HITS.get();
+    let cached = get(addr, "/figures/fig6a?format=csv");
+    assert_eq!(cached.body, expected.as_bytes(), "cached path");
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1, "no second solve");
+    assert_eq!(counters::SERVE_CACHE_HITS.get() - hits0, 1);
+
+    // The default format is CSV, and it is the same bytes.
+    let default_fmt = get(addr, "/figures/fig6a");
+    assert_eq!(default_fmt.body, expected.as_bytes());
+
+    // JSON format exists and carries the same series count.
+    let json = get(addr, "/figures/fig6a?format=json");
+    assert_eq!(json.status, 200);
+    assert!(json.text().starts_with("{\"id\":\"fig6a\""));
+}
+
+#[test]
+fn concurrent_identical_requests_dedup_to_one_solve() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+    let solves0 = counters::SERVE_SOLVES.get();
+    let hits0 = counters::SERVE_CACHE_HITS.get();
+
+    // fig6b is a real transient solve (tens of ms at least), so four
+    // concurrent requests overlap; single-flight must run it once.
+    let n = 4;
+    let handles: Vec<_> = (0..n)
+        .map(|_| std::thread::spawn(move || get(addr, "/figures/fig6b?format=csv")))
+        .collect();
+    let replies: Vec<Reply> = handles.into_iter().map(|h| h.join().expect("t")).collect();
+    let first = &replies[0].body;
+    assert!(replies.iter().all(|r| r.status == 200 && &r.body == first));
+    assert_eq!(
+        counters::SERVE_SOLVES.get() - solves0,
+        1,
+        "exactly one solve for {n} identical concurrent requests"
+    );
+    assert_eq!(
+        counters::SERVE_CACHE_HITS.get() - hits0,
+        n - 1,
+        "every other request reused it (follower or cache hit)"
+    );
+}
+
+#[test]
+fn cache_key_ignores_field_order_whitespace_and_number_spelling() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+    let solves0 = counters::SERVE_SOLVES.get();
+
+    let a = post(addr, "/bet", r#"{"arch":"NVPG","n_rw":10,"t_sd":0.001}"#);
+    assert_eq!(a.status, 200, "{}", a.text());
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1);
+
+    // Same meaning, different spelling: must be a cache hit, not a solve.
+    let hits0 = counters::SERVE_CACHE_HITS.get();
+    let b = post(
+        addr,
+        "/bet",
+        "{ \"t_sd\" : 1e-3 ,\n  \"n_rw\" : 10.0,  \"arch\" : \"NVPG\" }",
+    );
+    assert_eq!(b.status, 200);
+    assert_eq!(b.body, a.body, "identical response bytes");
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1, "no second solve");
+    assert_eq!(counters::SERVE_CACHE_HITS.get() - hits0, 1);
+
+    // A semantically different request is NOT a cache hit.
+    let c = post(addr, "/bet", r#"{"arch":"NOF","n_rw":10,"t_sd":0.001}"#);
+    assert_eq!(c.status, 200);
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 2);
+    assert_ne!(c.body, a.body);
+}
+
+#[test]
+fn bet_and_sweep_answer_structured_json() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    let bet = post(addr, "/bet", r#"{"arch":"NVPG"}"#);
+    assert_eq!(bet.status, 200, "{}", bet.text());
+    assert!(bet.text().contains("\"bet\":{\"kind\":"), "{}", bet.text());
+
+    let iter = post(addr, "/bet", r#"{"arch":"NVPG","method":"iterative"}"#);
+    assert_eq!(iter.status, 200, "{}", iter.text());
+
+    let sweep = post(
+        addr,
+        "/sweep",
+        r#"{"arch":"NVPG","var":"rows","values":[32,512,4096]}"#,
+    );
+    assert_eq!(sweep.status, 200, "{}", sweep.text());
+    let text = sweep.text();
+    assert_eq!(text.matches("\"value\":").count(), 3, "{text}");
+
+    // Validation errors are structured 400s.
+    assert_eq!(post(addr, "/bet", r#"{"arch":"OSR"}"#).status, 400);
+    assert_eq!(post(addr, "/bet", r#"{"nrw":1}"#).status, 400);
+    assert_eq!(post(addr, "/bet", "not json").status, 400);
+    assert_eq!(
+        post(
+            addr,
+            "/sweep",
+            r#"{"arch":"NVPG","var":"bogus","values":[1]}"#
+        )
+        .status,
+        400
+    );
+}
+
+#[test]
+fn simulate_runs_dc_and_tran_and_rejects_hostile_decks() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    let dc = post(
+        addr,
+        "/simulate",
+        r#"{"deck":"V1 vin 0 1.0\nR1 vin out 1k\nR2 out 0 1k\n.end\n","analysis":"dc"}"#,
+    );
+    assert_eq!(dc.status, 200, "{}", dc.text());
+    let parsed = nvpg_obs::json::parse(dc.text()).expect("dc response is JSON");
+    let out = parsed
+        .as_obj()
+        .and_then(|o| o.get("voltages"))
+        .and_then(|v| v.as_obj())
+        .and_then(|v| v.get("out"))
+        .and_then(nvpg_obs::json::Json::as_num)
+        .expect("voltages.out");
+    assert!((out - 0.5).abs() < 1e-6, "divider midpoint, got {out}");
+
+    let tran = post(
+        addr,
+        "/simulate",
+        r#"{"deck":"V1 a 0 PULSE(0 0.9 1n 50p 50p 2n 5n)\nR1 a b 1k\nC1 b 0 1p\n","analysis":"tran","t_stop":4e-9}"#,
+    );
+    assert_eq!(tran.status, 200, "{}", tran.text());
+    assert!(tran.text().contains("\"time\":["), "{}", tran.text());
+    assert!(tran.text().contains("v(b)"), "{}", tran.text());
+
+    // Hostile decks: structured 400 with a line number, never a panic.
+    let bad = post(addr, "/simulate", r#"{"deck":"V1 a 0 1.0\nR1 a 0 oops\n"}"#);
+    assert_eq!(bad.status, 400);
+    assert!(bad.text().contains("line 2"), "{}", bad.text());
+    for deck in [".ends\\n", "X1\\n", "R1\\n", ".\\n"] {
+        let r = post(addr, "/simulate", &format!("{{\"deck\":\"{deck}\"}}"));
+        assert_eq!(r.status, 400, "deck {deck:?}: {}", r.text());
+    }
+}
+
+#[test]
+fn queue_overflow_sheds_load_with_503_and_retry_after() {
+    let _l = lock();
+    let mut config = test_config();
+    config.jobs = 1;
+    config.queue_depth = 1;
+    let server = Server::start(config).expect("start");
+    let addr = server.addr();
+    let rejected0 = counters::SERVE_REJECTED.get();
+
+    // Occupy the single worker...
+    let sleeper = std::thread::spawn(move || get(addr, "/debug/sleep?ms=1200"));
+    std::thread::sleep(Duration::from_millis(300));
+    // ...fill the queue with a second connection...
+    let queued = std::thread::spawn(move || get(addr, "/healthz"));
+    std::thread::sleep(Duration::from_millis(300));
+    // ...and overflow with a third: the acceptor must shed it at once.
+    let t0 = Instant::now();
+    let shed = get(addr, "/healthz");
+    assert_eq!(shed.status, 503);
+    assert_eq!(shed.header("Retry-After"), Some("1"));
+    assert!(
+        t0.elapsed() < Duration::from_millis(600),
+        "shed happened immediately, not after the worker freed up"
+    );
+    assert!(counters::SERVE_REJECTED.get() > rejected0);
+
+    // The occupied worker and the queued connection still complete.
+    assert_eq!(sleeper.join().expect("sleeper").status, 200);
+    assert_eq!(queued.join().expect("queued").status, 200);
+}
+
+#[test]
+fn shutdown_drains_in_flight_work() {
+    let _l = lock();
+    let mut config = test_config();
+    config.jobs = 1;
+    let mut server = Server::start(config).expect("start");
+    let addr = server.addr();
+
+    let inflight = std::thread::spawn(move || get(addr, "/debug/sleep?ms=800"));
+    std::thread::sleep(Duration::from_millis(200));
+    let t0 = Instant::now();
+    server.shutdown();
+    let drained_in = t0.elapsed();
+
+    // The in-flight request completed (drained, not dropped)...
+    assert_eq!(inflight.join().expect("inflight").status, 200);
+    // ...and shutdown waited for it rather than racing past.
+    assert!(drained_in >= Duration::from_millis(400), "{drained_in:?}");
+    // New connections are refused once drained.
+    assert!(TcpStream::connect(addr).is_err(), "listener is gone");
+}

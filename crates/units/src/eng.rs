@@ -80,15 +80,22 @@ impl fmt::Display for EngFormat<'_> {
         let decimals = (self.sig_figs as i32 - lead).max(0) as usize;
         let prefix = PREFIXES[(eng_exp / 3 + 6) as usize];
         // Rounding can push e.g. 999.6 -> 1000; rewrap into the next prefix.
+        // The rollover decision must judge the *rounded text* (what the
+        // reader sees), so it re-parses `rounded`. `{:.*}` of a finite
+        // f64 always re-parses; should that ever fail, the explicit
+        // fallback is to print `rounded` under the current prefix with no
+        // rollover — never to substitute the unrounded mantissa, whose
+        // rollover verdict could disagree with the printed digits.
         let rounded = format!("{:.*}", decimals, mantissa);
-        let reparsed: f64 = rounded.parse().unwrap_or(mantissa);
-        if reparsed.abs() >= 1000.0 && eng_exp < 18 {
-            let prefix = PREFIXES[(eng_exp / 3 + 7) as usize];
-            let m = reparsed / 1000.0;
-            let decimals = self.sig_figs.saturating_sub(1);
-            return write!(f, "{:.*} {}{}", decimals, m, prefix, self.symbol);
+        match rounded.parse::<f64>() {
+            Ok(reparsed) if reparsed.abs() >= 1000.0 && eng_exp < 18 => {
+                let prefix = PREFIXES[(eng_exp / 3 + 7) as usize];
+                let m = reparsed / 1000.0;
+                let decimals = self.sig_figs.saturating_sub(1);
+                write!(f, "{:.*} {}{}", decimals, m, prefix, self.symbol)
+            }
+            _ => write!(f, "{} {}{}", rounded, prefix, self.symbol),
         }
-        write!(f, "{} {}{}", rounded, prefix, self.symbol)
     }
 }
 
@@ -177,6 +184,52 @@ mod tests {
         assert_eq!(format_eng(1e18, "J"), "1.00 EJ");
         // Just below a power of ten must not round up a prefix early.
         assert_eq!(format_eng(999.4e-9, "s"), "999 ns");
+    }
+
+    #[test]
+    fn formatted_mantissas_always_reparse() {
+        // Service responses embed these strings in JSON; the mantissa
+        // must be machine-readable for every scale and precision. Strip
+        // the unit, map the prefix back to its power, and require the
+        // re-parsed number to match the input to formatting precision.
+        let mut checked = 0usize;
+        for exp10 in -20..=20 {
+            for mant in [1.0, 1.5, 2.5, 9.994, 99.96, 999.6, 999.96] {
+                for sig in [1usize, 3, 6] {
+                    let v = mant * 10f64.powi(exp10);
+                    let text = EngFormat::new(v, "J").precision(sig).to_string();
+                    let body = text.strip_suffix('J').unwrap_or_else(|| {
+                        panic!("`{text}` lost its unit");
+                    });
+                    let body = body.trim_end();
+                    let (num, scale) = match PREFIXES
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, p)| !p.is_empty())
+                        .find(|(_, p)| body.ends_with(*p))
+                    {
+                        Some((i, p)) => (
+                            body.strip_suffix(p).unwrap().trim_end(),
+                            10f64.powi((i as i32 - 6) * 3),
+                        ),
+                        None => (body, 1.0),
+                    };
+                    let parsed: f64 = num.parse().unwrap_or_else(|_| {
+                        panic!("mantissa of `{text}` does not re-parse");
+                    });
+                    let back = parsed * scale;
+                    // One-significant-figure rounding can move the value
+                    // by up to half a leading digit.
+                    let tol = v.abs() * 0.5 * 10f64.powi(1 - sig as i32) + f64::MIN_POSITIVE;
+                    assert!(
+                        (back - v).abs() <= tol,
+                        "`{text}` re-parses to {back}, expected ~{v}"
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 800, "grid unexpectedly small: {checked}");
     }
 
     #[test]
