@@ -3,6 +3,7 @@
 //! ```text
 //! figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR]
 //!         [--report FILE] [--full] [--strict]
+//!         [--solver auto|dense|sparse]
 //!         [--fault-rate R] [--fault-seed S]
 //!         [--trace] [--profile] [--trace-dir DIR]
 //! ```
@@ -13,6 +14,12 @@
 //! the per-figure sweeps (default: available parallelism; `1` forces a
 //! serial run). Output is byte-identical for every `--jobs` value:
 //! figures run concurrently but print in paper order.
+//!
+//! `--solver` picks the linear-solver backend for every analysis in the
+//! run: `auto` (default) stays dense for cell-sized systems and goes
+//! sparse above the unknown-count threshold; `dense`/`sparse` force one
+//! backend everywhere. The choice is installed once at startup and is a
+//! process-wide default, so output stays byte-identical at any `--jobs`.
 //!
 //! The run is **fail-soft by default**: a figure whose simulation fails
 //! (or panics) becomes a gap, the remaining figures still render, and a
@@ -51,7 +58,7 @@ use nvpg_bench::svg::render_svg;
 use nvpg_bench::{render_text, summarize, to_csv};
 use nvpg_cells::design::CellDesign;
 use nvpg_circuit::fault::{with_fault_plan, FaultKind, FaultPlan};
-use nvpg_circuit::{CircuitError, RescueStats};
+use nvpg_circuit::{CircuitError, RescueStats, SolverChoice};
 use nvpg_core::{Experiments, PointStatus, RunReport, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
 use nvpg_exec::{Budget, Settled};
 
@@ -108,6 +115,13 @@ fn main() -> Result<(), Box<dyn Error>> {
                     .parse()
                     .map_err(|_| "--jobs requires an integer")?;
             }
+            "--solver" => {
+                let s = args
+                    .next()
+                    .ok_or("--solver requires auto, dense, or sparse")?;
+                let choice: SolverChoice = s.parse().map_err(|e| format!("{e}"))?;
+                nvpg_circuit::set_default_solver(choice);
+            }
             "--full" => full = true,
             "--strict" => strict = true,
             "--trace" => obs.trace = true,
@@ -135,7 +149,8 @@ fn main() -> Result<(), Box<dyn Error>> {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR] \
-                     [--report FILE] [--full] [--strict] [--fault-rate R] [--fault-seed S] \
+                     [--report FILE] [--full] [--strict] [--solver auto|dense|sparse] \
+                     [--fault-rate R] [--fault-seed S] \
                      [--trace] [--profile] [--trace-dir DIR]"
                 );
                 println!(

@@ -10,9 +10,12 @@
 //! composition (tests cross-check per-cell store energy) and to
 //! demonstrate whole-pattern data survival through a power cycle.
 //!
-//! Array sizes are kept small (≤ ~8×8): a cell is ~6 unknowns, and dense
-//! LU is cubic. That is all the validation needs — the scaling *law* is
-//! the composition's job.
+//! Array sizes are kept small (≤ ~8×8): a cell is ~6 unknowns, and this
+//! bench's row-serialised sequencing multiplies transient count by rows.
+//! That is all the validation needs — the scaling *law* is the
+//! composition's job, and *simulated* array scale (whole-domain gating at
+//! 64×64 and beyond, via the sparse solver backend) is
+//! [`crate::domain::DomainArray`]'s.
 
 use nvpg_circuit::dc::{operating_point, DcOptions};
 use nvpg_circuit::transient::{transient, TransientOptions};

@@ -1,0 +1,685 @@
+//! Whole-domain power-gated array: `R × C` cells behind **one shared
+//! power switch**.
+//!
+//! [`crate::array::ArrayBench`] gates and sequences each row separately —
+//! the right granularity for validating the per-cell composition. This
+//! module models the other end of the paper's architecture space: a full
+//! power domain whose cells all hang from a single virtual-V_DD rail fed
+//! through one header switch sized `N_FSW × cells`, with the wordline, SR
+//! and CTRL lines broadcast across the domain and the per-column bitlines
+//! carrying their full `C_BL × rows` loading. Store, shutdown and restore
+//! act on the *whole domain at once*, which is what the figures and the
+//! `/simulate` service run when they compare NVPG against the OSR and NOF
+//! baselines at array scale.
+//!
+//! A 64×64 NV domain is ~16 500 MNA unknowns — far beyond dense LU. The
+//! analyses here inherit the [`SolverChoice`] passed at construction
+//! (default `Auto`, which engages the sparse backend above
+//! [`nvpg_circuit::SPARSE_THRESHOLD`] unknowns), so the same builder
+//! serves both the dense-vs-sparse differential tests at small sizes and
+//! the array-scale benchmarks.
+
+use nvpg_circuit::dc::{operating_point, DcOptions};
+use nvpg_circuit::transient::{transient, TransientOptions};
+use nvpg_circuit::{Circuit, CircuitError, DcSolution, NodeId, SolverChoice, StepStats, Waveform};
+use nvpg_devices::finfet::FinFet;
+use nvpg_devices::mtj::{Mtj, MtjState};
+use nvpg_units::{Joules, Seconds};
+
+use crate::array::ArrayPhase;
+use crate::design::CellDesign;
+
+/// Which architecture the domain implements.
+///
+/// `Nvpg` and `Nof` share the NV-SRAM netlist (PS-FinFETs + MTJs); they
+/// differ only in *when* the caller stores — NVPG stores once per shutdown
+/// longer than the break-even time, NOF stores every round. `Osr` is the
+/// volatile 6T baseline: it never powers off, standby is the low-voltage
+/// sleep mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DomainKind {
+    /// Nonvolatile power gating (NV-SRAM cells, store on long shutdowns).
+    Nvpg,
+    /// Ordinary volatile SRAM (6T cells, low-voltage sleep, never off).
+    Osr,
+    /// Normally-off (NV-SRAM cells, store every round).
+    Nof,
+}
+
+impl DomainKind {
+    /// Whether the cells carry MTJs (and hence support store/restore).
+    pub fn is_nonvolatile(self) -> bool {
+        !matches!(self, DomainKind::Osr)
+    }
+}
+
+/// Storage-node handles of one domain cell.
+#[derive(Debug, Clone, Copy)]
+struct DomainCellNodes {
+    q: NodeId,
+    qb: NodeId,
+}
+
+/// An `R × C` power domain behind a single shared power switch.
+#[derive(Debug)]
+pub struct DomainArray {
+    ckt: Circuit,
+    design: CellDesign,
+    kind: DomainKind,
+    rows: usize,
+    cols: usize,
+    solver: SolverChoice,
+    cells: Vec<Vec<DomainCellNodes>>,
+    state: DcSolution,
+    source_names: Vec<String>,
+    /// Current DC level of every source (phase continuity).
+    levels: Vec<f64>,
+    /// Step/solver telemetry accumulated across every phase run so far.
+    stats: StepStats,
+}
+
+impl DomainArray {
+    /// Builds a domain holding `pattern(r, c)` with the default (`Auto`)
+    /// solver choice. See [`DomainArray::with_solver`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist and DC-convergence errors.
+    pub fn new(
+        design: CellDesign,
+        kind: DomainKind,
+        rows: usize,
+        cols: usize,
+        pattern: impl Fn(usize, usize) -> bool,
+    ) -> Result<Self, CircuitError> {
+        Self::with_solver(design, kind, rows, cols, SolverChoice::Auto, pattern)
+    }
+
+    /// Builds a domain holding `pattern(r, c)` in each cell. For
+    /// nonvolatile kinds the MTJs are initialised to the **opposite**
+    /// pattern, so a subsequent [`store`](DomainArray::store) genuinely
+    /// switches every junction. Every analysis on the domain (including
+    /// the initial operating point) uses `solver`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist and DC-convergence errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn with_solver(
+        design: CellDesign,
+        kind: DomainKind,
+        rows: usize,
+        cols: usize,
+        solver: SolverChoice,
+        pattern: impl Fn(usize, usize) -> bool,
+    ) -> Result<Self, CircuitError> {
+        assert!(rows >= 1 && cols >= 1, "domain dimensions must be nonzero");
+        let c = design.conditions;
+        let gnd = Circuit::GROUND;
+        let mut ckt = Circuit::new();
+        let mut source_names = Vec::new();
+        let mut levels = Vec::new();
+        let mut add_source =
+            |ckt: &mut Circuit, name: &str, pos: NodeId, level: f64| -> Result<(), CircuitError> {
+                ckt.vsource(name, pos, gnd, level)?;
+                source_names.push(name.to_owned());
+                levels.push(level);
+                Ok(())
+            };
+
+        // Shared rails and broadcast lines.
+        let vdd_rail = ckt.node("vdd_rail");
+        let vvdd = ckt.node("vvdd");
+        let pg = ckt.node("pg");
+        let wl = ckt.node("wl");
+        add_source(&mut ckt, "vdd", vdd_rail, c.vdd)?;
+        add_source(&mut ckt, "vpg", pg, 0.0)?;
+        add_source(&mut ckt, "vwl", wl, 0.0)?;
+        let (sr, ctrl) = if kind.is_nonvolatile() {
+            let sr = ckt.node("sr");
+            let ctrl = ckt.node("ctrl");
+            add_source(&mut ckt, "vsr", sr, 0.0)?;
+            add_source(&mut ckt, "vctrl", ctrl, c.v_ctrl_normal)?;
+            (Some(sr), Some(ctrl))
+        } else {
+            (None, None)
+        };
+
+        // ONE header switch for the whole domain, N_FSW fins per cell.
+        let cell_count = (rows * cols) as u32;
+        let mut sw = design.pmos.with_fins(design.fins_power_switch * cell_count);
+        sw.vth0 += design.power_switch_vth_boost;
+        ckt.device(Box::new(FinFet::new("msw", vvdd, pg, vdd_rail, sw)))?;
+
+        // Per-column bitlines: one driver source pair feeds every column
+        // through its driver impedance, and each bitline carries the full
+        // column loading C_BL × rows.
+        let bl_drv = ckt.node("bl_drv");
+        let blb_drv = ckt.node("blb_drv");
+        add_source(&mut ckt, "vbl", bl_drv, c.vdd)?;
+        add_source(&mut ckt, "vblb", blb_drv, c.vdd)?;
+        let mut bl = Vec::new();
+        let mut blb = Vec::new();
+        for col in 0..cols {
+            let b = ckt.node(&format!("bl{col}"));
+            let bb = ckt.node(&format!("blb{col}"));
+            ckt.resistor(&format!("rbl{col}"), bl_drv, b, design.r_bitline_driver)?;
+            ckt.resistor(&format!("rblb{col}"), blb_drv, bb, design.r_bitline_driver)?;
+            let c_col = design.c_bitline * rows as f64;
+            ckt.capacitor(&format!("cbl{col}"), b, gnd, c_col)?;
+            ckt.capacitor(&format!("cblb{col}"), bb, gnd, c_col)?;
+            bl.push(b);
+            blb.push(bb);
+        }
+
+        // Cells.
+        let pu = design.pmos.with_fins(design.fins_load);
+        let pd = design.nmos.with_fins(design.fins_driver);
+        let pa = design.nmos.with_fins(design.fins_access);
+        let ps = design.nmos.with_fins(design.fins_ps);
+        let mut cells: Vec<Vec<DomainCellNodes>> = Vec::new();
+        for row in 0..rows {
+            let mut row_cells = Vec::new();
+            for col in 0..cols {
+                let tag = format!("r{row}c{col}");
+                let q = ckt.node(&format!("q_{tag}"));
+                let qb = ckt.node(&format!("qb_{tag}"));
+                ckt.device(Box::new(FinFet::new(
+                    format!("mpul_{tag}"),
+                    q,
+                    qb,
+                    vvdd,
+                    pu,
+                )))?;
+                ckt.device(Box::new(FinFet::new(
+                    format!("mpur_{tag}"),
+                    qb,
+                    q,
+                    vvdd,
+                    pu,
+                )))?;
+                ckt.device(Box::new(FinFet::new(format!("mpdl_{tag}"), q, qb, gnd, pd)))?;
+                ckt.device(Box::new(FinFet::new(format!("mpdr_{tag}"), qb, q, gnd, pd)))?;
+                ckt.device(Box::new(FinFet::new(
+                    format!("mpgl_{tag}"),
+                    bl[col],
+                    wl,
+                    q,
+                    pa,
+                )))?;
+                ckt.device(Box::new(FinFet::new(
+                    format!("mpgr_{tag}"),
+                    blb[col],
+                    wl,
+                    qb,
+                    pa,
+                )))?;
+                if let (Some(sr), Some(ctrl)) = (sr, ctrl) {
+                    let ml = ckt.node(&format!("ml_{tag}"));
+                    let mr = ckt.node(&format!("mr_{tag}"));
+                    ckt.device(Box::new(FinFet::new(format!("mpsl_{tag}"), q, sr, ml, ps)))?;
+                    ckt.device(Box::new(FinFet::new(format!("mpsr_{tag}"), qb, sr, mr, ps)))?;
+                    // MTJs start in the OPPOSITE pattern; pinned layer
+                    // toward the cell, free layer on CTRL. No per-cell
+                    // ammeters at domain scale: they would add a branch
+                    // unknown per junction for a current the domain-level
+                    // energy accounting does not need.
+                    let (l0, r0) = if pattern(row, col) {
+                        (MtjState::Parallel, MtjState::AntiParallel)
+                    } else {
+                        (MtjState::AntiParallel, MtjState::Parallel)
+                    };
+                    ckt.device(Box::new(Mtj::new(
+                        format!("xl_{tag}"),
+                        ctrl,
+                        ml,
+                        design.mtj,
+                        l0,
+                    )))?;
+                    ckt.device(Box::new(Mtj::new(
+                        format!("xr_{tag}"),
+                        ctrl,
+                        mr,
+                        design.mtj,
+                        r0,
+                    )))?;
+                }
+                row_cells.push(DomainCellNodes { q, qb });
+            }
+            cells.push(row_cells);
+        }
+
+        // Operating point with every cell seeded to its pattern.
+        let mut opts = DcOptions {
+            solver,
+            ..DcOptions::default()
+        };
+        for (row, row_cells) in cells.iter().enumerate() {
+            for (col, cell) in row_cells.iter().enumerate() {
+                let (vq, vqb) = if pattern(row, col) {
+                    (c.vdd, 0.0)
+                } else {
+                    (0.0, c.vdd)
+                };
+                opts = opts.with_nodeset(cell.q, vq).with_nodeset(cell.qb, vqb);
+            }
+        }
+        opts = opts.with_nodeset(vvdd, c.vdd);
+        for (&b, &bb) in bl.iter().zip(&blb) {
+            opts = opts.with_nodeset(b, c.vdd).with_nodeset(bb, c.vdd);
+        }
+        let state = operating_point(&mut ckt, &opts)?;
+        Ok(DomainArray {
+            ckt,
+            design,
+            kind,
+            rows,
+            cols,
+            solver,
+            cells,
+            state,
+            source_names,
+            levels,
+            stats: StepStats::default(),
+        })
+    }
+
+    /// Domain dimensions `(rows, cols)`.
+    pub fn dims(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Number of cells.
+    pub fn cell_count(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The architecture kind the domain was built as.
+    pub fn kind(&self) -> DomainKind {
+        self.kind
+    }
+
+    /// MNA unknown count of the domain netlist.
+    pub fn unknown_count(&self) -> usize {
+        self.ckt.unknown_count()
+    }
+
+    /// Step/solver telemetry accumulated over every phase run so far
+    /// (store, shutdown, sleep, wake, hold, restore). Benchmarks read
+    /// this after a sequence; [`reset_step_stats`](Self::reset_step_stats)
+    /// starts a fresh window.
+    pub fn step_stats(&self) -> &StepStats {
+        &self.stats
+    }
+
+    /// Clears the accumulated step telemetry.
+    pub fn reset_step_stats(&mut self) {
+        self.stats = StepStats::default();
+    }
+
+    /// The latched data of cell `(row, col)` in the current state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    pub fn data(&self, row: usize, col: usize) -> bool {
+        let cell = &self.cells[row][col];
+        self.state.voltage(cell.q) > self.state.voltage(cell.qb)
+    }
+
+    /// The whole data pattern.
+    pub fn pattern(&self) -> Vec<Vec<bool>> {
+        (0..self.rows)
+            .map(|r| (0..self.cols).map(|c| self.data(r, c)).collect())
+            .collect()
+    }
+
+    /// MTJ states of cell `(row, col)` as `(Q side, QB side)`; `None` for
+    /// volatile (OSR) domains.
+    pub fn mtj_states(&self, row: usize, col: usize) -> Option<(MtjState, MtjState)> {
+        let decode = |name: String| -> Option<MtjState> {
+            let st = self.ckt.device_state(&name)?;
+            let v = st.iter().find(|(l, _)| l == "state")?.1;
+            Some(if v > 0.5 {
+                MtjState::AntiParallel
+            } else {
+                MtjState::Parallel
+            })
+        };
+        Some((
+            decode(format!("xl_r{row}c{col}"))?,
+            decode(format!("xr_r{row}c{col}"))?,
+        ))
+    }
+
+    fn level_of(&self, name: &str) -> f64 {
+        let idx = self
+            .source_names
+            .iter()
+            .position(|n| n == name)
+            .unwrap_or_else(|| panic!("unknown source {name}"));
+        self.levels[idx]
+    }
+
+    fn ramp(&self, name: &str, to: f64) -> (String, Waveform) {
+        let from = self.level_of(name);
+        let e = self.design.conditions.edge_time;
+        (name.to_owned(), Waveform::Pwl(vec![(0.0, from), (e, to)]))
+    }
+
+    /// Runs a phase of `duration` with waveform overrides, continuing
+    /// from the current state; returns the total energy.
+    fn phase(
+        &mut self,
+        duration: f64,
+        waves: &[(String, Waveform)],
+    ) -> Result<ArrayPhase, CircuitError> {
+        for (src, wave) in waves {
+            self.ckt.set_source(src, wave.clone())?;
+        }
+        let opts = TransientOptions {
+            t_stop: duration,
+            dt_max: (duration / 100.0).clamp(1e-12, 200e-12),
+            dt_init: 1e-12,
+            // Array-scale performance levers: keep the LU across quiescent
+            // steps and skip re-evaluating devices whose terminals barely
+            // moved — most of the domain is idle in any given phase.
+            device_bypass_tol: 1e-6,
+            solver: self.solver,
+            ..TransientOptions::default()
+        };
+        let result = transient(&mut self.ckt, &opts, &self.state)?;
+        self.stats += result.steps;
+        self.state = result.final_state;
+        for (src, wave) in waves {
+            let end = wave.value(duration);
+            self.ckt.set_source(src, end)?;
+            let idx = self
+                .source_names
+                .iter()
+                .position(|n| n == src)
+                .expect("known source");
+            self.levels[idx] = end;
+        }
+        let mut energy = 0.0;
+        for name in &self.source_names {
+            energy += result
+                .trace
+                .integral(&format!("p({name})"))
+                .expect("power signal recorded");
+        }
+        Ok(ArrayPhase {
+            energy: Joules(energy),
+            duration: Seconds(duration),
+        })
+    }
+
+    /// Two-step store of the **whole domain at once**: SR up with CTRL
+    /// low (H-store), then CTRL at its store level (L-store), then both
+    /// lines back to their normal-mode bias.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an OSR domain (no MTJs to store).
+    pub fn store(&mut self) -> Result<ArrayPhase, CircuitError> {
+        assert!(
+            self.kind.is_nonvolatile(),
+            "OSR domains have no MTJs to store"
+        );
+        let c = self.design.conditions;
+        let t = c.store_duration;
+        let p1 = self.phase(t, &[self.ramp("vsr", c.v_sr), self.ramp("vctrl", 0.0)])?;
+        let p2 = self.phase(t, &[self.ramp("vctrl", c.v_ctrl_store)])?;
+        let p3 = self.phase(1e-9, &[self.ramp("vsr", 0.0), self.ramp("vctrl", 0.0)])?;
+        Ok(ArrayPhase {
+            energy: p1.energy + p2.energy + p3.energy,
+            duration: p1.duration + p2.duration + p3.duration,
+        })
+    }
+
+    /// Powers the domain off through the shared switch (super cutoff when
+    /// `super_cutoff`) and discharges the bitlines.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an OSR domain: per the paper's architecture semantics
+    /// the volatile baseline never powers off — use
+    /// [`sleep`](DomainArray::sleep).
+    pub fn shutdown(&mut self, super_cutoff: bool) -> Result<ArrayPhase, CircuitError> {
+        assert!(
+            self.kind.is_nonvolatile(),
+            "OSR domains sleep, they never power off"
+        );
+        let c = self.design.conditions;
+        let v_pg = if super_cutoff {
+            c.v_pg_super
+        } else {
+            c.v_pg_off
+        };
+        let p1 = self.phase(2e-9, &[self.ramp("vpg", v_pg)])?;
+        let p2 = self.phase(2e-9, &[self.ramp("vbl", 0.0), self.ramp("vblb", 0.0)])?;
+        Ok(ArrayPhase {
+            energy: p1.energy + p2.energy,
+            duration: p1.duration + p2.duration,
+        })
+    }
+
+    /// Enters the low-voltage retention mode: the rail drops to
+    /// `vdd_sleep` (and CTRL to its sleep bias on NV domains). Data is
+    /// retained — this is the OSR standby state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    pub fn sleep(&mut self) -> Result<ArrayPhase, CircuitError> {
+        let c = self.design.conditions;
+        let mut waves = vec![self.ramp("vdd", c.vdd_sleep)];
+        if self.kind.is_nonvolatile() {
+            waves.push(self.ramp("vctrl", c.v_ctrl_sleep));
+        }
+        self.phase(2e-9, &waves)
+    }
+
+    /// Returns from sleep to the normal operating mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    pub fn wake(&mut self) -> Result<ArrayPhase, CircuitError> {
+        let c = self.design.conditions;
+        let mut waves = vec![self.ramp("vdd", c.vdd)];
+        if self.kind.is_nonvolatile() {
+            waves.push(self.ramp("vctrl", c.v_ctrl_normal));
+        }
+        self.phase(2e-9, &waves)
+    }
+
+    /// Lets the domain sit for `duration` in its current mode.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    pub fn hold(&mut self, duration: f64) -> Result<ArrayPhase, CircuitError> {
+        self.phase(duration, &[])
+    }
+
+    /// Whole-domain restore: bitlines precharge, then SR on, slow
+    /// power-switch turn-on, SR off, CTRL back to normal — every cell
+    /// recovers its data from the MTJ resistance imbalance simultaneously.
+    ///
+    /// # Errors
+    ///
+    /// Propagates transient non-convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an OSR domain.
+    pub fn restore(&mut self) -> Result<ArrayPhase, CircuitError> {
+        assert!(
+            self.kind.is_nonvolatile(),
+            "OSR domains have no MTJs to restore from"
+        );
+        let c = self.design.conditions;
+        let mut total = self.phase(2e-9, &[self.ramp("vbl", c.vdd), self.ramp("vblb", c.vdd)])?;
+        let dur = c.restore_duration;
+        let e = c.edge_time;
+        let sr = Waveform::Pwl(vec![
+            (0.0, self.level_of("vsr")),
+            (e, c.v_sr),
+            (0.7 * dur, c.v_sr),
+            (0.7 * dur + e, 0.0),
+        ]);
+        let pg = Waveform::Pwl(vec![
+            (0.0, self.level_of("vpg")),
+            (0.05 * dur, self.level_of("vpg")),
+            (0.45 * dur, 0.0),
+        ]);
+        let ctrl = Waveform::Pwl(vec![
+            (0.0, self.level_of("vctrl")),
+            (0.7 * dur, self.level_of("vctrl")),
+            (0.7 * dur + e, c.v_ctrl_normal),
+        ]);
+        let p = self.phase(
+            dur,
+            &[
+                ("vsr".to_owned(), sr),
+                ("vpg".to_owned(), pg),
+                ("vctrl".to_owned(), ctrl),
+            ],
+        )?;
+        total.energy += p.energy;
+        total.duration += p.duration;
+        Ok(total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checkerboard(r: usize, c: usize) -> bool {
+        (r + c).is_multiple_of(2)
+    }
+
+    #[test]
+    fn nv_domain_builds_and_holds_pattern() {
+        let d =
+            DomainArray::new(CellDesign::table1(), DomainKind::Nvpg, 2, 2, checkerboard).unwrap();
+        assert_eq!(d.dims(), (2, 2));
+        assert_eq!(d.cell_count(), 4);
+        assert!(d.kind().is_nonvolatile());
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(d.data(r, c), checkerboard(r, c), "cell ({r},{c})");
+            }
+        }
+        // One shared switch, no per-cell ammeters: 4 unknowns per cell
+        // plus the shared lines and a handful of source branches.
+        assert!(d.unknown_count() < 40, "unknowns = {}", d.unknown_count());
+    }
+
+    #[test]
+    fn osr_domain_has_no_mtj_nodes() {
+        let d =
+            DomainArray::new(CellDesign::table1(), DomainKind::Osr, 2, 2, checkerboard).unwrap();
+        assert!(d.mtj_states(0, 0).is_none());
+        assert!(!d.kind().is_nonvolatile());
+    }
+
+    #[test]
+    fn whole_domain_store_flips_every_mtj() {
+        let mut d =
+            DomainArray::new(CellDesign::table1(), DomainKind::Nvpg, 2, 2, checkerboard).unwrap();
+        d.store().unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                let expect = if checkerboard(r, c) {
+                    (MtjState::AntiParallel, MtjState::Parallel)
+                } else {
+                    (MtjState::Parallel, MtjState::AntiParallel)
+                };
+                assert_eq!(d.mtj_states(r, c), Some(expect), "cell ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn checkerboard_survives_domain_power_cycle() {
+        let mut d =
+            DomainArray::new(CellDesign::table1(), DomainKind::Nvpg, 2, 2, checkerboard).unwrap();
+        let store = d.store().unwrap();
+        assert!(store.energy.0 > 0.0);
+        d.shutdown(true).unwrap();
+        d.hold(100e-9).unwrap();
+        d.restore().unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(
+                    d.data(r, c),
+                    checkerboard(r, c),
+                    "cell ({r},{c}) after power cycle"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn osr_domain_retains_data_through_sleep() {
+        let mut d =
+            DomainArray::new(CellDesign::table1(), DomainKind::Osr, 2, 2, checkerboard).unwrap();
+        d.sleep().unwrap();
+        d.hold(50e-9).unwrap();
+        d.wake().unwrap();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(
+                    d.data(r, c),
+                    checkerboard(r, c),
+                    "cell ({r},{c}) after sleep"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_solver_reaches_the_same_pattern() {
+        let dense = DomainArray::with_solver(
+            CellDesign::table1(),
+            DomainKind::Nvpg,
+            2,
+            2,
+            SolverChoice::Dense,
+            checkerboard,
+        )
+        .unwrap();
+        let sparse = DomainArray::with_solver(
+            CellDesign::table1(),
+            DomainKind::Nvpg,
+            2,
+            2,
+            SolverChoice::Sparse,
+            checkerboard,
+        )
+        .unwrap();
+        assert_eq!(dense.pattern(), sparse.pattern());
+    }
+
+    #[test]
+    #[should_panic(expected = "no MTJs to store")]
+    fn store_on_osr_panics() {
+        let mut d =
+            DomainArray::new(CellDesign::table1(), DomainKind::Osr, 2, 2, checkerboard).unwrap();
+        let _ = d.store();
+    }
+}

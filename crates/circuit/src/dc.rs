@@ -17,6 +17,7 @@ use crate::fault::{self, FaultKind};
 use crate::node::NodeId;
 use crate::rescue::RescueStats;
 use crate::solution::DcSolution;
+use crate::solver::SolverChoice;
 
 /// Options for [`operating_point`] and [`sweep`].
 #[derive(Debug, Clone)]
@@ -29,6 +30,9 @@ pub struct DcOptions {
     pub gmin_stepping: bool,
     /// Enable source stepping if gmin stepping also fails (default true).
     pub source_stepping: bool,
+    /// Linear-solver backend (default [`SolverChoice::Auto`]: dense for
+    /// cell-sized systems, sparse above [`crate::SPARSE_THRESHOLD`]).
+    pub solver: SolverChoice,
 }
 
 impl Default for DcOptions {
@@ -41,6 +45,7 @@ impl Default for DcOptions {
             nodesets: HashMap::new(),
             gmin_stepping: true,
             source_stepping: true,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -187,7 +192,7 @@ fn operating_point_ladder(
     );
     opts.newton.validate()?;
     let mut stats = RescueStats::default();
-    let mut solver = NewtonSolver::new(opts.newton);
+    let mut solver = crate::solver::build_newton(circuit, opts.newton, opts.solver);
     let mut saw_nonfinite = false;
 
     // 1. Plain Newton.

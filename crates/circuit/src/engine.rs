@@ -8,6 +8,7 @@
 
 use nvpg_numeric::matrix::DenseMatrix;
 use nvpg_numeric::newton::NonlinearSystem;
+use nvpg_numeric::sparse::{CscMatrix, PatternBuilder, SparsePattern};
 
 use crate::circuit::Circuit;
 use crate::element::{DeviceStamp, Element};
@@ -129,6 +130,48 @@ impl JacSink for DenseMatrix {
     fn add(&mut self, r: usize, c: usize, v: f64) {
         DenseMatrix::add(self, r, c, v);
     }
+}
+
+impl JacSink for CscMatrix {
+    const ACTIVE: bool = true;
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, v: f64) {
+        CscMatrix::add(self, r, c, v);
+    }
+}
+
+/// Collects Jacobian stamp *positions* (values discarded) — used once per
+/// topology to build the sparse structural pattern.
+struct PatternSink(PatternBuilder);
+
+impl JacSink for PatternSink {
+    const ACTIVE: bool = true;
+    #[inline]
+    fn add(&mut self, r: usize, c: usize, _v: f64) {
+        self.0.add(r, c);
+    }
+}
+
+/// Structural Jacobian pattern of `circuit`, valid for **every** analysis
+/// context: the assembly runs once in a transient context (backward Euler,
+/// `dt = 1`), whose stamp set is a superset of the DC one — capacitor
+/// companion stamps and the inductor `(branch, branch)` term only exist in
+/// transient, every other element stamps the same positions in both — and is
+/// independent of gmin/source stepping (those only scale diagonal entries
+/// already present). One symbolic analysis therefore serves DC, transient,
+/// and the whole rescue ladder.
+pub(crate) fn jacobian_pattern(circuit: &mut Circuit) -> SparsePattern {
+    let dim = circuit.unknown_count();
+    let mut sys = MnaSystem::new(circuit, MnaContext::dc());
+    let x = vec![0.0; dim];
+    sys.init_integration(&x, IntegrationMethod::BackwardEuler);
+    if let Some(integ) = &mut sys.ctx.integ {
+        integ.dt = 1.0;
+    }
+    let mut residual = vec![0.0; dim];
+    let mut sink = PatternSink(PatternBuilder::new(dim));
+    sys.assemble(&x, &mut residual, &mut sink);
+    sink.0.build()
 }
 
 #[inline]
@@ -330,6 +373,26 @@ impl NonlinearSystem for MnaSystem<'_> {
             return false;
         }
         self.assemble(x, residual, &mut NoJac);
+        true
+    }
+
+    fn eval_sparse(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut CscMatrix) -> bool {
+        self.assemble(x, residual, jacobian);
+
+        // Mirror `eval`'s fault handling exactly, so the fault-injection
+        // suite exercises the same corruption sites on the sparse path.
+        // `CscMatrix::clear` zeroes values while keeping the pattern, which
+        // is precisely a singular (all-zero) Jacobian.
+        match self.fault {
+            Some(FaultKind::NanResidual) => {
+                if let Some(r) = residual.first_mut() {
+                    *r = f64::NAN;
+                }
+            }
+            Some(FaultKind::SingularMatrix) => jacobian.clear(),
+            Some(FaultKind::Panic) => panic!("injected fault: panic during MNA assembly"),
+            Some(FaultKind::RejectStep) | None => {}
+        }
         true
     }
 }

@@ -50,6 +50,7 @@ pub mod node;
 pub mod parser;
 pub mod rescue;
 pub mod solution;
+pub mod solver;
 pub mod steptel;
 pub mod trace;
 pub mod transient;
@@ -64,6 +65,7 @@ pub use fault::{with_fault_plan, with_fault_plan_logged, FaultKind, FaultPlan};
 pub use node::NodeId;
 pub use rescue::RescueStats;
 pub use solution::DcSolution;
+pub use solver::{set_default_solver, SolverChoice, SPARSE_THRESHOLD};
 pub use steptel::StepStats;
 pub use trace::Trace;
 pub use transient::{TransientOptions, TransientResult};

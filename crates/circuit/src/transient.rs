@@ -18,7 +18,7 @@
 //! switching circuits; under trapezoidal integration the same (BE-form)
 //! error estimate is used, which is conservative for the smoother method.
 
-use nvpg_numeric::newton::{NewtonOptions, NewtonOutcome, NewtonSolver};
+use nvpg_numeric::newton::{NewtonOptions, NewtonOutcome};
 
 use crate::circuit::Circuit;
 use crate::dc::solve_with_faults;
@@ -28,6 +28,7 @@ use crate::error::CircuitError;
 use crate::node::NodeId;
 use crate::rescue::RescueStats;
 use crate::solution::DcSolution;
+use crate::solver::SolverChoice;
 use crate::steptel::StepStats;
 use crate::trace::Trace;
 
@@ -72,6 +73,9 @@ pub struct TransientOptions {
     /// last full evaluation re-emit a linearised cached stamp instead of
     /// re-running the compact model. `0.0` disables bypass.
     pub device_bypass_tol: f64,
+    /// Linear-solver backend (default [`SolverChoice::Auto`]: dense for
+    /// cell-sized systems, sparse above [`crate::SPARSE_THRESHOLD`]).
+    pub solver: SolverChoice,
 }
 
 impl Default for TransientOptions {
@@ -99,6 +103,7 @@ impl Default for TransientOptions {
             lte_safety: 0.9,
             lte_max_growth: 2.5,
             device_bypass_tol: 0.0,
+            solver: SolverChoice::Auto,
         }
     }
 }
@@ -358,7 +363,7 @@ pub fn transient(
     let bps = breakpoints(circuit, opts.t_stop)?;
     let (recorder, mut trace) = Recorder::build(circuit, opts.record_device_state);
 
-    let mut solver = NewtonSolver::new(opts.newton);
+    let mut solver = crate::solver::build_newton(circuit, opts.newton, opts.solver);
     let mut sys = MnaSystem::new(circuit, MnaContext::dc());
     sys.set_bypass_tol(opts.device_bypass_tol);
     let mut x = initial.as_slice().to_vec();
@@ -527,12 +532,15 @@ pub fn transient(
                         analysis: "transient",
                         time: t_new,
                     },
-                    NewtonOutcome::SingularJacobian { iteration } => CircuitError::SingularMatrix {
-                        detail: format!(
-                            "transient step at t = {t_new:e} s (Newton iteration {iteration}, \
-                             after rescue ladder [{rescue}])"
-                        ),
-                    },
+                    NewtonOutcome::SingularJacobian { iteration, column } => {
+                        CircuitError::SingularMatrix {
+                            detail: format!(
+                                "transient step at t = {t_new:e} s (Newton iteration {iteration}, \
+                                 pivot column {column} = {}, after rescue ladder [{rescue}])",
+                                sys.circuit.unknown_name(column)
+                            ),
+                        }
+                    }
                     NewtonOutcome::IterationLimit {
                         last_residual,
                         worst_index,

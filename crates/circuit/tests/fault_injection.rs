@@ -12,7 +12,7 @@ use nvpg_circuit::dc::{operating_point, operating_point_report, DcOptions};
 use nvpg_circuit::transient::{transient, TransientOptions};
 use nvpg_circuit::{
     with_fault_plan, with_fault_plan_logged, Circuit, CircuitError, FaultKind, FaultPlan,
-    IntegrationMethod, Waveform,
+    IntegrationMethod, SolverChoice, Waveform,
 };
 use nvpg_numeric::newton::NewtonOptions;
 
@@ -206,6 +206,33 @@ fn persistent_singular_matrix_in_transient() {
         "{err}"
     );
     assert_eq!(err.taxonomy(), "singular_matrix");
+}
+
+/// Both linear-solver backends must surface the same singular-matrix
+/// diagnostics: the rescue-ladder telemetry and the offending pivot
+/// column with its unknown name, whichever backend detected it.
+#[test]
+fn singular_matrix_diagnostics_match_across_solver_backends() {
+    for solver in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let mut ckt = rc_circuit();
+        let init = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+        let opts = TransientOptions {
+            solver,
+            ..TransientOptions::to(5e-9)
+        };
+        let err = with_fault_plan(&FaultPlan::always(FaultKind::SingularMatrix), || {
+            transient(&mut ckt, &opts, &init)
+        })
+        .unwrap_err();
+        match err {
+            CircuitError::SingularMatrix { ref detail } => {
+                assert!(detail.contains("rescue ladder"), "{solver}: {detail}");
+                assert!(detail.contains("pivot column"), "{solver}: {detail}");
+            }
+            ref other => panic!("{solver}: expected SingularMatrix, got {other:?}"),
+        }
+        assert_eq!(err.taxonomy(), "singular_matrix");
+    }
 }
 
 #[test]

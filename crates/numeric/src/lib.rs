@@ -5,12 +5,20 @@
 //! `nvpg-devices` are built on:
 //!
 //! * [`matrix`] — dense row-major matrices with LU factorisation (partial
-//!   pivoting) and linear solves. Circuit matrices in this workspace are a
-//!   few dozen unknowns (one SRAM cell plus drivers), so a robust dense
-//!   solver beats a sparse one both in simplicity and in practice.
+//!   pivoting) and linear solves. Dense stays the default for cell-sized
+//!   systems (a few dozen unknowns), where its simplicity and cache
+//!   behaviour win.
+//! * [`sparse`] — CSC matrices over a fixed structural pattern plus a
+//!   left-looking sparse LU with fill-reducing ordering and cached symbolic
+//!   analysis; this is what makes array-scale MNA systems (a 64×64 NV-SRAM
+//!   array is ~17 000 unknowns) tractable. Engaged automatically above a
+//!   node-count threshold.
+//! * [`simd`] — runtime-dispatched AVX2/scalar kernels (axpy, dot, ∞-norm)
+//!   shared by the dense and sparse hot loops; override with
+//!   `NVPG_SIMD=scalar|avx2|auto`.
 //! * [`newton`] — a damped Newton–Raphson driver with configurable
 //!   convergence criteria, used for DC operating points and each implicit
-//!   transient step.
+//!   transient step; runs on either linear-solver backend.
 //! * [`roots`] — Brent's method and bisection, used for break-even-time
 //!   solving (intersection of `E_cyc(t_SD)` curves).
 //! * [`ode`] — fixed-step RK4 and adaptive RKF45 integrators, used by the
@@ -36,13 +44,17 @@ pub mod newton;
 pub mod ode;
 pub mod rng;
 pub mod roots;
+pub mod simd;
+pub mod sparse;
 
 pub use complex::{ComplexMatrix, C64};
 pub use interp::{LinearInterp, MonotoneCubic};
 pub use matrix::{DenseMatrix, LuFactors, LuWorkspace, SingularMatrixError};
 pub use newton::{
-    InvalidOptionsError, NewtonOptions, NewtonOutcome, NewtonSolver, NonlinearSystem,
+    InvalidOptionsError, LinearSolver, NewtonOptions, NewtonOutcome, NewtonSolver, NonlinearSystem,
 };
 pub use ode::{rk4_step, Rkf45, Rkf45Options};
 pub use rng::Rng64;
 pub use roots::{bisect, brent, BracketError};
+pub use simd::SimdLevel;
+pub use sparse::{CscMatrix, PatternBuilder, SparseLu, SparsePattern};

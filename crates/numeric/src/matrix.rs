@@ -198,12 +198,17 @@ fn factor_in_place(
             sign = -sign;
         }
         let pivot = lu[k * n + k];
+        // Rank-1 row updates: row_i[k+1..] -= factor * row_k[k+1..].
+        // Row k lives before row i, so split the storage at row i to get
+        // simultaneous access; the contiguous tails go through the SIMD
+        // axpy kernel (this loop nest is the O(n³) heart of the factor).
         for i in (k + 1)..n {
-            let factor = lu[i * n + k] / pivot;
-            lu[i * n + k] = factor;
-            for j in (k + 1)..n {
-                lu[i * n + j] -= factor * lu[k * n + j];
-            }
+            let (head, tail) = lu.split_at_mut(i * n);
+            let row_k = &head[k * n + k + 1..k * n + n];
+            let row_i = &mut tail[..n];
+            let factor = row_i[k] / pivot;
+            row_i[k] = factor;
+            crate::simd::axpy(-factor, row_k, &mut row_i[k + 1..n]);
         }
     }
     Ok(sign)
@@ -212,22 +217,16 @@ fn factor_in_place(
 /// Permuted forward/backward substitution on combined L/U factors,
 /// writing the solution into `x`. `x` must already hold the permuted
 /// right-hand side (`x[i] = b[perm[i]]`).
-#[allow(clippy::needless_range_loop)] // forward/backward substitution
 fn substitute_in_place(n: usize, lu: &[f64], x: &mut [f64]) {
-    // Forward substitution (L has unit diagonal).
+    // Forward substitution (L has unit diagonal). The row prefix
+    // `lu[i*n..i*n+i]` and the already-final prefix `x[..i]` are both
+    // contiguous, so the reductions go through the SIMD dot kernel.
     for i in 1..n {
-        let mut sum = x[i];
-        for j in 0..i {
-            sum -= lu[i * n + j] * x[j];
-        }
-        x[i] = sum;
+        x[i] -= crate::simd::dot(&lu[i * n..i * n + i], &x[..i]);
     }
     // Backward substitution with U.
     for i in (0..n).rev() {
-        let mut sum = x[i];
-        for j in (i + 1)..n {
-            sum -= lu[i * n + j] * x[j];
-        }
+        let sum = x[i] - crate::simd::dot(&lu[i * n + i + 1..i * n + n], &x[i + 1..n]);
         x[i] = sum / lu[i * n + i];
     }
 }

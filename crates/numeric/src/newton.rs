@@ -14,7 +14,9 @@
 
 use std::fmt;
 
-use crate::matrix::{DenseMatrix, LuWorkspace};
+use crate::matrix::{DenseMatrix, LuWorkspace, SingularMatrixError};
+use crate::simd;
+use crate::sparse::{CscMatrix, SparseLu, SparsePattern};
 
 /// A solver option failed validation (non-finite tolerance, inverted
 /// bounds, …). Produced by [`NewtonOptions::validate`] and by the
@@ -58,6 +60,133 @@ pub trait NonlinearSystem {
     /// `residual` arrives zeroed; implementations accumulate into it.
     fn eval_residual_only(&mut self, _x: &[f64], _residual: &mut [f64]) -> bool {
         false
+    }
+
+    /// Evaluates the residual and stamps the Jacobian into a sparse matrix
+    /// whose pattern was fixed up front (see [`SparsePattern`]).
+    ///
+    /// Returns `true` if the system supports sparse assembly; the default
+    /// returns `false`. A [`NewtonSolver`] constructed with
+    /// [`NewtonSolver::with_sparse`] requires this path — it panics if the
+    /// system declines, because silently falling back to dense would defeat
+    /// the entire point of choosing the sparse backend.
+    ///
+    /// `residual` and `jacobian` arrive zeroed; implementations accumulate
+    /// into them.
+    fn eval_sparse(
+        &mut self,
+        _x: &[f64],
+        _residual: &mut [f64],
+        _jacobian: &mut CscMatrix,
+    ) -> bool {
+        false
+    }
+}
+
+/// Linear-solver backend for the Newton iteration: dense LU for cell-sized
+/// systems (the default), sparse LU with cached symbolic analysis for
+/// array-scale systems. Both preserve the zero-alloc steady state, the
+/// modified-Newton stale-factorisation reuse, and NaN-safe pivoting.
+// One `LinearSolver` lives per `NewtonSolver`, never in collections, so
+// boxing the sparse workspace would buy nothing and cost an indirection
+// on the hot path.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum LinearSolver {
+    /// Dense row-major Jacobian + partial-pivoting LU workspace.
+    Dense {
+        /// Assembled Jacobian.
+        jacobian: DenseMatrix,
+        /// Reusable factorisation workspace.
+        lu: LuWorkspace,
+    },
+    /// Fixed-pattern CSC Jacobian + sparse LU with symbolic caching.
+    Sparse {
+        /// Assembled Jacobian over the analysed pattern.
+        jacobian: CscMatrix,
+        /// Reusable sparse factorisation workspace.
+        lu: SparseLu,
+    },
+}
+
+impl LinearSolver {
+    /// Dense backend (storage grows on first use).
+    pub fn dense() -> Self {
+        LinearSolver::Dense {
+            jacobian: DenseMatrix::zeros(0, 0),
+            lu: LuWorkspace::new(),
+        }
+    }
+
+    /// Sparse backend over a precomputed structural pattern.
+    pub fn sparse(pattern: &SparsePattern) -> Self {
+        LinearSolver::Sparse {
+            jacobian: CscMatrix::from_pattern(pattern),
+            lu: SparseLu::new(),
+        }
+    }
+
+    /// `true` for the sparse backend.
+    pub fn is_sparse(&self) -> bool {
+        matches!(self, LinearSolver::Sparse { .. })
+    }
+
+    /// The sparse factorisation workspace, when this is the sparse backend
+    /// (fill-in and refactorisation telemetry).
+    pub fn sparse_lu(&self) -> Option<&SparseLu> {
+        match self {
+            LinearSolver::Dense { .. } => None,
+            LinearSolver::Sparse { lu, .. } => Some(lu),
+        }
+    }
+
+    fn ensure_dim(&mut self, n: usize) {
+        match self {
+            LinearSolver::Dense { jacobian, .. } => {
+                if jacobian.rows() != n {
+                    *jacobian = DenseMatrix::zeros(n, n);
+                }
+            }
+            LinearSolver::Sparse { jacobian, .. } => {
+                assert_eq!(
+                    jacobian.dim(),
+                    n,
+                    "sparse pattern dimension must match the system dimension"
+                );
+            }
+        }
+    }
+
+    /// Full residual + Jacobian assembly through the backend-appropriate
+    /// [`NonlinearSystem`] entry point. `residual` must arrive zeroed.
+    fn eval_full<S: NonlinearSystem>(&mut self, system: &mut S, x: &[f64], residual: &mut [f64]) {
+        match self {
+            LinearSolver::Dense { jacobian, .. } => {
+                jacobian.clear();
+                system.eval(x, residual, jacobian);
+            }
+            LinearSolver::Sparse { jacobian, .. } => {
+                jacobian.clear();
+                assert!(
+                    system.eval_sparse(x, residual, jacobian),
+                    "sparse Newton backend requires NonlinearSystem::eval_sparse support"
+                );
+            }
+        }
+    }
+
+    fn factor(&mut self) -> Result<(), SingularMatrixError> {
+        match self {
+            LinearSolver::Dense { jacobian, lu } => lu.factor_from(jacobian),
+            LinearSolver::Sparse { jacobian, lu } => lu.factor(jacobian),
+        }
+    }
+
+    fn solve_neg_into(&mut self, residual: &[f64], delta: &mut [f64]) {
+        match self {
+            LinearSolver::Dense { lu, .. } => lu.solve_neg_into(residual, delta),
+            LinearSolver::Sparse { lu, .. } => lu.solve_neg_into(residual, delta),
+        }
     }
 }
 
@@ -192,6 +321,10 @@ pub enum NewtonOutcome {
     SingularJacobian {
         /// Iteration at which it happened.
         iteration: usize,
+        /// Original unknown index of the pivot column that failed — the
+        /// circuit layer maps this back to a node or branch name. Identical
+        /// semantics on the dense and sparse backends.
+        column: usize,
     },
     /// The residual or the state vector went non-finite (NaN/∞); the
     /// iteration bails out immediately instead of spinning to the limit.
@@ -236,8 +369,7 @@ impl NewtonOutcome {
 pub struct NewtonSolver {
     options: NewtonOptions,
     residual: Vec<f64>,
-    jacobian: DenseMatrix,
-    lu: LuWorkspace,
+    linear: LinearSolver,
     delta: Vec<f64>,
     /// Trial point for the backtracking line search.
     x_try: Vec<f64>,
@@ -257,13 +389,26 @@ pub struct NewtonSolver {
 }
 
 impl NewtonSolver {
-    /// Creates a solver with the given options.
+    /// Creates a solver with the given options and the dense linear-solver
+    /// backend (the right default for cell-sized systems).
     pub fn new(options: NewtonOptions) -> Self {
+        NewtonSolver::with_linear_solver(options, LinearSolver::dense())
+    }
+
+    /// Creates a solver on the sparse backend over a precomputed structural
+    /// pattern. The system must implement
+    /// [`NonlinearSystem::eval_sparse`]; symbolic analysis happens on the
+    /// first factorisation and is reused by all later ones.
+    pub fn with_sparse(options: NewtonOptions, pattern: &SparsePattern) -> Self {
+        NewtonSolver::with_linear_solver(options, LinearSolver::sparse(pattern))
+    }
+
+    /// Creates a solver with an explicit linear-solver backend.
+    pub fn with_linear_solver(options: NewtonOptions, linear: LinearSolver) -> Self {
         NewtonSolver {
             options,
             residual: Vec::new(),
-            jacobian: DenseMatrix::zeros(0, 0),
-            lu: LuWorkspace::new(),
+            linear,
             delta: Vec::new(),
             x_try: Vec::new(),
             jac_valid: false,
@@ -280,6 +425,11 @@ impl NewtonSolver {
     /// The active options.
     pub fn options(&self) -> &NewtonOptions {
         &self.options
+    }
+
+    /// The linear-solver backend in use.
+    pub fn linear_solver(&self) -> &LinearSolver {
+        &self.linear
     }
 
     /// Newton iterations accumulated over every `solve` call on this
@@ -344,7 +494,7 @@ impl NewtonSolver {
         assert_eq!(x.len(), n, "state vector length must equal system dim");
         if self.residual.len() != n {
             self.residual = vec![0.0; n];
-            self.jacobian = DenseMatrix::zeros(n, n);
+            self.linear.ensure_dim(n);
             self.delta = vec![0.0; n];
             self.x_try = vec![0.0; n];
             self.invalidate_jacobian();
@@ -376,8 +526,7 @@ impl NewtonSolver {
             }
             if !stale {
                 self.residual.fill(0.0);
-                self.jacobian.clear();
-                system.eval(x, &mut self.residual, &mut self.jacobian);
+                self.linear.eval_full(system, x, &mut self.residual);
             }
             self.total_iterations += 1;
 
@@ -397,9 +546,12 @@ impl NewtonSolver {
             }
 
             if !stale {
-                if self.lu.factor_from(&self.jacobian).is_err() {
+                if let Err(err) = self.linear.factor() {
                     self.invalidate_jacobian();
-                    return NewtonOutcome::SingularJacobian { iteration: iter };
+                    return NewtonOutcome::SingularJacobian {
+                        iteration: iter,
+                        column: err.column,
+                    };
                 }
                 self.jac_valid = true;
                 self.jac_age = 0;
@@ -408,7 +560,7 @@ impl NewtonSolver {
             }
             // Newton step: J·Δ = -F  ⇒  Δ = -J⁻¹F, solved without
             // materialising -F or allocating Δ.
-            self.lu.solve_neg_into(&self.residual, &mut self.delta);
+            self.linear.solve_neg_into(&self.residual, &mut self.delta);
 
             // Damping: clip the whole step so no unknown moves more than
             // max_step (preserves direction scaling per component, which is
@@ -433,14 +585,12 @@ impl NewtonSolver {
                     self.residual.fill(0.0);
                     if !system.eval_residual_only(&self.x_try, &mut self.residual) {
                         self.residual.fill(0.0);
-                        self.jacobian.clear();
-                        system.eval(&self.x_try, &mut self.residual, &mut self.jacobian);
+                        self.linear
+                            .eval_full(system, &self.x_try, &mut self.residual);
                     }
-                    let trial_norm = self
-                        .residual
-                        .iter()
-                        .map(|r| r.abs())
-                        .fold(0.0_f64, f64::max);
+                    // SIMD ∞-norm; non-finite trial residuals propagate and
+                    // fail the acceptance test below.
+                    let trial_norm = simd::norm_inf(&self.residual);
                     if trial_norm.is_finite() && trial_norm < last_residual {
                         break;
                     }
@@ -564,7 +714,13 @@ mod tests {
         let mut solver = NewtonSolver::new(NewtonOptions::default());
         let mut x = vec![0.0, 0.0];
         let outcome = solver.solve(&mut Singular, &mut x);
-        assert_eq!(outcome, NewtonOutcome::SingularJacobian { iteration: 0 });
+        assert_eq!(
+            outcome,
+            NewtonOutcome::SingularJacobian {
+                iteration: 0,
+                column: 0
+            }
+        );
         assert!(!outcome.is_converged());
     }
 
@@ -745,6 +901,126 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(bad_age.validate().unwrap_err().field, "reuse_max_age");
+    }
+
+    /// Poly that also supports sparse assembly over its full 2×2 pattern.
+    struct SparsePoly;
+    impl SparsePoly {
+        fn pattern() -> SparsePattern {
+            let mut b = crate::sparse::PatternBuilder::new(2);
+            for r in 0..2 {
+                for c in 0..2 {
+                    b.add(r, c);
+                }
+            }
+            b.build()
+        }
+    }
+    impl NonlinearSystem for SparsePoly {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn eval(&mut self, x: &[f64], r: &mut [f64], j: &mut DenseMatrix) {
+            r[0] = x[0] * x[0] + x[1] - 3.0;
+            r[1] = x[0] + x[1] * x[1] - 5.0;
+            j[(0, 0)] = 2.0 * x[0];
+            j[(0, 1)] = 1.0;
+            j[(1, 0)] = 1.0;
+            j[(1, 1)] = 2.0 * x[1];
+        }
+        fn eval_residual_only(&mut self, x: &[f64], r: &mut [f64]) -> bool {
+            r[0] = x[0] * x[0] + x[1] - 3.0;
+            r[1] = x[0] + x[1] * x[1] - 5.0;
+            true
+        }
+        fn eval_sparse(&mut self, x: &[f64], r: &mut [f64], j: &mut CscMatrix) -> bool {
+            r[0] = x[0] * x[0] + x[1] - 3.0;
+            r[1] = x[0] + x[1] * x[1] - 5.0;
+            j.add(0, 0, 2.0 * x[0]);
+            j.add(0, 1, 1.0);
+            j.add(1, 0, 1.0);
+            j.add(1, 1, 2.0 * x[1]);
+            true
+        }
+    }
+
+    #[test]
+    fn sparse_backend_matches_dense_root() {
+        let mut dense = NewtonSolver::new(NewtonOptions::default());
+        let mut xd = vec![1.0, 1.0];
+        assert!(dense.solve(&mut Poly, &mut xd).is_converged());
+
+        let mut sparse =
+            NewtonSolver::with_sparse(NewtonOptions::default(), &SparsePoly::pattern());
+        assert!(sparse.linear_solver().is_sparse());
+        let mut xs = vec![1.0, 1.0];
+        assert!(sparse.solve(&mut SparsePoly, &mut xs).is_converged());
+        for i in 0..2 {
+            assert!((xd[i] - xs[i]).abs() < 1e-9, "i={i} {xd:?} vs {xs:?}");
+        }
+    }
+
+    #[test]
+    fn sparse_backend_supports_modified_newton_reuse() {
+        let mut solver = NewtonSolver::with_sparse(
+            NewtonOptions {
+                reuse_jacobian: true,
+                ..Default::default()
+            },
+            &SparsePoly::pattern(),
+        );
+        let mut x = vec![1.0, 1.0];
+        assert!(solver.solve(&mut SparsePoly, &mut x).is_converged());
+        assert!(solver.refactorizations_avoided() > 0);
+        // The symbolic analysis ran exactly once; everything after was a
+        // fixed-pattern refactorisation.
+        let lu = solver.linear_solver().sparse_lu().unwrap();
+        assert_eq!(lu.full_factorizations(), 1);
+        assert!(lu.refactorizations() >= 1);
+    }
+
+    #[test]
+    fn sparse_backend_reports_singular_column() {
+        struct SparseSingular;
+        impl NonlinearSystem for SparseSingular {
+            fn dim(&self) -> usize {
+                2
+            }
+            fn eval(&mut self, _x: &[f64], _r: &mut [f64], _j: &mut DenseMatrix) {
+                unreachable!("sparse path only");
+            }
+            fn eval_sparse(&mut self, _x: &[f64], r: &mut [f64], j: &mut CscMatrix) -> bool {
+                r[0] = 1.0;
+                r[1] = 1.0;
+                // Column 1 left numerically zero: singular there.
+                j.add(0, 0, 1.0);
+                j.add(1, 0, 0.5);
+                true
+            }
+        }
+        let mut b = crate::sparse::PatternBuilder::new(2);
+        b.add(0, 0);
+        b.add(1, 0);
+        b.add(1, 1);
+        let mut solver = NewtonSolver::with_sparse(NewtonOptions::default(), &b.build());
+        let mut x = vec![0.0, 0.0];
+        match solver.solve(&mut SparseSingular, &mut x) {
+            NewtonOutcome::SingularJacobian {
+                iteration: 0,
+                column,
+            } => assert_eq!(column, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "eval_sparse support")]
+    fn sparse_backend_panics_when_system_declines() {
+        let mut solver =
+            NewtonSolver::with_sparse(NewtonOptions::default(), &SparsePoly::pattern());
+        let mut x = vec![1.0, 1.0];
+        // `Poly` has no eval_sparse: must fail loudly, not silently degrade.
+        solver.solve(&mut Poly, &mut x);
     }
 
     #[test]

@@ -8,7 +8,10 @@
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use nvpg_numeric::{DenseMatrix, NewtonOptions, NewtonSolver, NonlinearSystem};
+use nvpg_numeric::{
+    CscMatrix, DenseMatrix, NewtonOptions, NewtonSolver, NonlinearSystem, PatternBuilder, SparseLu,
+    SparsePattern,
+};
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
@@ -92,6 +95,34 @@ impl NonlinearSystem for CubicNetwork {
         self.residual(x, residual);
         true
     }
+
+    fn eval_sparse(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut CscMatrix) -> bool {
+        let n = self.n;
+        self.residual(x, residual);
+        jacobian.clear();
+        for (i, &xi) in x.iter().enumerate() {
+            jacobian.add(i, i, 3.0 * xi * xi + 4.0);
+            for j in 0..n {
+                if j != i {
+                    let g = 0.25 / (1.0 + (i + j) as f64);
+                    jacobian.add(i, i, g);
+                    jacobian.add(i, j, -g);
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The fully coupled pattern of [`CubicNetwork`].
+fn full_pattern(n: usize) -> SparsePattern {
+    let mut builder = PatternBuilder::new(n);
+    for i in 0..n {
+        for j in 0..n {
+            builder.add(i, j);
+        }
+    }
+    builder.build()
 }
 
 #[test]
@@ -165,6 +196,142 @@ fn modified_newton_stale_path_allocates_nothing_after_warmup() {
         solver.refactorizations_avoided() > 0,
         "no iteration reused the factorisation"
     );
+}
+
+#[test]
+fn sparse_newton_allocates_nothing_after_symbolic_analysis() {
+    let n = 24;
+    let mut solver = NewtonSolver::with_sparse(
+        NewtonOptions {
+            max_step: f64::INFINITY,
+            ..NewtonOptions::default()
+        },
+        &full_pattern(n),
+    );
+    let mut system = CubicNetwork {
+        n,
+        cheap_residuals: false,
+    };
+    let mut x = vec![0.5; n];
+
+    // Warm-up: the first solve performs the symbolic analysis (ordering,
+    // reach sets, factor storage) and sizes every buffer.
+    assert!(solver.solve(&mut system, &mut x).is_converged());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..10 {
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi += 0.3 * (1.0 + (round + i) as f64 * 0.01);
+        }
+        assert!(solver.solve(&mut system, &mut x).is_converged());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "sparse Newton hot path allocated {} time(s) after symbolic analysis",
+        after - before
+    );
+    // The hot path genuinely refactored into the preallocated buffers
+    // rather than re-running the full (repivoting) factorisation.
+    let lu = solver
+        .linear_solver()
+        .sparse_lu()
+        .expect("sparse backend in use");
+    assert_eq!(lu.full_factorizations(), 1, "symbolic analysis ran once");
+    assert!(lu.refactorizations() >= 10, "refactor path served the loop");
+}
+
+#[test]
+fn sparse_modified_newton_stale_path_allocates_nothing() {
+    let n = 24;
+    let mut solver = NewtonSolver::with_sparse(
+        NewtonOptions {
+            max_step: f64::INFINITY,
+            reuse_jacobian: true,
+            ..NewtonOptions::default()
+        },
+        &full_pattern(n),
+    );
+    let mut system = CubicNetwork {
+        n,
+        cheap_residuals: true,
+    };
+    let mut x = vec![0.5; n];
+    assert!(solver.solve(&mut system, &mut x).is_converged());
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..10 {
+        for (i, xi) in x.iter_mut().enumerate() {
+            *xi += 0.1 * (1.0 + (round + i) as f64 * 0.01);
+        }
+        assert!(solver.solve(&mut system, &mut x).is_converged());
+    }
+    let after = ALLOCATIONS.load(Ordering::SeqCst);
+
+    assert_eq!(
+        after - before,
+        0,
+        "sparse modified-Newton stale path allocated {} time(s) after warm-up",
+        after - before
+    );
+    assert!(
+        solver.refactorizations_avoided() > 0,
+        "no iteration reused the sparse factorisation"
+    );
+}
+
+#[test]
+fn sparse_lu_refactor_and_solve_allocate_nothing() {
+    let n = 32;
+    // A tridiagonal-plus-arrow system with genuine fill.
+    let mut builder = PatternBuilder::new(n);
+    for i in 0..n {
+        builder.add(i, i);
+        if i + 1 < n {
+            builder.add(i, i + 1);
+            builder.add(i + 1, i);
+        }
+        builder.add(i, n - 1);
+        builder.add(n - 1, i);
+    }
+    let pattern = builder.build();
+    let mut a = CscMatrix::from_pattern(&pattern);
+    let fill = |a: &mut CscMatrix, shift: f64| {
+        a.clear();
+        for i in 0..n {
+            a.add(i, i, 8.0 + i as f64 + shift);
+            if i + 1 < n {
+                a.add(i, i + 1, -1.0);
+                a.add(i + 1, i, -2.0);
+            }
+            a.add(i, n - 1, 0.5);
+            a.add(n - 1, i, 0.25);
+        }
+    };
+    fill(&mut a, 0.0);
+
+    let mut lu = SparseLu::new();
+    lu.factor(&a).expect("nonsingular");
+    let b = vec![1.0; n];
+    let mut x = vec![0.0; n];
+
+    let before = ALLOCATIONS.load(Ordering::SeqCst);
+    for round in 0..10 {
+        fill(&mut a, round as f64 * 0.1);
+        lu.factor(&a).expect("nonsingular");
+        lu.solve_into(&b, &mut x);
+        lu.solve_neg_into(&b, &mut x);
+    }
+    assert_eq!(
+        ALLOCATIONS.load(Ordering::SeqCst) - before,
+        0,
+        "SparseLu refactor/solve cycle allocated"
+    );
+    assert_eq!(lu.full_factorizations(), 1);
+    assert_eq!(lu.refactorizations(), 10);
+    assert!(x.iter().all(|v| v.is_finite()));
 }
 
 #[test]

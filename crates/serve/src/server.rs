@@ -25,6 +25,7 @@ use std::time::Duration;
 use nvpg_cells::design::CellDesign;
 use nvpg_circuit::dc::{operating_point, DcOptions};
 use nvpg_circuit::transient::{transient, TransientOptions};
+use nvpg_circuit::SolverChoice;
 use nvpg_core::bet::{bet_closed_form, bet_iterative, Bet};
 use nvpg_core::canon::{
     architecture_from_json, benchmark_params_from_json, canonical_json, request_key_raw,
@@ -509,6 +510,12 @@ fn sweep(_request: &Request, body: &Json) -> Response {
 const MAX_TRAN_POINTS: usize = 2000;
 
 /// `POST /simulate` — parse a SPICE deck and run DC or transient.
+///
+/// The optional `solver` key (`auto` | `dense` | `sparse`, default
+/// `auto`) picks the linear-solver backend per request. It is part of the
+/// canonicalised body, so requests differing only in solver choice get
+/// distinct cache keys — a dense result is never served for a sparse
+/// request or vice versa.
 fn simulate(_request: &Request, body: &Json) -> Response {
     let obj = match body.as_obj() {
         Some(o) => o,
@@ -519,6 +526,22 @@ fn simulate(_request: &Request, body: &Json) -> Response {
         None => return Response::error(400, "`deck` must hold the SPICE netlist text"),
     };
     let analysis = obj.get("analysis").and_then(Json::as_str).unwrap_or("dc");
+    let solver: SolverChoice = match obj.get("solver") {
+        None => SolverChoice::Auto,
+        Some(v) => match v.as_str().map(str::parse) {
+            Some(Ok(choice)) => choice,
+            _ => {
+                return Response::error(
+                    400,
+                    "`solver` must be one of \"auto\", \"dense\", \"sparse\"",
+                )
+            }
+        },
+    };
+    let dc_opts = DcOptions {
+        solver,
+        ..DcOptions::default()
+    };
     let mut circuit = match nvpg_circuit::parser::parse_deck(deck) {
         Ok(c) => c,
         Err(e) => {
@@ -527,7 +550,7 @@ fn simulate(_request: &Request, body: &Json) -> Response {
     };
     match analysis {
         "dc" => {
-            let op = match operating_point(&mut circuit, &DcOptions::default()) {
+            let op = match operating_point(&mut circuit, &dc_opts) {
                 Ok(op) => op,
                 Err(e) => return Response::error(500, &format!("dc failed: {e}")),
             };
@@ -554,8 +577,11 @@ fn simulate(_request: &Request, body: &Json) -> Response {
             if !(t_stop.is_finite() && t_stop > 0.0 && t_stop <= 1.0) {
                 return Response::error(400, "`t_stop` must be a time in (0, 1] seconds");
             }
-            let opts = TransientOptions::to(t_stop);
-            let initial = match operating_point(&mut circuit, &DcOptions::default()) {
+            let opts = TransientOptions {
+                solver,
+                ..TransientOptions::to(t_stop)
+            };
+            let initial = match operating_point(&mut circuit, &dc_opts) {
                 Ok(op) => op,
                 Err(e) => return Response::error(500, &format!("dc failed: {e}")),
             };

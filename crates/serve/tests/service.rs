@@ -308,6 +308,74 @@ fn simulate_runs_dc_and_tran_and_rejects_hostile_decks() {
 }
 
 #[test]
+fn simulate_solver_choice_is_honoured_and_keyed() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    let voltage_out = |resp: &str| {
+        nvpg_obs::json::parse(resp)
+            .expect("response is JSON")
+            .as_obj()
+            .and_then(|o| o.get("voltages").cloned())
+            .and_then(|v| v.as_obj().and_then(|v| v.get("out").cloned()))
+            .and_then(|v| nvpg_obs::json::Json::as_num(&v))
+            .expect("voltages.out")
+    };
+    let deck = r#"V1 vin 0 1.0\nR1 vin out 1k\nR2 out 0 1k\n.end\n"#;
+
+    // Dense and sparse must agree; both must miss the cache the first
+    // time (different canonical bodies → different request keys).
+    let solves0 = counters::SERVE_SOLVES.get();
+    let dense = post(
+        addr,
+        "/simulate",
+        &format!(r#"{{"deck":"{deck}","analysis":"dc","solver":"dense"}}"#),
+    );
+    assert_eq!(dense.status, 200, "{}", dense.text());
+    let sparse = post(
+        addr,
+        "/simulate",
+        &format!(r#"{{"deck":"{deck}","analysis":"dc","solver":"sparse"}}"#),
+    );
+    assert_eq!(sparse.status, 200, "{}", sparse.text());
+    assert_eq!(
+        counters::SERVE_SOLVES.get(),
+        solves0 + 2,
+        "each solver choice is a distinct cache key"
+    );
+    let (vd, vs) = (voltage_out(dense.text()), voltage_out(sparse.text()));
+    assert!((vd - vs).abs() < 1e-9, "dense {vd} vs sparse {vs}");
+
+    // A repeat of the sparse request is a cache hit, not a new solve.
+    let again = post(
+        addr,
+        "/simulate",
+        &format!(r#"{{"deck":"{deck}","analysis":"dc","solver":"sparse"}}"#),
+    );
+    assert_eq!(again.status, 200);
+    assert_eq!(counters::SERVE_SOLVES.get(), solves0 + 2);
+
+    // Transient accepts the key too.
+    let tran = post(
+        addr,
+        "/simulate",
+        &format!(r#"{{"deck":"{deck}","analysis":"tran","t_stop":1e-9,"solver":"sparse"}}"#),
+    );
+    assert_eq!(tran.status, 200, "{}", tran.text());
+
+    // An unknown solver is a structured 400 (and, being an error, is
+    // never cached).
+    let bad = post(
+        addr,
+        "/simulate",
+        &format!(r#"{{"deck":"{deck}","solver":"klu"}}"#),
+    );
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("solver"), "{}", bad.text());
+}
+
+#[test]
 fn queue_overflow_sheds_load_with_503_and_retry_after() {
     let _l = lock();
     let mut config = test_config();
