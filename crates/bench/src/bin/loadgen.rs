@@ -2,10 +2,11 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT | --spawn] [--requests N] [--concurrency C]
-//!         [--p99-ms MS] [--check] [--out BENCH_PR5.json]
+//!         [--p99-ms MS] [--overload] [--overload-p99-ms MS]
+//!         [--check] [--out FILE]
 //! ```
 //!
-//! Runs a two-phase figure workload against a live daemon:
+//! The default workload is a two-phase figure run against a live daemon:
 //!
 //! 1. **cache-cold** — each figure id requested once; every request is a
 //!    miss and pays a real solve;
@@ -13,19 +14,31 @@
 //!    ids from `--concurrency` closed-loop connections; every request is
 //!    a content-addressed cache hit.
 //!
-//! Per-phase it records throughput and a latency histogram
-//! (p50/p90/p99), writing the comparison to `--out`. With `--check` it
-//! acts as a CI gate: non-zero exit if any request failed or the
-//! cache-hot p99 exceeds `--p99-ms`.
+//! With `--overload` it instead runs the mixed-tenant overload scenario:
+//! a **heavy** tenant (`X-Client: heavy`) hammers `/simulate` with slow
+//! transient decks under a short `timeout_ms`, while a **light** tenant
+//! sends paced, cached figure reads. The daemon (spawned with rate
+//! limiting and deadlines on) must shed the flood — `429` per-tenant
+//! rate limits and `504` request deadlines — while the light tenant's
+//! p99 stays bounded and no worker wedges (post-storm health probe +
+//! clean SIGTERM drain).
+//!
+//! Either mode records latency histograms (p50/p90/p99) and writes the
+//! result to `--out`. With `--check` it acts as a CI gate: non-zero exit
+//! if a gate fails (cache-hot p99 / error counts in the default mode;
+//! light-tenant p99, observed sheds, and zero wedged workers under
+//! `--overload`).
 //!
 //! With `--spawn` it launches the sibling `nvpg-serve` binary on a free
 //! port, runs the workload, then terminates it with SIGTERM and verifies
 //! a clean drain (exit status 0). No HTTP library, no signal crate: raw
 //! `TcpStream`s and `/bin/kill`.
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 /// The figure workload: one heavy transient figure (the cold phase pays
@@ -39,6 +52,8 @@ struct Args {
     requests: usize,
     concurrency: usize,
     p99_ms: f64,
+    overload: bool,
+    overload_p99_ms: f64,
     check: bool,
     out: String,
 }
@@ -46,7 +61,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT | --spawn] [--requests N] [--concurrency C] \
-         [--p99-ms MS] [--check] [--out FILE]"
+         [--p99-ms MS] [--overload] [--overload-p99-ms MS] [--check] [--out FILE]"
     );
     std::process::exit(2);
 }
@@ -58,8 +73,10 @@ fn parse_args() -> Args {
         requests: 200,
         concurrency: 4,
         p99_ms: 250.0,
+        overload: false,
+        overload_p99_ms: 750.0,
         check: false,
-        out: "BENCH_PR5.json".to_owned(),
+        out: String::new(),
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -70,6 +87,10 @@ fn parse_args() -> Args {
             "--requests" => out.requests = value().parse().unwrap_or_else(|_| usage()),
             "--concurrency" => out.concurrency = value().parse().unwrap_or_else(|_| usage()),
             "--p99-ms" => out.p99_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--overload" => out.overload = true,
+            "--overload-p99-ms" => {
+                out.overload_p99_ms = value().parse().unwrap_or_else(|_| usage())
+            }
             "--check" => out.check = true,
             "--out" => out.out = value(),
             _ => usage(),
@@ -79,21 +100,47 @@ fn parse_args() -> Args {
         eprintln!("loadgen: need --addr or --spawn");
         usage();
     }
+    if out.out.is_empty() {
+        out.out = if out.overload {
+            "BENCH_PR7.json".to_owned()
+        } else {
+            "BENCH_PR5.json".to_owned()
+        };
+    }
     out
 }
 
-/// One GET on a fresh connection; returns (status, body length, latency).
-fn get(addr: &str, path: &str) -> Result<(u16, usize, Duration), String> {
+/// One request on a fresh connection; returns (status, body length,
+/// latency). `client` becomes the `X-Client` tenant header when set.
+fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    client: Option<&str>,
+    body: Option<&str>,
+) -> Result<(u16, usize, Duration), String> {
     let t0 = Instant::now();
     let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
     stream
         .set_read_timeout(Some(Duration::from_secs(300)))
         .map_err(|e| e.to_string())?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n");
+    if let Some(c) = client {
+        head.push_str(&format!("X-Client: {c}\r\n"));
+    }
+    if let Some(b) = body {
+        head.push_str(&format!(
+            "Content-Type: application/json\r\nContent-Length: {}\r\n",
+            b.len()
+        ));
+    }
+    head.push_str("\r\n");
     stream
-        .write_all(
-            format!("GET {path} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n").as_bytes(),
-        )
+        .write_all(head.as_bytes())
         .map_err(|e| e.to_string())?;
+    if let Some(b) = body {
+        stream.write_all(b.as_bytes()).map_err(|e| e.to_string())?;
+    }
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
     reader.read_line(&mut line).map_err(|e| e.to_string())?;
@@ -119,6 +166,32 @@ fn get(addr: &str, path: &str) -> Result<(u16, usize, Duration), String> {
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).map_err(|e| e.to_string())?;
     Ok((status, body.len(), t0.elapsed()))
+}
+
+/// One GET on a fresh connection; returns (status, body length, latency).
+fn get(addr: &str, path: &str) -> Result<(u16, usize, Duration), String> {
+    request(addr, "GET", path, None, None)
+}
+
+/// GET that returns the response body as text (for `/metrics`).
+fn get_body(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: l\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut raw)
+        .map_err(|e| e.to_string())?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_owned()),
+        None => Err("no body".to_owned()),
+    }
 }
 
 /// Latency summary of one phase.
@@ -241,7 +314,7 @@ fn run_hot(addr: &str, requests: usize, concurrency: usize) -> Phase {
 
 /// Spawns the sibling `nvpg-serve` binary on a free port and returns the
 /// child plus the parsed listen address.
-fn spawn_daemon() -> Result<(Child, String), String> {
+fn spawn_daemon(extra_args: &[&str]) -> Result<(Child, String), String> {
     let exe = std::env::current_exe().map_err(|e| e.to_string())?;
     let daemon = exe.parent().ok_or("no parent dir")?.join("nvpg-serve");
     if !daemon.exists() {
@@ -251,7 +324,8 @@ fn spawn_daemon() -> Result<(Child, String), String> {
         ));
     }
     let mut child = Command::new(&daemon)
-        .args(["--listen", "127.0.0.1:0", "--jobs", "2"])
+        .args(["--listen", "127.0.0.1:0"])
+        .args(extra_args)
         .stdout(Stdio::piped())
         .stderr(Stdio::inherit())
         .spawn()
@@ -299,10 +373,365 @@ fn stop_daemon(mut child: Child) -> Result<(), String> {
     }
 }
 
+/// The daemon configuration the overload scenario runs against: enough
+/// workers that a rate-limited heavy tenant cannot saturate them, a
+/// per-tenant token bucket, and deadlines on (the heavy tenant's
+/// `timeout_ms` is what bounds its worker hold time).
+const OVERLOAD_DAEMON_ARGS: &[&str] = &[
+    "--jobs",
+    "4",
+    "--rate-limit-rps",
+    "8",
+    "--rate-limit-burst",
+    "16",
+    "--default-timeout-ms",
+    "120000",
+    "--max-timeout-ms",
+    "10000",
+    "--watchdog-stall-ms",
+    "5000",
+];
+
+/// What one tenant saw during the storm.
+#[derive(Default)]
+struct TenantStats {
+    latencies: Vec<Duration>,
+    /// HTTP status -> count (transport errors under 0).
+    statuses: BTreeMap<u16, usize>,
+}
+
+impl TenantStats {
+    fn record(&mut self, outcome: &Result<(u16, usize, Duration), String>) {
+        match outcome {
+            Ok((status, _, dt)) => {
+                self.latencies.push(*dt);
+                *self.statuses.entry(*status).or_default() += 1;
+            }
+            Err(_) => *self.statuses.entry(0).or_default() += 1,
+        }
+    }
+
+    fn merge(&mut self, other: TenantStats) {
+        self.latencies.extend(other.latencies);
+        for (s, n) in other.statuses {
+            *self.statuses.entry(s).or_default() += n;
+        }
+    }
+
+    fn count(&self, status: u16) -> usize {
+        self.statuses.get(&status).copied().unwrap_or(0)
+    }
+
+    fn total(&self) -> usize {
+        self.statuses.values().sum()
+    }
+
+    fn p99_ms(&self) -> f64 {
+        let mut l = self.latencies.clone();
+        l.sort_unstable();
+        if l.is_empty() {
+            return f64::NAN;
+        }
+        let idx = ((l.len() as f64 * 0.99).ceil() as usize).clamp(1, l.len()) - 1;
+        l[idx].as_secs_f64() * 1e3
+    }
+
+    fn statuses_json(&self) -> String {
+        let pairs: Vec<String> = self
+            .statuses
+            .iter()
+            .map(|(s, n)| {
+                format!(
+                    "\"{}\": {n}",
+                    if *s == 0 {
+                        "error".to_owned()
+                    } else {
+                        s.to_string()
+                    }
+                )
+            })
+            .collect();
+        format!("{{{}}}", pairs.join(", "))
+    }
+}
+
+/// A heavy-tenant `/simulate` body: a slow RC transient (≥10 M accepted
+/// steps at the breakpoint-capped 100 ps step — minutes of solving) under
+/// a 300 ms deadline. `i` perturbs `t_stop` so every request has its own
+/// cache/single-flight key and pays its own admission.
+fn heavy_body(i: usize) -> String {
+    format!(
+        "{{\"deck\":\"V1 vin 0 PULSE(0 1 1n 1n 1n 1u 2u)\\nR1 vin out 1k\\nC1 out 0 1n\\n\",\
+         \"analysis\":\"tran\",\"t_stop\":{},\"timeout_ms\":300}}",
+        1e-3 + i as f64 * 1e-6
+    )
+}
+
+struct OverloadResult {
+    light: TenantStats,
+    heavy: TenantStats,
+    storm: Duration,
+    post_healthz_ms: f64,
+    post_figure_status: u16,
+    post_figure_ms: f64,
+    counters: BTreeMap<String, u64>,
+}
+
+/// The mixed-tenant storm: 2 paced light connections reading cached
+/// figures, 4 unpaced heavy connections pounding slow `/simulate` decks,
+/// for as long as the light workload runs (~10 s).
+fn run_overload(addr: &str) -> OverloadResult {
+    // Warm the cache (and the one-off Table I characterisation) so the
+    // light tenant's storm-time reads are cache hits.
+    match request(
+        addr,
+        "GET",
+        "/figures/fig7a?format=csv",
+        Some("light"),
+        None,
+    ) {
+        Ok((200, ..)) => {}
+        Ok((status, ..)) => eprintln!("loadgen: warm-up -> {status}"),
+        Err(e) => eprintln!("loadgen: warm-up: {e}"),
+    }
+
+    const LIGHT_THREADS: usize = 2;
+    const LIGHT_REQUESTS_PER_THREAD: usize = 25;
+    const LIGHT_PACE: Duration = Duration::from_millis(400);
+    const HEAVY_THREADS: usize = 4;
+
+    let t0 = Instant::now();
+    let stop = AtomicBool::new(false);
+    let heavy_cursor = AtomicUsize::new(0);
+    let (light, heavy) = std::thread::scope(|scope| {
+        let heavy_handles: Vec<_> = (0..HEAVY_THREADS)
+            .map(|_| {
+                let stop = &stop;
+                let cursor = &heavy_cursor;
+                scope.spawn(move || {
+                    let mut stats = TenantStats::default();
+                    while !stop.load(Ordering::Relaxed) {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        let body = heavy_body(i);
+                        stats.record(&request(
+                            addr,
+                            "POST",
+                            "/simulate",
+                            Some("heavy"),
+                            Some(&body),
+                        ));
+                    }
+                    stats
+                })
+            })
+            .collect();
+        let light_handles: Vec<_> = (0..LIGHT_THREADS)
+            .map(|_| {
+                scope.spawn(move || {
+                    let mut stats = TenantStats::default();
+                    for _ in 0..LIGHT_REQUESTS_PER_THREAD {
+                        stats.record(&request(
+                            addr,
+                            "GET",
+                            "/figures/fig7a?format=csv",
+                            Some("light"),
+                            None,
+                        ));
+                        std::thread::sleep(LIGHT_PACE);
+                    }
+                    stats
+                })
+            })
+            .collect();
+        let mut light = TenantStats::default();
+        for h in light_handles {
+            light.merge(h.join().expect("light worker"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        let mut heavy = TenantStats::default();
+        for h in heavy_handles {
+            heavy.merge(h.join().expect("heavy worker"));
+        }
+        (light, heavy)
+    });
+    let storm = t0.elapsed();
+
+    // Zero-wedged-workers probes: with the storm over, the daemon must
+    // answer immediately — every admitted heavy solve was cancelled at
+    // its deadline, so no worker is still grinding a dead request.
+    let (post_healthz_ms, _) = match get(addr, "/healthz") {
+        Ok((200, _, dt)) => (dt.as_secs_f64() * 1e3, true),
+        _ => (f64::NAN, false),
+    };
+    let (post_figure_status, post_figure_ms) = match request(
+        addr,
+        "GET",
+        "/figures/fig7a?format=csv",
+        Some("light"),
+        None,
+    ) {
+        Ok((status, _, dt)) => (status, dt.as_secs_f64() * 1e3),
+        Err(_) => (0, f64::NAN),
+    };
+
+    let mut counters = BTreeMap::new();
+    if let Ok(text) = get_body(addr, "/metrics") {
+        for line in text.lines() {
+            if let Some((name, value)) = line.rsplit_once(' ') {
+                if let Ok(v) = value.parse::<u64>() {
+                    counters.insert(name.to_owned(), v);
+                }
+            }
+        }
+    }
+
+    OverloadResult {
+        light,
+        heavy,
+        storm,
+        post_healthz_ms,
+        post_figure_status,
+        post_figure_ms,
+        counters,
+    }
+}
+
+/// Runs `--overload` end to end (storm, probes, JSON, gates); returns the
+/// process exit code.
+fn overload_main(args: &Args, addr: &str, daemon: Option<Child>) -> i32 {
+    eprintln!("loadgen: mixed-tenant overload storm against {addr}");
+    let r = run_overload(addr);
+    eprintln!(
+        "loadgen: storm {:.1} s: light {} req (p99 {:.1} ms, statuses {}), heavy {} req (statuses {})",
+        r.storm.as_secs_f64(),
+        r.light.total(),
+        r.light.p99_ms(),
+        r.light.statuses_json(),
+        r.heavy.total(),
+        r.heavy.statuses_json(),
+    );
+
+    let drain = match daemon {
+        Some(child) => match stop_daemon(child) {
+            Ok(()) => {
+                eprintln!("loadgen: daemon drained cleanly on SIGTERM");
+                Some(true)
+            }
+            Err(e) => {
+                eprintln!("loadgen: {e}");
+                Some(false)
+            }
+        },
+        None => None,
+    };
+
+    let counter = |name: &str| r.counters.get(name).copied().unwrap_or(0);
+    let counters_json: Vec<String> = [
+        "serve.requests",
+        "serve.rate_limited",
+        "serve.deadline_exceeded",
+        "serve.rejected",
+        "serve.disconnects",
+        "serve.watchdog_fires",
+        "engine.cancelled_points",
+    ]
+    .iter()
+    .filter(|n| r.counters.contains_key(**n))
+    .map(|n| format!("\"{n}\": {}", counter(n)))
+    .collect();
+    let json = format!(
+        "{{\n  \"generated_by\": \"loadgen --overload\",\n  \"daemon_args\": {:?},\n  \
+         \"storm_s\": {:.3},\n  \"light\": {{\"requests\": {}, \"p99_ms\": {:.3}, \
+         \"statuses\": {}}},\n  \"heavy\": {{\"requests\": {}, \"statuses\": {}}},\n  \
+         \"post_storm\": {{\"healthz_ms\": {:.3}, \"figure_status\": {}, \"figure_ms\": {:.3}}},\n  \
+         \"server_counters\": {{{}}},\n  \"clean_drain\": {},\n  \"notes\": \"heavy tenant: slow \
+         /simulate decks under timeout_ms=300; light tenant: paced cached figure reads. Gates: \
+         every light request answers 200 under the p99 bound, the heavy flood is shed with 429s \
+         and 504s, and post-storm probes prove no worker wedged.\"\n}}\n",
+        OVERLOAD_DAEMON_ARGS,
+        r.storm.as_secs_f64(),
+        r.light.total(),
+        r.light.p99_ms(),
+        r.light.statuses_json(),
+        r.heavy.total(),
+        r.heavy.statuses_json(),
+        r.post_healthz_ms,
+        r.post_figure_status,
+        r.post_figure_ms,
+        counters_json.join(", "),
+        match drain {
+            Some(b) => b.to_string(),
+            None => "null".to_owned(),
+        }
+    );
+    if let Err(e) = std::fs::write(&args.out, &json) {
+        eprintln!("loadgen: write {}: {e}", args.out);
+        return 1;
+    }
+    eprintln!("loadgen: wrote {}", args.out);
+
+    if args.check {
+        let mut failures = Vec::new();
+        if r.light.count(200) != r.light.total() {
+            failures.push(format!(
+                "light tenant saw non-200s: {}",
+                r.light.statuses_json()
+            ));
+        }
+        // NaN (no latencies at all) must fail the gate too.
+        if r.light.p99_ms().is_nan() || r.light.p99_ms() > args.overload_p99_ms {
+            failures.push(format!(
+                "light p99 {:.1} ms exceeds the {:.1} ms overload gate",
+                r.light.p99_ms(),
+                args.overload_p99_ms
+            ));
+        }
+        if r.heavy.count(429) == 0 {
+            failures.push("heavy tenant was never rate-limited (no 429s)".to_owned());
+        }
+        if r.heavy.count(504) == 0 {
+            failures.push("no heavy request hit its deadline (no 504s)".to_owned());
+        }
+        if counter("serve.rate_limited") == 0 || counter("serve.deadline_exceeded") == 0 {
+            failures.push(format!(
+                "server counters do not reflect the sheds (rate_limited {}, deadline_exceeded {})",
+                counter("serve.rate_limited"),
+                counter("serve.deadline_exceeded")
+            ));
+        }
+        if r.post_healthz_ms.is_nan() || r.post_healthz_ms > 1000.0 {
+            failures.push(format!(
+                "post-storm healthz took {:.1} ms (wedged worker?)",
+                r.post_healthz_ms
+            ));
+        }
+        if r.post_figure_status != 200 || r.post_figure_ms.is_nan() || r.post_figure_ms > 1000.0 {
+            failures.push(format!(
+                "post-storm figure read: status {} in {:.1} ms",
+                r.post_figure_status, r.post_figure_ms
+            ));
+        }
+        if drain == Some(false) {
+            failures.push("daemon did not drain cleanly".to_owned());
+        }
+        if !failures.is_empty() {
+            eprintln!("loadgen --check FAILED: {}", failures.join("; "));
+            return 1;
+        }
+        eprintln!("loadgen --check passed");
+    }
+    0
+}
+
 fn main() {
     let args = parse_args();
     let (daemon, addr) = if args.spawn {
-        match spawn_daemon() {
+        let daemon_args: &[&str] = if args.overload {
+            OVERLOAD_DAEMON_ARGS
+        } else {
+            &["--jobs", "2"]
+        };
+        match spawn_daemon(daemon_args) {
             Ok((child, addr)) => (Some(child), addr),
             Err(e) => {
                 eprintln!("loadgen: {e}");
@@ -317,6 +746,10 @@ fn main() {
     if let Err(e) = get(&addr, "/healthz") {
         eprintln!("loadgen: daemon not healthy at {addr}: {e}");
         std::process::exit(1);
+    }
+
+    if args.overload {
+        std::process::exit(overload_main(&args, &addr, daemon));
     }
 
     eprintln!("loadgen: cache-cold pass over {:?}", FIGURE_IDS);

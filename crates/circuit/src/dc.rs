@@ -82,7 +82,15 @@ pub(crate) fn solve_with_faults(
     if action.is_some() {
         stats.injected_faults += 1;
     }
-    sys.fault = action;
+    // A Stall fault burns deterministic wall-clock *before* the solve —
+    // exercising the watchdog and deadline paths — without corrupting the
+    // assembly, so the numerical outcome is unchanged (jobs-invariant).
+    if let Some(FaultKind::Stall(pause)) = action {
+        std::thread::sleep(pause);
+        sys.fault = None;
+    } else {
+        sys.fault = action;
+    }
     let outcome = solver.solve(sys, x);
     sys.fault = None;
     if action == Some(FaultKind::RejectStep) && outcome.is_converged() {
@@ -203,6 +211,9 @@ fn operating_point_ladder(
         if outcome.is_converged() {
             return Ok((DcSolution::new(circuit, x), stats));
         }
+        if matches!(outcome, NewtonOutcome::Cancelled { .. }) {
+            return Err(CircuitError::cancelled_at("dc (plain Newton)".to_owned()));
+        }
         saw_nonfinite |= matches!(outcome, NewtonOutcome::NonFiniteState { .. });
     }
 
@@ -229,6 +240,9 @@ fn operating_point_ladder(
             stats.rescued_solves += 1;
             return Ok((DcSolution::new(circuit, x), stats));
         }
+        if matches!(outcome, NewtonOutcome::Cancelled { .. }) {
+            return Err(CircuitError::cancelled_at("dc (damped retry)".to_owned()));
+        }
         saw_nonfinite |= matches!(outcome, NewtonOutcome::NonFiniteState { .. });
         solver.set_options(opts.newton);
     }
@@ -246,7 +260,13 @@ fn operating_point_ladder(
                 ..MnaContext::dc()
             };
             let mut sys = MnaSystem::new(circuit, ctx);
-            if !solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats).is_converged() {
+            let outcome = solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats);
+            if matches!(outcome, NewtonOutcome::Cancelled { .. }) {
+                return Err(CircuitError::cancelled_at(format!(
+                    "dc (gmin stepping at 1e{exp} S)"
+                )));
+            }
+            if !outcome.is_converged() {
                 ok = false;
                 break;
             }
@@ -255,7 +275,11 @@ fn operating_point_ladder(
         if ok {
             // Final polish without the extra gmin.
             let mut sys = MnaSystem::new(circuit, MnaContext::dc());
-            if solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats).is_converged() {
+            let outcome = solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats);
+            if matches!(outcome, NewtonOutcome::Cancelled { .. }) {
+                return Err(CircuitError::cancelled_at("dc (gmin polish)".to_owned()));
+            }
+            if outcome.is_converged() {
                 stats.rescued_solves += 1;
                 return Ok((DcSolution::new(circuit, x), stats));
             }
@@ -276,7 +300,13 @@ fn operating_point_ladder(
             };
             let mut backup = x.clone();
             let mut sys = MnaSystem::new(circuit, ctx);
-            if solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats).is_converged() {
+            let outcome = solve_with_faults(&mut solver, &mut sys, &mut x, &mut stats);
+            if matches!(outcome, NewtonOutcome::Cancelled { .. }) {
+                return Err(CircuitError::cancelled_at(format!(
+                    "dc (source stepping at scale {scale:.4})"
+                )));
+            }
+            if outcome.is_converged() {
                 scale = next;
                 step = (step * 1.5).min(0.25);
             } else {

@@ -352,7 +352,8 @@ impl NonlinearSystem for MnaSystem<'_> {
         self.assemble(x, residual, jacobian);
 
         // Injected faults corrupt the assembled system at its natural
-        // site; `RejectStep` is handled by the analysis driver instead.
+        // site; `RejectStep` and `Stall` are handled by the analysis
+        // driver instead and never reach assembly.
         match self.fault {
             Some(FaultKind::NanResidual) => {
                 if let Some(r) = residual.first_mut() {
@@ -361,7 +362,7 @@ impl NonlinearSystem for MnaSystem<'_> {
             }
             Some(FaultKind::SingularMatrix) => jacobian.clear(),
             Some(FaultKind::Panic) => panic!("injected fault: panic during MNA assembly"),
-            Some(FaultKind::RejectStep) | None => {}
+            Some(FaultKind::RejectStep | FaultKind::Stall(_)) | None => {}
         }
     }
 
@@ -391,7 +392,7 @@ impl NonlinearSystem for MnaSystem<'_> {
             }
             Some(FaultKind::SingularMatrix) => jacobian.clear(),
             Some(FaultKind::Panic) => panic!("injected fault: panic during MNA assembly"),
-            Some(FaultKind::RejectStep) | None => {}
+            Some(FaultKind::RejectStep | FaultKind::Stall(_)) | None => {}
         }
         true
     }

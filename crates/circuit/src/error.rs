@@ -69,6 +69,22 @@ pub enum CircuitError {
         /// The exhausted budget.
         steps: u64,
     },
+    /// The analysis was cancelled cooperatively: the thread's installed
+    /// [`nvpg_numeric::cancel::CancelToken`] fired (explicit cancellation,
+    /// deadline expiry, a stalled-progress watchdog, or a disconnected
+    /// client). The solver state is left clean — the same workspace can run
+    /// a fresh solve afterwards.
+    Cancelled {
+        /// Why the token fired, e.g. `"deadline exceeded"` or
+        /// `"client disconnected"`.
+        reason: String,
+        /// Wall-clock time from token creation to the checkpoint that
+        /// observed the cancellation.
+        elapsed: std::time::Duration,
+        /// Where the analysis stopped, e.g.
+        /// `"transient t = 1.2e-6 s of 5e-6 s (213 steps accepted)"`.
+        progress: String,
+    },
 }
 
 impl fmt::Display for CircuitError {
@@ -120,6 +136,15 @@ impl fmt::Display for CircuitError {
                     "transient step budget ({steps} steps) exhausted at t = {time:e} s"
                 )
             }
+            // The elapsed time is deliberately not rendered: report text
+            // must stay byte-identical across job counts and reruns, and
+            // wall-clock durations are not. Callers that want it (the
+            // serving layer's 504 diagnostics) read the field directly.
+            CircuitError::Cancelled {
+                reason, progress, ..
+            } => {
+                write!(f, "cancelled ({reason}) at {progress}")
+            }
         }
     }
 }
@@ -136,6 +161,20 @@ impl From<nvpg_numeric::InvalidOptionsError> for CircuitError {
 }
 
 impl CircuitError {
+    /// Builds a [`CircuitError::Cancelled`] for the analysis position
+    /// `progress`, reading cause and elapsed time from the thread's
+    /// installed cancellation token (defaults when none is installed —
+    /// reachable only in tests that fabricate outcomes).
+    pub(crate) fn cancelled_at(progress: String) -> CircuitError {
+        let (reason, elapsed) = nvpg_numeric::cancel::details()
+            .unwrap_or_else(|| ("cancelled".to_owned(), std::time::Duration::ZERO));
+        CircuitError::Cancelled {
+            reason,
+            elapsed,
+            progress,
+        }
+    }
+
     /// A short, stable taxonomy tag for failure reports
     /// (`"dc_nonconvergence"`, `"singular_matrix"`, …).
     pub fn taxonomy(&self) -> &'static str {
@@ -149,6 +188,7 @@ impl CircuitError {
             CircuitError::NonFiniteSolution { .. } => "nonfinite_solution",
             CircuitError::InvalidOptions { .. } => "invalid_options",
             CircuitError::StepBudgetExhausted { .. } => "step_budget_exhausted",
+            CircuitError::Cancelled { .. } => "cancelled",
         }
     }
 }

@@ -16,6 +16,9 @@
 //!   ladder.
 //! * [`FaultKind::Panic`] — panics mid-solve, driving the per-job
 //!   `catch_unwind` isolation in `nvpg-exec`.
+//! * [`FaultKind::Stall`] — sleeps for a fixed duration before the solve,
+//!   driving the deadline and stalled-progress watchdog paths without
+//!   changing the numerical outcome.
 //!
 //! Selection is a pure function of `(seed, solve index)` via SplitMix64,
 //! so a plan fires identically on every run and at every worker count.
@@ -44,6 +47,7 @@
 //! ```
 
 use std::cell::RefCell;
+use std::time::Duration;
 
 /// What an injected fault does to the solve it fires on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,10 +60,18 @@ pub enum FaultKind {
     RejectStep,
     /// Panic mid-solve (exercises worker isolation).
     Panic,
+    /// Sleep for the given duration before the solve runs (exercises
+    /// deadline expiry and the stalled-progress watchdog). Unlike the
+    /// corruption kinds, a stall leaves the numerical outcome untouched —
+    /// the solve merely arrives late — so stalled runs stay jobs-invariant.
+    Stall(Duration),
 }
 
 impl FaultKind {
-    /// Every kind, in selection order.
+    /// Every *corruption* kind, in selection order. [`FaultKind::Stall`]
+    /// is deliberately excluded: it changes only timing, never outcomes,
+    /// and carries a parameter, so random sweeps don't select it — tests
+    /// schedule it explicitly via [`FaultPlan::at_solves`].
     pub const ALL: [FaultKind; 4] = [
         FaultKind::NanResidual,
         FaultKind::SingularMatrix,

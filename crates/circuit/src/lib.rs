@@ -39,6 +39,11 @@
 //! ```
 
 pub mod ac;
+/// Cooperative cancellation tokens (re-exported from `nvpg-numeric` so the
+/// analysis drivers and their callers share one token type). Install with
+/// [`cancel::with_token`]; the Newton loop, the transient step loop, the DC
+/// rescue ladder, and the sparse factorisation all poll it.
+pub use nvpg_numeric::cancel;
 pub mod circuit;
 pub mod dc;
 pub mod element;
@@ -58,6 +63,7 @@ pub mod vcd;
 pub mod waveform;
 
 pub use ac::{ac_sweep, AcSweep};
+pub use cancel::CancelToken;
 pub use circuit::Circuit;
 pub use element::{DeviceStamp, NonlinearDevice};
 pub use error::CircuitError;

@@ -18,6 +18,7 @@
 //! switching circuits; under trapezoidal integration the same (BE-form)
 //! error estimate is used, which is conservative for the smoother method.
 
+use nvpg_numeric::cancel;
 use nvpg_numeric::newton::{NewtonOptions, NewtonOutcome};
 
 use crate::circuit::Circuit;
@@ -394,6 +395,16 @@ pub fn transient(
     let mut dt_of_lu = f64::NAN;
 
     while t < opts.t_stop {
+        // Cooperative cancellation checkpoint once per attempted step (the
+        // Newton loop polls per iteration too; this catches cancellation
+        // during the step bookkeeping between solves). One thread-local
+        // read when no token is installed.
+        if cancel::checkpoint() {
+            return Err(CircuitError::cancelled_at(format!(
+                "transient t = {t:e} s of {:e} s ({} steps accepted)",
+                opts.t_stop, steps.accepted_steps
+            )));
+        }
         // Aim for the next breakpoint or the end of the run.
         while let Some(&bp) = bp_iter.peek() {
             if bp <= t + 1e-21 + t.abs() * 1e-15 {
@@ -449,6 +460,15 @@ pub fn transient(
         let mut outcome = solve_with_faults(&mut solver, &mut sys, &mut x_try, &mut rescue);
 
         if !outcome.is_converged() {
+            // A cancelled solve must not enter the shrink-and-retry or
+            // rescue machinery: the token stays latched, so every retry
+            // would fail the same way after burning its own checkpoints.
+            if matches!(outcome, NewtonOutcome::Cancelled { .. }) {
+                return Err(CircuitError::cancelled_at(format!(
+                    "transient t = {t_new:e} s of {:e} s ({} steps accepted)",
+                    opts.t_stop, steps.accepted_steps
+                )));
+            }
             rescue.rejected_steps += 1;
             steps.rejected_newton += 1;
             let reduced = step * 0.25;
@@ -550,6 +570,11 @@ pub fn transient(
                         worst_unknown: sys.circuit.unknown_name(worst_index),
                         residual: last_residual,
                     },
+                    NewtonOutcome::Cancelled { .. } => CircuitError::cancelled_at(format!(
+                        "transient t = {t_new:e} s of {:e} s (rescue ladder, {} steps \
+                         accepted)",
+                        opts.t_stop, steps.accepted_steps
+                    )),
                     NewtonOutcome::Converged { .. } => unreachable!(),
                 });
             }

@@ -1,0 +1,227 @@
+//! Cancellation-correctness tests: cancel solves mid-Newton and
+//! mid-transient, on both LU backends, and prove the workspace is left
+//! clean — the same [`Circuit`] instance re-solves bit-identically to a
+//! never-cancelled run.
+//!
+//! Deterministic mid-solve cancellation points come from combining a
+//! [`FaultKind::Stall`] fault (a pure wall-clock sleep before a chosen
+//! Newton solve, no numerical corruption) with a [`CancelToken`] deadline
+//! shorter than the stall: the first checkpoint after the sleep observes
+//! the expired deadline.
+
+use std::time::Duration;
+
+use nvpg_circuit::cancel::{self, CancelToken};
+use nvpg_circuit::dc::{operating_point, DcOptions};
+use nvpg_circuit::transient::{transient, TransientOptions, TransientResult};
+use nvpg_circuit::{
+    with_fault_plan, Circuit, CircuitError, FaultKind, FaultPlan, SolverChoice, Waveform,
+};
+
+/// A healthy resistive divider: v(mid) = 0.5 V.
+fn divider() -> Circuit {
+    let mut ckt = Circuit::new();
+    let top = ckt.node("top");
+    let mid = ckt.node("mid");
+    ckt.vsource("v1", top, Circuit::GROUND, 1.0).unwrap();
+    ckt.resistor("r1", top, mid, 1e3).unwrap();
+    ckt.resistor("r2", mid, Circuit::GROUND, 1e3).unwrap();
+    ckt
+}
+
+/// A healthy RC low-pass driven by a 0→1 V step; τ = 1 ns.
+fn rc_circuit() -> Circuit {
+    let mut ckt = Circuit::new();
+    let vin = ckt.node("vin");
+    let out = ckt.node("out");
+    ckt.vsource(
+        "v1",
+        vin,
+        Circuit::GROUND,
+        Waveform::Pwl(vec![(0.0, 0.0), (1e-12, 1.0)]),
+    )
+    .unwrap();
+    ckt.resistor("r1", vin, out, 1e3).unwrap();
+    ckt.capacitor("c1", out, Circuit::GROUND, 1e-12).unwrap();
+    ckt
+}
+
+fn dc_opts(solver: SolverChoice) -> DcOptions {
+    DcOptions {
+        solver,
+        ..DcOptions::default()
+    }
+}
+
+/// Exact (bit-level) equality, so "byte-identical" means what it says —
+/// no tolerance hides a perturbed solver state.
+fn assert_bits_eq(a: &[f64], b: &[f64], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: length mismatch");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: sample {i} differs ({x:e} vs {y:e})"
+        );
+    }
+}
+
+fn assert_traces_identical(a: &TransientResult, b: &TransientResult, what: &str) {
+    assert_bits_eq(
+        a.trace.time(),
+        b.trace.time(),
+        &format!("{what}: time axis"),
+    );
+    for ((na, ca), (nb, cb)) in a.trace.columns().zip(b.trace.columns()) {
+        assert_eq!(na, nb, "{what}: column order");
+        assert_bits_eq(ca, cb, &format!("{what}: signal {na}"));
+    }
+    assert_bits_eq(
+        a.final_state.as_slice(),
+        b.final_state.as_slice(),
+        &format!("{what}: final state"),
+    );
+}
+
+#[test]
+fn pre_cancelled_token_aborts_dc_on_both_backends() {
+    for solver in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let mut ckt = divider();
+        let opts = dc_opts(solver);
+        let clean = operating_point(&mut ckt, &opts)
+            .unwrap()
+            .as_slice()
+            .to_vec();
+
+        let token = CancelToken::new();
+        token.cancel("test says stop");
+        let err = cancel::with_token(&token, || operating_point(&mut ckt, &opts)).unwrap_err();
+        assert_eq!(err.taxonomy(), "cancelled", "{solver:?}: {err}");
+        match &err {
+            CircuitError::Cancelled {
+                reason, progress, ..
+            } => {
+                assert_eq!(reason, "test says stop");
+                assert!(progress.contains("dc"), "progress = {progress}");
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+
+        // No poisoned state: the same circuit re-solves bit-identically.
+        let again = operating_point(&mut ckt, &opts)
+            .unwrap()
+            .as_slice()
+            .to_vec();
+        assert_bits_eq(&clean, &again, &format!("{solver:?} dc re-solve"));
+    }
+}
+
+#[test]
+fn mid_newton_deadline_cancels_dc_then_resolves_bit_identically() {
+    for solver in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let mut ckt = divider();
+        let opts = dc_opts(solver);
+        let clean = operating_point(&mut ckt, &opts)
+            .unwrap()
+            .as_slice()
+            .to_vec();
+
+        // Stall the very first Newton solve for longer than the deadline:
+        // the first post-sleep checkpoint (inside the Newton loop) fires.
+        let token = CancelToken::with_deadline(Duration::from_millis(10));
+        let plan = FaultPlan::at_solves(FaultKind::Stall(Duration::from_millis(120)), &[0]);
+        let err = cancel::with_token(&token, || {
+            with_fault_plan(&plan, || operating_point(&mut ckt, &opts))
+        })
+        .unwrap_err();
+        match &err {
+            CircuitError::Cancelled {
+                reason, elapsed, ..
+            } => {
+                assert_eq!(reason, "deadline exceeded");
+                assert!(
+                    *elapsed >= Duration::from_millis(10),
+                    "elapsed {elapsed:?} predates the deadline"
+                );
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+
+        let again = operating_point(&mut ckt, &opts)
+            .unwrap()
+            .as_slice()
+            .to_vec();
+        assert_bits_eq(
+            &clean,
+            &again,
+            &format!("{solver:?} dc after mid-Newton cancel"),
+        );
+    }
+}
+
+#[test]
+fn mid_transient_deadline_cancels_then_resolves_bit_identically() {
+    for solver in [SolverChoice::Dense, SolverChoice::Sparse] {
+        let mut ckt = rc_circuit();
+        let opts = TransientOptions {
+            solver,
+            ..TransientOptions::to(5e-9)
+        };
+        let init = operating_point(&mut ckt, &dc_opts(solver)).unwrap();
+        let clean = transient(&mut ckt, &opts, &init).unwrap();
+        assert!(
+            clean.trace.len() > 50,
+            "reference run too short to be interesting"
+        );
+
+        // Stall Newton solve #10 — mid-run — for longer than the deadline.
+        // Even on a machine slow enough that the deadline expires before
+        // solve #10, the outcome is still a cancelled transient; only the
+        // recorded progress point moves.
+        let token = CancelToken::with_deadline(Duration::from_millis(25));
+        let plan = FaultPlan::at_solves(FaultKind::Stall(Duration::from_millis(200)), &[10]);
+        let err = cancel::with_token(&token, || {
+            with_fault_plan(&plan, || transient(&mut ckt, &opts, &init))
+        })
+        .unwrap_err();
+        assert_eq!(err.taxonomy(), "cancelled", "{solver:?}: {err}");
+        match &err {
+            CircuitError::Cancelled { progress, .. } => {
+                assert!(progress.contains("transient"), "progress = {progress}");
+            }
+            other => panic!("expected Cancelled, got {other}"),
+        }
+
+        // The aborted run must leave nothing behind: companion-model
+        // history, retained LU factors, and integration state all rebuild
+        // from scratch, so the re-run reproduces every sample bit-for-bit.
+        let again = transient(&mut ckt, &opts, &init).unwrap();
+        assert_traces_identical(&clean, &again, &format!("{solver:?} transient"));
+    }
+}
+
+#[test]
+fn cancelled_transient_reports_partial_progress() {
+    let mut ckt = rc_circuit();
+    let opts = TransientOptions::to(5e-9);
+    let init = operating_point(&mut ckt, &DcOptions::default()).unwrap();
+
+    let token = CancelToken::new();
+    token.cancel("client disconnected");
+    let err = cancel::with_token(&token, || transient(&mut ckt, &opts, &init)).unwrap_err();
+    match &err {
+        CircuitError::Cancelled {
+            reason, progress, ..
+        } => {
+            assert_eq!(reason, "client disconnected");
+            // The progress string names the analysis and where it stopped.
+            assert!(progress.starts_with("transient"), "progress = {progress}");
+        }
+        other => panic!("expected Cancelled, got {other}"),
+    }
+    // Display keeps the progress but omits elapsed wall-clock, so error
+    // text stays byte-identical across runs.
+    let text = err.to_string();
+    assert!(text.contains("client disconnected"), "{text}");
+    assert!(!text.contains("elapsed"), "{text}");
+}

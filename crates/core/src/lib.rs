@@ -41,6 +41,12 @@
 
 pub mod arch;
 pub mod bet;
+/// Cooperative cancellation tokens, shared across the whole solve stack
+/// (re-exported from `nvpg-numeric`): install a [`cancel::CancelToken`]
+/// with [`cancel::with_token`] and every Newton iteration, transient step,
+/// rescue rung, and sparse factorisation under it becomes cancellable,
+/// surfacing as `CircuitError::Cancelled` through the run-report taxonomy.
+pub use nvpg_circuit::cancel;
 pub mod canon;
 pub mod corners;
 pub mod domain;
@@ -56,6 +62,7 @@ pub mod workload;
 
 pub use arch::Architecture;
 pub use bet::{bet_closed_form, bet_iterative, Bet};
+pub use cancel::CancelToken;
 pub use corners::{corner_analysis, Corner, CornerResult};
 pub use domain::PowerDomain;
 pub use energy::{BenchmarkParams, EnergyBreakdown, EnergyModel};

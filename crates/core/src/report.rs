@@ -79,6 +79,11 @@ impl RunReport {
         status: PointStatus,
         rescue: RescueStats,
     ) {
+        if let PointStatus::Failed { taxonomy, .. } = &status {
+            if taxonomy == "cancelled" {
+                nvpg_obs::metrics::counters::ENGINE_CANCELLED_POINTS.add(1);
+            }
+        }
         self.records.push(PointRecord {
             experiment: experiment.into(),
             point: point.into(),

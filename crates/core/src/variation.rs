@@ -173,6 +173,24 @@ pub fn run_variation_report(
     jobs: usize,
     faults: Option<&FaultPlan>,
 ) -> (VariationOutcome, RunReport) {
+    run_variation_report_deadline(base, spec, params, jobs, faults, None)
+}
+
+/// [`run_variation_report`] with an optional per-point deadline.
+///
+/// When `point_deadline` is given, each sample solves under its own
+/// [`crate::cancel::CancelToken`] armed with that deadline; a sample that
+/// overruns settles as `Failed { taxonomy: "cancelled" }` while every
+/// other sample stays byte-identical to an undeadlined run (the token is
+/// scoped to the worker closure, so no state leaks between points).
+pub fn run_variation_report_deadline(
+    base: &CellDesign,
+    spec: &VariationSpec,
+    params: &BenchmarkParams,
+    jobs: usize,
+    faults: Option<&FaultPlan>,
+    point_deadline: Option<std::time::Duration>,
+) -> (VariationOutcome, RunReport) {
     let indices: Vec<u64> = (0..u64::from(spec.samples)).collect();
     let results: Vec<Settled<SampleRun, CircuitError>> =
         nvpg_exec::par_map_settled(jobs, &indices, Budget::unlimited(), |_, &i| {
@@ -193,18 +211,27 @@ pub fn run_variation_report(
                     },
                 )
             };
+            // Per-point deadline: a fresh token per sample, installed
+            // inside the worker closure, so one slow point cancels alone.
+            let deadlined = || match point_deadline {
+                Some(d) => {
+                    let token = crate::cancel::CancelToken::with_deadline(d);
+                    crate::cancel::with_token(&token, run)
+                }
+                None => run(),
+            };
             Ok(match faults {
                 Some(plan) => {
                     // Install the plan *inside* the worker closure so the
                     // schedule keys off the sample, not the thread.
-                    let (outcome, log) = with_fault_plan_logged(&plan.for_point(i), run);
+                    let (outcome, log) = with_fault_plan_logged(&plan.for_point(i), deadlined);
                     SampleRun {
                         outcome,
                         injected: log.len() as u32,
                     }
                 }
                 None => SampleRun {
-                    outcome: run(),
+                    outcome: deadlined(),
                     injected: 0,
                 },
             })

@@ -25,6 +25,9 @@
 //!   optional macrospin (LLG) MTJ switching engine.
 //! * [`interp`] — linear and monotone-cubic (Fritsch–Carlson)
 //!   interpolation for characterisation tables.
+//! * [`cancel`] — cooperative cancellation tokens (deadline + reason +
+//!   progress heartbeat) polled by the Newton and sparse-factorisation hot
+//!   loops; zero cost when no token is installed.
 //!
 //! # Examples
 //!
@@ -37,6 +40,7 @@
 //! assert!((x[1] - 1.4).abs() < 1e-12);
 //! ```
 
+pub mod cancel;
 pub mod complex;
 pub mod interp;
 pub mod matrix;
@@ -47,6 +51,7 @@ pub mod roots;
 pub mod simd;
 pub mod sparse;
 
+pub use cancel::CancelToken;
 pub use complex::{ComplexMatrix, C64};
 pub use interp::{LinearInterp, MonotoneCubic};
 pub use matrix::{DenseMatrix, LuFactors, LuWorkspace, SingularMatrixError};

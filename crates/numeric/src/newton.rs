@@ -14,6 +14,7 @@
 
 use std::fmt;
 
+use crate::cancel;
 use crate::matrix::{DenseMatrix, LuWorkspace, SingularMatrixError};
 use crate::simd;
 use crate::sparse::{CscMatrix, SparseLu, SparsePattern};
@@ -332,6 +333,14 @@ pub enum NewtonOutcome {
         /// Iteration at which the first non-finite value appeared.
         iteration: usize,
     },
+    /// The thread's installed [`crate::cancel::CancelToken`] fired
+    /// (explicit cancellation or deadline expiry). The retained Jacobian is
+    /// invalidated before returning, so the same solver instance can run a
+    /// fresh solve afterwards with no state carried over.
+    Cancelled {
+        /// Iteration at which the cancellation checkpoint fired.
+        iteration: usize,
+    },
 }
 
 impl NewtonOutcome {
@@ -507,6 +516,14 @@ impl NewtonSolver {
         let mut worst_index = 0usize;
 
         for iter in 0..self.options.max_iter {
+            // Cooperative cancellation checkpoint: one thread-local read
+            // when no token is installed. The early return invalidates the
+            // retained Jacobian exactly like the other bail-outs, so a
+            // cancelled solve leaves no poisoned state behind.
+            if cancel::checkpoint() {
+                self.invalidate_jacobian();
+                return NewtonOutcome::Cancelled { iteration: iter };
+            }
             // Modified-Newton fast path: when the retained factorisation is
             // still trusted, evaluate only the residual and skip Jacobian
             // assembly + LU entirely. The system may decline (returns
@@ -548,6 +565,12 @@ impl NewtonSolver {
             if !stale {
                 if let Err(err) = self.linear.factor() {
                     self.invalidate_jacobian();
+                    // The sparse backend bails out of a long factorisation
+                    // when the token fires mid-factor; a cancelled token
+                    // re-classifies the factor error as a cancellation.
+                    if cancel::cancelled() {
+                        return NewtonOutcome::Cancelled { iteration: iter };
+                    }
                     return NewtonOutcome::SingularJacobian {
                         iteration: iter,
                         column: err.column,

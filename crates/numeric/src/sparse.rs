@@ -25,6 +25,7 @@
 //! dense path, with `column` holding the *original* unknown index (not the
 //! permuted position), so node-name diagnostics work unchanged upstream.
 
+use crate::cancel;
 use crate::matrix::{DenseMatrix, SingularMatrixError};
 use crate::simd;
 
@@ -399,6 +400,14 @@ impl SparseLu {
                     return Ok(());
                 }
                 Err(RefactorFailure::Unstable) => {
+                    // A cancellation token that fired mid-refactor surfaces
+                    // as Unstable; bail out instead of paying for (and
+                    // mis-counting) a full-factorisation fallback. The
+                    // Newton driver re-classifies the error by consulting
+                    // the token, so the column index is never reported.
+                    if cancel::cancelled() {
+                        return Err(SingularMatrixError { column: 0 });
+                    }
                     self.refactor_fallbacks += 1;
                 }
             }
@@ -494,6 +503,15 @@ impl SparseLu {
             .reserve(nnz_guess.saturating_sub(self.u_rowind.capacity()));
 
         for j in 0..n {
+            // Cooperative cancellation checkpoint: array-scale numeric
+            // factorisations run long enough that waiting for the Newton
+            // loop's per-iteration poll would add whole-factorisation
+            // latency to a deadline. `work` is all-zero at the top of the
+            // column loop and `analyzed` is still false, so the early
+            // return leaves the workspace clean for the next full factor.
+            if j & 0xFF == 0 && cancel::checkpoint() {
+                return Err(SingularMatrixError { column: self.q[j] });
+            }
             let col = self.q[j];
             let top = self.reach_and_solve(a, col);
 
@@ -680,6 +698,12 @@ impl SparseLu {
         debug_assert_eq!(a.n, n);
         let w = &mut self.work; // all-zero on entry, restored on every exit
         for j in 0..n {
+            // Cancellation checkpoint at the top of the column loop, where
+            // `w` is clean; surfaces as Unstable and is re-classified by
+            // `factor` before the fallback path runs.
+            if j & 0xFF == 0 && cancel::checkpoint() {
+                return Err(RefactorFailure::Unstable);
+            }
             let col = self.q[j];
             // Scatter A's column into pivot space; track its magnitude for
             // the pivot-decay monitor.

@@ -172,6 +172,22 @@ pub mod counters {
     pub static SERVE_SOLVES: Counter = Counter::new("serve.solves");
     /// Cached responses evicted under capacity pressure.
     pub static SERVE_EVICTIONS: Counter = Counter::new("serve.evictions");
+    /// Requests answered 504 because their deadline (server default or
+    /// client `timeout_ms`, capped) expired before the solve finished.
+    pub static SERVE_DEADLINE_EXCEEDED: Counter = Counter::new("serve.deadline_exceeded");
+    /// Requests shed by the per-client token-bucket rate limiter (429).
+    pub static SERVE_RATE_LIMITED: Counter = Counter::new("serve.rate_limited");
+    /// In-flight requests whose client disconnected; the solve was
+    /// cancelled instead of burning CPU for nobody.
+    pub static SERVE_DISCONNECTS: Counter = Counter::new("serve.disconnects");
+    /// Solves cancelled by the watchdog because their progress heartbeat
+    /// stalled past the configured bound.
+    pub static SERVE_WATCHDOG_FIRES: Counter = Counter::new("serve.watchdog_fires");
+
+    /// Sweep/Monte-Carlo points that ended cancelled (deadline expiry or
+    /// explicit cancellation) and were recorded fail-soft in the run
+    /// report rather than killing the run.
+    pub static ENGINE_CANCELLED_POINTS: Counter = Counter::new("engine.cancelled_points");
 }
 
 /// The gauge registry.
@@ -188,7 +204,7 @@ pub mod gauges {
 }
 
 /// Every registered counter, in render order.
-static ALL_COUNTERS: [&Counter; 24] = [
+static ALL_COUNTERS: [&Counter; 29] = [
     &counters::ACCEPTED_STEPS,
     &counters::REJECTED_LTE,
     &counters::REJECTED_NEWTON,
@@ -213,6 +229,11 @@ static ALL_COUNTERS: [&Counter; 24] = [
     &counters::SERVE_REJECTED,
     &counters::SERVE_SOLVES,
     &counters::SERVE_EVICTIONS,
+    &counters::SERVE_DEADLINE_EXCEEDED,
+    &counters::SERVE_RATE_LIMITED,
+    &counters::SERVE_DISCONNECTS,
+    &counters::SERVE_WATCHDOG_FIRES,
+    &counters::ENGINE_CANCELLED_POINTS,
 ];
 
 /// Every registered gauge, in render order.

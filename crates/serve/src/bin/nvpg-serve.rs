@@ -2,7 +2,11 @@
 //!
 //! ```text
 //! nvpg-serve [--listen ADDR] [--jobs N] [--cache-mb MB]
-//!            [--queue-depth N] [--debug-endpoints] [--trace]
+//!            [--queue-depth N] [--queue-per-client N]
+//!            [--default-timeout-ms MS] [--max-timeout-ms MS]
+//!            [--rate-limit-rps N] [--rate-limit-burst N]
+//!            [--watchdog-stall-ms MS]
+//!            [--debug-endpoints] [--trace]
 //! ```
 //!
 //! Runs until SIGTERM/SIGINT (ctrl-c), then drains in-flight work and
@@ -38,7 +42,9 @@ fn install_signal_handlers() {
 fn usage() -> ! {
     eprintln!(
         "usage: nvpg-serve [--listen ADDR] [--jobs N] [--cache-mb MB] \
-         [--queue-depth N] [--debug-endpoints] [--trace]"
+         [--queue-depth N] [--queue-per-client N] [--default-timeout-ms MS] \
+         [--max-timeout-ms MS] [--rate-limit-rps N] [--rate-limit-burst N] \
+         [--watchdog-stall-ms MS] [--debug-endpoints] [--trace]"
     );
     std::process::exit(2);
 }
@@ -66,6 +72,30 @@ fn main() {
             },
             "--queue-depth" => match value("--queue-depth").parse() {
                 Ok(n) => config.queue_depth = n,
+                Err(_) => usage(),
+            },
+            "--queue-per-client" => match value("--queue-per-client").parse() {
+                Ok(n) => config.queue_per_client = n,
+                Err(_) => usage(),
+            },
+            "--default-timeout-ms" => match value("--default-timeout-ms").parse() {
+                Ok(ms) => config.default_timeout_ms = ms,
+                Err(_) => usage(),
+            },
+            "--max-timeout-ms" => match value("--max-timeout-ms").parse() {
+                Ok(ms) => config.max_timeout_ms = ms,
+                Err(_) => usage(),
+            },
+            "--rate-limit-rps" => match value("--rate-limit-rps").parse() {
+                Ok(n) => config.rate_limit_rps = n,
+                Err(_) => usage(),
+            },
+            "--rate-limit-burst" => match value("--rate-limit-burst").parse() {
+                Ok(n) => config.rate_limit_burst = n,
+                Err(_) => usage(),
+            },
+            "--watchdog-stall-ms" => match value("--watchdog-stall-ms").parse() {
+                Ok(ms) => config.watchdog_stall_ms = ms,
                 Err(_) => usage(),
             },
             "--debug-endpoints" => config.debug_endpoints = true,

@@ -12,9 +12,14 @@ use std::net::TcpStream;
 
 /// Upper bound on an accepted request body (a SPICE deck measured in
 /// kilobytes fits comfortably; anything larger is hostile or a mistake).
+/// Exceeding it is answered with `413 Payload Too Large`.
 pub const MAX_BODY_BYTES: usize = 1 << 20;
-/// Upper bound on the request line + headers combined.
+/// Upper bound on the request line + headers combined. Exceeding it is
+/// answered with `431 Request Header Fields Too Large`.
 pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Upper bound on the number of header fields (each tiny header still
+/// costs a parse; a flood of them is hostile). Answered with `431`.
+pub const MAX_HEADER_COUNT: usize = 100;
 
 /// A parsed request.
 #[derive(Debug)]
@@ -29,6 +34,9 @@ pub struct Request {
     pub body: Vec<u8>,
     /// `true` when the client asked to close the connection.
     pub close: bool,
+    /// The `X-Client` header, when sent — the tenant identity used by
+    /// the per-client rate limiter (falls back to the peer address).
+    pub client: Option<String>,
 }
 
 impl Request {
@@ -50,6 +58,11 @@ pub enum ReadError {
     Eof,
     /// The bytes on the wire are not an acceptable HTTP/1.1 request.
     Malformed(String),
+    /// The declared body exceeds [`MAX_BODY_BYTES`] — answered `413`.
+    BodyTooLarge(String),
+    /// The head exceeds [`MAX_HEAD_BYTES`] or [`MAX_HEADER_COUNT`] —
+    /// answered `431`.
+    HeadersTooLarge(String),
     /// Transport failure mid-request.
     Io(std::io::Error),
 }
@@ -96,6 +109,8 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
 
     let mut content_length = 0usize;
     let mut close = version == "HTTP/1.0";
+    let mut client = None;
+    let mut header_count = 0usize;
     loop {
         line.clear();
         let n = reader.read_line(&mut line)?;
@@ -104,11 +119,19 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         }
         head_bytes += n;
         if head_bytes > MAX_HEAD_BYTES {
-            return Err(ReadError::Malformed("headers exceed 16 KiB".into()));
+            return Err(ReadError::HeadersTooLarge(format!(
+                "headers exceed the {MAX_HEAD_BYTES}-byte limit"
+            )));
         }
         let header = line.trim_end();
         if header.is_empty() {
             break;
+        }
+        header_count += 1;
+        if header_count > MAX_HEADER_COUNT {
+            return Err(ReadError::HeadersTooLarge(format!(
+                "more than {MAX_HEADER_COUNT} header fields"
+            )));
         }
         let Some((name, value)) = header.split_once(':') else {
             return Err(ReadError::Malformed(format!("bad header `{header}`")));
@@ -119,12 +142,14 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
                 .parse()
                 .map_err(|_| ReadError::Malformed(format!("bad Content-Length `{value}`")))?;
             if content_length > MAX_BODY_BYTES {
-                return Err(ReadError::Malformed(format!(
+                return Err(ReadError::BodyTooLarge(format!(
                     "body of {content_length} bytes exceeds the {MAX_BODY_BYTES}-byte limit"
                 )));
             }
         } else if name.eq_ignore_ascii_case("connection") {
             close = value.eq_ignore_ascii_case("close");
+        } else if name.eq_ignore_ascii_case("x-client") {
+            client = Some(value.to_owned());
         } else if name.eq_ignore_ascii_case("transfer-encoding") {
             return Err(ReadError::Malformed(
                 "chunked transfer encoding is not supported".into(),
@@ -140,6 +165,7 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
         query,
         body,
         close,
+        client,
     })
 }
 
@@ -188,6 +214,13 @@ impl Response {
         r
     }
 
+    /// The `429 Too Many Requests` rate-limit response.
+    pub fn rate_limited(retry_after_s: u32) -> Self {
+        let mut r = Response::error(429, "rate limit exceeded, slow down");
+        r.retry_after = Some(retry_after_s);
+        r
+    }
+
     /// Approximate in-memory footprint, used for cache accounting.
     pub fn weight(&self) -> usize {
         self.body.len() + 64
@@ -201,8 +234,12 @@ fn reason(status: u16) -> &'static str {
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
         500 => "Internal Server Error",
         503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -266,12 +303,44 @@ mod tests {
         let huge = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 2 << 20);
         assert!(matches!(
             round_trip(huge.as_bytes()),
-            Err(ReadError::Malformed(_))
+            Err(ReadError::BodyTooLarge(_))
         ));
         assert!(matches!(
             round_trip(b"GARBAGE\r\n\r\n"),
             Err(ReadError::Malformed(_))
         ));
         assert!(matches!(round_trip(b""), Err(ReadError::Eof)));
+    }
+
+    #[test]
+    fn parses_the_x_client_header() {
+        let req =
+            round_trip(b"GET /healthz HTTP/1.1\r\nX-Client: tenant-a\r\n\r\n").expect("parse");
+        assert_eq!(req.client.as_deref(), Some("tenant-a"));
+        let req = round_trip(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n").expect("parse");
+        assert_eq!(req.client, None);
+    }
+
+    #[test]
+    fn rejects_oversized_heads_as_431() {
+        // One giant header value blows the byte budget.
+        let fat = format!(
+            "GET / HTTP/1.1\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(MAX_HEAD_BYTES)
+        );
+        assert!(matches!(
+            round_trip(fat.as_bytes()),
+            Err(ReadError::HeadersTooLarge(_))
+        ));
+        // Many tiny headers blow the count budget before the byte budget.
+        let mut many = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=MAX_HEADER_COUNT {
+            many.push_str(&format!("X-{i}: v\r\n"));
+        }
+        many.push_str("\r\n");
+        assert!(matches!(
+            round_trip(many.as_bytes()),
+            Err(ReadError::HeadersTooLarge(_))
+        ));
     }
 }

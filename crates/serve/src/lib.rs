@@ -30,6 +30,15 @@
 //! * **Fail-soft** — deck parsing returns structured `400`s (the parser
 //!   is panic-free on hostile input) and a panicking solve answers `500`
 //!   via `catch_unwind` without taking the worker down.
+//! * **Deadlines** — every request runs under a cooperative
+//!   [`nvpg_core::cancel::CancelToken`] armed from the server default or
+//!   the client's `timeout_ms` (capped); expiry answers `504` with
+//!   partial progress diagnostics and frees the worker immediately.
+//! * **Overload control** — a per-client token bucket
+//!   ([`limiter::RateLimiter`], `429` + `Retry-After`) and a fair-share
+//!   connection queue keep one noisy tenant from starving the rest; a
+//!   watchdog cancels solves whose heartbeat stalls or whose client has
+//!   disconnected.
 //!
 //! ## Endpoints
 //!
@@ -44,6 +53,7 @@
 
 pub mod cache;
 pub mod http;
+pub mod limiter;
 pub mod server;
 pub mod singleflight;
 
@@ -51,7 +61,7 @@ pub use http::{Request, Response};
 pub use server::Server;
 
 /// Server configuration (the bin's `--listen/--jobs/--cache-mb/
-/// --queue-depth` flags).
+/// --queue-depth/--default-timeout-ms/--rate-limit-rps/…` flags).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address, e.g. `127.0.0.1:7878` (port `0` picks a free one).
@@ -60,10 +70,30 @@ pub struct ServeConfig {
     pub jobs: usize,
     /// Response-cache capacity in bytes (0 disables caching).
     pub cache_bytes: usize,
-    /// Accepted-connection queue depth (admission-control bound).
+    /// Accepted-connection queue depth (admission-control bound),
+    /// shared fairly across peers ([`nvpg_exec::FairQueue`]).
     pub queue_depth: usize,
+    /// Per-peer share of the connection queue (0 = no per-peer bound;
+    /// each peer may then fill the whole queue, the pre-fair-share
+    /// behaviour).
+    pub queue_per_client: usize,
     /// Expose `/debug/sleep` (deterministic worker stalls for tests/CI).
     pub debug_endpoints: bool,
+    /// Deadline applied to requests that carry no `timeout_ms`
+    /// (milliseconds; 0 = no default deadline).
+    pub default_timeout_ms: u64,
+    /// Upper cap on a client-supplied `timeout_ms` (milliseconds; a
+    /// larger request value is clamped, never honoured).
+    pub max_timeout_ms: u64,
+    /// Per-client admitted requests per second (token bucket keyed by
+    /// the `X-Client` header, falling back to the peer address;
+    /// 0 = rate limiting disabled).
+    pub rate_limit_rps: u32,
+    /// Token-bucket burst size (0 = same as `rate_limit_rps`).
+    pub rate_limit_burst: u32,
+    /// Cancel a solve whose progress heartbeat has not advanced for
+    /// this long (milliseconds; 0 = stall watchdog disabled).
+    pub watchdog_stall_ms: u64,
 }
 
 impl Default for ServeConfig {
@@ -73,7 +103,13 @@ impl Default for ServeConfig {
             jobs: nvpg_exec::default_jobs(),
             cache_bytes: 64 << 20,
             queue_depth: 64,
+            queue_per_client: 0,
             debug_endpoints: false,
+            default_timeout_ms: 30_000,
+            max_timeout_ms: 120_000,
+            rate_limit_rps: 0,
+            rate_limit_burst: 0,
+            watchdog_stall_ms: 0,
         }
     }
 }

@@ -1,0 +1,137 @@
+//! A per-client token-bucket rate limiter.
+//!
+//! Each client key (the `X-Client` header, falling back to the peer
+//! address) owns an independent bucket that refills at `rps` tokens per
+//! second up to `burst`. A request that finds its bucket empty is shed
+//! with `429 Too Many Requests` and a `Retry-After` hint sized to the
+//! actual refill rate — one noisy tenant gets throttled while every
+//! other tenant's budget is untouched.
+//!
+//! Buckets are lazily created and pruned once full again and idle, so a
+//! scan of spoofed client names cannot grow the map without bound past
+//! one bucket per *concurrently active* key window.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Idle-full buckets older than this are pruned on the next admit.
+const PRUNE_AFTER_S: f64 = 60.0;
+/// Hard cap on tracked keys; past it, unknown keys are admitted rather
+/// than tracked (fail open — memory safety beats strictness here).
+const MAX_KEYS: usize = 4096;
+
+struct Bucket {
+    /// Tokens available, in [0, burst].
+    tokens: f64,
+    /// When the bucket was last refilled.
+    refilled: Instant,
+}
+
+/// Keyed token buckets. One per server; `admit` is the whole API.
+pub struct RateLimiter {
+    /// Refill rate, tokens (requests) per second.
+    rps: f64,
+    /// Bucket capacity.
+    burst: f64,
+    buckets: Mutex<HashMap<String, Bucket>>,
+}
+
+impl RateLimiter {
+    /// A limiter refilling `rps` requests per second per client, with up
+    /// to `burst` banked. `burst` is clamped to at least 1 (a bucket that
+    /// can never hold a whole token admits nothing).
+    pub fn new(rps: u32, burst: u32) -> Self {
+        RateLimiter {
+            rps: f64::from(rps.max(1)),
+            burst: f64::from(burst.max(1)),
+            buckets: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Admits or sheds one request from `key` right now.
+    ///
+    /// # Errors
+    ///
+    /// Returns the suggested `Retry-After` in whole seconds (at least 1)
+    /// when the key's bucket is empty.
+    pub fn admit(&self, key: &str) -> Result<(), u32> {
+        self.admit_at(key, Instant::now())
+    }
+
+    /// [`admit`](Self::admit) against an explicit clock (tests).
+    fn admit_at(&self, key: &str, now: Instant) -> Result<(), u32> {
+        let mut buckets = self.buckets.lock().expect("limiter buckets");
+        // Opportunistic prune: drop buckets that have refilled to full
+        // and sat idle — they are indistinguishable from fresh ones.
+        if buckets.len() >= MAX_KEYS {
+            let (rps, burst) = (self.rps, self.burst);
+            buckets.retain(|_, b| {
+                let idle = now.saturating_duration_since(b.refilled).as_secs_f64();
+                b.tokens + idle * rps < burst || idle < PRUNE_AFTER_S
+            });
+            if buckets.len() >= MAX_KEYS && !buckets.contains_key(key) {
+                return Ok(()); // fail open rather than grow without bound
+            }
+        }
+        let bucket = buckets.entry(key.to_owned()).or_insert(Bucket {
+            tokens: self.burst,
+            refilled: now,
+        });
+        let elapsed = now.saturating_duration_since(bucket.refilled).as_secs_f64();
+        bucket.tokens = (bucket.tokens + elapsed * self.rps).min(self.burst);
+        bucket.refilled = now;
+        if bucket.tokens >= 1.0 {
+            bucket.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait_s = (1.0 - bucket.tokens) / self.rps;
+            Err((wait_s.ceil() as u32).max(1))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn burst_is_admitted_then_shed() {
+        let lim = RateLimiter::new(10, 3);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            assert!(lim.admit_at("a", t0).is_ok());
+        }
+        let retry = lim.admit_at("a", t0).expect_err("bucket empty");
+        assert!(retry >= 1);
+    }
+
+    #[test]
+    fn refill_restores_admission() {
+        let lim = RateLimiter::new(10, 1);
+        let t0 = Instant::now();
+        assert!(lim.admit_at("a", t0).is_ok());
+        assert!(lim.admit_at("a", t0).is_err());
+        // 10 rps ⇒ one token back after 100 ms.
+        assert!(lim.admit_at("a", t0 + Duration::from_millis(150)).is_ok());
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let lim = RateLimiter::new(1, 1);
+        let t0 = Instant::now();
+        assert!(lim.admit_at("noisy", t0).is_ok());
+        assert!(lim.admit_at("noisy", t0).is_err(), "noisy is throttled");
+        assert!(lim.admit_at("quiet", t0).is_ok(), "quiet is untouched");
+    }
+
+    #[test]
+    fn retry_after_tracks_the_refill_rate() {
+        let lim = RateLimiter::new(1, 1);
+        let t0 = Instant::now();
+        assert!(lim.admit_at("a", t0).is_ok());
+        let retry = lim.admit_at("a", t0).expect_err("empty");
+        assert_eq!(retry, 1, "1 rps ⇒ a token is ~1 s away");
+    }
+}

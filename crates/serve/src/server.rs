@@ -2,11 +2,20 @@
 //! solve) → respond.
 //!
 //! One acceptor thread owns the listener; `jobs` worker threads own the
-//! solvers. Between them sits a [`BoundedQueue`] of accepted
-//! connections — the *only* buffer in the system, so memory under
-//! overload is bounded by `queue_depth` sockets, and everything past it
-//! is shed with `503 Retry-After` before any parsing or allocation
-//! happens on its behalf.
+//! solvers. Between them sits a [`FairQueue`] of accepted connections
+//! keyed by peer address — the *only* buffer in the system, so memory
+//! under overload is bounded by `queue_depth` sockets, workers drain
+//! peers round-robin, and everything past the cap is shed with `503
+//! Retry-After` before any parsing or allocation happens on its behalf.
+//!
+//! Every request runs under a [`CancelToken`]: its deadline comes from
+//! the client's `timeout_ms` (capped by `max_timeout_ms`) or the server
+//! default, and a watchdog thread cancels tokens whose client has
+//! disconnected or whose solve heartbeat has stalled. An expired solve
+//! answers `504` with partial progress diagnostics and frees the worker
+//! immediately. A per-client token bucket ([`RateLimiter`], keyed by the
+//! `X-Client` header) sheds one tenant's flood with `429` while other
+//! tenants keep flowing.
 //!
 //! Deterministic endpoints (`/figures`, `/bet`, `/sweep`, `/simulate`)
 //! flow through the content-addressed [`ResponseCache`] and the
@@ -14,19 +23,21 @@
 //! [`Experiments`] characterisation is built once behind a `OnceLock`
 //! on first use and reused by every worker for the life of the process.
 
+use std::collections::HashMap;
 use std::io::BufReader;
-use std::net::{TcpListener, TcpStream};
+use std::net::{IpAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
-use std::sync::{Arc, OnceLock};
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use nvpg_cells::design::CellDesign;
 use nvpg_circuit::dc::{operating_point, DcOptions};
 use nvpg_circuit::transient::{transient, TransientOptions};
-use nvpg_circuit::SolverChoice;
+use nvpg_circuit::{CircuitError, SolverChoice};
 use nvpg_core::bet::{bet_closed_form, bet_iterative, Bet};
+use nvpg_core::cancel::{self, CancelToken};
 use nvpg_core::canon::{
     architecture_from_json, benchmark_params_from_json, canonical_json, request_key_raw,
 };
@@ -34,10 +45,11 @@ use nvpg_core::{Architecture, Experiments, Figure};
 use nvpg_obs::json::{parse as parse_json, Json};
 use nvpg_obs::metrics::{counters, gauges};
 
-use nvpg_exec::queue::{BoundedQueue, PushError};
+use nvpg_exec::queue::{FairQueue, PushError};
 
 use crate::cache::ResponseCache;
 use crate::http::{read_request, write_response, ReadError, Request, Response};
+use crate::limiter::RateLimiter;
 use crate::singleflight::{Group, Role};
 use crate::ServeConfig;
 
@@ -52,7 +64,12 @@ fn experiments() -> Result<&'static Experiments, String> {
     static EXPERIMENTS: OnceLock<Result<Experiments, String>> = OnceLock::new();
     EXPERIMENTS
         .get_or_init(|| {
-            Experiments::new(CellDesign::table1()).map_err(|e| format!("characterisation: {e}"))
+            // Shielded from the triggering request's deadline: the
+            // characterisation outlives any one request, and a cancelled
+            // first attempt would poison the cell for the process.
+            cancel::shielded(|| {
+                Experiments::new(CellDesign::table1()).map_err(|e| format!("characterisation: {e}"))
+            })
         })
         .as_ref()
         .map_err(Clone::clone)
@@ -64,6 +81,7 @@ pub struct Server {
     addr: std::net::SocketAddr,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
 }
 
@@ -82,13 +100,30 @@ impl Server {
             .map_err(|e| format!("set_nonblocking: {e}"))?;
 
         let shutdown = Arc::new(AtomicBool::new(false));
-        let queue = Arc::new(BoundedQueue::<TcpStream>::new(config.queue_depth.max(1)));
+        let depth = config.queue_depth.max(1);
+        let per_client = if config.queue_per_client == 0 {
+            depth
+        } else {
+            config.queue_per_client.min(depth)
+        };
+        let queue = Arc::new(FairQueue::<IpAddr, TcpStream>::new(per_client, depth));
         let shared = Arc::new(Shared {
             cache: ResponseCache::new(config.cache_bytes),
             flights: Group::new(),
             inflight: AtomicI64::new(0),
             debug_endpoints: config.debug_endpoints,
             shutdown: Arc::clone(&shutdown),
+            default_timeout_ms: config.default_timeout_ms,
+            max_timeout_ms: config.max_timeout_ms,
+            limiter: (config.rate_limit_rps > 0).then(|| {
+                let burst = if config.rate_limit_burst == 0 {
+                    config.rate_limit_rps
+                } else {
+                    config.rate_limit_burst
+                };
+                RateLimiter::new(config.rate_limit_rps, burst)
+            }),
+            watch: Watch::new(),
         });
 
         let workers = (0..config.jobs.max(1))
@@ -114,10 +149,26 @@ impl Server {
                 .map_err(|e| format!("spawn acceptor: {e}"))?
         };
 
+        let watchdog = {
+            let shared = Arc::clone(&shared);
+            let shutdown = Arc::clone(&shutdown);
+            let stall = Duration::from_millis(config.watchdog_stall_ms);
+            std::thread::Builder::new()
+                .name("serve-watchdog".to_owned())
+                .spawn(move || {
+                    while !shutdown.load(Ordering::SeqCst) {
+                        shared.watch.scan(stall);
+                        std::thread::sleep(Duration::from_millis(20));
+                    }
+                })
+                .map_err(|e| format!("spawn watchdog: {e}"))?
+        };
+
         Ok(Server {
             addr,
             shutdown,
             acceptor: Some(acceptor),
+            watchdog: Some(watchdog),
             workers,
         })
     }
@@ -137,6 +188,9 @@ impl Server {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        if let Some(watchdog) = self.watchdog.take() {
+            let _ = watchdog.join();
+        }
     }
 }
 
@@ -153,18 +207,122 @@ struct Shared {
     inflight: AtomicI64,
     debug_endpoints: bool,
     shutdown: Arc<AtomicBool>,
+    default_timeout_ms: u64,
+    max_timeout_ms: u64,
+    limiter: Option<RateLimiter>,
+    watch: Watch,
+}
+
+/// One in-flight request under watchdog observation.
+struct Watched {
+    token: CancelToken,
+    stream: TcpStream,
+    last_progress: u64,
+    last_change: Instant,
+}
+
+/// Registry of in-flight requests. The watchdog thread scans it to
+/// cancel tokens whose client has disconnected and (when the stall bound
+/// is configured) whose solve heartbeat has stopped advancing.
+struct Watch {
+    entries: Mutex<HashMap<u64, Watched>>,
+    next_id: AtomicU64,
+}
+
+impl Watch {
+    fn new() -> Self {
+        Watch {
+            entries: Mutex::new(HashMap::new()),
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a request; pass the returned id to
+    /// [`deregister`](Self::deregister) when the request completes.
+    /// `None` (not an error) when the stream cannot be observed.
+    fn register(&self, token: &CancelToken, stream: &TcpStream) -> Option<u64> {
+        let stream = stream.try_clone().ok()?;
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.entries.lock().expect("watch registry").insert(
+            id,
+            Watched {
+                token: token.clone(),
+                stream,
+                last_progress: token.progress(),
+                last_change: Instant::now(),
+            },
+        );
+        Some(id)
+    }
+
+    fn deregister(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.entries.lock().expect("watch registry").remove(&id);
+        }
+    }
+
+    /// One watchdog pass over every in-flight request.
+    fn scan(&self, stall: Duration) {
+        let now = Instant::now();
+        let mut entries = self.entries.lock().expect("watch registry");
+        for w in entries.values_mut() {
+            if w.token.is_cancelled() {
+                continue;
+            }
+            if peer_gone(&w.stream) {
+                w.token.cancel("client disconnected");
+                counters::SERVE_DISCONNECTS.add(1);
+                continue;
+            }
+            if stall > Duration::ZERO {
+                let p = w.token.progress();
+                if p != w.last_progress {
+                    w.last_progress = p;
+                    w.last_change = now;
+                } else if now.saturating_duration_since(w.last_change) > stall {
+                    w.token.cancel("watchdog: progress stalled");
+                    counters::SERVE_WATCHDOG_FIRES.add(1);
+                }
+            }
+        }
+    }
+}
+
+/// `true` when the peer has closed its end: a nonblocking peek sees EOF.
+/// `WouldBlock` means the peer is simply quiet — alive and waiting.
+/// The socket is only peeked while its worker is solving (never reading),
+/// and blocking mode is restored before the registry lock is released,
+/// so the worker always reads/writes a blocking socket.
+fn peer_gone(stream: &TcpStream) -> bool {
+    if stream.set_nonblocking(true).is_err() {
+        return false;
+    }
+    let mut byte = [0u8; 1];
+    let gone = match stream.peek(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
 }
 
 /// Accepts connections until shutdown, applying admission control: a
-/// full queue sheds the connection with `503` immediately, so the
-/// acceptor never blocks on workers and memory stays bounded.
-fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>, shutdown: &AtomicBool) {
+/// full queue (total, or the peer's fair share of it) sheds the
+/// connection with `503` immediately, so the acceptor never blocks on
+/// workers and memory stays bounded.
+fn accept_loop(
+    listener: &TcpListener,
+    queue: &FairQueue<IpAddr, TcpStream>,
+    shutdown: &AtomicBool,
+) {
     loop {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         match listener.accept() {
-            Ok((stream, _)) => match queue.try_push(stream) {
+            Ok((stream, peer)) => match queue.try_push(peer.ip(), stream) {
                 Ok(()) => {}
                 Err(PushError::Full(mut stream) | PushError::Closed(mut stream)) => {
                     counters::SERVE_REJECTED.add(1);
@@ -186,6 +344,10 @@ fn accept_loop(listener: &TcpListener, queue: &BoundedQueue<TcpStream>, shutdown
 fn serve_connection(stream: TcpStream, shared: &Shared) {
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let peer_label = stream
+        .peer_addr()
+        .map(|a| a.to_string())
+        .unwrap_or_else(|_| "unknown".to_owned());
     let peer = stream.try_clone();
     let Ok(write_half) = peer else { return };
     let mut write_half = write_half;
@@ -198,12 +360,41 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 let _ = write_response(&mut write_half, &Response::error(400, &reason), true);
                 return;
             }
+            Err(ReadError::BodyTooLarge(reason)) => {
+                let _ = write_response(&mut write_half, &Response::error(413, &reason), true);
+                return;
+            }
+            Err(ReadError::HeadersTooLarge(reason)) => {
+                let _ = write_response(&mut write_half, &Response::error(431, &reason), true);
+                return;
+            }
             Err(ReadError::Io(_)) => return,
         };
         counters::SERVE_REQUESTS.add(1);
+        // Rate limiting, per tenant: the X-Client header when sent, else
+        // the peer address. Request-level, so one keep-alive connection
+        // cannot dodge its budget.
+        if let Some(limiter) = &shared.limiter {
+            let tenant = request.client.as_deref().unwrap_or(&peer_label);
+            if let Err(retry_after) = limiter.admit(tenant) {
+                counters::SERVE_RATE_LIMITED.add(1);
+                let close = request.close || shared.shutdown.load(Ordering::SeqCst);
+                let resp = Response::rate_limited(retry_after);
+                if write_response(&mut write_half, &resp, close).is_err() || close {
+                    return;
+                }
+                continue;
+            }
+        }
         let n = shared.inflight.fetch_add(1, Ordering::SeqCst) + 1;
         gauges::SERVE_INFLIGHT.set(n as f64);
-        let response = dispatch(&request, shared);
+        // The request's cancellation scope: the deadline is armed in
+        // `cached` (it needs the body's `timeout_ms`), the watchdog can
+        // fire it on disconnect or stall from the moment work starts.
+        let token = CancelToken::new();
+        let watch_id = shared.watch.register(&token, reader.get_ref());
+        let response = dispatch(&request, shared, &token);
+        shared.watch.deregister(watch_id);
         let n = shared.inflight.fetch_sub(1, Ordering::SeqCst) - 1;
         gauges::SERVE_INFLIGHT.set(n as f64);
         // Drain protocol: during shutdown, finish this response, then
@@ -217,7 +408,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
 
 /// Routes one request, going through cache + single-flight for the
 /// deterministic endpoints.
-fn dispatch(request: &Request, shared: &Shared) -> Response {
+fn dispatch(request: &Request, shared: &Shared, token: &CancelToken) -> Response {
     let _span = nvpg_obs::span_labeled("request", &request.path);
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::ok("text/plain", "ok\n"),
@@ -234,10 +425,10 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
             std::thread::sleep(Duration::from_millis(ms));
             Response::ok("text/plain", format!("slept {ms} ms\n"))
         }
-        ("GET", path) if path.starts_with("/figures/") => cached(request, shared, figures),
-        ("POST", "/bet") => cached(request, shared, bet),
-        ("POST", "/sweep") => cached(request, shared, sweep),
-        ("POST", "/simulate") => cached(request, shared, simulate),
+        ("GET", path) if path.starts_with("/figures/") => cached(request, shared, token, figures),
+        ("POST", "/bet") => cached(request, shared, token, bet),
+        ("POST", "/sweep") => cached(request, shared, token, sweep),
+        ("POST", "/simulate") => cached(request, shared, token, simulate),
         (method, "/bet" | "/sweep" | "/simulate") if method != "POST" => {
             Response::error(405, "use POST")
         }
@@ -250,16 +441,17 @@ fn dispatch(request: &Request, shared: &Shared) -> Response {
 /// Key facts the tests pin down: a cache hit (or a single-flight
 /// follower) increments `serve.cache_hits` and performs no solve; only
 /// `200` responses are cached (an error is recomputed — and therefore
-/// re-observed — on retry).
+/// re-observed — on retry, and a `504` can never be served from cache).
 fn cached(
     request: &Request,
     shared: &Shared,
+    token: &CancelToken,
     handler: fn(&Request, &Json) -> Response,
 ) -> Response {
     // Canonicalise the body first: the cache key must see meaning, not
     // bytes. A body that is not valid JSON cannot be canonicalised and
     // is rejected before it reaches any handler.
-    let body_json = if request.body.is_empty() {
+    let mut body_json = if request.body.is_empty() {
         Json::Null
     } else {
         let text = match std::str::from_utf8(&request.body) {
@@ -271,6 +463,37 @@ fn cached(
             Err(e) => return Response::error(400, &format!("body is not valid JSON: {e:?}")),
         }
     };
+    // `timeout_ms` is transport, not meaning: strip it *before*
+    // canonicalisation so the same query under different deadlines
+    // shares one cache entry and one single-flight key.
+    let mut timeout_ms = None;
+    if let Json::Obj(obj) = &mut body_json {
+        if let Some(v) = obj.remove("timeout_ms") {
+            match v.as_num() {
+                Some(ms) if ms.is_finite() && ms >= 1.0 && ms.fract() == 0.0 => {
+                    timeout_ms = Some(ms as u64);
+                }
+                _ => {
+                    return Response::error(
+                        400,
+                        "`timeout_ms` must be a whole number of milliseconds, at least 1",
+                    )
+                }
+            }
+        }
+    }
+    // Arm the deadline: the client's ask capped by the server, else the
+    // server default. Elapsed time is measured from request arrival (the
+    // token's creation), so header parsing and queueing count against it.
+    let effective_ms = match timeout_ms {
+        Some(ms) if shared.max_timeout_ms > 0 => Some(ms.min(shared.max_timeout_ms)),
+        Some(ms) => Some(ms),
+        None if shared.default_timeout_ms > 0 => Some(shared.default_timeout_ms),
+        None => None,
+    };
+    if let Some(ms) = effective_ms {
+        token.set_deadline(Duration::from_millis(ms));
+    }
     let canonical = canonical_json(&body_json);
     let path_and_query = if request.query.is_empty() {
         request.path.clone()
@@ -284,30 +507,87 @@ fn cached(
         return (*hit).clone();
     }
 
-    let (response, role) = shared.flights.run(key, || {
-        counters::SERVE_SOLVES.add(1);
-        // Fail-soft: a panicking solve (injected fault, pathological
-        // deck) must answer this request with a structured 500, not
-        // take the worker down.
-        let resp = match catch_unwind(AssertUnwindSafe(|| handler(request, &body_json))) {
-            Ok(resp) => resp,
-            Err(payload) => {
-                let msg = nvpg_exec::panic_message(payload.as_ref());
-                Response::error(500, &format!("solver panicked: {msg}"))
+    let flight = shared.flights.run_until(
+        key,
+        || {
+            counters::SERVE_SOLVES.add(1);
+            // Fail-soft: a panicking solve (injected fault, pathological
+            // deck) must answer this request with a structured 500, not
+            // take the worker down. The token is installed around the
+            // handler so every Newton iteration under it can be
+            // cancelled.
+            let resp = match catch_unwind(AssertUnwindSafe(|| {
+                cancel::with_token(token, || handler(request, &body_json))
+            })) {
+                Ok(resp) => resp,
+                Err(payload) => {
+                    let msg = nvpg_exec::panic_message(payload.as_ref());
+                    Response::error(500, &format!("solver panicked: {msg}"))
+                }
+            };
+            let resp = Arc::new(resp);
+            if resp.status == 200 {
+                shared.cache.put(key, Arc::clone(&resp));
             }
-        };
-        let resp = Arc::new(resp);
-        if resp.status == 200 {
-            shared.cache.put(key, Arc::clone(&resp));
+            resp
+        },
+        || token.is_cancelled(),
+    );
+    let response = match flight {
+        Some((response, role)) => {
+            if role == Role::Follower {
+                // A follower reused the leader's solve — same reuse
+                // semantics as a cache hit, and counted as one.
+                counters::SERVE_CACHE_HITS.add(1);
+            }
+            (*response).clone()
         }
-        resp
-    });
-    if role == Role::Follower {
-        // A follower reused the leader's solve — same reuse semantics
-        // as a cache hit, and counted as one.
-        counters::SERVE_CACHE_HITS.add(1);
+        // This request's own deadline (or a disconnect) fired while it
+        // was parked behind a different leader: fail fast rather than
+        // wait out a leader that may run longer than we are allowed to.
+        None => timeout_response(
+            &token.reason(),
+            token.elapsed(),
+            "waiting on an identical in-flight solve",
+        ),
+    };
+    if response.status == 504 {
+        counters::SERVE_DEADLINE_EXCEEDED.add(1);
     }
-    (*response).clone()
+    response
+}
+
+/// The `504 Gateway Timeout` answer: structured partial diagnostics —
+/// what cancelled the request, how long it ran, and how far it got.
+fn timeout_response(reason: &str, elapsed: Duration, progress: &str) -> Response {
+    let body = format!(
+        "{{\"error\":\"deadline exceeded\",\"reason\":\"{}\",\"elapsed_ms\":{},\
+         \"progress\":\"{}\",\"status\":504}}\n",
+        nvpg_obs::json::escape(reason),
+        elapsed.as_millis(),
+        nvpg_obs::json::escape(progress),
+    );
+    Response {
+        status: 504,
+        content_type: "application/json",
+        body: body.into_bytes(),
+        retry_after: None,
+    }
+}
+
+/// Maps a solver error onto a response: a cancelled solve answers `504`
+/// with its partial progress, anything else a structured `500`.
+fn solver_error(stage: &str, e: &CircuitError) -> Response {
+    if let CircuitError::Cancelled {
+        reason,
+        elapsed,
+        progress,
+    } = e
+    {
+        timeout_response(reason, *elapsed, progress)
+    } else {
+        Response::error(500, &format!("{stage} failed: {e}"))
+    }
 }
 
 /// `GET /figures/{id}?format=csv|json`.
@@ -552,7 +832,7 @@ fn simulate(_request: &Request, body: &Json) -> Response {
         "dc" => {
             let op = match operating_point(&mut circuit, &dc_opts) {
                 Ok(op) => op,
-                Err(e) => return Response::error(500, &format!("dc failed: {e}")),
+                Err(e) => return solver_error("dc", &e),
             };
             let mut out = String::from("{\"analysis\":\"dc\",\"voltages\":{");
             let mut first = true;
@@ -583,11 +863,11 @@ fn simulate(_request: &Request, body: &Json) -> Response {
             };
             let initial = match operating_point(&mut circuit, &dc_opts) {
                 Ok(op) => op,
-                Err(e) => return Response::error(500, &format!("dc failed: {e}")),
+                Err(e) => return solver_error("dc", &e),
             };
             let result = match transient(&mut circuit, &opts, &initial) {
                 Ok(r) => r,
-                Err(e) => return Response::error(500, &format!("transient failed: {e}")),
+                Err(e) => return solver_error("transient", &e),
             };
             let trace = &result.trace;
             let n = trace.len();

@@ -46,6 +46,22 @@ impl<T: Clone> Group<T> {
     /// of them retries as the new leader — a poisoned entry never wedges
     /// the key.
     pub fn run(&self, key: u128, compute: impl FnOnce() -> T) -> (T, Role) {
+        self.run_until(key, compute, || false)
+            .expect("give_up is constant false")
+    }
+
+    /// [`run`](Self::run) with a follower escape hatch: a *follower*
+    /// polls `give_up` while parked and returns `None` as soon as it
+    /// turns true, instead of waiting out a leader that may outlive the
+    /// follower's own deadline. A leader never gives up mid-compute
+    /// (`compute` owns its own cancellation), so `Some` is guaranteed
+    /// whenever this thread led.
+    pub fn run_until(
+        &self,
+        key: u128,
+        compute: impl FnOnce() -> T,
+        give_up: impl Fn() -> bool,
+    ) -> Option<(T, Role)> {
         let call = {
             let mut calls = self.calls.lock().expect("singleflight registry");
             match calls.get(&key) {
@@ -56,7 +72,10 @@ impl<T: Clone> Group<T> {
                     let mut slot = call.slot.lock().expect("singleflight slot");
                     loop {
                         if let Some(value) = slot.as_ref() {
-                            return (value.clone(), Role::Follower);
+                            return Some((value.clone(), Role::Follower));
+                        }
+                        if give_up() {
+                            return None;
                         }
                         // A successful leader fills the slot *before*
                         // deregistering, so "registry no longer maps the
@@ -73,7 +92,7 @@ impl<T: Clone> Group<T> {
                             .is_some_and(|cur| Arc::ptr_eq(cur, &call));
                         if abandoned {
                             drop(slot);
-                            return self.run(key, compute);
+                            return self.run_until(key, compute, give_up);
                         }
                         let (guard, _timeout) = call
                             .done
@@ -113,7 +132,7 @@ impl<T: Clone> Group<T> {
         let value = compute();
         *call.slot.lock().expect("singleflight slot") = Some(value.clone());
         call.done.notify_all();
-        (value, Role::Leader)
+        Some((value, Role::Leader))
     }
 }
 
@@ -183,6 +202,33 @@ mod tests {
             group.run(7, || computes.fetch_add(1, Ordering::SeqCst));
         }
         assert_eq!(computes.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn follower_gives_up_without_waiting_out_the_leader() {
+        let group = Arc::new(Group::new());
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let g2 = Arc::clone(&group);
+        let b2 = Arc::clone(&barrier);
+        let leader = std::thread::spawn(move || {
+            g2.run(11, || {
+                b2.wait(); // follower attaches while we sleep
+                std::thread::sleep(Duration::from_millis(400));
+                7
+            })
+        });
+        barrier.wait();
+        std::thread::sleep(Duration::from_millis(20));
+        let start = std::time::Instant::now();
+        // A follower whose own deadline has already passed bails now.
+        let gave_up = group.run_until(11, || 8, || true);
+        assert!(gave_up.is_none(), "follower must give up, not compute");
+        assert!(
+            start.elapsed() < Duration::from_millis(300),
+            "give-up must not wait out the leader"
+        );
+        let (v, role) = leader.join().expect("leader");
+        assert_eq!((v, role), (7, Role::Leader));
     }
 
     #[test]

@@ -29,8 +29,15 @@ fn test_config() -> ServeConfig {
         cache_bytes: 8 << 20,
         queue_depth: 16,
         debug_endpoints: true,
+        ..ServeConfig::default()
     }
 }
+
+/// Body prefix for a deck whose transient at `t_stop = 1e-3` takes
+/// ≫ 10 s to solve (`dt_max` caps at 100 ps ⇒ ten million steps
+/// minimum) — the acceptance workload for deadline tests. Append
+/// `,"timeout_ms":N}` (or just `}`) to finish the JSON.
+const SLOW_BODY: &str = r#"{"deck":"V1 vin 0 PULSE(0 1 1n 1n 1n 1u 2u)\nR1 vin out 1k\nC1 out 0 1n\n","analysis":"tran","t_stop":1e-3"#;
 
 /// One HTTP exchange on a fresh connection.
 struct Reply {
@@ -405,6 +412,254 @@ fn queue_overflow_sheds_load_with_503_and_retry_after() {
     // The occupied worker and the queued connection still complete.
     assert_eq!(sleeper.join().expect("sleeper").status, 200);
     assert_eq!(queued.join().expect("queued").status, 200);
+}
+
+#[test]
+fn timeout_ms_answers_504_and_frees_the_worker() {
+    let _l = lock();
+    let mut config = test_config();
+    config.jobs = 1; // the follow-up must reuse the *same* worker
+    let server = Server::start(config).expect("start");
+    let addr = server.addr();
+    let expired0 = counters::SERVE_DEADLINE_EXCEEDED.get();
+
+    let t0 = Instant::now();
+    let reply = post(
+        addr,
+        "/simulate",
+        &format!("{SLOW_BODY},\"timeout_ms\":500}}"),
+    );
+    let elapsed = t0.elapsed();
+    assert_eq!(reply.status, 504, "{}", reply.text());
+    assert!(
+        elapsed >= Duration::from_millis(400) && elapsed < Duration::from_millis(1500),
+        "504 near the 500 ms deadline, got {elapsed:?}"
+    );
+    let text = reply.text();
+    assert!(text.contains("deadline exceeded"), "{text}");
+    assert!(text.contains("\"elapsed_ms\":"), "{text}");
+    assert!(text.contains("transient t ="), "partial progress: {text}");
+    assert_eq!(counters::SERVE_DEADLINE_EXCEEDED.get() - expired0, 1);
+
+    // The single worker is free again: a follow-up completes promptly.
+    let t1 = Instant::now();
+    assert_eq!(get(addr, "/healthz").status, 200);
+    assert!(
+        t1.elapsed() < Duration::from_millis(500),
+        "worker was freed by the cancellation, not wedged"
+    );
+}
+
+#[test]
+fn timeout_ms_is_stripped_from_the_cache_key() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+    let solves0 = counters::SERVE_SOLVES.get();
+
+    let deck = r#""deck":"V1 vin 0 1.0\nR1 vin out 1k\nR2 out 0 1k\n","analysis":"dc""#;
+    let a = post(
+        addr,
+        "/simulate",
+        &format!("{{{deck},\"timeout_ms\":5000}}"),
+    );
+    assert_eq!(a.status, 200, "{}", a.text());
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1);
+
+    // Same meaning, different deadline: a cache hit, not a second solve.
+    let hits0 = counters::SERVE_CACHE_HITS.get();
+    let b = post(
+        addr,
+        "/simulate",
+        &format!("{{{deck},\"timeout_ms\":9000}}"),
+    );
+    assert_eq!(b.status, 200);
+    assert_eq!(b.body, a.body);
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1, "no second solve");
+    assert_eq!(counters::SERVE_CACHE_HITS.get() - hits0, 1);
+
+    // A bogus timeout_ms is a structured 400.
+    let bad = post(addr, "/simulate", &format!("{{{deck},\"timeout_ms\":0.5}}"));
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("timeout_ms"), "{}", bad.text());
+}
+
+#[test]
+fn follower_with_a_tighter_deadline_fails_fast() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+    let solves0 = counters::SERVE_SOLVES.get();
+    let expired0 = counters::SERVE_DEADLINE_EXCEEDED.get();
+
+    // Leader: the slow solve under a 2 s deadline. `timeout_ms` is
+    // stripped from the single-flight key, so the follower (same deck,
+    // tighter deadline) parks behind this leader.
+    let leader = std::thread::spawn(move || {
+        post(
+            addr,
+            "/simulate",
+            &format!("{SLOW_BODY},\"timeout_ms\":2000}}"),
+        )
+    });
+    std::thread::sleep(Duration::from_millis(400));
+
+    let t0 = Instant::now();
+    let follower = post(
+        addr,
+        "/simulate",
+        &format!("{SLOW_BODY},\"timeout_ms\":250}}"),
+    );
+    let follower_elapsed = t0.elapsed();
+    assert_eq!(follower.status, 504, "{}", follower.text());
+    assert!(
+        follower_elapsed < Duration::from_millis(1000),
+        "follower honoured its own 250 ms deadline instead of waiting \
+         out the leader's 2 s one, got {follower_elapsed:?}"
+    );
+    assert!(
+        follower.text().contains("in-flight"),
+        "follower 504 names the single-flight wait: {}",
+        follower.text()
+    );
+
+    let leader_reply = leader.join().expect("leader");
+    assert_eq!(leader_reply.status, 504, "{}", leader_reply.text());
+    assert_eq!(
+        counters::SERVE_SOLVES.get() - solves0,
+        1,
+        "one solve total: the follower gave up without re-solving"
+    );
+    assert_eq!(
+        counters::SERVE_DEADLINE_EXCEEDED.get() - expired0,
+        2,
+        "both requests recorded their deadline expiry"
+    );
+}
+
+#[test]
+fn disconnected_client_cancels_its_solve() {
+    let _l = lock();
+    let mut config = test_config();
+    config.jobs = 1; // prove the worker is freed, not leaked
+    let server = Server::start(config).expect("start");
+    let addr = server.addr();
+    let disconnects0 = counters::SERVE_DISCONNECTS.get();
+
+    // Start the slow solve under a generous deadline, then hang up.
+    let body = format!("{SLOW_BODY},\"timeout_ms\":60000}}");
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .write_all(
+            format!(
+                "POST /simulate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            )
+            .as_bytes(),
+        )
+        .expect("send");
+    std::thread::sleep(Duration::from_millis(400));
+    drop(stream); // the hang-up
+
+    // The watchdog notices within tens of ms and cancels the solve; the
+    // single worker is free long before the 60 s deadline.
+    let t0 = Instant::now();
+    assert_eq!(get(addr, "/healthz").status, 200);
+    assert!(
+        t0.elapsed() < Duration::from_secs(2),
+        "worker freed by disconnect cancellation, got {:?}",
+        t0.elapsed()
+    );
+    assert!(
+        counters::SERVE_DISCONNECTS.get() > disconnects0,
+        "the disconnect was observed and counted"
+    );
+}
+
+#[test]
+fn stalled_solves_trip_the_watchdog() {
+    let _l = lock();
+    let mut config = test_config();
+    config.watchdog_stall_ms = 200;
+    let server = Server::start(config).expect("start");
+    let addr = server.addr();
+    let fires0 = counters::SERVE_WATCHDOG_FIRES.get();
+
+    // /debug/sleep never beats the progress heartbeat — to the watchdog
+    // it is indistinguishable from a wedged solve, so the stall bound
+    // trips while it sleeps (the sleep itself is not cancellable; the
+    // counter is the observable).
+    let reply = get(addr, "/debug/sleep?ms=700");
+    assert_eq!(reply.status, 200);
+    assert!(
+        counters::SERVE_WATCHDOG_FIRES.get() > fires0,
+        "watchdog fired on the stalled request"
+    );
+}
+
+#[test]
+fn rate_limit_sheds_the_noisy_tenant_only() {
+    let _l = lock();
+    let mut config = test_config();
+    config.rate_limit_rps = 1;
+    config.rate_limit_burst = 2;
+    let server = Server::start(config).expect("start");
+    let addr = server.addr();
+    let limited0 = counters::SERVE_RATE_LIMITED.get();
+
+    let as_tenant = |tenant: &str| {
+        request(
+            addr,
+            &format!(
+                "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Client: {tenant}\r\nConnection: close\r\n\r\n"
+            ),
+        )
+    };
+    // The noisy tenant burns its burst of 2, then is shed.
+    assert_eq!(as_tenant("noisy").status, 200);
+    assert_eq!(as_tenant("noisy").status, 200);
+    let shed = as_tenant("noisy");
+    assert_eq!(shed.status, 429, "{}", shed.text());
+    assert!(shed.header("Retry-After").is_some(), "429 carries a hint");
+    // A different tenant is untouched by the noisy one's flood.
+    assert_eq!(as_tenant("quiet").status, 200);
+    assert!(counters::SERVE_RATE_LIMITED.get() > limited0);
+}
+
+#[test]
+fn oversized_bodies_and_heads_answer_413_and_431() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    // A Content-Length past the body cap: shed before any read.
+    let huge = request(
+        addr,
+        &format!(
+            "POST /simulate HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n",
+            2 << 20
+        ),
+    );
+    assert_eq!(huge.status, 413, "{}", huge.text());
+
+    // A bloated header block: 431, not a hang or a 400.
+    let fat = request(
+        addr,
+        &format!(
+            "GET /healthz HTTP/1.1\r\nHost: t\r\nX-Pad: {}\r\n\r\n",
+            "y".repeat(20 * 1024)
+        ),
+    );
+    assert_eq!(fat.status, 431, "{}", fat.text());
+
+    // Too many individually-small headers: also 431.
+    let mut many = String::from("GET /healthz HTTP/1.1\r\nHost: t\r\n");
+    for i in 0..101 {
+        many.push_str(&format!("X-{i}: v\r\n"));
+    }
+    many.push_str("\r\n");
+    let flood = request(addr, &many);
+    assert_eq!(flood.status, 431, "{}", flood.text());
 }
 
 #[test]
