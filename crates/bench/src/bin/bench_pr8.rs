@@ -1,0 +1,986 @@
+//! Machine-readable performance snapshot of the batched solve path:
+//! lock-step Newton over the shared-symbolic sparse stack, the batched
+//! domain scans, and the `/sweep` request coalescer.
+//!
+//! ```text
+//! bench_pr8 [--out FILE] [--check]
+//! ```
+//!
+//! Writes `BENCH_PR8.json` (or `FILE`) containing:
+//!
+//! * **Monte-Carlo @ 1k lanes, sparse** — points/second for 1000 varied
+//!   samples of a grid-connected nonlinear system (324 unknowns),
+//!   serial (one `NewtonSolver` + fresh symbolic analysis per point, the
+//!   pre-batching engine shape) vs batched (one `BatchedSparseLu` stack:
+//!   one symbolic analysis, per-lane refactorisation, lock-step Newton
+//!   with convergence masking), plus a `NVPG_SIMD=scalar` re-measurement
+//!   in a child process;
+//! * **domain Monte-Carlo** — `run_domain_variation` on a 4×4 NVPG
+//!   domain, `--batch serial` vs batched lanes, points/second each;
+//! * **BET design grid** — `bet_design_scan` over a vth-shift × fin-count
+//!   grid, serial vs batched points/second;
+//! * **coalesced `/sweep` throughput** — the sibling `nvpg-serve` daemon
+//!   under open-loop Poisson load of same-topology `/sweep` requests
+//!   (shared point grid plus one unique jitter point each, so neither
+//!   the cache nor single-flight can help), `--coalesce-window-ms 0`
+//!   vs coalescing on, completed requests/second each and the
+//!   `serve.batch.*` counter reconciliation.
+//!
+//! `--check` is the CI gate for this PR: batched Monte-Carlo must be
+//! ≥ 3× serial points/sec at 1k lanes on the sparse path, coalesced
+//! `/sweep` throughput must be ≥ 2× un-coalesced under open-loop load,
+//! and the batched results must agree with serial (the differential
+//! contract: identical outcomes, not just faster ones).
+
+use std::error::Error;
+use std::fmt::Write as _;
+use std::io::{BufRead, BufReader, Read as _, Write as IoWrite};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use nvpg_cells::design::CellDesign;
+use nvpg_cells::domain::DomainKind;
+use nvpg_core::{bet_design_scan, run_domain_variation, BatchMode, BenchmarkParams, VariationSpec};
+use nvpg_numeric::batched::{BatchedNewton, BatchedSparseLu, LaneOutcome};
+use nvpg_numeric::{
+    simd, CscMatrix, DenseMatrix, NewtonOptions, NewtonSolver, NonlinearSystem, PatternBuilder,
+    Rng64, SparsePattern,
+};
+
+// ---------------------------------------------------------------------
+// Monte-Carlo at 1k lanes over the sparse stack
+// ---------------------------------------------------------------------
+
+/// Unknowns of the Monte-Carlo system (an 18×18 grid flattened to MNA
+/// order, the size regime where PR 6 measured the symbolic analysis at
+/// ~10× the per-refactor cost — exactly what batching amortises).
+const MC_UNKNOWNS: usize = 324;
+/// Monte-Carlo points per the acceptance gate.
+const MC_LANES: usize = 1000;
+/// Lock-step lanes per batch chunk (the production
+/// `DEFAULT_BATCH_LANES` width).
+const MC_CHUNK: usize = 64;
+
+/// A grid-connected nonlinear network: diagonally dominant linear part
+/// with nearest-neighbour (±1) and grid (±√n) coupling — the same
+/// connectivity profile as the domain netlists — plus a cubic diagonal
+/// nonlinearity so Newton takes a few genuine iterations. Each
+/// Monte-Carlo sample perturbs the diagonal conductances and the source
+/// vector, like device variation perturbs MNA stamps over a fixed
+/// topology.
+struct GridMc {
+    n: usize,
+    k: usize,
+    gdiag: Vec<f64>,
+    src: Vec<f64>,
+}
+
+impl GridMc {
+    /// Sample `i` of the variation stream (same split-stream discipline
+    /// as `run_variation`: lane count never changes the draw).
+    fn sample(n: usize, seed: u64, i: u64) -> Self {
+        let mut rng = Rng64::split(seed, i);
+        GridMc {
+            n,
+            k: (n as f64).sqrt().ceil() as usize,
+            gdiag: (0..n).map(|_| 4.0 + 0.2 * rng.normal()).collect(),
+            src: (0..n).map(|_| 0.5 + 0.1 * rng.normal()).collect(),
+        }
+    }
+
+    fn residual(&self, x: &[f64], residual: &mut [f64]) {
+        let (n, k) = (self.n, self.k);
+        for i in 0..n {
+            let mut r = self.gdiag[i] * x[i] + 0.1 * x[i] * x[i] * x[i] - self.src[i];
+            if i >= 1 {
+                r += 0.9 * (x[i] - x[i - 1]);
+            }
+            if i + 1 < n {
+                r += 0.9 * (x[i] - x[i + 1]);
+            }
+            if i >= k {
+                r += 0.9 * (x[i] - x[i - k]);
+            }
+            if i + k < n {
+                r += 0.9 * (x[i] - x[i + k]);
+            }
+            residual[i] = r;
+        }
+    }
+
+    #[allow(clippy::needless_range_loop)] // `i` walks gdiag and x in lockstep
+    fn stamp(&self, x: &[f64], mut add: impl FnMut(usize, usize, f64)) {
+        let (n, k) = (self.n, self.k);
+        for i in 0..n {
+            let mut diag = self.gdiag[i] + 0.3 * x[i] * x[i];
+            if i >= 1 {
+                diag += 0.9;
+                add(i, i - 1, -0.9);
+            }
+            if i + 1 < n {
+                diag += 0.9;
+                add(i, i + 1, -0.9);
+            }
+            if i >= k {
+                diag += 0.9;
+                add(i, i - k, -0.9);
+            }
+            if i + k < n {
+                diag += 0.9;
+                add(i, i + k, -0.9);
+            }
+            add(i, i, diag);
+        }
+    }
+}
+
+impl NonlinearSystem for GridMc {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn eval(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut DenseMatrix) {
+        self.residual(x, residual);
+        self.stamp(x, |r, c, v| jacobian.add(r, c, v));
+    }
+
+    fn eval_sparse(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut CscMatrix) -> bool {
+        self.residual(x, residual);
+        jacobian.clear();
+        self.stamp(x, |r, c, v| jacobian.add(r, c, v));
+        true
+    }
+}
+
+/// The structural pattern of [`GridMc`] (value-independent — the fixed
+/// topology every sample shares).
+fn mc_pattern(n: usize) -> SparsePattern {
+    let k = (n as f64).sqrt().ceil() as usize;
+    let mut b = PatternBuilder::new(n);
+    for i in 0..n {
+        b.add(i, i);
+        if i + 1 < n {
+            b.add(i, i + 1);
+            b.add(i + 1, i);
+        }
+        if i + k < n {
+            b.add(i, i + k);
+            b.add(i + k, i);
+        }
+    }
+    b.build()
+}
+
+struct McRun {
+    points: usize,
+    unknowns: usize,
+    serial_s: f64,
+    batched_s: f64,
+    /// Lanes the lock-step driver peeled to the (unneeded here) serial
+    /// rescue ladder — 0 on this well-conditioned corpus.
+    peeled: usize,
+    /// Worst per-unknown |serial − batched| over all points.
+    max_dev: f64,
+}
+
+impl McRun {
+    fn speedup(&self) -> f64 {
+        self.serial_s / self.batched_s.max(1e-12)
+    }
+}
+
+/// Solves the same `points` Monte-Carlo samples serially (fresh pattern,
+/// symbolic analysis, and solver per point — what the engine did before
+/// the batched backend) and batched (one shared-symbolic stack), and
+/// cross-checks the solutions.
+fn mc_points(points: usize, seed: u64) -> Result<McRun, Box<dyn Error>> {
+    let n = MC_UNKNOWNS;
+    let opts = NewtonOptions::default();
+
+    // Serial baseline: per point, rebuild the structure the way the
+    // serial Monte-Carlo loop does — pattern, matrix, solver — then pay
+    // the symbolic analysis inside the first factor.
+    let mut serial_x = vec![0.0f64; points * n];
+    let t0 = Instant::now();
+    for p in 0..points {
+        let pattern = mc_pattern(n);
+        let mut solver = NewtonSolver::with_sparse(opts, &pattern);
+        let mut system = GridMc::sample(n, seed, p as u64);
+        let x = &mut serial_x[p * n..(p + 1) * n];
+        match solver.solve(&mut system, x) {
+            nvpg_numeric::NewtonOutcome::Converged { .. } => {}
+            other => {
+                return Err(format!("serial MC point {p} failed to converge: {other:?}").into())
+            }
+        }
+    }
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    // Batched: one symbolic schedule shared by every lane, points solved
+    // `MC_CHUNK` lock-step lanes at a time (the production batch width —
+    // wide enough to amortise the symbolic analysis, narrow enough that
+    // the per-lane L/U value stacks stay cache-resident).
+    let mut batched_x = vec![0.0f64; points * n];
+    let t0 = Instant::now();
+    let pattern = mc_pattern(n);
+    let mut newton = BatchedNewton::new(BatchedSparseLu::new(&pattern, MC_CHUNK), opts);
+    let mut outcomes = vec![
+        LaneOutcome::Peeled {
+            iteration: 0,
+            reason: nvpg_numeric::batched::PeelReason::IterationLimit,
+        };
+        points
+    ];
+    let mut p = 0;
+    while p < points {
+        let width = MC_CHUNK.min(points - p);
+        let mut systems: Vec<GridMc> = (p..p + width)
+            .map(|i| GridMc::sample(n, seed, i as u64))
+            .collect();
+        newton.solve(
+            &mut systems,
+            &mut batched_x[p * n..(p + width) * n],
+            &mut outcomes[p..p + width],
+        );
+        p += width;
+    }
+    let batched_s = t0.elapsed().as_secs_f64();
+
+    let peeled = outcomes
+        .iter()
+        .filter(|o| matches!(o, LaneOutcome::Peeled { .. }))
+        .count();
+    let mut max_dev = 0.0f64;
+    for (s, b) in serial_x.iter().zip(&batched_x) {
+        max_dev = max_dev.max((s - b).abs());
+    }
+    Ok(McRun {
+        points,
+        unknowns: n,
+        serial_s,
+        batched_s,
+        peeled,
+        max_dev,
+    })
+}
+
+/// `--mc-probe`: run the Monte-Carlo comparison and print one parsable
+/// line. Invoked in a child process with `NVPG_SIMD=scalar` because the
+/// dispatch level is resolved once per process.
+fn mc_probe() -> Result<(), Box<dyn Error>> {
+    let run = mc_points(MC_LANES, 0x6d63505238)?;
+    println!(
+        "level={} serial_s={:.6e} batched_s={:.6e} peeled={} max_dev={:.3e}",
+        simd::level().name(),
+        run.serial_s,
+        run.batched_s,
+        run.peeled,
+        run.max_dev
+    );
+    Ok(())
+}
+
+/// Re-runs the Monte-Carlo phase with `NVPG_SIMD=scalar` in a child.
+fn mc_scalar_in_child() -> Option<(f64, f64)> {
+    let exe = std::env::current_exe().ok()?;
+    let out = Command::new(exe)
+        .arg("--mc-probe")
+        .env("NVPG_SIMD", "scalar")
+        .output()
+        .ok()?;
+    if !out.status.success() {
+        return None;
+    }
+    let text = String::from_utf8(out.stdout).ok()?;
+    let mut level = None;
+    let mut serial = None;
+    let mut batched = None;
+    for tok in text.split_whitespace() {
+        let (key, val) = tok.split_once('=')?;
+        match key {
+            "level" => level = Some(val.to_owned()),
+            "serial_s" => serial = val.parse().ok(),
+            "batched_s" => batched = val.parse().ok(),
+            _ => {}
+        }
+    }
+    if level.as_deref() != Some("scalar") {
+        return None;
+    }
+    Some((serial?, batched?))
+}
+
+// ---------------------------------------------------------------------
+// Domain Monte-Carlo and BET grid (engine-level, report-only)
+// ---------------------------------------------------------------------
+
+struct ScanRun {
+    points: usize,
+    serial_s: f64,
+    batched_s: f64,
+}
+
+/// `run_domain_variation` serial vs batched on a 4×4 NVPG domain; also
+/// verifies the outcomes are identical (the differential contract at
+/// the engine level).
+fn domain_mc(samples: u32) -> Result<ScanRun, Box<dyn Error>> {
+    let design = CellDesign::table1();
+    let spec = VariationSpec {
+        samples,
+        ..VariationSpec::default()
+    };
+    let t0 = Instant::now();
+    let (serial, _) = run_domain_variation(
+        &design,
+        &spec,
+        DomainKind::Nvpg,
+        4,
+        4,
+        None,
+        BatchMode::Serial,
+        1,
+    )?;
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let (batched, _) = run_domain_variation(
+        &design,
+        &spec,
+        DomainKind::Nvpg,
+        4,
+        4,
+        None,
+        BatchMode::Auto,
+        1,
+    )?;
+    let batched_s = t0.elapsed().as_secs_f64();
+    if serial != batched {
+        return Err("domain Monte-Carlo: batched outcome differs from serial".into());
+    }
+    Ok(ScanRun {
+        points: samples as usize,
+        serial_s,
+        batched_s,
+    })
+}
+
+/// `bet_design_scan` serial vs batched over a vth-shift × fin-count
+/// grid; verifies the surfaces agree point for point.
+fn bet_grid() -> Result<ScanRun, Box<dyn Error>> {
+    let design = CellDesign::table1();
+    let ch = nvpg_cells::characterize(&design)?;
+    let params = BenchmarkParams::fig7_default();
+    let shifts: Vec<f64> = (-3..=3).map(|i| f64::from(i) * 0.01).collect();
+    let fins = [1u32, 2, 4, 8];
+    let t0 = Instant::now();
+    let serial = bet_design_scan(
+        &design,
+        &ch,
+        &shifts,
+        &fins,
+        4,
+        4,
+        &params,
+        BatchMode::Serial,
+        1,
+    )?;
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let batched = bet_design_scan(
+        &design,
+        &ch,
+        &shifts,
+        &fins,
+        4,
+        4,
+        &params,
+        BatchMode::Auto,
+        1,
+    )?;
+    let batched_s = t0.elapsed().as_secs_f64();
+    if serial != batched {
+        return Err("BET design scan: batched surface differs from serial".into());
+    }
+    Ok(ScanRun {
+        points: serial.len(),
+        serial_s,
+        batched_s,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Coalesced /sweep throughput under open-loop load
+// ---------------------------------------------------------------------
+
+/// Worker threads for the coalescing daemon runs. More workers than the
+/// machine has cores is deliberate: a parked batch follower occupies a
+/// worker slot, so the worker count bounds the achievable batch width.
+const SWEEP_JOBS: &str = "16";
+/// Requests per daemon run.
+const SWEEP_REQUESTS: usize = 96;
+/// Shared sweep grid size; every request posts this grid plus one unique
+/// jitter point, so requests share a topology but never a cache key.
+///
+/// The workload is a `vth_shift` sweep: each point is a real batched
+/// 4×4 domain operating-point solve (~ms), so the solve — the part a
+/// coalesced union dedupes — dominates the request, not JSON handling.
+const SWEEP_GRID: usize = 24;
+
+fn sweep_body(jitter: usize) -> String {
+    let mut values = String::new();
+    for i in 0..SWEEP_GRID {
+        // -12 mV .. +11 mV in 1 mV steps, identical across requests.
+        let _ = write!(values, "{},", (i as f64 - 12.0) * 1e-3);
+    }
+    // The unique point stays inside the handler's |v| <= 0.5 V bound
+    // even for the calibration run's million-scale jitters.
+    let _ = write!(values, "{}", 0.05 + jitter as f64 * 1e-7);
+    format!("{{\"arch\":\"NVPG\",\"var\":\"vth_shift\",\"values\":[{values}]}}")
+}
+
+/// One POST on a fresh connection; returns (status, latency).
+fn post(addr: &str, path: &str, body: &str) -> Result<(u16, Duration), String> {
+    let t0 = Instant::now();
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(300)))
+        .map_err(|e| e.to_string())?;
+    let head = format!(
+        "POST {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\
+         Content-Type: application/json\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body.as_bytes()))
+        .map_err(|e| e.to_string())?;
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{}`", line.trim_end()))?;
+    let mut content_length = 0usize;
+    loop {
+        line.clear();
+        reader.read_line(&mut line).map_err(|e| e.to_string())?;
+        let h = line.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            if k.eq_ignore_ascii_case("content-length") {
+                content_length = v.trim().parse().map_err(|_| "bad length".to_owned())?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| e.to_string())?;
+    Ok((status, t0.elapsed()))
+}
+
+/// GET that returns the response body as text (for `/metrics`).
+fn get_body(addr: &str, path: &str) -> Result<String, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(
+            format!("GET {path} HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .map_err(|e| e.to_string())?;
+    let mut raw = String::new();
+    BufReader::new(stream)
+        .read_to_string(&mut raw)
+        .map_err(|e| e.to_string())?;
+    match raw.split_once("\r\n\r\n") {
+        Some((_, body)) => Ok(body.to_owned()),
+        None => Err("no body".to_owned()),
+    }
+}
+
+/// Spawns the sibling `nvpg-serve` binary with the given coalescing
+/// window; returns the child and its listen address.
+fn spawn_daemon(window_ms: &str) -> Result<(Child, String), String> {
+    let exe = std::env::current_exe().map_err(|e| e.to_string())?;
+    let daemon = exe.parent().ok_or("no parent dir")?.join("nvpg-serve");
+    if !daemon.exists() {
+        return Err(format!(
+            "{} not found (build it: cargo build -p nvpg-serve)",
+            daemon.display()
+        ));
+    }
+    let mut child = Command::new(&daemon)
+        .args([
+            "--listen",
+            "127.0.0.1:0",
+            "--jobs",
+            SWEEP_JOBS,
+            "--cache-mb",
+            "0",
+            "--queue-depth",
+            "1024",
+            "--default-timeout-ms",
+            "120000",
+            "--coalesce-window-ms",
+            window_ms,
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", daemon.display()))?;
+    let stdout = child.stdout.take().ok_or("no stdout")?;
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| e.to_string())?;
+    let addr = line
+        .split_whitespace()
+        .find(|tok| tok.contains(':') && tok.starts_with("127."))
+        .ok_or_else(|| format!("could not parse listen address from `{}`", line.trim_end()))?
+        .to_owned();
+    std::thread::spawn(move || {
+        let mut sink = String::new();
+        let _ = reader.read_to_string(&mut sink);
+    });
+    Ok((child, addr))
+}
+
+fn stop_daemon(mut child: Child) -> Result<(), String> {
+    let pid = child.id().to_string();
+    let status = Command::new("kill")
+        .args(["-TERM", &pid])
+        .status()
+        .map_err(|e| format!("kill: {e}"))?;
+    if !status.success() {
+        let _ = child.kill();
+        return Err("kill -TERM failed".to_owned());
+    }
+    let t0 = Instant::now();
+    loop {
+        match child.try_wait().map_err(|e| e.to_string())? {
+            Some(status) if status.success() => return Ok(()),
+            Some(status) => return Err(format!("daemon exited uncleanly: {status}")),
+            None if t0.elapsed() > Duration::from_secs(30) => {
+                let _ = child.kill();
+                return Err("daemon did not drain within 30 s of SIGTERM".to_owned());
+            }
+            None => std::thread::sleep(Duration::from_millis(50)),
+        }
+    }
+}
+
+/// splitmix64 step for the Poisson arrival schedule.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+struct SweepRun {
+    window_ms: u64,
+    offered_rps: f64,
+    completed: usize,
+    shed: usize,
+    errors: usize,
+    wall_s: f64,
+    batches: u64,
+    coalesced: u64,
+    batch_points: u64,
+}
+
+impl SweepRun {
+    fn rps(&self) -> f64 {
+        self.completed as f64 / self.wall_s.max(1e-9)
+    }
+}
+
+/// One open-loop run against a daemon with the given coalescing window:
+/// `SWEEP_REQUESTS` same-topology `/sweep` requests launched at Poisson
+/// arrival instants at `offered_rps`.
+fn sweep_run(window_ms: u64, offered_rps: f64) -> Result<SweepRun, Box<dyn Error>> {
+    let (child, addr) = spawn_daemon(&window_ms.to_string())?;
+    // Pay the one-off Table I characterisation before the clock starts.
+    let (status, _) = post(&addr, "/bet", "{\"arch\":\"NVPG\"}")?;
+    if status != 200 {
+        let _ = stop_daemon(child);
+        return Err(format!("warm-up /bet answered {status}").into());
+    }
+
+    let counter = |metrics: &str, name: &str| -> u64 {
+        metrics
+            .lines()
+            .find_map(|l| l.strip_prefix(&format!("{name} ")))
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    let before = get_body(&addr, "/metrics")?;
+
+    let mut state = 0x5eed_0123_4567_89abu64 ^ window_ms;
+    let t0 = Instant::now();
+    let addr_ref = &addr;
+    let statuses: Vec<Result<u16, ()>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(SWEEP_REQUESTS);
+        let mut due = Duration::ZERO;
+        for i in 0..SWEEP_REQUESTS {
+            let u = ((splitmix64(&mut state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64;
+            due += Duration::from_secs_f64(-u.ln() / offered_rps);
+            if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            handles.push(scope.spawn(move || {
+                let body = sweep_body(i);
+                match post(addr_ref, "/sweep", &body) {
+                    Ok((status, _)) => Ok(status),
+                    Err(e) => {
+                        eprintln!("bench_pr8: sweep request {i}: {e}");
+                        Err(())
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("arrival"))
+            .collect()
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+
+    let after = get_body(&addr, "/metrics")?;
+    stop_daemon(child)?;
+
+    let completed = statuses.iter().filter(|s| matches!(s, Ok(200))).count();
+    let shed = statuses
+        .iter()
+        .filter(|s| matches!(s, Ok(503) | Ok(429)))
+        .count();
+    let errors = SWEEP_REQUESTS - completed - shed;
+    Ok(SweepRun {
+        window_ms,
+        offered_rps,
+        completed,
+        shed,
+        errors,
+        wall_s,
+        batches: counter(&after, "serve.batch.batches") - counter(&before, "serve.batch.batches"),
+        coalesced: counter(&after, "serve.batch.coalesced")
+            - counter(&before, "serve.batch.coalesced"),
+        batch_points: counter(&after, "serve.batch.points")
+            - counter(&before, "serve.batch.points"),
+    })
+}
+
+/// Runs the un-coalesced and coalesced daemons under the same open-loop
+/// load. The offered rate is calibrated to ~6× the un-coalesced
+/// capacity, measured from three sequential requests.
+fn sweep_comparison() -> Result<(SweepRun, SweepRun), Box<dyn Error>> {
+    // Calibrate single-request service time against a window=0 daemon.
+    let (child, addr) = spawn_daemon("0")?;
+    let (status, _) = post(&addr, "/bet", "{\"arch\":\"NVPG\"}")?;
+    if status != 200 {
+        let _ = stop_daemon(child);
+        return Err(format!("calibration warm-up answered {status}").into());
+    }
+    let mut service_s = f64::INFINITY;
+    for i in 0..3 {
+        let (status, dt) = post(&addr, "/sweep", &sweep_body(1_000_000 + i))?;
+        if status != 200 {
+            let _ = stop_daemon(child);
+            return Err(format!("calibration sweep answered {status}").into());
+        }
+        service_s = service_s.min(dt.as_secs_f64());
+    }
+    stop_daemon(child)?;
+    let offered_rps = (6.0 / service_s.max(1e-4)).clamp(10.0, 1500.0);
+    eprintln!(
+        "  calibration: one /sweep takes {:.1} ms; offering {:.0} rps open-loop",
+        service_s * 1e3,
+        offered_rps
+    );
+
+    let uncoalesced = sweep_run(0, offered_rps)?;
+    eprintln!(
+        "  window 0 ms: {}/{} completed in {:.2} s ({:.1} rps, {} shed)",
+        uncoalesced.completed,
+        SWEEP_REQUESTS,
+        uncoalesced.wall_s,
+        uncoalesced.rps(),
+        uncoalesced.shed
+    );
+    let coalesced = sweep_run(20, offered_rps)?;
+    eprintln!(
+        "  window 20 ms: {}/{} completed in {:.2} s ({:.1} rps, {} batches, {} joins)",
+        coalesced.completed,
+        SWEEP_REQUESTS,
+        coalesced.wall_s,
+        coalesced.rps(),
+        coalesced.batches,
+        coalesced.coalesced
+    );
+    Ok((uncoalesced, coalesced))
+}
+
+// ---------------------------------------------------------------------
+// Gates, JSON, main
+// ---------------------------------------------------------------------
+
+fn check() -> Result<(), Box<dyn Error>> {
+    let mut failures = Vec::new();
+
+    eprintln!("MC @ {MC_LANES} lanes, sparse (serial vs batched)...");
+    let mc = mc_points(MC_LANES, 0x6d63505238)?;
+    eprintln!(
+        "  serial {:.2} s, batched {:.2} s ({:.1}x), max dev {:.3e}",
+        mc.serial_s,
+        mc.batched_s,
+        mc.speedup(),
+        mc.max_dev
+    );
+    if mc.speedup() < 3.0 {
+        failures.push(format!(
+            "batched Monte-Carlo is {:.2}x serial points/sec (gate: >= 3x at {MC_LANES} lanes)",
+            mc.speedup()
+        ));
+    }
+    if mc.peeled != 0 {
+        failures.push(format!(
+            "{} of {MC_LANES} well-conditioned lanes peeled off the lock-step batch",
+            mc.peeled
+        ));
+    }
+    if mc.max_dev.is_nan() || mc.max_dev >= 1e-6 {
+        failures.push(format!(
+            "batched and serial Monte-Carlo solutions deviate by {:.3e} (> 1e-6)",
+            mc.max_dev
+        ));
+    }
+
+    eprintln!("domain Monte-Carlo differential (serial vs batched)...");
+    if let Err(e) = domain_mc(16) {
+        failures.push(e.to_string());
+    }
+
+    eprintln!("coalesced /sweep under open-loop load...");
+    let (uncoalesced, coalesced) = sweep_comparison()?;
+    let ratio = coalesced.rps() / uncoalesced.rps().max(1e-9);
+    if ratio < 2.0 {
+        failures.push(format!(
+            "coalesced /sweep throughput is {:.2}x un-coalesced (gate: >= 2x; {:.1} vs {:.1} rps)",
+            ratio,
+            coalesced.rps(),
+            uncoalesced.rps()
+        ));
+    }
+    if coalesced.batches == 0 || coalesced.coalesced == 0 {
+        failures.push(format!(
+            "coalescing counters show no batching (batches {}, coalesced {})",
+            coalesced.batches, coalesced.coalesced
+        ));
+    }
+    if uncoalesced.batches != 0 || uncoalesced.coalesced != 0 {
+        failures.push(format!(
+            "window=0 daemon ticked batch counters (batches {}, coalesced {})",
+            uncoalesced.batches, uncoalesced.coalesced
+        ));
+    }
+    if coalesced.errors != 0 || uncoalesced.errors != 0 {
+        failures.push(format!(
+            "transport/5xx errors during the sweep runs ({} coalesced, {} un-coalesced)",
+            coalesced.errors, uncoalesced.errors
+        ));
+    }
+
+    if failures.is_empty() {
+        eprintln!(
+            "check OK (MC {:.1}x, /sweep {:.1}x, {} SIMD level)",
+            mc.speedup(),
+            ratio,
+            simd::level().name()
+        );
+        Ok(())
+    } else {
+        Err(format!("batched-sweep check failed:\n  {}", failures.join("\n  ")).into())
+    }
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut out = String::from("BENCH_PR8.json");
+    let mut check_only = false;
+    let mut probe_only = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" => out = args.next().ok_or("--out requires a path")?,
+            "--check" => check_only = true,
+            "--mc-probe" => probe_only = true,
+            "--help" | "-h" => {
+                println!("usage: bench_pr8 [--out FILE] [--check]");
+                return Ok(());
+            }
+            other => return Err(format!("unknown argument: {other}").into()),
+        }
+    }
+    if probe_only {
+        return mc_probe();
+    }
+    if check_only {
+        return check();
+    }
+
+    eprintln!(
+        "MC @ {MC_LANES} lanes, sparse, {MC_UNKNOWNS} unknowns ({} SIMD level)...",
+        simd::level().name()
+    );
+    let mc = mc_points(MC_LANES, 0x6d63505238)?;
+    eprintln!(
+        "  serial {:.2} s, batched {:.2} s ({:.1}x), max dev {:.3e}, {} peeled",
+        mc.serial_s,
+        mc.batched_s,
+        mc.speedup(),
+        mc.max_dev,
+        mc.peeled
+    );
+    eprintln!("re-measuring with NVPG_SIMD=scalar in a child process...");
+    let scalar = mc_scalar_in_child();
+    if scalar.is_none() {
+        eprintln!("  (scalar child probe unavailable; scalar block omitted)");
+    }
+
+    eprintln!("domain Monte-Carlo on a 4x4 NVPG domain (serial vs batched)...");
+    let dom = domain_mc(32)?;
+    eprintln!(
+        "  {} samples: serial {:.2} s, batched {:.2} s ({:.1}x)",
+        dom.points,
+        dom.serial_s,
+        dom.batched_s,
+        dom.serial_s / dom.batched_s.max(1e-12)
+    );
+
+    eprintln!("BET design grid (7 vth shifts x 4 fin counts, serial vs batched)...");
+    let grid = bet_grid()?;
+    eprintln!(
+        "  {} points: serial {:.2} s, batched {:.2} s ({:.1}x)",
+        grid.points,
+        grid.serial_s,
+        grid.batched_s,
+        grid.serial_s / grid.batched_s.max(1e-12)
+    );
+
+    eprintln!("coalesced /sweep under open-loop Poisson load...");
+    let (uncoalesced, coalesced) = sweep_comparison()?;
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    let _ = writeln!(json, "  \"generated_by\": \"bench_pr8\",");
+    let _ = writeln!(json, "  \"mc_sparse_1k\": {{");
+    let _ = writeln!(json, "    \"simd_level\": \"{}\",", simd::level().name());
+    let _ = writeln!(
+        json,
+        "    \"points\": {}, \"unknowns\": {},",
+        mc.points, mc.unknowns
+    );
+    let _ = writeln!(
+        json,
+        "    \"serial_s\": {:.6e}, \"batched_s\": {:.6e},",
+        mc.serial_s, mc.batched_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"serial_points_per_s\": {:.3}, \"batched_points_per_s\": {:.3},",
+        mc.points as f64 / mc.serial_s,
+        mc.points as f64 / mc.batched_s
+    );
+    let _ = writeln!(
+        json,
+        "    \"speedup\": {:.3}, \"peeled\": {}, \"max_deviation\": {:.3e},",
+        mc.speedup(),
+        mc.peeled,
+        mc.max_dev
+    );
+    match scalar {
+        Some((serial_s, batched_s)) => {
+            let _ = writeln!(
+                json,
+                "    \"scalar\": {{\"serial_s\": {:.6e}, \"batched_s\": {:.6e}, \
+                 \"speedup\": {:.3}}}",
+                serial_s,
+                batched_s,
+                serial_s / batched_s.max(1e-12)
+            );
+        }
+        None => {
+            let _ = writeln!(json, "    \"scalar\": null");
+        }
+    }
+    let _ = writeln!(json, "  }},");
+    for (label, run) in [("domain_mc_4x4", &dom), ("bet_grid_4x4", &grid)] {
+        let _ = writeln!(
+            json,
+            "  \"{label}\": {{\"points\": {}, \"serial_s\": {:.6e}, \"batched_s\": {:.6e}, \
+             \"speedup\": {:.3}, \"outcomes_identical\": true}},",
+            run.points,
+            run.serial_s,
+            run.batched_s,
+            run.serial_s / run.batched_s.max(1e-12)
+        );
+    }
+    let _ = writeln!(json, "  \"sweep_coalescing\": {{");
+    let _ = writeln!(
+        json,
+        "    \"grid_points\": {SWEEP_GRID}, \"requests\": {SWEEP_REQUESTS}, \
+         \"jobs\": {SWEEP_JOBS}, \"arrival\": \"poisson\","
+    );
+    for (label, run, comma) in [
+        ("uncoalesced", &uncoalesced, ","),
+        ("coalesced", &coalesced, ","),
+    ] {
+        let _ = writeln!(
+            json,
+            "    \"{label}\": {{\"window_ms\": {}, \"offered_rps\": {:.1}, \
+             \"completed\": {}, \"shed\": {}, \"errors\": {}, \"wall_s\": {:.3}, \
+             \"rps\": {:.3}, \"batches\": {}, \"coalesced_joins\": {}, \
+             \"batched_points\": {}}}{comma}",
+            run.window_ms,
+            run.offered_rps,
+            run.completed,
+            run.shed,
+            run.errors,
+            run.wall_s,
+            run.rps(),
+            run.batches,
+            run.coalesced,
+            run.batch_points
+        );
+    }
+    let _ = writeln!(
+        json,
+        "    \"throughput_ratio\": {:.3}",
+        coalesced.rps() / uncoalesced.rps().max(1e-9)
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(
+        json,
+        "  \"notes\": \"mc_sparse_1k: 1000 varied grid systems (324 unknowns), serial = fresh \
+         pattern + symbolic analysis + NewtonSolver per point, batched = one BatchedSparseLu \
+         stack (one symbolic schedule) under lock-step Newton; solutions cross-checked. \
+         domain_mc/bet_grid run the engine-level scans both ways and require identical \
+         outcomes. sweep_coalescing: same-topology vth_shift /sweep requests (shared shift \
+         grid + unique jitter point, cache off; every point is a real batched 4x4 domain \
+         solve) under open-loop Poisson arrivals at ~6x the un-coalesced \
+         capacity; coalescing merges sibling windows into union solves, so throughput \
+         approaches the offered rate instead of the per-request service rate.\""
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out, &json)?;
+    eprintln!(
+        "wrote {out} (MC {:.1}x, /sweep {:.1}x)",
+        mc.speedup(),
+        coalesced.rps() / uncoalesced.rps().max(1e-9)
+    );
+    Ok(())
+}

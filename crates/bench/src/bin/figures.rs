@@ -4,6 +4,7 @@
 //! figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR]
 //!         [--report FILE] [--full] [--strict]
 //!         [--solver auto|dense|sparse]
+//!         [--batch auto|serial|N]
 //!         [--fault-rate R] [--fault-seed S]
 //!         [--trace] [--profile] [--trace-dir DIR]
 //! ```
@@ -20,6 +21,13 @@
 //! sparse above the unknown-count threshold; `dense`/`sparse` force one
 //! backend everywhere. The choice is installed once at startup and is a
 //! process-wide default, so output stays byte-identical at any `--jobs`.
+//!
+//! `--batch` sets the process-default batch mode consulted by the
+//! batched sweep drivers (`BatchMode::Auto`): `auto` (default) solves
+//! same-topology point sets as 64-lane lock-step stacks sharing one
+//! symbolic analysis, `serial` restores one solver per point, `N`
+//! forces the lane width. Results are identical in every mode — the
+//! flag trades wall-clock, not answers.
 //!
 //! The run is **fail-soft by default**: a figure whose simulation fails
 //! (or panics) becomes a gap, the remaining figures still render, and a
@@ -122,6 +130,13 @@ fn main() -> Result<(), Box<dyn Error>> {
                 let choice: SolverChoice = s.parse().map_err(|e| format!("{e}"))?;
                 nvpg_circuit::set_default_solver(choice);
             }
+            "--batch" => {
+                let s = args
+                    .next()
+                    .ok_or("--batch requires auto, serial, or a lane count")?;
+                let mode: nvpg_circuit::BatchMode = s.parse().map_err(|e| format!("{e}"))?;
+                nvpg_circuit::set_default_batch(mode);
+            }
             "--full" => full = true,
             "--strict" => strict = true,
             "--trace" => obs.trace = true,
@@ -150,7 +165,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 println!(
                     "usage: figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR] \
                      [--report FILE] [--full] [--strict] [--solver auto|dense|sparse] \
-                     [--fault-rate R] [--fault-seed S] \
+                     [--batch auto|serial|N] [--fault-rate R] [--fault-seed S] \
                      [--trace] [--profile] [--trace-dir DIR]"
                 );
                 println!(

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT | --spawn] [--requests N] [--concurrency C]
+//!         [--arrival-rps R] [--arrival poisson|fixed] [--arrival-seed S]
 //!         [--p99-ms MS] [--overload] [--overload-p99-ms MS]
 //!         [--check] [--out FILE]
 //! ```
@@ -29,6 +30,15 @@
 //! light-tenant p99, observed sheds, and zero wedged workers under
 //! `--overload`).
 //!
+//! With `--arrival-rps R` the hot phase switches from closed-loop to
+//! **open-loop**: requests are launched at externally scheduled arrival
+//! instants (Poisson by default — exponential inter-arrival gaps from a
+//! seedable LCG — or `--arrival fixed` for a metronome), independent of
+//! how fast earlier responses come back. Closed-loop generators hide
+//! server slowdowns by self-throttling (coordinated omission); open-loop
+//! arrivals keep offered load constant, so queueing delay shows up in
+//! the latency percentiles instead of disappearing into the send rate.
+//!
 //! With `--spawn` it launches the sibling `nvpg-serve` binary on a free
 //! port, runs the workload, then terminates it with SIGTERM and verifies
 //! a clean drain (exit status 0). No HTTP library, no signal crate: raw
@@ -46,11 +56,34 @@ use std::time::{Duration, Instant};
 /// several cache keys, not one).
 const FIGURE_IDS: [&str; 3] = ["fig6a", "fig7a", "fig8a"];
 
+/// How open-loop arrival instants are spaced.
+#[derive(Clone, Copy, PartialEq)]
+enum ArrivalMode {
+    /// Exponential inter-arrival gaps (memoryless, bursty — the realistic
+    /// model of independent clients).
+    Poisson,
+    /// A metronome: every gap is exactly `1/rps`.
+    Fixed,
+}
+
+impl ArrivalMode {
+    fn name(self) -> &'static str {
+        match self {
+            ArrivalMode::Poisson => "poisson",
+            ArrivalMode::Fixed => "fixed",
+        }
+    }
+}
+
 struct Args {
     addr: Option<String>,
     spawn: bool,
     requests: usize,
     concurrency: usize,
+    /// Open-loop offered load in requests/second (0 = closed-loop).
+    arrival_rps: f64,
+    arrival_mode: ArrivalMode,
+    arrival_seed: u64,
     p99_ms: f64,
     overload: bool,
     overload_p99_ms: f64,
@@ -61,6 +94,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT | --spawn] [--requests N] [--concurrency C] \
+         [--arrival-rps R] [--arrival poisson|fixed] [--arrival-seed S] \
          [--p99-ms MS] [--overload] [--overload-p99-ms MS] [--check] [--out FILE]"
     );
     std::process::exit(2);
@@ -72,6 +106,9 @@ fn parse_args() -> Args {
         spawn: false,
         requests: 200,
         concurrency: 4,
+        arrival_rps: 0.0,
+        arrival_mode: ArrivalMode::Poisson,
+        arrival_seed: 1,
         p99_ms: 250.0,
         overload: false,
         overload_p99_ms: 750.0,
@@ -86,6 +123,15 @@ fn parse_args() -> Args {
             "--spawn" => out.spawn = true,
             "--requests" => out.requests = value().parse().unwrap_or_else(|_| usage()),
             "--concurrency" => out.concurrency = value().parse().unwrap_or_else(|_| usage()),
+            "--arrival-rps" => out.arrival_rps = value().parse().unwrap_or_else(|_| usage()),
+            "--arrival" => {
+                out.arrival_mode = match value().as_str() {
+                    "poisson" => ArrivalMode::Poisson,
+                    "fixed" => ArrivalMode::Fixed,
+                    _ => usage(),
+                }
+            }
+            "--arrival-seed" => out.arrival_seed = value().parse().unwrap_or_else(|_| usage()),
             "--p99-ms" => out.p99_ms = value().parse().unwrap_or_else(|_| usage()),
             "--overload" => out.overload = true,
             "--overload-p99-ms" => {
@@ -95,6 +141,10 @@ fn parse_args() -> Args {
             "--out" => out.out = value(),
             _ => usage(),
         }
+    }
+    if out.arrival_rps < 0.0 || !out.arrival_rps.is_finite() {
+        eprintln!("loadgen: --arrival-rps must be a finite rate >= 0");
+        usage();
     }
     if out.addr.is_none() && !out.spawn {
         eprintln!("loadgen: need --addr or --spawn");
@@ -309,6 +359,81 @@ fn run_hot(addr: &str, requests: usize, concurrency: usize) -> Phase {
         latencies.extend(l);
         errors += e;
     }
+    summarize(latencies, errors, t0.elapsed())
+}
+
+/// splitmix64 — the gap generator's PRNG step. Good enough spectral
+/// quality for inter-arrival sampling, and one `u64` of state keeps the
+/// schedule reproducible from `--arrival-seed`.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A uniform draw in (0, 1] — never 0, so `ln` below is always finite.
+fn uniform_01(state: &mut u64) -> f64 {
+    ((splitmix64(state) >> 11) as f64 + 1.0) / (1u64 << 53) as f64
+}
+
+/// The deterministic inter-arrival schedule for `n` open-loop requests at
+/// `rps` offered load: exponential gaps (Poisson process) or a fixed
+/// metronome. Same seed, same schedule — reruns are comparable.
+fn arrival_gaps(n: usize, rps: f64, mode: ArrivalMode, seed: u64) -> Vec<Duration> {
+    let mut state = seed;
+    (0..n)
+        .map(|_| {
+            let gap_s = match mode {
+                ArrivalMode::Fixed => 1.0 / rps,
+                ArrivalMode::Poisson => -uniform_01(&mut state).ln() / rps,
+            };
+            Duration::from_secs_f64(gap_s)
+        })
+        .collect()
+}
+
+/// Open-loop hot phase: `requests` requests launched at pre-scheduled
+/// arrival instants, each on its own thread. Unlike the closed loop,
+/// a slow response does NOT delay later sends — offered load stays at
+/// `rps` and any server-side queueing shows up as latency, not as a
+/// silently reduced request rate.
+fn run_open_loop(addr: &str, requests: usize, rps: f64, mode: ArrivalMode, seed: u64) -> Phase {
+    let gaps = arrival_gaps(requests, rps, mode, seed);
+    let t0 = Instant::now();
+    let results: Vec<Result<Duration, ()>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(requests);
+        let mut due = Duration::ZERO;
+        for (i, gap) in gaps.iter().enumerate() {
+            due += *gap;
+            // The scheduler thread owns the clock; sleep until this
+            // arrival is due (a late wake just sends immediately).
+            if let Some(wait) = due.checked_sub(t0.elapsed()) {
+                std::thread::sleep(wait);
+            }
+            let id = FIGURE_IDS[i % FIGURE_IDS.len()];
+            handles.push(scope.spawn(move || {
+                match get(addr, &format!("/figures/{id}?format=csv")) {
+                    Ok((200, _, dt)) => Ok(dt),
+                    Ok((status, ..)) => {
+                        eprintln!("loadgen: open-loop {id} -> {status}");
+                        Err(())
+                    }
+                    Err(e) => {
+                        eprintln!("loadgen: open-loop {id}: {e}");
+                        Err(())
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen arrival"))
+            .collect()
+    });
+    let errors = results.iter().filter(|r| r.is_err()).count();
+    let latencies = results.into_iter().filter_map(|r| r.ok()).collect();
     summarize(latencies, errors, t0.elapsed())
 }
 
@@ -761,11 +886,28 @@ fn main() {
         cold.rps(),
         cold.p99_ms
     );
-    eprintln!(
-        "loadgen: cache-hot pass, {} requests x{} connections",
-        args.requests, args.concurrency
-    );
-    let hot = run_hot(&addr, args.requests, args.concurrency);
+    let open_loop = args.arrival_rps > 0.0;
+    let hot = if open_loop {
+        eprintln!(
+            "loadgen: cache-hot pass, {} open-loop arrivals at {} rps ({})",
+            args.requests,
+            args.arrival_rps,
+            args.arrival_mode.name()
+        );
+        run_open_loop(
+            &addr,
+            args.requests,
+            args.arrival_rps,
+            args.arrival_mode,
+            args.arrival_seed,
+        )
+    } else {
+        eprintln!(
+            "loadgen: cache-hot pass, {} requests x{} connections",
+            args.requests, args.concurrency
+        );
+        run_hot(&addr, args.requests, args.concurrency)
+    };
     eprintln!(
         "loadgen: hot {} req in {:.2} s ({:.2} rps), p99 {:.1} ms",
         hot.requests,
@@ -789,12 +931,25 @@ fn main() {
     };
 
     let speedup = hot.rps() / cold.rps().max(1e-9);
+    let arrival_json = if open_loop {
+        format!(
+            "{{\"mode\": \"{}\", \"offered_rps\": {}, \"seed\": {}}}",
+            args.arrival_mode.name(),
+            args.arrival_rps,
+            args.arrival_seed
+        )
+    } else {
+        "null".to_owned()
+    };
     let json = format!(
-        "{{\n  \"generated_by\": \"loadgen\",\n  \"workload\": {:?},\n  {},\n  {},\n  \
+        "{{\n  \"generated_by\": \"loadgen\",\n  \"workload\": {:?},\n  \"arrival\": {},\n  {},\n  {},\n  \
          \"cache_hot_speedup\": {:.3},\n  \"clean_drain\": {},\n  \"notes\": \"cold pass pays one \
          solve per figure (plus the one-off Table I characterisation on the first request); hot \
-         pass is served from the content-addressed cache without touching the solver.\"\n}}\n",
+         pass is served from the content-addressed cache without touching the solver. arrival=null \
+         means the hot phase ran closed-loop; otherwise requests were launched open-loop at the \
+         recorded offered rate, so hot throughput tracks offered load, not server capacity.\"\n}}\n",
         FIGURE_IDS.as_slice(),
+        arrival_json,
         cold.json("cache_cold"),
         hot.json("cache_hot"),
         speedup,
@@ -820,7 +975,9 @@ fn main() {
                 hot.p99_ms, args.p99_ms
             ));
         }
-        if speedup < 10.0 {
+        // Open-loop throughput is pinned to the offered rate, so the
+        // hot/cold speedup gate only applies to the closed-loop mode.
+        if !open_loop && speedup < 10.0 {
             failures.push(format!("cache-hot speedup {speedup:.1}x is below 10x"));
         }
         if drain == Some(false) {
@@ -831,5 +988,35 @@ fn main() {
             std::process::exit(1);
         }
         eprintln!("loadgen --check passed");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_arrivals_are_a_metronome() {
+        let gaps = arrival_gaps(5, 50.0, ArrivalMode::Fixed, 7);
+        assert_eq!(gaps.len(), 5);
+        for gap in gaps {
+            assert_eq!(gap, Duration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn poisson_arrivals_are_seeded_and_mean_one_over_rps() {
+        let a = arrival_gaps(10_000, 200.0, ArrivalMode::Poisson, 42);
+        let b = arrival_gaps(10_000, 200.0, ArrivalMode::Poisson, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        let c = arrival_gaps(10_000, 200.0, ArrivalMode::Poisson, 43);
+        assert_ne!(a, c, "different seed, different schedule");
+        let mean_s: f64 = a.iter().map(Duration::as_secs_f64).sum::<f64>() / a.len() as f64;
+        // Exponential with rate 200 → mean 5 ms; 10k draws pin it tightly.
+        assert!(
+            (mean_s - 0.005).abs() < 0.0005,
+            "mean gap {mean_s} s is far from 1/rps"
+        );
+        assert!(a.iter().all(|g| g.as_secs_f64().is_finite()));
     }
 }

@@ -19,6 +19,7 @@
 //! serves both the dense-vs-sparse differential tests at small sizes and
 //! the array-scale benchmarks.
 
+use nvpg_circuit::batched::{batched_operating_point, BatchMode};
 use nvpg_circuit::dc::{operating_point, DcOptions};
 use nvpg_circuit::transient::{transient, TransientOptions};
 use nvpg_circuit::{Circuit, CircuitError, DcSolution, NodeId, SolverChoice, StepStats, Waveform};
@@ -58,6 +59,103 @@ impl DomainKind {
 struct DomainCellNodes {
     q: NodeId,
     qb: NodeId,
+}
+
+/// A fully-built domain netlist whose operating point has **not** been
+/// solved yet.
+///
+/// [`DomainArray::with_solver`] is `prepare(…).solve()`; splitting the
+/// two steps lets batch-shaped drivers (Monte-Carlo variation, thermal
+/// scans) build many same-topology domains — one per parameter point —
+/// and hand them to [`DomainBuilder::solve_batch`], which solves them in
+/// lock-step lanes of an [`nvpg_circuit::batched`] stack instead of one
+/// Newton run per point.
+#[derive(Debug)]
+pub struct DomainBuilder {
+    ckt: Circuit,
+    opts: DcOptions,
+    design: CellDesign,
+    kind: DomainKind,
+    rows: usize,
+    cols: usize,
+    solver: SolverChoice,
+    cells: Vec<Vec<DomainCellNodes>>,
+    source_names: Vec<String>,
+    levels: Vec<f64>,
+}
+
+impl DomainBuilder {
+    /// MNA unknown count of the prepared netlist.
+    pub fn unknown_count(&self) -> usize {
+        self.ckt.unknown_count()
+    }
+
+    /// The DC options (nodesets seeding the pattern) the solve will use.
+    pub fn dc_options(&self) -> &DcOptions {
+        &self.opts
+    }
+
+    /// Solves the operating point serially and finishes the array.
+    ///
+    /// # Errors
+    ///
+    /// Propagates DC non-convergence.
+    pub fn solve(mut self) -> Result<DomainArray, CircuitError> {
+        let state = operating_point(&mut self.ckt, &self.opts)?;
+        Ok(self.finish(state))
+    }
+
+    fn finish(self, state: DcSolution) -> DomainArray {
+        DomainArray {
+            ckt: self.ckt,
+            design: self.design,
+            kind: self.kind,
+            rows: self.rows,
+            cols: self.cols,
+            solver: self.solver,
+            cells: self.cells,
+            state,
+            source_names: self.source_names,
+            levels: self.levels,
+            stats: StepStats::default(),
+        }
+    }
+
+    /// Solves a batch of prepared domains, `batch.lanes()` lock-step
+    /// lanes at a time, returning per-domain results in input order.
+    ///
+    /// All builders must share one topology *and one seed pattern* (the
+    /// DC nodesets of the first builder in each chunk drive the whole
+    /// chunk); only device parameter values may differ, which is exactly
+    /// the Monte-Carlo/thermal-scan shape. A chunk whose unknown counts
+    /// disagree falls back to per-point serial solving inside
+    /// [`batched_operating_point`], so the call is always safe — just
+    /// slower than it could be.
+    pub fn solve_batch(
+        builders: Vec<DomainBuilder>,
+        batch: BatchMode,
+    ) -> Vec<Result<DomainArray, CircuitError>> {
+        let lanes = batch.lanes();
+        let mut out = Vec::with_capacity(builders.len());
+        let mut iter = builders.into_iter();
+        loop {
+            let chunk: Vec<DomainBuilder> = iter.by_ref().take(lanes).collect();
+            if chunk.is_empty() {
+                break;
+            }
+            let opts = chunk[0].opts.clone();
+            let (mut circuits, seeds): (Vec<Circuit>, Vec<DomainBuilder>) = chunk
+                .into_iter()
+                .map(|mut b| (std::mem::replace(&mut b.ckt, Circuit::new()), b))
+                .unzip();
+            let results = batched_operating_point(&mut circuits, &opts);
+            for ((ckt, mut seed), res) in circuits.into_iter().zip(seeds).zip(results) {
+                seed.ckt = ckt;
+                out.push(res.map(|(state, _stats)| seed.finish(state)));
+            }
+        }
+        out
+    }
 }
 
 /// An `R × C` power domain behind a single shared power switch.
@@ -116,6 +214,27 @@ impl DomainArray {
         solver: SolverChoice,
         pattern: impl Fn(usize, usize) -> bool,
     ) -> Result<Self, CircuitError> {
+        Self::prepare(design, kind, rows, cols, solver, pattern)?.solve()
+    }
+
+    /// Builds the domain netlist and its pattern-seeded DC options
+    /// *without* solving the operating point. See [`DomainBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates netlist errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` or `cols` is zero.
+    pub fn prepare(
+        design: CellDesign,
+        kind: DomainKind,
+        rows: usize,
+        cols: usize,
+        solver: SolverChoice,
+        pattern: impl Fn(usize, usize) -> bool,
+    ) -> Result<DomainBuilder, CircuitError> {
         assert!(rows >= 1 && cols >= 1, "domain dimensions must be nonzero");
         let c = design.conditions;
         let gnd = Circuit::GROUND;
@@ -271,19 +390,17 @@ impl DomainArray {
         for (&b, &bb) in bl.iter().zip(&blb) {
             opts = opts.with_nodeset(b, c.vdd).with_nodeset(bb, c.vdd);
         }
-        let state = operating_point(&mut ckt, &opts)?;
-        Ok(DomainArray {
+        Ok(DomainBuilder {
             ckt,
+            opts,
             design,
             kind,
             rows,
             cols,
             solver,
             cells,
-            state,
             source_names,
             levels,
-            stats: StepStats::default(),
         })
     }
 
@@ -305,6 +422,31 @@ impl DomainArray {
     /// MNA unknown count of the domain netlist.
     pub fn unknown_count(&self) -> usize {
         self.ckt.unknown_count()
+    }
+
+    /// The current DC state of the domain.
+    pub fn state(&self) -> &DcSolution {
+        &self.state
+    }
+
+    /// Total static power delivered by every source in the current DC
+    /// state (W) — the domain's leakage in whatever mode it sits in.
+    pub fn static_power(&self) -> f64 {
+        self.source_names
+            .iter()
+            .zip(&self.levels)
+            .map(|(n, &v)| self.state.source_power(n, v).unwrap_or(0.0))
+            .sum()
+    }
+
+    /// Smallest `|V(Q) − V(QB)|` over all cells (V): the worst per-cell
+    /// storage margin in the current state.
+    pub fn min_storage_margin(&self) -> f64 {
+        self.cells
+            .iter()
+            .flatten()
+            .map(|cell| (self.state.voltage(cell.q) - self.state.voltage(cell.qb)).abs())
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Step/solver telemetry accumulated over every phase run so far
@@ -673,6 +815,44 @@ mod tests {
         )
         .unwrap();
         assert_eq!(dense.pattern(), sparse.pattern());
+    }
+
+    #[test]
+    fn batched_domain_solve_matches_serial_bitwise() {
+        // Four varied designs, one topology: the dense batched lanes must
+        // land on exactly the serial operating points (shared kernels).
+        let designs: Vec<CellDesign> = [0.0, 5e-3, -5e-3, 10e-3]
+            .iter()
+            .map(|&dv| {
+                let mut d = CellDesign::table1();
+                d.nmos.vth0 += dv;
+                d
+            })
+            .collect();
+        let prepare = |d: &CellDesign| {
+            DomainArray::prepare(
+                *d,
+                DomainKind::Nvpg,
+                2,
+                2,
+                SolverChoice::Dense,
+                checkerboard,
+            )
+            .unwrap()
+        };
+        let builders: Vec<DomainBuilder> = designs.iter().map(prepare).collect();
+        let batched = DomainBuilder::solve_batch(builders, BatchMode::Fixed(4));
+        assert_eq!(batched.len(), 4);
+        for (d, res) in designs.iter().zip(batched) {
+            let b = res.unwrap();
+            let s = prepare(d).solve().unwrap();
+            assert_eq!(b.pattern(), s.pattern());
+            for (x, y) in b.state().as_slice().iter().zip(s.state().as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(b.static_power(), s.static_power());
+            assert!(b.min_storage_margin() > 0.5, "storage margin collapsed");
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl DcOptions {
     }
 }
 
-fn initial_vector(circuit: &Circuit, opts: &DcOptions) -> Vec<f64> {
+pub(crate) fn initial_vector(circuit: &Circuit, opts: &DcOptions) -> Vec<f64> {
     let mut x = vec![0.0; circuit.unknown_count()];
     for (&node, &v) in &opts.nodesets {
         if let Some(i) = node.unknown_index() {

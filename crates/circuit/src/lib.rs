@@ -39,6 +39,7 @@
 //! ```
 
 pub mod ac;
+pub mod batched;
 /// Cooperative cancellation tokens (re-exported from `nvpg-numeric` so the
 /// analysis drivers and their callers share one token type). Install with
 /// [`cancel::with_token`]; the Newton loop, the transient step loop, the DC
@@ -63,6 +64,9 @@ pub mod vcd;
 pub mod waveform;
 
 pub use ac::{ac_sweep, AcSweep};
+pub use batched::{
+    batched_operating_point, default_batch, set_default_batch, BatchMode, DEFAULT_BATCH_LANES,
+};
 pub use cancel::CancelToken;
 pub use circuit::Circuit;
 pub use element::{DeviceStamp, NonlinearDevice};

@@ -14,7 +14,13 @@
 use nvpg_numeric::brent;
 use nvpg_units::Seconds;
 
+use nvpg_cells::characterize::CellCharacterization;
+use nvpg_cells::design::CellDesign;
+use nvpg_cells::domain::DomainKind;
+use nvpg_circuit::CircuitError;
+
 use crate::arch::Architecture;
+use crate::batch::{solve_domain_designs, BatchMode};
 use crate::energy::{BenchmarkParams, EnergyModel};
 
 /// Outcome of a BET computation.
@@ -104,6 +110,103 @@ pub fn bet_iterative(
         Ok(t) => Bet::At(Seconds(t)),
         Err(_) => Bet::Never,
     }
+}
+
+/// One point of [`bet_design_scan`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BetScanPoint {
+    /// Threshold-voltage shift applied to both device cards (V).
+    pub vth_shift: f64,
+    /// Power-switch fin count `N_FSW`.
+    pub n_fsw: u32,
+    /// Normal-mode static power of the scanned domain (W).
+    pub static_power: f64,
+    /// First-order NVPG break-even time at this design point (s), when a
+    /// crossing exists.
+    pub bet: Option<f64>,
+}
+
+/// BET design-space scan over a `vth_shifts × fin_counts` grid
+/// (row-major: the fin counts vary fastest).
+///
+/// Every grid point is one varied [`CellDesign`] — threshold shift on
+/// both device cards, power-switch width `n_fsw` — whose `rows × cols`
+/// NVPG domain operating point solves as one lane of a batched stack
+/// ([`crate::batch`], `batch.lanes()` points per chunk, chunks fanned
+/// over `jobs` workers). The per-point BET is first-order: `ch`'s NV
+/// static powers are scaled by the point's measured domain leakage
+/// relative to the unshifted design's, and the closed-form crossing
+/// re-solved — the leakage axis of the BET surface, without a transient
+/// re-characterisation per point.
+///
+/// # Errors
+///
+/// Fails at the setup stage (nominal domain); per-point DC failures
+/// propagate as that point's error is the first one encountered.
+#[allow(clippy::too_many_arguments)]
+pub fn bet_design_scan(
+    base: &CellDesign,
+    ch: &CellCharacterization,
+    vth_shifts: &[f64],
+    fin_counts: &[u32],
+    rows: usize,
+    cols: usize,
+    params: &BenchmarkParams,
+    batch: BatchMode,
+    jobs: usize,
+) -> Result<Vec<BetScanPoint>, CircuitError> {
+    use nvpg_cells::domain::DomainArray;
+    use nvpg_circuit::SolverChoice;
+
+    let mut grid = Vec::with_capacity(vth_shifts.len() * fin_counts.len());
+    let mut designs = Vec::with_capacity(grid.capacity());
+    for &dv in vth_shifts {
+        for &n_fsw in fin_counts {
+            let mut d = base.with_power_switch_fins(n_fsw);
+            d.nmos.vth0 += dv;
+            d.pmos.vth0 += dv;
+            grid.push((dv, n_fsw));
+            designs.push(d);
+        }
+    }
+
+    let nominal = DomainArray::prepare(
+        *base,
+        DomainKind::Nvpg,
+        rows,
+        cols,
+        SolverChoice::Auto,
+        crate::batch::checkerboard,
+    )?
+    .solve()?;
+    let nominal_power = nominal.static_power();
+
+    solve_domain_designs(&designs, DomainKind::Nvpg, rows, cols, batch, jobs)
+        .into_iter()
+        .zip(grid)
+        .map(|(res, (vth_shift, n_fsw))| {
+            res.map(|domain| {
+                let static_power = domain.static_power();
+                let ratio = static_power / nominal_power;
+                let mut scaled = *ch;
+                scaled.static_power.p_nv_normal *= ratio;
+                scaled.static_power.p_nv_sleep *= ratio;
+                scaled.static_power.p_nv_shutdown *= ratio;
+                scaled.static_power.p_nv_shutdown_super *= ratio;
+                let bet =
+                    match bet_closed_form(&EnergyModel::new(scaled), Architecture::Nvpg, params) {
+                        Bet::At(t) => Some(t.0),
+                        _ => None,
+                    };
+                BetScanPoint {
+                    vth_shift,
+                    n_fsw,
+                    static_power,
+                    bet,
+                }
+            })
+        })
+        .collect()
 }
 
 #[cfg(test)]
@@ -260,5 +363,40 @@ mod tests {
     fn osr_has_no_bet() {
         let m = model();
         let _ = bet_closed_form(&m, Architecture::Osr, &params(10));
+    }
+
+    #[test]
+    fn design_scan_tracks_leakage_and_batches_cleanly() {
+        let base = CellDesign::table1();
+        let ch = synthetic();
+        let shifts = [-10e-3, 0.0, 10e-3];
+        let fins = [7, 14];
+        let p = params(10);
+        let scan = |batch| bet_design_scan(&base, &ch, &shifts, &fins, 2, 2, &p, batch, 0).unwrap();
+        let pts = scan(BatchMode::Fixed(6));
+        assert_eq!(pts.len(), 6);
+        // Row-major: fins vary fastest.
+        assert_eq!((pts[0].vth_shift, pts[0].n_fsw), (-10e-3, 7));
+        assert_eq!((pts[1].vth_shift, pts[1].n_fsw), (-10e-3, 14));
+        // Lower V_th ⇒ exponentially more leakage at fixed N_FSW…
+        let at_fins7: Vec<&BetScanPoint> = pts.iter().filter(|p| p.n_fsw == 7).collect();
+        assert!(at_fins7[0].static_power > at_fins7[1].static_power);
+        assert!(at_fins7[1].static_power > at_fins7[2].static_power);
+        // …and the leakage-scaled BET moves with it monotonically.
+        let bets: Vec<f64> = at_fins7
+            .iter()
+            .map(|p| p.bet.expect("BET exists"))
+            .collect();
+        assert!(
+            (bets[0] > bets[1]) == (at_fins7[0].static_power > at_fins7[1].static_power)
+                && (bets[1] > bets[2]) == (at_fins7[1].static_power > at_fins7[2].static_power),
+            "BET not monotone in leakage: {bets:?}"
+        );
+        // Dense batched lanes are bit-identical to the serial scan.
+        let serial = scan(BatchMode::Serial);
+        for (b, s) in pts.iter().zip(&serial) {
+            assert_eq!(b.static_power.to_bits(), s.static_power.to_bits());
+            assert_eq!(b.bet, s.bet);
+        }
     }
 }

@@ -136,6 +136,58 @@ pub fn request_key_raw(method: &str, path: &str, canonical_body: &str) -> u128 {
     fnv1a_128(&bytes)
 }
 
+/// Canonicalises a sweep-point list *as a set*: ascending order, exact
+/// duplicates removed. A sweep's meaning is the set of points it visits
+/// — `[1, 2, 3]`, `[3, 2, 1]` and `[1, 1, 2, 3]` are the same query —
+/// so the serving layer keys its cache (and its request coalescing) on
+/// this form, not the wire order.
+///
+/// # Errors
+///
+/// Returns a message when `values` is not an array of finite numbers.
+pub fn canonicalize_sweep_values(values: &Json) -> Result<Vec<f64>, String> {
+    let items = values
+        .as_arr()
+        .ok_or_else(|| "`values` must be an array of numbers".to_owned())?;
+    let mut out = Vec::with_capacity(items.len());
+    for v in items {
+        let n = v
+            .as_num()
+            .ok_or_else(|| "`values` must be an array of numbers".to_owned())?;
+        if !n.is_finite() {
+            return Err("`values` entries must be finite".to_owned());
+        }
+        out.push(n);
+    }
+    out.sort_by(f64::total_cmp);
+    out.dedup_by(|a, b| a == b); // -0.0 == 0.0 folds, as canon_num does
+    Ok(out)
+}
+
+/// Returns a copy of a `/sweep`-style request body with its `values`
+/// array canonicalised by [`canonicalize_sweep_values`]. Bodies without
+/// a well-formed `values` array pass through unchanged (the handler's
+/// own validation will name the problem).
+pub fn canonicalize_sweep_body(body: &Json) -> Json {
+    let Some(map) = body.as_obj() else {
+        return body.clone();
+    };
+    let Some(values) = map.get("values") else {
+        return body.clone();
+    };
+    match canonicalize_sweep_values(values) {
+        Ok(set) => {
+            let mut out = map.clone();
+            out.insert(
+                "values".to_owned(),
+                Json::Arr(set.into_iter().map(Json::Num).collect()),
+            );
+            Json::Obj(out)
+        }
+        Err(_) => body.clone(),
+    }
+}
+
 /// Decodes an architecture name (`"OSR"`, `"nvpg"`, …) from a request
 /// field.
 ///
@@ -317,6 +369,46 @@ mod tests {
             );
         }
         assert_eq!(keys.len(), total);
+    }
+
+    #[test]
+    fn sweep_value_sets_are_order_and_duplicate_invariant() {
+        // The regression the serving layer depends on: a reordered or
+        // duplicated sweep hits the same cache entry and coalesces into
+        // the same batch.
+        let variants = [
+            r#"{"var":"rows","values":[32,512,4096]}"#,
+            r#"{"var":"rows","values":[4096,32,512]}"#,
+            r#"{"var":"rows","values":[32,32,512,4096,512]}"#,
+            r#"{"values":[4.096e3,512.0,32],"var":"rows"}"#,
+        ];
+        let keys: Vec<u128> = variants
+            .iter()
+            .map(|t| {
+                let body = canonicalize_sweep_body(&parse(t).unwrap());
+                request_key("POST", "/sweep", &body)
+            })
+            .collect();
+        for k in &keys[1..] {
+            assert_eq!(*k, keys[0]);
+        }
+        // A genuinely different point set keys differently.
+        let other = canonicalize_sweep_body(&parse(r#"{"var":"rows","values":[32,512]}"#).unwrap());
+        assert_ne!(request_key("POST", "/sweep", &other), keys[0]);
+
+        // The set itself comes back sorted and deduplicated.
+        let set = canonicalize_sweep_values(&parse(r#"[3, 1, 2, 1, -0.0, 0]"#).unwrap()).unwrap();
+        assert_eq!(set, vec![0.0, 1.0, 2.0, 3.0]);
+
+        // Malformed values: canonicalize_sweep_values names the problem,
+        // canonicalize_sweep_body passes through for the handler to catch.
+        assert!(canonicalize_sweep_values(&parse(r#"["a"]"#).unwrap()).is_err());
+        assert!(canonicalize_sweep_values(&parse("3").unwrap()).is_err());
+        let bad = parse(r#"{"var":"rows","values":"all"}"#).unwrap();
+        assert_eq!(canonicalize_sweep_body(&bad), bad);
+        // Bodies without `values` are untouched.
+        let none = parse(r#"{"arch":"NVPG"}"#).unwrap();
+        assert_eq!(canonicalize_sweep_body(&none), none);
     }
 
     #[test]

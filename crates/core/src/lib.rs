@@ -40,6 +40,7 @@
 //! ```
 
 pub mod arch;
+pub mod batch;
 pub mod bet;
 /// Cooperative cancellation tokens, shared across the whole solve stack
 /// (re-exported from `nvpg-numeric`): install a [`cancel::CancelToken`]
@@ -61,7 +62,10 @@ pub mod variation;
 pub mod workload;
 
 pub use arch::Architecture;
-pub use bet::{bet_closed_form, bet_iterative, Bet};
+pub use batch::{
+    default_batch, set_default_batch, solve_domain_designs, BatchMode, DEFAULT_BATCH_LANES,
+};
+pub use bet::{bet_closed_form, bet_design_scan, bet_iterative, Bet, BetScanPoint};
 pub use cancel::CancelToken;
 pub use corners::{corner_analysis, Corner, CornerResult};
 pub use domain::PowerDomain;
@@ -71,5 +75,11 @@ pub use experiments::{Experiments, Figure, Series, BET_FIGURE_IDS, EXTENSION_IDS
 pub use policy::{IdleDistribution, PolicyModel};
 pub use report::{PointRecord, PointStatus, RunReport};
 pub use sequence::{run_sequence, SequenceParams, SequenceRun};
-pub use thermal::{at_temperature, temperature_sweep, ThermalPoint};
+pub use thermal::{
+    at_temperature, domain_leakage_sweep, temperature_sweep, DomainThermalPoint, ThermalPoint,
+};
+pub use variation::{
+    run_domain_variation, run_variation, run_variation_report, DomainSample,
+    DomainVariationOutcome, VariationOutcome, VariationSpec,
+};
 pub use workload::{simulate_trace, GatingPolicy, TraceOutcome, Workload, WorkloadEvent};

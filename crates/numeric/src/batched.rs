@@ -1,0 +1,902 @@
+//! Batched Newton solving: one symbolic schedule, many simultaneous points.
+//!
+//! Monte-Carlo variation, thermal sweeps, and BET design-space scans all
+//! solve the *same topology* at different parameter points. The serial path
+//! pays structure costs per point: dense workspace sizing, sparse ordering +
+//! symbolic analysis, Newton driver bookkeeping. This module amortises all
+//! of that across a batch of lanes:
+//!
+//! * [`BatchedSolver`] — the backend trait, shaped as four explicit phases
+//!   (**upload** per-lane assembly → **factor** over the whole stack →
+//!   **solve** over the whole stack → results read back by the caller) with
+//!   no borrowed iterators crossing a phase boundary, so a GPU backend can
+//!   later implement the same trait with device-resident stacks and bulk
+//!   transfers at the phase edges.
+//! * [`BatchedDenseLu`] — a stack of same-size dense Jacobians factored by
+//!   the *same* `factor_in_place`/`substitute_in_place` kernels the serial
+//!   [`LuWorkspace`](crate::matrix::LuWorkspace) uses. A batched dense lane
+//!   therefore reproduces the serial plain-Newton result **bit for bit**.
+//! * [`BatchedSparseLu`] — one [`SparseLu`] symbolic analysis (ordering,
+//!   pivot sequence, L/U patterns, scratch) shared by every lane; only the
+//!   numeric L/U values live per lane, filled by the fixed-pattern
+//!   refactorisation. The symbolic cost is paid once per batch *series*,
+//!   not once per point — the serial path pays it once per point.
+//! * [`BatchedNewton`] — a lock-step Newton driver with per-lane
+//!   convergence masking. Converged lanes stop evaluating; lanes that hit
+//!   any rescue-worthy condition (singular/unstable factorisation,
+//!   non-finite state, iteration limit, cancellation) **peel off** with a
+//!   [`PeelReason`] so the caller can rerun just those points through the
+//!   serial rescue ladder, preserving fail-soft semantics and the
+//!   `RunReport` taxonomy per point.
+//!
+//! The driver intentionally supports only plain damped Newton (no
+//! backtracking line search, no modified-Newton Jacobian reuse): those are
+//! rescue-path features, and rescue happens serially after a peel.
+
+use crate::cancel;
+use crate::matrix::{self, DenseMatrix};
+use crate::newton::{NewtonOptions, NonlinearSystem};
+use crate::sparse::{CscMatrix, SparseLu, SparsePattern};
+
+/// Per-lane result of a [`BatchedNewton::solve`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneOutcome {
+    /// The lane converged under the same per-unknown tolerances as the
+    /// serial driver.
+    Converged {
+        /// Iterations taken (counting the converging one).
+        iterations: usize,
+    },
+    /// The lane left the lock-step batch; the caller should resolve this
+    /// point through the serial rescue ladder.
+    Peeled {
+        /// Iteration at which the lane peeled off.
+        iteration: usize,
+        /// Why it peeled.
+        reason: PeelReason,
+    },
+}
+
+/// Why a lane peeled off the lock-step batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeelReason {
+    /// The lane's Jacobian failed to factor (dense backend, or the sparse
+    /// backend's anchor full factorisation).
+    SingularJacobian {
+        /// Pivot column at which factorisation failed.
+        column: usize,
+    },
+    /// The shared pivot sequence is not numerically admissible for this
+    /// lane's values (sparse backend only).
+    UnstableRefactor,
+    /// A residual or state entry went non-finite.
+    NonFiniteState,
+    /// The lane did not converge within `max_iter` lock-step iterations.
+    IterationLimit,
+    /// A cancellation token fired while the lane was still active.
+    Cancelled,
+}
+
+/// Per-lane factor-phase status reported by [`BatchedSolver::factor`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneFactor {
+    /// Factorisation succeeded; the lane can be solved.
+    Ok,
+    /// Factorisation failed at the given pivot column.
+    Singular(usize),
+    /// The cached pivot sequence rejected this lane's values.
+    Unstable,
+}
+
+/// A batched linear-solver backend: a stack of same-structure Jacobians
+/// factored and solved lane-wise.
+///
+/// The trait is deliberately phase-structured for GPU-readiness:
+///
+/// 1. **upload** — per-lane residual + Jacobian assembly into the backend's
+///    stack (host-side for the CPU backends; a device transfer later);
+/// 2. **factor** — factorise every active lane in one call over the stack;
+/// 3. **solve** — solve `J·Δ = -F` for every active lane in one call;
+/// 4. results are read from caller-owned flat buffers (the download phase).
+///
+/// No references are held across phase boundaries, so a device backend can
+/// keep the stacks resident and synchronise only at the edges.
+pub trait BatchedSolver {
+    /// Unknowns per lane.
+    fn dim(&self) -> usize;
+
+    /// Number of lanes in the stack.
+    fn lanes(&self) -> usize;
+
+    /// Assembles lane `lane`'s residual and Jacobian at state `x`.
+    ///
+    /// `x` and `residual` are single-lane slices of length [`dim`]
+    /// (BatchedSolver::dim); `residual` arrives zeroed.
+    fn upload<S: NonlinearSystem>(
+        &mut self,
+        lane: usize,
+        system: &mut S,
+        x: &[f64],
+        residual: &mut [f64],
+    );
+
+    /// Factorises every lane with `active[lane]` set, writing a
+    /// [`LaneFactor`] per active lane into `results` (inactive entries are
+    /// left untouched).
+    fn factor(&mut self, active: &[bool], results: &mut [LaneFactor]);
+
+    /// Solves `J_lane · Δ_lane = -F_lane` for every active lane whose last
+    /// factor phase reported [`LaneFactor::Ok`].
+    ///
+    /// `residuals` and `deltas` are flat `lanes × dim` buffers; lane `i`
+    /// occupies `i*dim..(i+1)*dim`.
+    fn solve_neg(
+        &mut self,
+        active: &[bool],
+        results: &[LaneFactor],
+        residuals: &[f64],
+        deltas: &mut [f64],
+    );
+}
+
+/// Batched dense backend: a stack of row-major LU factorisations sharing
+/// the serial kernels, so each lane is bit-identical to a serial
+/// plain-Newton solve of the same point.
+#[derive(Debug, Clone)]
+pub struct BatchedDenseLu {
+    n: usize,
+    jac: Vec<DenseMatrix>,
+    /// `lanes × n²` factor stack.
+    lu: Vec<f64>,
+    /// `lanes × n` permutation stack.
+    perm: Vec<usize>,
+}
+
+impl BatchedDenseLu {
+    /// A dense stack of `lanes` lanes of `n` unknowns each. All buffers are
+    /// allocated here; the solve phases allocate nothing.
+    pub fn new(n: usize, lanes: usize) -> Self {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        BatchedDenseLu {
+            n,
+            jac: (0..lanes).map(|_| DenseMatrix::zeros(n, n)).collect(),
+            lu: vec![0.0; lanes * n * n],
+            perm: vec![0; lanes * n],
+        }
+    }
+}
+
+impl BatchedSolver for BatchedDenseLu {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn lanes(&self) -> usize {
+        self.jac.len()
+    }
+
+    fn upload<S: NonlinearSystem>(
+        &mut self,
+        lane: usize,
+        system: &mut S,
+        x: &[f64],
+        residual: &mut [f64],
+    ) {
+        let jac = &mut self.jac[lane];
+        jac.clear();
+        system.eval(x, residual, jac);
+    }
+
+    fn factor(&mut self, active: &[bool], results: &mut [LaneFactor]) {
+        let n = self.n;
+        let nn = n * n;
+        for (lane, jac) in self.jac.iter().enumerate() {
+            if !active[lane] {
+                continue;
+            }
+            // Mirror `LuWorkspace::factor_from`: copy, identity permutation,
+            // then the shared in-place kernel — the bit-identity contract.
+            let lu = &mut self.lu[lane * nn..(lane + 1) * nn];
+            let perm = &mut self.perm[lane * n..(lane + 1) * n];
+            lu.copy_from_slice(jac.data());
+            for (i, p) in perm.iter_mut().enumerate() {
+                *p = i;
+            }
+            results[lane] = match matrix::factor_in_place(n, lu, perm) {
+                Ok(_sign) => LaneFactor::Ok,
+                Err(err) => LaneFactor::Singular(err.column),
+            };
+        }
+    }
+
+    fn solve_neg(
+        &mut self,
+        active: &[bool],
+        results: &[LaneFactor],
+        residuals: &[f64],
+        deltas: &mut [f64],
+    ) {
+        let n = self.n;
+        let nn = n * n;
+        for lane in 0..self.jac.len() {
+            if !active[lane] || results[lane] != LaneFactor::Ok {
+                continue;
+            }
+            let lu = &self.lu[lane * nn..(lane + 1) * nn];
+            let perm = &self.perm[lane * n..(lane + 1) * n];
+            let b = &residuals[lane * n..(lane + 1) * n];
+            let x = &mut deltas[lane * n..(lane + 1) * n];
+            // Mirror `LuWorkspace::solve_neg_into`.
+            for i in 0..n {
+                x[i] = -b[perm[i]];
+            }
+            matrix::substitute_in_place(n, lu, x);
+        }
+    }
+}
+
+/// Batched sparse backend: one [`SparseLu`] symbolic analysis (fill-reducing
+/// ordering, pivot sequence, L/U patterns, elimination scratch) shared by
+/// all lanes, with per-lane numeric L/U value stacks.
+///
+/// The first [`factor`](BatchedSolver::factor) call performs one full
+/// (re-pivoting, symbolic) factorisation on the first factorable active lane
+/// to establish the schedule, allocates the value stacks, and then runs the
+/// fixed-pattern refactorisation for every lane — including the anchor lane,
+/// so all lanes go through the identical numeric path. Later calls (and
+/// later batches through the same backend) only refactorise. A lane whose
+/// values don't admit the shared pivot sequence reports
+/// [`LaneFactor::Unstable`] and is peeled to the serial rescue ladder, which
+/// re-pivots for that point alone.
+#[derive(Debug, Clone)]
+pub struct BatchedSparseLu {
+    jac: Vec<CscMatrix>,
+    lu: SparseLu,
+    /// `lanes × nnz(L)` numeric stack (allocated at symbolic establishment).
+    l_stack: Vec<f64>,
+    /// `lanes × nnz(U)` numeric stack.
+    u_stack: Vec<f64>,
+    symbolic_ready: bool,
+}
+
+impl BatchedSparseLu {
+    /// A sparse stack of `lanes` lanes over one structural `pattern`.
+    ///
+    /// The L/U value stacks are sized by the symbolic analysis, so they are
+    /// allocated on the first factor phase rather than here; everything
+    /// after that first phase is allocation-free.
+    pub fn new(pattern: &SparsePattern, lanes: usize) -> Self {
+        assert!(lanes > 0, "a batch needs at least one lane");
+        BatchedSparseLu {
+            jac: (0..lanes)
+                .map(|_| CscMatrix::from_pattern(pattern))
+                .collect(),
+            lu: SparseLu::new(),
+            l_stack: Vec::new(),
+            u_stack: Vec::new(),
+            symbolic_ready: false,
+        }
+    }
+
+    /// The shared factorisation workspace (symbolic/refactorisation
+    /// telemetry).
+    pub fn sparse_lu(&self) -> &SparseLu {
+        &self.lu
+    }
+}
+
+impl BatchedSolver for BatchedSparseLu {
+    fn dim(&self) -> usize {
+        self.jac[0].dim()
+    }
+
+    fn lanes(&self) -> usize {
+        self.jac.len()
+    }
+
+    fn upload<S: NonlinearSystem>(
+        &mut self,
+        lane: usize,
+        system: &mut S,
+        x: &[f64],
+        residual: &mut [f64],
+    ) {
+        let jac = &mut self.jac[lane];
+        jac.clear();
+        assert!(
+            system.eval_sparse(x, residual, jac),
+            "batched sparse backend requires NonlinearSystem::eval_sparse support"
+        );
+    }
+
+    fn factor(&mut self, active: &[bool], results: &mut [LaneFactor]) {
+        let lanes = self.jac.len();
+        for lane in 0..lanes {
+            if active[lane] {
+                results[lane] = LaneFactor::Ok;
+            }
+        }
+        if !self.symbolic_ready {
+            // Establish the shared schedule from the first factorable
+            // active lane; lanes the anchor attempt rejects peel as
+            // singular exactly as a serial solve of that point would.
+            let mut anchored = false;
+            for lane in 0..lanes {
+                if !active[lane] {
+                    continue;
+                }
+                match self.lu.factor(&self.jac[lane]) {
+                    Ok(()) => {
+                        anchored = true;
+                        break;
+                    }
+                    Err(err) => results[lane] = LaneFactor::Singular(err.column),
+                }
+            }
+            if !anchored {
+                return;
+            }
+            self.l_stack = vec![0.0; lanes * self.lu.nnz_l()];
+            self.u_stack = vec![0.0; lanes * self.lu.nnz_u()];
+            self.symbolic_ready = true;
+        }
+        let nl = self.lu.nnz_l();
+        let nu = self.lu.nnz_u();
+        let BatchedSparseLu {
+            jac,
+            lu,
+            l_stack,
+            u_stack,
+            ..
+        } = self;
+        for lane in 0..lanes {
+            if !active[lane] || results[lane] != LaneFactor::Ok {
+                continue;
+            }
+            let l = &mut l_stack[lane * nl..(lane + 1) * nl];
+            let u = &mut u_stack[lane * nu..(lane + 1) * nu];
+            if lu.refactor_into(&jac[lane], l, u).is_err() {
+                results[lane] = LaneFactor::Unstable;
+            }
+        }
+    }
+
+    fn solve_neg(
+        &mut self,
+        active: &[bool],
+        results: &[LaneFactor],
+        residuals: &[f64],
+        deltas: &mut [f64],
+    ) {
+        let n = self.dim();
+        let nl = self.lu.nnz_l();
+        let nu = self.lu.nnz_u();
+        for lane in 0..self.jac.len() {
+            if !active[lane] || results[lane] != LaneFactor::Ok {
+                continue;
+            }
+            let l = &self.l_stack[lane * nl..(lane + 1) * nl];
+            let u = &self.u_stack[lane * nu..(lane + 1) * nu];
+            self.lu.solve_neg_with(
+                l,
+                u,
+                &residuals[lane * n..(lane + 1) * n],
+                &mut deltas[lane * n..(lane + 1) * n],
+            );
+        }
+    }
+}
+
+/// Lock-step Newton over a [`BatchedSolver`] stack with per-lane
+/// convergence masking.
+///
+/// Each lane follows exactly the serial plain-Newton iteration of
+/// [`NewtonSolver::solve`](crate::newton::NewtonSolver::solve) —
+/// cancellation checkpoint, residual/Jacobian assembly, NaN-guarded ∞-norm,
+/// factorisation, damped update, combined abs/rel per-unknown convergence
+/// test — but all active lanes advance together so the factor and solve
+/// phases run over the whole stack. Converged lanes leave the active mask
+/// and stop costing anything; lanes that hit a rescue condition peel with a
+/// [`PeelReason`] for the caller to resolve serially.
+///
+/// After construction (and, for the sparse backend, the first factor phase)
+/// the steady state performs no heap allocation.
+#[derive(Debug, Clone)]
+pub struct BatchedNewton<B> {
+    solver: B,
+    options: NewtonOptions,
+    /// Flat `lanes × n` residual stack.
+    residuals: Vec<f64>,
+    /// Flat `lanes × n` update stack.
+    deltas: Vec<f64>,
+    /// Lock-step mask: which lanes are still iterating.
+    active: Vec<bool>,
+    /// Factor-phase status per lane.
+    factor_status: Vec<LaneFactor>,
+    /// Residual ∞-norm per lane (this iteration).
+    res_norm: Vec<f64>,
+}
+
+impl<B: BatchedSolver> BatchedNewton<B> {
+    /// Wraps a backend stack with a Newton driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `options` enables the backtracking line search or
+    /// modified-Newton Jacobian reuse — both are serial rescue-path
+    /// features; batched callers must peel instead.
+    pub fn new(solver: B, options: NewtonOptions) -> Self {
+        assert_eq!(
+            options.backtrack, 0,
+            "batched Newton does not support backtracking; peel to serial"
+        );
+        assert!(
+            !options.reuse_jacobian,
+            "batched Newton does not support Jacobian reuse; peel to serial"
+        );
+        let n = solver.dim();
+        let lanes = solver.lanes();
+        BatchedNewton {
+            solver,
+            options,
+            residuals: vec![0.0; lanes * n],
+            deltas: vec![0.0; lanes * n],
+            active: vec![false; lanes],
+            factor_status: vec![LaneFactor::Ok; lanes],
+            res_norm: vec![0.0; lanes],
+        }
+    }
+
+    /// Unknowns per lane.
+    pub fn dim(&self) -> usize {
+        self.solver.dim()
+    }
+
+    /// Lanes in the backend stack.
+    pub fn lanes(&self) -> usize {
+        self.solver.lanes()
+    }
+
+    /// The backend (telemetry access).
+    pub fn solver(&self) -> &B {
+        &self.solver
+    }
+
+    /// Runs lock-step Newton over `systems`, one lane per system.
+    ///
+    /// `x` is a flat `systems.len() × dim` stack of initial states, updated
+    /// in place; `outcomes` receives one [`LaneOutcome`] per system. A tail
+    /// batch may use fewer systems than the backend has lanes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches or `systems.len() > lanes()`.
+    #[allow(clippy::needless_range_loop)] // `lane` walks active/outcomes/norms in lockstep
+    pub fn solve<S: NonlinearSystem>(
+        &mut self,
+        systems: &mut [S],
+        x: &mut [f64],
+        outcomes: &mut [LaneOutcome],
+    ) {
+        let n = self.solver.dim();
+        let lanes = self.solver.lanes();
+        let used = systems.len();
+        assert!(used <= lanes, "more systems than backend lanes");
+        assert_eq!(
+            x.len(),
+            used * n,
+            "state stack length must be systems × dim"
+        );
+        assert_eq!(outcomes.len(), used, "one outcome slot per system");
+        for system in systems.iter() {
+            assert_eq!(system.dim(), n, "every lane must match the backend dim");
+        }
+
+        for lane in 0..lanes {
+            self.active[lane] = lane < used;
+        }
+        for out in outcomes.iter_mut() {
+            *out = LaneOutcome::Peeled {
+                iteration: 0,
+                reason: PeelReason::IterationLimit,
+            };
+        }
+        let mut remaining = used;
+
+        for iter in 0..self.options.max_iter {
+            if remaining == 0 {
+                return;
+            }
+            // One cancellation checkpoint per lock-step iteration, like the
+            // serial driver's one per iteration.
+            if cancel::checkpoint() {
+                for lane in 0..used {
+                    if self.active[lane] {
+                        self.active[lane] = false;
+                        outcomes[lane] = LaneOutcome::Peeled {
+                            iteration: iter,
+                            reason: PeelReason::Cancelled,
+                        };
+                    }
+                }
+                return;
+            }
+
+            // Upload phase: assemble residual + Jacobian per active lane,
+            // with the serial driver's NaN-guarded ∞-norm.
+            for lane in 0..used {
+                if !self.active[lane] {
+                    continue;
+                }
+                let res = &mut self.residuals[lane * n..(lane + 1) * n];
+                res.fill(0.0);
+                self.solver
+                    .upload(lane, &mut systems[lane], &x[lane * n..(lane + 1) * n], res);
+                let mut norm = 0.0f64;
+                let mut finite = true;
+                for r in self.residuals[lane * n..(lane + 1) * n].iter() {
+                    if !r.is_finite() {
+                        finite = false;
+                        break;
+                    }
+                    if r.abs() > norm {
+                        norm = r.abs();
+                    }
+                }
+                if !finite {
+                    self.active[lane] = false;
+                    remaining -= 1;
+                    outcomes[lane] = LaneOutcome::Peeled {
+                        iteration: iter,
+                        reason: PeelReason::NonFiniteState,
+                    };
+                    continue;
+                }
+                self.res_norm[lane] = norm;
+            }
+            if remaining == 0 {
+                return;
+            }
+
+            // Factor phase over the whole stack.
+            self.solver.factor(&self.active, &mut self.factor_status);
+            for lane in 0..used {
+                if !self.active[lane] {
+                    continue;
+                }
+                let reason = match self.factor_status[lane] {
+                    LaneFactor::Ok => continue,
+                    // The sparse backends bail out of long factorisations
+                    // when a token fires mid-factor; mirror the serial
+                    // driver's re-classification.
+                    _ if cancel::cancelled() => PeelReason::Cancelled,
+                    LaneFactor::Singular(column) => PeelReason::SingularJacobian { column },
+                    LaneFactor::Unstable => PeelReason::UnstableRefactor,
+                };
+                self.active[lane] = false;
+                remaining -= 1;
+                outcomes[lane] = LaneOutcome::Peeled {
+                    iteration: iter,
+                    reason,
+                };
+            }
+            if remaining == 0 {
+                return;
+            }
+
+            // Solve phase over the whole stack: J·Δ = -F per lane.
+            self.solver.solve_neg(
+                &self.active,
+                &self.factor_status,
+                &self.residuals,
+                &mut self.deltas,
+            );
+
+            // Update + convergence test, exactly the serial per-component
+            // arithmetic (damping clamp, abs+rel tolerance at the updated
+            // state, residual-norm gate).
+            for lane in 0..used {
+                if !self.active[lane] {
+                    continue;
+                }
+                let delta = &mut self.deltas[lane * n..(lane + 1) * n];
+                if self.options.max_step.is_finite() {
+                    for d in delta.iter_mut() {
+                        *d = d.clamp(-self.options.max_step, self.options.max_step);
+                    }
+                }
+                let xs = &mut x[lane * n..(lane + 1) * n];
+                let mut converged = true;
+                let mut nonfinite = false;
+                for (xi, di) in xs.iter_mut().zip(delta.iter()) {
+                    *xi += di;
+                    if !xi.is_finite() {
+                        nonfinite = true;
+                        break;
+                    }
+                    let tol = self.options.abstol + self.options.reltol * xi.abs();
+                    if di.abs() > tol {
+                        converged = false;
+                    }
+                }
+                if nonfinite {
+                    self.active[lane] = false;
+                    remaining -= 1;
+                    outcomes[lane] = LaneOutcome::Peeled {
+                        iteration: iter,
+                        reason: PeelReason::NonFiniteState,
+                    };
+                    continue;
+                }
+                if converged && self.res_norm[lane] <= self.options.residual_tol {
+                    self.active[lane] = false;
+                    remaining -= 1;
+                    outcomes[lane] = LaneOutcome::Converged {
+                        iterations: iter + 1,
+                    };
+                }
+            }
+        }
+
+        for lane in 0..used {
+            if self.active[lane] {
+                self.active[lane] = false;
+                outcomes[lane] = LaneOutcome::Peeled {
+                    iteration: self.options.max_iter,
+                    reason: PeelReason::IterationLimit,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::newton::NewtonSolver;
+    use crate::sparse::PatternBuilder;
+
+    /// `F_i = x_i + 0.3·x_{(i+1) mod n} + c·x_i³ − b_i`: mildly nonlinear,
+    /// well-conditioned, with a cyclic off-diagonal so dense and sparse
+    /// assembly exercise real structure.
+    struct Ring {
+        n: usize,
+        c: f64,
+        b: Vec<f64>,
+        /// Test hook: suppress Jacobian stamps to force a singular factor.
+        singular: bool,
+    }
+
+    impl Ring {
+        fn new(n: usize, c: f64, shift: f64) -> Self {
+            Ring {
+                n,
+                c,
+                b: (0..n).map(|i| shift + 0.1 * i as f64).collect(),
+                singular: false,
+            }
+        }
+
+        fn pattern(n: usize) -> SparsePattern {
+            let mut p = PatternBuilder::new(n);
+            for i in 0..n {
+                p.add(i, i);
+                p.add(i, (i + 1) % n);
+            }
+            p.build()
+        }
+    }
+
+    impl NonlinearSystem for Ring {
+        fn dim(&self) -> usize {
+            self.n
+        }
+
+        fn eval(&mut self, x: &[f64], residual: &mut [f64], jacobian: &mut DenseMatrix) {
+            for i in 0..self.n {
+                let j = (i + 1) % self.n;
+                residual[i] = x[i] + 0.3 * x[j] + self.c * x[i] * x[i] * x[i] - self.b[i];
+                if !self.singular {
+                    jacobian.add(i, i, 1.0 + 3.0 * self.c * x[i] * x[i]);
+                    jacobian.add(i, j, 0.3);
+                }
+            }
+        }
+
+        fn eval_sparse(
+            &mut self,
+            x: &[f64],
+            residual: &mut [f64],
+            jacobian: &mut CscMatrix,
+        ) -> bool {
+            for i in 0..self.n {
+                let j = (i + 1) % self.n;
+                residual[i] = x[i] + 0.3 * x[j] + self.c * x[i] * x[i] * x[i] - self.b[i];
+                if !self.singular {
+                    jacobian.add(i, i, 1.0 + 3.0 * self.c * x[i] * x[i]);
+                    jacobian.add(i, j, 0.3);
+                }
+            }
+            true
+        }
+    }
+
+    fn opts() -> NewtonOptions {
+        NewtonOptions {
+            max_iter: 50,
+            ..NewtonOptions::default()
+        }
+    }
+
+    #[test]
+    fn batched_dense_matches_serial_bitwise() {
+        let n = 7;
+        let lanes = 5;
+        let mut systems: Vec<Ring> = (0..lanes)
+            .map(|k| Ring::new(n, 0.05, 0.5 + 0.3 * k as f64))
+            .collect();
+        let mut x = vec![0.0; lanes * n];
+        let mut outcomes = vec![
+            LaneOutcome::Peeled {
+                iteration: 0,
+                reason: PeelReason::IterationLimit
+            };
+            lanes
+        ];
+        let mut newton = BatchedNewton::new(BatchedDenseLu::new(n, lanes), opts());
+        newton.solve(&mut systems, &mut x, &mut outcomes);
+
+        for k in 0..lanes {
+            let mut serial = NewtonSolver::new(opts());
+            let mut sys = Ring::new(n, 0.05, 0.5 + 0.3 * k as f64);
+            let mut xs = vec![0.0; n];
+            let out = serial.solve(&mut sys, &mut xs);
+            let serial_iters = match out {
+                crate::newton::NewtonOutcome::Converged { iterations } => iterations,
+                other => panic!("serial lane {k} did not converge: {other:?}"),
+            };
+            assert_eq!(
+                outcomes[k],
+                LaneOutcome::Converged {
+                    iterations: serial_iters
+                },
+                "lane {k} iteration history diverged"
+            );
+            for i in 0..n {
+                assert_eq!(
+                    x[k * n + i].to_bits(),
+                    xs[i].to_bits(),
+                    "lane {k} unknown {i} not bit-identical"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batched_sparse_matches_serial_within_tolerance() {
+        let n = 40;
+        let lanes = 6;
+        let pattern = Ring::pattern(n);
+        let mut systems: Vec<Ring> = (0..lanes)
+            .map(|k| Ring::new(n, 0.02, 0.4 + 0.25 * k as f64))
+            .collect();
+        let mut x = vec![0.0; lanes * n];
+        let mut outcomes = vec![
+            LaneOutcome::Peeled {
+                iteration: 0,
+                reason: PeelReason::IterationLimit
+            };
+            lanes
+        ];
+        let mut newton = BatchedNewton::new(BatchedSparseLu::new(&pattern, lanes), opts());
+        newton.solve(&mut systems, &mut x, &mut outcomes);
+
+        for k in 0..lanes {
+            assert!(
+                matches!(outcomes[k], LaneOutcome::Converged { .. }),
+                "lane {k}: {:?}",
+                outcomes[k]
+            );
+            let mut serial = NewtonSolver::with_sparse(opts(), &pattern);
+            let mut sys = Ring::new(n, 0.02, 0.4 + 0.25 * k as f64);
+            let mut xs = vec![0.0; n];
+            let out = serial.solve(&mut sys, &mut xs);
+            assert!(
+                matches!(out, crate::newton::NewtonOutcome::Converged { .. }),
+                "serial lane {k}: {out:?}"
+            );
+            for i in 0..n {
+                let d = (x[k * n + i] - xs[i]).abs();
+                let tol = 1e-9 + 1e-9 * xs[i].abs();
+                assert!(
+                    d <= tol,
+                    "lane {k} unknown {i}: batched {} vs serial {}",
+                    x[k * n + i],
+                    xs[i]
+                );
+            }
+        }
+        // One symbolic analysis for the whole batch.
+        assert_eq!(newton.solver().sparse_lu().full_factorizations(), 1);
+    }
+
+    #[test]
+    fn singular_lane_peels_others_converge() {
+        let n = 5;
+        let lanes = 3;
+        let mut systems: Vec<Ring> = (0..lanes)
+            .map(|k| Ring::new(n, 0.05, 0.6 + 0.2 * k as f64))
+            .collect();
+        systems[1].singular = true;
+        let mut x = vec![0.0; lanes * n];
+        let mut outcomes = vec![
+            LaneOutcome::Peeled {
+                iteration: 0,
+                reason: PeelReason::IterationLimit
+            };
+            lanes
+        ];
+        let mut newton = BatchedNewton::new(BatchedDenseLu::new(n, lanes), opts());
+        newton.solve(&mut systems, &mut x, &mut outcomes);
+
+        assert!(matches!(outcomes[0], LaneOutcome::Converged { .. }));
+        assert!(matches!(
+            outcomes[1],
+            LaneOutcome::Peeled {
+                iteration: 0,
+                reason: PeelReason::SingularJacobian { .. }
+            }
+        ));
+        assert!(matches!(outcomes[2], LaneOutcome::Converged { .. }));
+    }
+
+    #[test]
+    fn sparse_backend_reuses_symbolic_across_batches() {
+        let n = 24;
+        let lanes = 4;
+        let pattern = Ring::pattern(n);
+        let mut newton = BatchedNewton::new(BatchedSparseLu::new(&pattern, lanes), opts());
+        for round in 0..3 {
+            let mut systems: Vec<Ring> = (0..lanes)
+                .map(|k| Ring::new(n, 0.02, 0.3 + 0.2 * (round * lanes + k) as f64))
+                .collect();
+            let mut x = vec![0.0; lanes * n];
+            let mut outcomes = vec![
+                LaneOutcome::Peeled {
+                    iteration: 0,
+                    reason: PeelReason::IterationLimit
+                };
+                lanes
+            ];
+            newton.solve(&mut systems, &mut x, &mut outcomes);
+            for (k, o) in outcomes.iter().enumerate() {
+                assert!(
+                    matches!(o, LaneOutcome::Converged { .. }),
+                    "round {round} lane {k}: {o:?}"
+                );
+            }
+        }
+        assert_eq!(newton.solver().sparse_lu().full_factorizations(), 1);
+    }
+
+    #[test]
+    fn tail_batch_uses_fewer_lanes() {
+        let n = 6;
+        let mut newton = BatchedNewton::new(BatchedDenseLu::new(n, 8), opts());
+        let mut systems: Vec<Ring> = (0..3)
+            .map(|k| Ring::new(n, 0.05, 0.5 + 0.1 * k as f64))
+            .collect();
+        let mut x = vec![0.0; 3 * n];
+        let mut outcomes = vec![
+            LaneOutcome::Peeled {
+                iteration: 0,
+                reason: PeelReason::IterationLimit
+            };
+            3
+        ];
+        newton.solve(&mut systems, &mut x, &mut outcomes);
+        for o in &outcomes {
+            assert!(matches!(o, LaneOutcome::Converged { .. }));
+        }
+    }
+}

@@ -188,6 +188,25 @@ pub mod counters {
     /// explicit cancellation) and were recorded fail-soft in the run
     /// report rather than killing the run.
     pub static ENGINE_CANCELLED_POINTS: Counter = Counter::new("engine.cancelled_points");
+
+    /// Parameter points solved through the batched (lock-step) solver
+    /// path. Reconciles against per-point totals: every batched point is
+    /// still one `solve.dc_solves` and one sample/grid entry.
+    pub static ENGINE_BATCHED_POINTS: Counter = Counter::new("engine.batched_points");
+    /// Lanes that peeled off a batch and were resolved by the serial
+    /// rescue ladder instead.
+    pub static ENGINE_BATCHED_PEELS: Counter = Counter::new("engine.batched_peels");
+
+    /// Batches executed by the `/sweep`–`/bet` request coalescer (one
+    /// leader solve covering one or more requests).
+    pub static SERVE_BATCH_BATCHES: Counter = Counter::new("serve.batch.batches");
+    /// Requests that joined an already-open coalescing window instead of
+    /// solving alone (followers).
+    pub static SERVE_BATCH_COALESCED: Counter = Counter::new("serve.batch.coalesced");
+    /// Deduplicated sweep points solved by coalesced batches. Together
+    /// with `engine.batched_points` this reconciles exactly against the
+    /// per-request point totals.
+    pub static SERVE_BATCH_POINTS: Counter = Counter::new("serve.batch.points");
 }
 
 /// The gauge registry.
@@ -204,7 +223,7 @@ pub mod gauges {
 }
 
 /// Every registered counter, in render order.
-static ALL_COUNTERS: [&Counter; 29] = [
+static ALL_COUNTERS: [&Counter; 34] = [
     &counters::ACCEPTED_STEPS,
     &counters::REJECTED_LTE,
     &counters::REJECTED_NEWTON,
@@ -234,6 +253,11 @@ static ALL_COUNTERS: [&Counter; 29] = [
     &counters::SERVE_DISCONNECTS,
     &counters::SERVE_WATCHDOG_FIRES,
     &counters::ENGINE_CANCELLED_POINTS,
+    &counters::ENGINE_BATCHED_POINTS,
+    &counters::ENGINE_BATCHED_PEELS,
+    &counters::SERVE_BATCH_BATCHES,
+    &counters::SERVE_BATCH_COALESCED,
+    &counters::SERVE_BATCH_POINTS,
 ];
 
 /// Every registered gauge, in render order.

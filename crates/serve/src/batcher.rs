@@ -1,0 +1,397 @@
+//! Cross-request sweep coalescing: sibling `/sweep` queries — same
+//! canonical topology (architecture, method, swept variable, benchmark
+//! parameters), *different* point sets — merge into one batch that
+//! solves the deduplicated union once.
+//!
+//! This sits one level above [single-flight](crate::singleflight):
+//! single-flight dedups *identical* requests (same canonical body, same
+//! key), the batcher dedups *overlapping* ones. The first sibling to
+//! arrive becomes the batch **leader**: it holds the batch open for the
+//! configured coalescing window, collecting every sibling that arrives
+//! meanwhile, then closes the batch, solves the sorted-unique union of
+//! all member point sets, and publishes a point → result map. Each
+//! member (leader and followers alike) renders its own response from
+//! that shared map, restricted to its own canonical point set — so
+//! coalescing changes throughput, never meaning.
+//!
+//! Accounting (`serve.batch.*`): every submission either leads a batch
+//! (`serve.batch.batches`) or joins one (`serve.batch.coalesced`), so
+//! `batches + coalesced` reconciles exactly against the number of
+//! batched requests, and `serve.batch.points` counts the deduplicated
+//! points actually solved.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::time::Duration;
+
+use nvpg_obs::metrics::counters;
+
+/// Canonical hash key of one sweep point. The zero fold matches
+/// `nvpg_core::canon::canonicalize_sweep_values`: `-0.0` and `0.0` are
+/// one point, every other value is its bit pattern (the sets only hold
+/// finite numbers, so NaN payloads never reach this).
+pub fn point_key(v: f64) -> u64 {
+    if v == 0.0 {
+        0
+    } else {
+        v.to_bits()
+    }
+}
+
+/// The published outcome of one batch: canonical point key → result.
+pub type PointMap<R> = HashMap<u64, R>;
+
+struct State<R, E> {
+    /// Still accepting joiners; the leader flips this when the window
+    /// closes. Points appended while `open` are guaranteed a slot in the
+    /// union.
+    open: bool,
+    /// The union under construction (duplicates allowed; deduplicated at
+    /// close).
+    points: Vec<f64>,
+    /// Set exactly once, by the leader, after the solve.
+    result: Option<Result<Arc<PointMap<R>>, E>>,
+    /// The leader unwound before publishing; waiters must re-submit.
+    abandoned: bool,
+}
+
+struct Batch<R, E> {
+    state: Mutex<State<R, E>>,
+    done: Condvar,
+}
+
+/// One coalescing group, keyed by canonical topology. One per server.
+pub struct Batcher<R, E> {
+    window: Duration,
+    batches: Mutex<HashMap<u128, Arc<Batch<R, E>>>>,
+}
+
+impl<R: Clone, E: Clone> Batcher<R, E> {
+    /// Creates a batcher holding batches open for `window` per leader.
+    pub fn new(window: Duration) -> Self {
+        Batcher {
+            window,
+            batches: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured coalescing window (zero = coalescing disabled at
+    /// the call site; the batcher itself would simply close batches
+    /// immediately).
+    pub fn window(&self) -> Duration {
+        self.window
+    }
+
+    /// Submits `points` under the topology `key`. If a batch for `key`
+    /// is open, joins it and parks until the leader publishes; otherwise
+    /// leads a new batch: waits out the window, closes, solves the
+    /// deduplicated union via `solve` (called with the points in
+    /// ascending order, one result per point expected), and publishes.
+    ///
+    /// Returns `None` if `give_up` turned true while parked (the
+    /// caller's deadline expired); the member's points stay in the union
+    /// and are solved anyway. A leader never gives up mid-solve —
+    /// `solve` owns its own cancellation.
+    pub fn submit(
+        &self,
+        key: u128,
+        points: &[f64],
+        solve: impl Fn(&[f64]) -> Result<Vec<R>, E>,
+        give_up: impl Fn() -> bool,
+    ) -> Option<Result<Arc<PointMap<R>>, E>> {
+        loop {
+            let batch = {
+                let mut batches = lock(&self.batches);
+                match batches.get(&key) {
+                    Some(existing) => {
+                        let batch = Arc::clone(existing);
+                        drop(batches);
+                        match self.join(&batch, points, &give_up) {
+                            Joined::Done(outcome) => return outcome,
+                            // The batch closed or was abandoned before we
+                            // could join: start over (the registry entry
+                            // is gone or about to be).
+                            Joined::Retry => {
+                                std::thread::yield_now();
+                                continue;
+                            }
+                        }
+                    }
+                    None => {
+                        let batch = Arc::new(Batch {
+                            state: Mutex::new(State {
+                                open: true,
+                                points: points.to_vec(),
+                                result: None,
+                                abandoned: false,
+                            }),
+                            done: Condvar::new(),
+                        });
+                        batches.insert(key, Arc::clone(&batch));
+                        batch
+                    }
+                }
+            };
+            return Some(self.lead(key, &batch, &solve));
+        }
+    }
+
+    /// Follower path: append points while the batch is open, then park.
+    fn join(
+        &self,
+        batch: &Batch<R, E>,
+        points: &[f64],
+        give_up: &impl Fn() -> bool,
+    ) -> Joined<R, E> {
+        let mut state = lock_state(batch);
+        if !state.open {
+            return Joined::Retry;
+        }
+        state.points.extend_from_slice(points);
+        counters::SERVE_BATCH_COALESCED.add(1);
+        loop {
+            if let Some(outcome) = &state.result {
+                return Joined::Done(Some(outcome.clone()));
+            }
+            if state.abandoned {
+                // Our points died with the leader; resubmit them. The
+                // coalesced count stays — this request did join a batch,
+                // the batch just never solved.
+                return Joined::Retry;
+            }
+            if give_up() {
+                return Joined::Done(None);
+            }
+            let (guard, _timeout) = batch
+                .done
+                .wait_timeout(state, Duration::from_millis(25))
+                .expect("batch state");
+            state = guard;
+        }
+    }
+
+    /// Leader path: window, close, solve the union, publish.
+    fn lead(
+        &self,
+        key: u128,
+        batch: &Arc<Batch<R, E>>,
+        solve: &impl Fn(&[f64]) -> Result<Vec<R>, E>,
+    ) -> Result<Arc<PointMap<R>>, E> {
+        if !self.window.is_zero() {
+            std::thread::sleep(self.window);
+        }
+        // Deregister before closing: late arrivals that still hold this
+        // batch see it closed and open a fresh one, instead of spinning
+        // on a registry entry that will never solve again.
+        lock(&self.batches).remove(&key);
+        let union = {
+            let mut state = lock_state(batch);
+            state.open = false;
+            let mut points = std::mem::take(&mut state.points);
+            points.sort_by(f64::total_cmp);
+            points.dedup_by(|a, b| point_key(*a) == point_key(*b));
+            points
+        };
+        // If `solve` unwinds (a panicking handler), wake the followers
+        // with `abandoned` so they elect a new leader instead of parking
+        // forever — same contract as the single-flight group.
+        let guard = AbandonOnDrop { batch, armed: true };
+        let outcome = solve(&union).map(|results| {
+            Arc::new(
+                union
+                    .iter()
+                    .zip(results)
+                    .map(|(&v, r)| (point_key(v), r))
+                    .collect::<PointMap<R>>(),
+            )
+        });
+        counters::SERVE_BATCH_BATCHES.add(1);
+        if outcome.is_ok() {
+            counters::SERVE_BATCH_POINTS.add(union.len() as u64);
+        }
+        {
+            let mut state = lock_state(batch);
+            state.result = Some(outcome.clone());
+        }
+        batch.done.notify_all();
+        std::mem::forget(guard);
+        outcome
+    }
+}
+
+enum Joined<R, E> {
+    Done(Option<Result<Arc<PointMap<R>>, E>>),
+    Retry,
+}
+
+struct AbandonOnDrop<'a, R, E> {
+    batch: &'a Batch<R, E>,
+    #[allow(dead_code)]
+    armed: bool,
+}
+
+impl<R, E> Drop for AbandonOnDrop<'_, R, E> {
+    fn drop(&mut self) {
+        let mut state = self.batch.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.abandoned = true;
+        self.batch.done.notify_all();
+    }
+}
+
+fn lock<'a, K, V>(m: &'a Mutex<HashMap<K, V>>) -> MutexGuard<'a, HashMap<K, V>> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn lock_state<'a, R, E>(batch: &'a Batch<R, E>) -> MutexGuard<'a, State<R, E>> {
+    batch.state.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn siblings_coalesce_into_one_union_solve() {
+        let batcher: Arc<Batcher<f64, String>> = Arc::new(Batcher::new(Duration::from_millis(300)));
+        let solves = Arc::new(AtomicUsize::new(0));
+        let sets: [&[f64]; 3] = [&[1.0, 2.0], &[2.0, 3.0], &[3.0, 4.0]];
+        let handles: Vec<_> = sets
+            .iter()
+            .map(|&set| {
+                let batcher = Arc::clone(&batcher);
+                let solves = Arc::clone(&solves);
+                let set = set.to_vec();
+                std::thread::spawn(move || {
+                    batcher
+                        .submit(
+                            7,
+                            &set,
+                            |union| {
+                                solves.fetch_add(1, Ordering::SeqCst);
+                                assert!(
+                                    union.windows(2).all(|w| w[0] < w[1]),
+                                    "union is sorted and unique: {union:?}"
+                                );
+                                Ok(union.iter().map(|v| v * 10.0).collect())
+                            },
+                            || false,
+                        )
+                        .expect("no give_up")
+                        .expect("solve ok")
+                })
+            })
+            .collect();
+        let maps: Vec<Arc<PointMap<f64>>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("member"))
+            .collect();
+        assert_eq!(solves.load(Ordering::SeqCst), 1, "one union solve");
+        assert_eq!(maps[0].len(), 4, "union covered every member's points");
+        for (set, map) in sets.iter().zip(&maps) {
+            for &v in *set {
+                assert_eq!(map[&point_key(v)], v * 10.0);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_submissions_solve_separately() {
+        let batcher: Batcher<f64, String> = Batcher::new(Duration::ZERO);
+        let solves = AtomicUsize::new(0);
+        for _ in 0..3 {
+            batcher
+                .submit(
+                    1,
+                    &[5.0],
+                    |union| {
+                        solves.fetch_add(1, Ordering::SeqCst);
+                        Ok(union.to_vec())
+                    },
+                    || false,
+                )
+                .expect("lead")
+                .expect("ok");
+        }
+        assert_eq!(solves.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn distinct_topologies_do_not_coalesce() {
+        let batcher: Batcher<f64, String> = Batcher::new(Duration::ZERO);
+        let a = batcher
+            .submit(1, &[1.0], |u| Ok(u.to_vec()), || false)
+            .expect("lead")
+            .expect("ok");
+        let b = batcher
+            .submit(2, &[2.0], |u| Ok(u.to_vec()), || false)
+            .expect("lead")
+            .expect("ok");
+        assert!(a.contains_key(&point_key(1.0)) && !a.contains_key(&point_key(2.0)));
+        assert!(b.contains_key(&point_key(2.0)) && !b.contains_key(&point_key(1.0)));
+    }
+
+    #[test]
+    fn solve_errors_propagate_to_every_member() {
+        let batcher: Arc<Batcher<f64, String>> = Arc::new(Batcher::new(Duration::from_millis(100)));
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                let batcher = Arc::clone(&batcher);
+                std::thread::spawn(move || {
+                    batcher
+                        .submit(3, &[i as f64], |_| Err("boom".to_owned()), || false)
+                        .expect("no give_up")
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().expect("member").unwrap_err(), "boom");
+        }
+    }
+
+    #[test]
+    fn panicking_leader_abandons_and_a_member_retries() {
+        let batcher: Arc<Batcher<f64, String>> = Arc::new(Batcher::new(Duration::from_millis(100)));
+        let b2 = Arc::clone(&batcher);
+        let panicker = std::thread::spawn(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                b2.submit(9, &[1.0], |_| panic!("leader dies"), || false)
+            }));
+            assert!(result.is_err());
+        });
+        // Give the panicking leader time to open its batch, then join;
+        // after the abandon this member must re-lead and succeed.
+        std::thread::sleep(Duration::from_millis(30));
+        let map = batcher
+            .submit(9, &[2.0], |u| Ok(u.to_vec()), || false)
+            .expect("no give_up")
+            .expect("retried solve succeeds");
+        assert!(map.contains_key(&point_key(2.0)));
+        panicker.join().expect("panicker thread");
+    }
+
+    #[test]
+    fn give_up_releases_a_parked_follower() {
+        let batcher: Arc<Batcher<f64, String>> = Arc::new(Batcher::new(Duration::from_millis(300)));
+        let b2 = Arc::clone(&batcher);
+        let leader = std::thread::spawn(move || {
+            b2.submit(4, &[1.0], |u| Ok(u.to_vec()), || false)
+                .expect("lead")
+                .expect("ok")
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        let gave_up = batcher.submit(4, &[2.0], |u| Ok(u.to_vec()), || true);
+        assert!(gave_up.is_none(), "follower must give up, not wait");
+        assert!(t0.elapsed() < Duration::from_millis(200));
+        // The abandoning follower's point was still solved by the leader.
+        let map = leader.join().expect("leader");
+        assert!(map.contains_key(&point_key(2.0)), "union kept the point");
+    }
+
+    #[test]
+    fn point_key_folds_signed_zero() {
+        assert_eq!(point_key(-0.0), point_key(0.0));
+        assert_ne!(point_key(1.0), point_key(-1.0));
+    }
+}

@@ -5,7 +5,7 @@
 //!            [--queue-depth N] [--queue-per-client N]
 //!            [--default-timeout-ms MS] [--max-timeout-ms MS]
 //!            [--rate-limit-rps N] [--rate-limit-burst N]
-//!            [--watchdog-stall-ms MS]
+//!            [--watchdog-stall-ms MS] [--coalesce-window-ms MS] [--batch auto|serial|N]
 //!            [--debug-endpoints] [--trace]
 //! ```
 //!
@@ -44,7 +44,8 @@ fn usage() -> ! {
         "usage: nvpg-serve [--listen ADDR] [--jobs N] [--cache-mb MB] \
          [--queue-depth N] [--queue-per-client N] [--default-timeout-ms MS] \
          [--max-timeout-ms MS] [--rate-limit-rps N] [--rate-limit-burst N] \
-         [--watchdog-stall-ms MS] [--debug-endpoints] [--trace]"
+         [--watchdog-stall-ms MS] [--coalesce-window-ms MS] \
+         [--batch auto|serial|N] [--debug-endpoints] [--trace]"
     );
     std::process::exit(2);
 }
@@ -96,6 +97,14 @@ fn main() {
             },
             "--watchdog-stall-ms" => match value("--watchdog-stall-ms").parse() {
                 Ok(ms) => config.watchdog_stall_ms = ms,
+                Err(_) => usage(),
+            },
+            "--coalesce-window-ms" => match value("--coalesce-window-ms").parse() {
+                Ok(ms) => config.coalesce_window_ms = ms,
+                Err(_) => usage(),
+            },
+            "--batch" => match value("--batch").parse() {
+                Ok(mode) => nvpg_circuit::set_default_batch(mode),
                 Err(_) => usage(),
             },
             "--debug-endpoints" => config.debug_endpoints = true,

@@ -39,7 +39,8 @@ use nvpg_circuit::{CircuitError, SolverChoice};
 use nvpg_core::bet::{bet_closed_form, bet_iterative, Bet};
 use nvpg_core::cancel::{self, CancelToken};
 use nvpg_core::canon::{
-    architecture_from_json, benchmark_params_from_json, canonical_json, request_key_raw,
+    architecture_from_json, benchmark_params_from_json, canonical_json, canonicalize_sweep_body,
+    request_key, request_key_raw,
 };
 use nvpg_core::{Architecture, Experiments, Figure};
 use nvpg_obs::json::{parse as parse_json, Json};
@@ -47,6 +48,7 @@ use nvpg_obs::metrics::{counters, gauges};
 
 use nvpg_exec::queue::{FairQueue, PushError};
 
+use crate::batcher::{point_key, Batcher};
 use crate::cache::ResponseCache;
 use crate::http::{read_request, write_response, ReadError, Request, Response};
 use crate::limiter::RateLimiter;
@@ -124,6 +126,7 @@ impl Server {
                 RateLimiter::new(config.rate_limit_rps, burst)
             }),
             watch: Watch::new(),
+            batcher: Batcher::new(Duration::from_millis(config.coalesce_window_ms)),
         });
 
         let workers = (0..config.jobs.max(1))
@@ -211,6 +214,9 @@ struct Shared {
     max_timeout_ms: u64,
     limiter: Option<RateLimiter>,
     watch: Watch,
+    /// The `/sweep` request coalescer: sibling sweeps sharing a
+    /// canonical topology key merge into one union solve per window.
+    batcher: Batcher<Bet, Response>,
 }
 
 /// One in-flight request under watchdog observation.
@@ -446,7 +452,7 @@ fn cached(
     request: &Request,
     shared: &Shared,
     token: &CancelToken,
-    handler: fn(&Request, &Json) -> Response,
+    handler: fn(&Request, &Json, &Shared) -> Response,
 ) -> Response {
     // Canonicalise the body first: the cache key must see meaning, not
     // bytes. A body that is not valid JSON cannot be canonicalised and
@@ -494,6 +500,14 @@ fn cached(
     if let Some(ms) = effective_ms {
         token.set_deadline(Duration::from_millis(ms));
     }
+    // A sweep's meaning is the *set* of points it visits: canonicalise
+    // `values` (sorted ascending, duplicates removed) before keying, so
+    // reordered or duplicated sweeps share one cache entry, one
+    // single-flight key, and one coalescing topology — and the handler
+    // sees (and answers over) the canonical set.
+    if request.method == "POST" && matches!(request.path.as_str(), "/sweep" | "/bet") {
+        body_json = canonicalize_sweep_body(&body_json);
+    }
     let canonical = canonical_json(&body_json);
     let path_and_query = if request.query.is_empty() {
         request.path.clone()
@@ -517,7 +531,7 @@ fn cached(
             // handler so every Newton iteration under it can be
             // cancelled.
             let resp = match catch_unwind(AssertUnwindSafe(|| {
-                cancel::with_token(token, || handler(request, &body_json))
+                cancel::with_token(token, || handler(request, &body_json, shared))
             })) {
                 Ok(resp) => resp,
                 Err(payload) => {
@@ -591,7 +605,7 @@ fn solver_error(stage: &str, e: &CircuitError) -> Response {
 }
 
 /// `GET /figures/{id}?format=csv|json`.
-fn figures(request: &Request, _body: &Json) -> Response {
+fn figures(request: &Request, _body: &Json, _shared: &Shared) -> Response {
     let id = &request.path["/figures/".len()..];
     let exp = match experiments() {
         Ok(exp) => exp,
@@ -700,7 +714,7 @@ fn solve_bet(
 }
 
 /// `POST /bet` — one break-even-time query.
-fn bet(_request: &Request, body: &Json) -> Response {
+fn bet(_request: &Request, body: &Json, _shared: &Shared) -> Response {
     let (arch, iterative, params) = match bet_inputs(body) {
         Ok(v) => v,
         Err(resp) => return resp,
@@ -714,24 +728,84 @@ fn bet(_request: &Request, body: &Json) -> Response {
     }
 }
 
+/// The proxy-domain geometry behind `var: "vth_shift"` sweeps: each
+/// shift's leakage is measured on a `4×4` NVPG domain operating point.
+/// Small enough that one point solves in ~a millisecond, large enough
+/// that the solve — not JSON handling — dominates the request.
+const VTH_SCAN_ROWS: usize = 4;
+const VTH_SCAN_COLS: usize = 4;
+
+/// Solves a `vth_shift` sweep: every shift is one varied cell design
+/// (both device cards shifted) whose 4×4 NVPG domain operating point
+/// solves as one lane of a batched stack, and the per-point BET is the
+/// first-order leakage-scaled closed-form crossing (`bet_design_scan`).
+///
+/// `jobs` is pinned to 1: the daemon's worker pool provides the
+/// request-level concurrency, and the batched backend already solves
+/// the whole point set as one stack.
+fn solve_vth_scan(
+    params: &nvpg_core::BenchmarkParams,
+    shifts: &[f64],
+) -> Result<Vec<Bet>, Response> {
+    let exp = experiments().map_err(|e| Response::error(500, &e))?;
+    let fins = [exp.design().fins_power_switch];
+    let scan = nvpg_core::bet_design_scan(
+        exp.design(),
+        exp.characterization(),
+        shifts,
+        &fins,
+        VTH_SCAN_ROWS,
+        VTH_SCAN_COLS,
+        params,
+        nvpg_core::BatchMode::Auto,
+        1,
+    )
+    .map_err(|e| Response::error(500, &format!("design scan: {e}")))?;
+    Ok(scan
+        .into_iter()
+        .map(|p| match p.bet {
+            Some(t) => Bet::At(nvpg_units::Seconds(t)),
+            None => Bet::Never,
+        })
+        .collect())
+}
+
 /// `POST /sweep` — BET as a function of one swept parameter
-/// (`var` ∈ {`rows`, `n_rw`, `t_sl`}, `values` an array).
-fn sweep(_request: &Request, body: &Json) -> Response {
+/// (`var` ∈ {`rows`, `n_rw`, `t_sl`, `vth_shift`}, `values` an array).
+///
+/// The first three vary the analytic energy model's benchmark
+/// parameters (cheap closed-form/Brent solves); `vth_shift` runs real
+/// circuit solves — one varied design's domain operating point per
+/// value, batched ([`solve_vth_scan`]) — and is only defined for the
+/// NVPG architecture.
+///
+/// The body reaches this handler with `values` already canonicalised to
+/// the sorted-unique point *set* (see [`cached`]); the response's
+/// `points` array is defined over that set. Sibling sweeps — same
+/// topology (arch, method, var, params), different sets — coalesce
+/// through [`Shared::batcher`] into one union solve per window.
+fn sweep(request: &Request, body: &Json, shared: &Shared) -> Response {
     let (arch, iterative, base) = match bet_inputs(body) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
     let obj = body.as_obj().expect("checked in bet_inputs");
     let var = match obj.get("var").and_then(Json::as_str) {
-        Some(v @ ("rows" | "n_rw" | "t_sl")) => v.to_owned(),
+        Some(v @ ("rows" | "n_rw" | "t_sl" | "vth_shift")) => v.to_owned(),
         Some(other) => {
             return Response::error(
                 400,
-                &format!("unknown sweep var `{other}` (rows, n_rw or t_sl)"),
+                &format!("unknown sweep var `{other}` (rows, n_rw, t_sl or vth_shift)"),
             )
         }
         None => return Response::error(400, "`var` names the swept parameter"),
     };
+    if var == "vth_shift" && arch != Architecture::Nvpg {
+        return Response::error(
+            400,
+            "`vth_shift` sweeps are defined for the NVPG architecture",
+        );
+    }
     let values: Vec<f64> = match obj.get("values").and_then(|v| match v {
         Json::Arr(items) => items.iter().map(Json::as_num).collect::<Option<Vec<f64>>>(),
         _ => None,
@@ -740,43 +814,117 @@ fn sweep(_request: &Request, body: &Json) -> Response {
         Some(_) => return Response::error(400, "`values` must hold 1..=4096 numbers"),
         None => return Response::error(400, "`values` must be an array of numbers"),
     };
-    let mut out = String::from("{\"arch\":\"");
-    out.push_str(&arch.to_string());
-    out.push_str("\",\"var\":\"");
-    out.push_str(&var);
-    out.push_str("\",\"points\":[");
-    for (i, &v) in values.iter().enumerate() {
+    // One point's parameters, shared by the serial and coalesced paths.
+    // Every batch member validated its own points under the same `var`
+    // (part of the topology key), so union points from siblings pass the
+    // same checks.
+    let params_at = |v: f64| -> Result<nvpg_core::BenchmarkParams, Response> {
         let mut params = base;
         match var.as_str() {
             "rows" => {
                 if !(v >= 1.0 && v.fract() == 0.0 && v <= f64::from(u32::MAX)) {
-                    return Response::error(
+                    return Err(Response::error(
                         400,
-                        &format!("`values[{i}]` is not a valid row count"),
-                    );
+                        &format!("`values` entry {v} is not a valid row count"),
+                    ));
                 }
                 params.domain = nvpg_core::PowerDomain::new(v as u32, params.domain.bits);
             }
             "n_rw" => {
                 if !(v >= 1.0 && v.fract() == 0.0 && v <= f64::from(u32::MAX)) {
-                    return Response::error(
+                    return Err(Response::error(
                         400,
-                        &format!("`values[{i}]` is not a valid round count"),
-                    );
+                        &format!("`values` entry {v} is not a valid round count"),
+                    ));
                 }
                 params.n_rw = v as u32;
             }
+            "vth_shift" => {
+                // The shift selects a varied design, not a benchmark
+                // parameter; `params` passes through unchanged.
+                if !(v.is_finite() && v.abs() <= 0.5) {
+                    return Err(Response::error(
+                        400,
+                        &format!("`values` entry {v} is not a valid threshold shift (|V| <= 0.5)"),
+                    ));
+                }
+            }
             _ => {
                 if !(v.is_finite() && v >= 0.0) {
-                    return Response::error(400, &format!("`values[{i}]` is not a valid time"));
+                    return Err(Response::error(
+                        400,
+                        &format!("`values` entry {v} is not a valid time"),
+                    ));
                 }
                 params.t_sl = v;
             }
         }
-        let bet = match solve_bet(arch, iterative, &params) {
-            Ok(b) => b,
+        Ok(params)
+    };
+    // Validate this request's own points before touching the batcher, so
+    // a bad point answers 400 here and never poisons a shared batch.
+    for &v in &values {
+        if let Err(resp) = params_at(v) {
+            return resp;
+        }
+    }
+    let solve_points = |points: &[f64]| -> Result<Vec<Bet>, Response> {
+        if var == "vth_shift" {
+            solve_vth_scan(&base, points)
+        } else {
+            points
+                .iter()
+                .map(|&v| solve_bet(arch, iterative, &params_at(v)?))
+                .collect()
+        }
+    };
+    let results: Vec<Bet> = if shared.batcher.window().is_zero() {
+        match solve_points(&values) {
+            Ok(r) => r,
             Err(resp) => return resp,
-        };
+        }
+    } else {
+        // Topology = the canonical body minus the point set: siblings
+        // differing only in `values` share this key and coalesce.
+        let mut topology = obj.clone();
+        topology.remove("values");
+        let key = request_key(&request.method, &request.path, &Json::Obj(topology));
+        match shared
+            .batcher
+            .submit(key, &values, solve_points, cancel::cancelled)
+        {
+            Some(Ok(map)) => {
+                let looked_up: Option<Vec<Bet>> = values
+                    .iter()
+                    .map(|&v| map.get(&point_key(v)).copied())
+                    .collect();
+                match looked_up {
+                    Some(r) => r,
+                    None => return Response::error(500, "coalesced batch dropped a point"),
+                }
+            }
+            Some(Err(resp)) => return resp,
+            // Our deadline (or a disconnect) fired while parked on a
+            // sibling's batch; the union still solves our points, but
+            // nobody is waiting for this answer any more.
+            None => {
+                return match cancel::current() {
+                    Some(token) => timeout_response(
+                        &token.reason(),
+                        token.elapsed(),
+                        "waiting on a coalescing sweep batch",
+                    ),
+                    None => Response::error(500, "batch wait aborted without a cancel token"),
+                }
+            }
+        }
+    };
+    let mut out = String::from("{\"arch\":\"");
+    out.push_str(&arch.to_string());
+    out.push_str("\",\"var\":\"");
+    out.push_str(&var);
+    out.push_str("\",\"points\":[");
+    for (i, (&v, &bet)) in values.iter().zip(&results).enumerate() {
         if i > 0 {
             out.push(',');
         }
@@ -796,7 +944,7 @@ const MAX_TRAN_POINTS: usize = 2000;
 /// canonicalised body, so requests differing only in solver choice get
 /// distinct cache keys — a dense result is never served for a sparse
 /// request or vice versa.
-fn simulate(_request: &Request, body: &Json) -> Response {
+fn simulate(_request: &Request, body: &Json, _shared: &Shared) -> Response {
     let obj = match body.as_obj() {
         Some(o) => o,
         None => return Response::error(400, "body must be a JSON object"),

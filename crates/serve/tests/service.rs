@@ -274,6 +274,171 @@ fn bet_and_sweep_answer_structured_json() {
 }
 
 #[test]
+fn sweep_cache_key_canonicalises_point_sets() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+    let solves0 = counters::SERVE_SOLVES.get();
+
+    // Reordered and duplicated on the wire; answered over the
+    // sorted-unique set {32, 512, 4096}.
+    let a = post(
+        addr,
+        "/sweep",
+        r#"{"arch":"NVPG","var":"rows","values":[512,32,4096,32]}"#,
+    );
+    assert_eq!(a.status, 200, "{}", a.text());
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1);
+    let text = a.text();
+    assert_eq!(text.matches("\"value\":").count(), 3, "{text}");
+    let at = |needle: &str| {
+        text.find(needle)
+            .unwrap_or_else(|| panic!("{needle} in {text}"))
+    };
+    assert!(
+        at("\"value\":3.2e1") < at("\"value\":5.12e2")
+            && at("\"value\":5.12e2") < at("\"value\":4.096e3"),
+        "points ascend: {text}"
+    );
+
+    // The same set spelled differently is the same cache entry.
+    let hits0 = counters::SERVE_CACHE_HITS.get();
+    let b = post(
+        addr,
+        "/sweep",
+        r#"{"arch":"NVPG","var":"rows","values":[4096,512,32]}"#,
+    );
+    assert_eq!(b.status, 200);
+    assert_eq!(b.body, a.body, "identical response bytes");
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1, "no second solve");
+    assert_eq!(counters::SERVE_CACHE_HITS.get() - hits0, 1);
+
+    // A genuinely different set is a different key.
+    let c = post(
+        addr,
+        "/sweep",
+        r#"{"arch":"NVPG","var":"rows","values":[32,512]}"#,
+    );
+    assert_eq!(c.status, 200);
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 2);
+
+    // Validation still answers structured 400s on the canonical set.
+    let bad = post(
+        addr,
+        "/sweep",
+        r#"{"arch":"NVPG","var":"rows","values":[2.5]}"#,
+    );
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("row count"), "{}", bad.text());
+}
+
+#[test]
+fn vth_shift_sweep_solves_through_the_batched_scan() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    // Pay the one-off Table I characterisation outside the deltas.
+    let warm = post(addr, "/bet", r#"{"arch":"NVPG"}"#);
+    assert_eq!(warm.status, 200, "{}", warm.text());
+
+    let batched0 = counters::ENGINE_BATCHED_POINTS.get();
+    let a = post(
+        addr,
+        "/sweep",
+        r#"{"arch":"NVPG","var":"vth_shift","values":[0.01,-0.01,0.0]}"#,
+    );
+    assert_eq!(a.status, 200, "{}", a.text());
+    let text = a.text();
+    assert_eq!(text.matches("\"value\":").count(), 3, "{text}");
+    // Every shift is one varied design's domain operating point on the
+    // batched stack — the tentpole path, not the analytic model.
+    assert!(
+        counters::ENGINE_BATCHED_POINTS.get() - batched0 >= 3,
+        "vth sweep solved off the batched path"
+    );
+
+    // The scan is NVPG-specific; other vars stay unaffected.
+    let nof = post(
+        addr,
+        "/sweep",
+        r#"{"arch":"NOF","var":"vth_shift","values":[0.0]}"#,
+    );
+    assert_eq!(nof.status, 400, "{}", nof.text());
+    assert!(nof.text().contains("NVPG architecture"), "{}", nof.text());
+    let wild = post(
+        addr,
+        "/sweep",
+        r#"{"arch":"NVPG","var":"vth_shift","values":[0.9]}"#,
+    );
+    assert_eq!(wild.status, 400, "{}", wild.text());
+    assert!(wild.text().contains("threshold shift"), "{}", wild.text());
+}
+
+#[test]
+fn sibling_sweeps_coalesce_into_one_union_solve() {
+    let _l = lock();
+    let mut config = test_config();
+    config.coalesce_window_ms = 300;
+    let server = Server::start(config).expect("start");
+    let addr = server.addr();
+
+    // Pay the one-off Table I characterisation outside the deltas.
+    let warm = post(addr, "/bet", r#"{"arch":"NVPG"}"#);
+    assert_eq!(warm.status, 200, "{}", warm.text());
+
+    let solves0 = counters::SERVE_SOLVES.get();
+    let batches0 = counters::SERVE_BATCH_BATCHES.get();
+    let coalesced0 = counters::SERVE_BATCH_COALESCED.get();
+    let points0 = counters::SERVE_BATCH_POINTS.get();
+
+    // Four siblings: same topology (arch, var, params), overlapping but
+    // distinct point sets — so neither the cache nor single-flight can
+    // dedup them; only the coalescer can.
+    let bodies = [
+        r#"{"arch":"NVPG","var":"rows","values":[32,64]}"#,
+        r#"{"arch":"NVPG","var":"rows","values":[64,128]}"#,
+        r#"{"arch":"NVPG","var":"rows","values":[128,256]}"#,
+        r#"{"arch":"NVPG","var":"rows","values":[256,512]}"#,
+    ];
+    let handles: Vec<_> = bodies
+        .iter()
+        .map(|&body| std::thread::spawn(move || post(addr, "/sweep", body)))
+        .collect();
+    let replies: Vec<Reply> = handles.into_iter().map(|h| h.join().expect("t")).collect();
+    for (body, reply) in bodies.iter().zip(&replies) {
+        assert_eq!(reply.status, 200, "{body}: {}", reply.text());
+        assert_eq!(
+            reply.text().matches("\"value\":").count(),
+            2,
+            "each sibling answers exactly its own 2 points: {}",
+            reply.text()
+        );
+    }
+    assert!(
+        replies[1].text().contains("\"value\":6.4e1")
+            && replies[1].text().contains("\"value\":1.28e2"),
+        "sibling 2 got its own points back: {}",
+        replies[1].text()
+    );
+
+    // Reconciliation: every request was its own single-flight leader
+    // (4 distinct bodies), and every one either led the batch or joined
+    // it — with a 300 ms window they all landed in ONE batch, whose
+    // union {32, 64, 128, 256, 512} is 5 deduplicated points.
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 4);
+    let batches = counters::SERVE_BATCH_BATCHES.get() - batches0;
+    let coalesced = counters::SERVE_BATCH_COALESCED.get() - coalesced0;
+    assert_eq!(batches + coalesced, 4, "leads + joins = batched requests");
+    assert_eq!(batches, 1, "one union solve for all four siblings");
+    assert_eq!(
+        counters::SERVE_BATCH_POINTS.get() - points0,
+        5,
+        "the deduplicated union was solved once"
+    );
+}
+
+#[test]
 fn simulate_runs_dc_and_tran_and_rejects_hostile_decks() {
     let _l = lock();
     let server = Server::start(test_config()).expect("start");
