@@ -1,0 +1,2 @@
+* expect: error
++ 1 2

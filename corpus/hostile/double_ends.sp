@@ -1,0 +1,5 @@
+* expect: error
+.subckt a p1
+R1 p1 0 1k
+.ends
+.ends

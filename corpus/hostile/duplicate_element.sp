@@ -1,0 +1,3 @@
+* expect: error
+R1 a 0 1k
+R1 b 0 2k

@@ -1,0 +1,2 @@
+* expect: error
+.ends

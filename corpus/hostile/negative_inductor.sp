@@ -1,0 +1,2 @@
+* expect: error
+L1 a 0 -1u

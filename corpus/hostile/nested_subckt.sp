@@ -1,0 +1,3 @@
+* expect: error
+.subckt a p1
+.subckt b p2

@@ -1,0 +1,5 @@
+* expect: ok
+V1 a 0 PWL(0 0
++ 1n 0.9
++ 2n 0)
+R1 a 0 1k

@@ -1,0 +1,5 @@
+* expect: ok
+V1 vin 0 1.0
+R1 vin out 1k
+R2 out 0 1k
+.end

@@ -1,0 +1,3 @@
+* expect: ok
+V1 a 0 PULSE(0 0.9 1n 50p 50p 2n 5n)
+R1 a 0 1k

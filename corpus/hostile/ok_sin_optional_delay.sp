@@ -1,0 +1,3 @@
+* expect: ok
+V1 a 0 SIN(0.45 0.45 1g)
+R1 a 0 1k

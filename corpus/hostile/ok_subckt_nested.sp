@@ -1,0 +1,12 @@
+* expect: ok
+.subckt half in out
+R1 in out 1k
+R2 out 0 1k
+.ends
+.subckt quarter in out
+Xh1 in mid half
+Xh2 mid out half
+.ends
+V1 a 0 1.0
+Xq a q quarter
+Rload q 0 1e9

@@ -1,0 +1,3 @@
+* expect: error
+V1 a 0 PULSE(0 1 0 1p 1p 1n 5n 9n)
+R1 a 0 1k

@@ -1,0 +1,3 @@
+* expect: error
+R1 a 0 1k
+V1 a 0 PULSE()

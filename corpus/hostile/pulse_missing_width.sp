@@ -1,0 +1,3 @@
+* expect: error
+R1 a 0 1k
+V1 a 0 PULSE(0 0.9 1n 50p 50p)

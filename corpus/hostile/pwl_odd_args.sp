@@ -1,0 +1,3 @@
+* expect: error
+V1 a 0 PWL(0 0 1n)
+R1 a 0 1k

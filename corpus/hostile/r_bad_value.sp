@@ -1,0 +1,2 @@
+* expect: error
+R1 a 0 notanumber

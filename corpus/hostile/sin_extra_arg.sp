@@ -1,0 +1,3 @@
+* expect: error
+V1 a 0 SIN(0 1 1g 1n 2n)
+R1 a 0 1k

@@ -1,0 +1,3 @@
+* expect: error
+V1 a 0 SIN(0.45)
+R1 a 0 1k

@@ -1,0 +1,3 @@
+* expect: error
+V1 a 0 SIN()
+R1 a 0 1k

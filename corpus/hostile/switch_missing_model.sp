@@ -1,0 +1,3 @@
+* expect: error
+V1 vin 0 1.0
+S1 vin out ctl 0

@@ -1,0 +1,2 @@
+* expect: error
+Q1 a b c

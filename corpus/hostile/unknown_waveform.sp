@@ -1,0 +1,3 @@
+* expect: error
+V1 a 0 TRIANGLE(1 2 3)
+R1 a 0 1k

@@ -1,0 +1,2 @@
+* expect: error
+.option reltol=1

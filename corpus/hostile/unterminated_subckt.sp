@@ -1,0 +1,3 @@
+* expect: error
+.subckt d in out
+R1 in out 1k

@@ -1,0 +1,2 @@
+* expect: error
+X1

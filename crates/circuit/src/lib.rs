@@ -54,6 +54,7 @@ pub mod error;
 pub mod fault;
 pub mod node;
 pub mod parser;
+pub mod registry;
 pub mod rescue;
 pub mod solution;
 pub mod solver;
@@ -73,6 +74,7 @@ pub use element::{DeviceStamp, NonlinearDevice};
 pub use error::CircuitError;
 pub use fault::{with_fault_plan, with_fault_plan_logged, FaultKind, FaultPlan};
 pub use node::NodeId;
+pub use registry::{registry, DeckSpec};
 pub use rescue::RescueStats;
 pub use solution::DcSolution;
 pub use solver::{set_default_solver, SolverChoice, SPARSE_THRESHOLD};

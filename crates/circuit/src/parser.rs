@@ -130,10 +130,28 @@ fn parse_waveform(tail: &str, line: usize) -> Result<Waveform, ParseDeckError> {
         let vals = vals.map_err(err)?;
         return match keyword.as_str() {
             "PULSE" => {
-                if vals.len() < 7 {
+                // Strict arity: classic SPICE fills missing trailing
+                // parameters with zeros one by one, which turns a typo'd
+                // `PULSE(0 0.9 1n)` into a 0-width, 0-period pulse that
+                // simulates without complaint. Here a partially specified
+                // source is a typed per-position error instead.
+                const PULSE_PARAMS: [&str; 7] =
+                    ["v1", "v2", "delay", "rise", "fall", "width", "period"];
+                if vals.len() < PULSE_PARAMS.len() {
                     return Err(ParseDeckError {
                         line,
-                        reason: format!("PULSE needs 7 arguments, got {}", vals.len()),
+                        reason: format!(
+                            "PULSE is missing `{}` (argument {} of 7, got {})",
+                            PULSE_PARAMS[vals.len()],
+                            vals.len() + 1,
+                            vals.len()
+                        ),
+                    });
+                }
+                if vals.len() > PULSE_PARAMS.len() {
+                    return Err(ParseDeckError {
+                        line,
+                        reason: format!("PULSE takes 7 arguments, got {}", vals.len()),
                     });
                 }
                 Ok(Waveform::Pulse(Pulse {
@@ -169,10 +187,23 @@ fn parse_waveform(tail: &str, line: usize) -> Result<Waveform, ParseDeckError> {
                 Ok(Waveform::Pwl(pts))
             }
             "SIN" => {
-                if vals.len() < 3 {
+                const SIN_PARAMS: [&str; 3] = ["offset", "amplitude", "freq"];
+                if vals.len() < SIN_PARAMS.len() {
                     return Err(ParseDeckError {
                         line,
-                        reason: "SIN needs at least offset, amplitude, freq".to_owned(),
+                        reason: format!(
+                            "SIN is missing `{}` (argument {} of 3, got {}; \
+                             optional 4th is `delay`)",
+                            SIN_PARAMS[vals.len()],
+                            vals.len() + 1,
+                            vals.len()
+                        ),
+                    });
+                }
+                if vals.len() > 4 {
+                    return Err(ParseDeckError {
+                        line,
+                        reason: format!("SIN takes at most 4 arguments, got {}", vals.len()),
                     });
                 }
                 Ok(Waveform::Sine {
@@ -721,6 +752,45 @@ mod tests {
 
         let err = parse_deck(".option reltol=1\n").unwrap_err();
         assert!(err.reason.contains("unsupported directive"));
+    }
+
+    #[test]
+    fn pulse_arity_errors_name_the_missing_parameter() {
+        // Each truncation names exactly the first parameter that was not
+        // given, with the deck line number attached.
+        let full = ["0", "0.9", "1n", "50p", "50p", "2n", "5n"];
+        let missing = ["v1", "v2", "delay", "rise", "fall", "width", "period"];
+        for n in 0..7 {
+            let deck = format!("R1 a 0 1k\nV1 a 0 PULSE({})\n", full[..n].join(" "));
+            let err = parse_deck(&deck).unwrap_err();
+            assert_eq!(err.line, 2, "line for {n}-arg PULSE");
+            assert!(
+                err.reason.contains(&format!("`{}`", missing[n])),
+                "{n}-arg PULSE reported `{}`",
+                err.reason
+            );
+        }
+        // Over-specified is rejected too, never silently truncated.
+        let err = parse_deck("V1 a 0 PULSE(0 1 0 1p 1p 1n 5n 9n)\nR1 a 0 1k\n").unwrap_err();
+        assert!(err.reason.contains("takes 7"), "{}", err.reason);
+    }
+
+    #[test]
+    fn sin_arity_errors_name_the_missing_parameter() {
+        for (n, missing) in ["offset", "amplitude", "freq"].iter().enumerate() {
+            let args = ["0.45", "0.45", "1g"][..n].join(" ");
+            let err = parse_deck(&format!("V1 a 0 SIN({args})\nR1 a 0 1k\n")).unwrap_err();
+            assert_eq!(err.line, 1);
+            assert!(
+                err.reason.contains(&format!("`{missing}`")),
+                "{n}-arg SIN reported `{}`",
+                err.reason
+            );
+        }
+        // The optional delay is still accepted; a fifth argument is not.
+        assert!(parse_deck("V1 a 0 SIN(0 1 1g 1n)\nR1 a 0 1k\n").is_ok());
+        let err = parse_deck("V1 a 0 SIN(0 1 1g 1n 2n)\nR1 a 0 1k\n").unwrap_err();
+        assert!(err.reason.contains("at most 4"), "{}", err.reason);
     }
 
     #[test]

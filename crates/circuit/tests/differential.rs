@@ -1,17 +1,18 @@
 //! Dense-vs-sparse differential suite: both linear-solver backends must
-//! produce the same solutions on every deck in the corpus, DC and
+//! produce the same solutions on every registered deck, DC and
 //! transient, to tight tolerances.
 //!
-//! This is the first installment of the roadmap's cross-validation item:
-//! the solver backends are redundant implementations of the same
-//! contract, so any disagreement beyond Newton-tolerance noise is a bug
-//! in one of them. The corpus covers every parser element type (R, C, L,
-//! V with each waveform, I, E, G, S, subcircuits) plus hostile decks that
-//! parse but stress the numerics (floating capacitor islands held up by
-//! gmin, extreme component ratios, megohm-to-milliohm spans).
+//! The deck list is `nvpg_circuit::registry::registry()` — the same
+//! single source of truth the golden-validation harness and the
+//! `validate` binary iterate — so a deck added to the registry is
+//! automatically cross-checked here too. The corpus covers every parser
+//! element type (R, C, L, V with each waveform, I, E, G, S, subcircuits)
+//! plus hostile decks that parse but stress the numerics (floating
+//! capacitor islands held up by gmin, extreme component ratios,
+//! megohm-to-milliohm spans).
 
 use nvpg_circuit::dc::{operating_point, DcOptions};
-use nvpg_circuit::parser::parse_deck;
+use nvpg_circuit::registry::{random_circuit, registry};
 use nvpg_circuit::transient::{transient, TransientOptions};
 use nvpg_circuit::{Circuit, SolverChoice};
 
@@ -32,128 +33,49 @@ fn assert_close(label: &str, dense: &[f64], sparse: &[f64]) {
     }
 }
 
-/// The deck corpus: every element type the parser accepts, plus hostile
-/// decks that parse but stress the solver.
-fn corpus() -> Vec<(&'static str, String)> {
-    let mut decks: Vec<(&'static str, String)> = vec![
-        (
-            "divider",
-            "V1 vin 0 1.0\nR1 vin out 1k\nR2 out 0 1k\n.end\n".into(),
-        ),
-        (
-            "rc_lowpass",
-            "V1 vin 0 PWL(0 0 1p 1)\nR1 vin out 1k\nC1 out 0 1p\n".into(),
-        ),
-        (
-            "rl_highpass",
-            "V1 vin 0 PULSE(0 0.9 100p 50p 50p 1n 5n)\nR1 vin mid 1k\nL1 mid 0 1u\n".into(),
-        ),
-        (
-            "rlc_tank",
-            "V1 in 0 PULSE(0 1 0 10p 10p 500p 2n)\nR1 in a 50\nL1 a b 10n\nC1 b 0 1p\n\
-             R2 b 0 10k\n"
-                .into(),
-        ),
-        (
-            "sin_drive",
-            "V1 a 0 SIN(0.45 0.45 1g 0)\nV2 b 0 DC 0.9\nR1 a b 1k\nC1 a 0 100f\n".into(),
-        ),
-        (
-            "current_source",
-            "I1 0 n 1u\nC1 n 0 1p\nR1 n 0 1meg\n".into(),
-        ),
-        (
-            "controlled_sources",
-            "V1 a 0 0.25\nE1 amp 0 a 0 3.0\nRL1 amp 0 1k\nG1 0 cur a 0 2m\nRL2 cur 0 1k\n".into(),
-        ),
-        (
-            "switch",
-            "V1 vin 0 1.0\nVC ctl 0 PULSE(0 1 500p 50p 50p 1n 4n)\n\
-             S1 vin out ctl 0 SW(vt=0.5 ron=10 roff=1e12)\nRL out 0 1e4\n"
-                .into(),
-        ),
-        (
-            "subckt",
-            ".subckt stage in out\nR1 in out 2k\nC1 out 0 500f\n.ends\n\
-             V1 vin 0 PWL(0 0 1p 0.9)\nX1 vin mid stage\nX2 mid vout stage\n"
-                .into(),
-        ),
-        // Hostile but parseable: a capacitor island with no DC path —
-        // the gmin diagonal is all that holds the matrix up.
-        (
-            "floating_cap_island",
-            "V1 a 0 1.0\nC1 a b 1p\nC2 b c 1p\nC3 c 0 1p\nR1 a 0 1k\n".into(),
-        ),
-        // Hostile: nine decades of component spread in one mesh.
-        (
-            "extreme_ratios",
-            "V1 top 0 1.0\nR1 top m1 1e-3\nR2 m1 m2 1e6\nR3 m2 0 1e-3\nC1 m1 0 1f\n\
-             C2 m2 0 10u\n"
-                .into(),
-        ),
-        // Hostile: a zero-volt source (pure ammeter) in a loop with a
-        // tiny resistance.
-        (
-            "ammeter_loop",
-            "V1 a 0 0.9\nVM a b 0\nR1 b 0 1m\nR2 b 0 1k\n".into(),
-        ),
-    ];
-
-    // A ladder long enough to cross SPARSE_THRESHOLD, so the Auto choice
-    // itself picks sparse and the symbolic analysis sees real fill.
-    let mut ladder = String::from("V1 n0 0 PWL(0 0 1p 1)\n");
-    for i in 0..300 {
-        ladder.push_str(&format!("R{i} n{i} n{} 10\n", i + 1));
-        ladder.push_str(&format!("C{i} n{} 0 10f\n", i + 1));
-    }
-    ladder.push_str("RL n300 0 1k\n");
-    decks.push(("rc_ladder_300", ladder));
-    decks
-}
-
-fn solve_dc(deck: &str, solver: SolverChoice) -> Vec<f64> {
-    let mut ckt = parse_deck(deck).expect("corpus decks parse");
+fn solve_dc(ckt: &mut Circuit, solver: SolverChoice) -> Vec<f64> {
     let opts = DcOptions {
         solver,
         ..DcOptions::default()
     };
-    operating_point(&mut ckt, &opts)
-        .expect("corpus decks converge")
+    operating_point(ckt, &opts)
+        .expect("registry decks converge")
         .as_slice()
         .to_vec()
 }
 
-fn solve_tran(deck: &str, solver: SolverChoice) -> (Circuit, Vec<f64>) {
-    let mut ckt = parse_deck(deck).expect("corpus decks parse");
+fn solve_tran(ckt: &mut Circuit, t_stop: f64, solver: SolverChoice) -> Vec<f64> {
     let dc = DcOptions {
         solver,
         ..DcOptions::default()
     };
-    let initial = operating_point(&mut ckt, &dc).expect("corpus decks converge");
+    let initial = operating_point(ckt, &dc).expect("registry decks converge");
     let opts = TransientOptions {
         solver,
-        ..TransientOptions::to(2e-9)
+        ..TransientOptions::to(t_stop)
     };
-    let result = transient(&mut ckt, &opts, &initial).expect("corpus decks simulate");
-    let state = result.final_state.as_slice().to_vec();
-    (ckt, state)
+    let result = transient(ckt, &opts, &initial).expect("registry decks simulate");
+    result.final_state.as_slice().to_vec()
 }
 
 #[test]
 fn dc_backends_agree_on_every_deck() {
-    for (name, deck) in corpus() {
-        let dense = solve_dc(&deck, SolverChoice::Dense);
-        let sparse = solve_dc(&deck, SolverChoice::Sparse);
-        assert_close(&format!("dc:{name}"), &dense, &sparse);
+    for spec in registry() {
+        let dense = solve_dc(&mut spec.circuit(), SolverChoice::Dense);
+        let sparse = solve_dc(&mut spec.circuit(), SolverChoice::Sparse);
+        assert_close(&format!("dc:{}", spec.id), &dense, &sparse);
     }
 }
 
 #[test]
 fn transient_backends_agree_on_every_deck() {
-    for (name, deck) in corpus() {
-        let (_, dense) = solve_tran(&deck, SolverChoice::Dense);
-        let (_, sparse) = solve_tran(&deck, SolverChoice::Sparse);
-        assert_close(&format!("tran:{name}"), &dense, &sparse);
+    for spec in registry() {
+        if spec.t_stop <= 0.0 {
+            continue;
+        }
+        let dense = solve_tran(&mut spec.circuit(), spec.t_stop, SolverChoice::Dense);
+        let sparse = solve_tran(&mut spec.circuit(), spec.t_stop, SolverChoice::Sparse);
+        assert_close(&format!("tran:{}", spec.id), &dense, &sparse);
     }
 }
 
@@ -161,20 +83,73 @@ fn transient_backends_agree_on_every_deck() {
 fn auto_matches_forced_choice_on_both_sides_of_the_threshold() {
     // Small deck: Auto resolves dense; big ladder: Auto resolves sparse.
     // Either way Auto must agree bit-for-tolerance with the forced run.
-    let (_, small) = corpus().swap_remove(0);
-    let auto = solve_dc(&small, SolverChoice::Auto);
-    let dense = solve_dc(&small, SolverChoice::Dense);
+    let decks = registry();
+    let small = decks.first().expect("registry non-empty");
+    let auto = solve_dc(&mut small.circuit(), SolverChoice::Auto);
+    let dense = solve_dc(&mut small.circuit(), SolverChoice::Dense);
     assert_close("auto-vs-dense", &auto, &dense);
 
-    let (_, ladder) = corpus().pop().expect("ladder present");
-    let auto = solve_dc(&ladder, SolverChoice::Auto);
-    let sparse = solve_dc(&ladder, SolverChoice::Sparse);
+    let ladder = decks
+        .iter()
+        .find(|d| d.id == "rc_ladder_300")
+        .expect("threshold-crossing ladder registered");
+    let auto = solve_dc(&mut ladder.circuit(), SolverChoice::Auto);
+    let sparse = solve_dc(&mut ladder.circuit(), SolverChoice::Sparse);
     assert_close("auto-vs-sparse", &auto, &sparse);
+}
+
+/// Transient through one backend, keeping failures: equivalence on
+/// random topologies means the same *outcome*, so a deck too stiff for
+/// one backend must be exactly as stiff for the other.
+fn try_tran(ckt: &mut Circuit, t_stop: f64, solver: SolverChoice) -> Result<Vec<f64>, String> {
+    let dc = DcOptions {
+        solver,
+        ..DcOptions::default()
+    };
+    let initial = operating_point(ckt, &dc).map_err(|e| e.taxonomy().to_owned())?;
+    let opts = TransientOptions {
+        solver,
+        ..TransientOptions::to(t_stop)
+    };
+    transient(ckt, &opts, &initial)
+        .map(|r| r.final_state.as_slice().to_vec())
+        .map_err(|e| e.taxonomy().to_owned())
+}
+
+#[test]
+fn random_netlists_agree_across_backends() {
+    // Property-based equivalence: seeded random RCL/switch topologies
+    // through both backends, DC and a short transient. Failures print
+    // the seed; replay with `registry::random_circuit(seed)`. A topology
+    // too stiff to converge must fail with the same taxonomy on both
+    // backends — a deck solvable by one solver but not the other is
+    // exactly the class of bug this hunt exists for.
+    for seed in 0..40 {
+        let dense = solve_dc(&mut random_circuit(seed), SolverChoice::Dense);
+        let sparse = solve_dc(&mut random_circuit(seed), SolverChoice::Sparse);
+        assert_close(&format!("dc:random:{seed}"), &dense, &sparse);
+    }
+    for seed in 0..10 {
+        let dense = try_tran(&mut random_circuit(seed), 1e-9, SolverChoice::Dense);
+        let sparse = try_tran(&mut random_circuit(seed), 1e-9, SolverChoice::Sparse);
+        match (dense, sparse) {
+            (Ok(d), Ok(s)) => assert_close(&format!("tran:random:{seed}"), &d, &s),
+            (Err(d), Err(s)) => {
+                assert_eq!(d, s, "tran:random:{seed}: backends fail differently")
+            }
+            (d, s) => panic!(
+                "tran:random:{seed}: one backend converged, the other did not \
+                 (dense ok={}, sparse ok={})",
+                d.is_ok(),
+                s.is_ok()
+            ),
+        }
+    }
 }
 
 #[test]
 fn sparse_transient_preserves_solution_quality_on_nonlinear_devices() {
-    // The corpus above is parser-reachable (linear + switch). Nonlinear
+    // The registry is parser-reachable (linear + switch). Nonlinear
     // compact models go through the same eval_sparse path; cross-check a
     // bistable latch built programmatically.
     use nvpg_circuit::Waveform;

@@ -1,0 +1,77 @@
+//! The structured fuzz corpus: every deck under `corpus/hostile/` parses
+//! to exactly what its `* expect:` directive declares — a typed
+//! `ParseDeckError` or a clean `Circuit`, never a panic — and a seeded
+//! mutation loop over the corpus and the deck registry holds the same
+//! no-panic guarantee on thousands of derived hostile inputs.
+
+use nvpg_circuit::parser::parse_deck;
+use nvpg_circuit::registry::{fuzz_smoke, load_corpus, CorpusExpect};
+
+#[test]
+fn corpus_entries_match_their_declared_expectation() {
+    let entries = load_corpus().expect("corpus loads");
+    assert!(
+        entries.len() >= 30,
+        "corpus unexpectedly small: {} entries",
+        entries.len()
+    );
+    for entry in entries {
+        let outcome = std::panic::catch_unwind(|| parse_deck(&entry.text));
+        let result =
+            outcome.unwrap_or_else(|_| panic!("parser panicked on corpus `{}`", entry.name));
+        match entry.expect {
+            CorpusExpect::Ok => {
+                assert!(
+                    result.is_ok(),
+                    "corpus `{}` should parse: {}",
+                    entry.name,
+                    result.err().map(|e| e.to_string()).unwrap_or_default()
+                );
+            }
+            CorpusExpect::Error => {
+                let err = result.err().unwrap_or_else(|| {
+                    panic!("corpus `{}` should produce a ParseDeckError", entry.name)
+                });
+                assert!(err.line > 0 || err.reason.contains("unterminated"), "{err}");
+            }
+        }
+    }
+}
+
+#[test]
+fn arity_corpus_entries_name_the_missing_parameter() {
+    // The pulse_missing_*/sin_missing_* family exists to pin the
+    // per-position diagnostics: the error must name exactly the first
+    // parameter the deck left out (encoded in the file name).
+    let entries = load_corpus().expect("corpus loads");
+    let mut checked = 0;
+    for entry in &entries {
+        let Some(param) = entry
+            .name
+            .strip_prefix("pulse_missing_")
+            .or_else(|| entry.name.strip_prefix("sin_missing_"))
+        else {
+            continue;
+        };
+        let err = parse_deck(&entry.text)
+            .err()
+            .unwrap_or_else(|| panic!("corpus `{}` should fail", entry.name));
+        assert!(
+            err.reason.contains(&format!("`{param}`")),
+            "corpus `{}`: error `{}` does not name `{param}`",
+            entry.name,
+            err.reason
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 10, "7 PULSE + 3 SIN per-position entries");
+}
+
+#[test]
+fn mutation_smoke_loop_never_panics() {
+    // CI's validate job runs this loop at 10k+ iterations; the in-suite
+    // smoke keeps it cheap but real. Any panic reports the seed and the
+    // offending mutant for replay.
+    let cases = fuzz_smoke(1500, 0x5eed).expect("no parser panic");
+    assert_eq!(cases, 1500);
+}

@@ -58,6 +58,7 @@ pub mod policy;
 pub mod report;
 pub mod sequence;
 pub mod thermal;
+pub mod validate;
 pub mod variation;
 pub mod workload;
 
@@ -78,6 +79,7 @@ pub use sequence::{run_sequence, SequenceParams, SequenceRun};
 pub use thermal::{
     at_temperature, domain_leakage_sweep, temperature_sweep, DomainThermalPoint, ThermalPoint,
 };
+pub use validate::{MatrixConfig, Tolerance, ValidationReport};
 pub use variation::{
     run_domain_variation, run_variation, run_variation_report, DomainSample,
     DomainVariationOutcome, VariationOutcome, VariationSpec,

@@ -1,0 +1,613 @@
+//! Committed golden references: capture, JSON round-trip, comparison,
+//! and the guarded `bless` flow.
+//!
+//! One file per deck per analysis — `goldens/<deck>__<analysis>.json`,
+//! schema `nvpg-golden-v1` — holding the dense-serial reference solution
+//! and the tolerance it was committed under:
+//!
+//! ```json
+//! {
+//!   "schema": "nvpg-golden-v1",
+//!   "deck": "divider",
+//!   "analysis": "dc",
+//!   "tolerance": {"abs": 1e-9, "rel": 1e-7},
+//!   "signals": {"v(out)": 5.0e-1, "v(vin)": 1.0}
+//! }
+//! ```
+//!
+//! Transient goldens sample every trace signal at fixed fractions of the
+//! deck's `t_stop` (so a step-size retune does not invalidate them) and
+//! store `[t, v]` pairs. Values are written with 17 significant digits —
+//! enough to round-trip an `f64` exactly.
+//!
+//! [`bless`] is the only writer, and it refuses to write while the
+//! differential matrix disagrees with itself: a golden must never encode
+//! a state where the backends cannot even agree which number to commit.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+use nvpg_circuit::dc::{operating_point, DcOptions};
+use nvpg_circuit::registry::{registry, DeckSpec};
+use nvpg_circuit::transient::{transient, TransientOptions};
+use nvpg_circuit::{CircuitError, SolverChoice};
+use nvpg_obs::json::{self, Json};
+use nvpg_obs::metrics::counters;
+
+use super::matrix::{run_matrix, MatrixConfig};
+use super::{SignalDeviation, Tolerance, ValidationReport};
+
+/// Schema tag written into (and required from) every golden file.
+pub const SCHEMA: &str = "nvpg-golden-v1";
+
+/// Fractions of `t_stop` at which transient goldens are sampled.
+pub const TRAN_SAMPLE_FRACTIONS: [f64; 4] = [0.25, 0.5, 0.75, 1.0];
+
+/// The signal payload of a golden: scalar node voltages for DC,
+/// `[t, v]` sample pairs for transient.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoldenSignals {
+    /// DC: signal name → value.
+    Dc(BTreeMap<String, f64>),
+    /// Transient: signal name → sampled `(t, value)` pairs.
+    Tran(BTreeMap<String, Vec<(f64, f64)>>),
+}
+
+impl GoldenSignals {
+    /// Number of signals recorded.
+    pub fn len(&self) -> usize {
+        match self {
+            GoldenSignals::Dc(m) => m.len(),
+            GoldenSignals::Tran(m) => m.len(),
+        }
+    }
+
+    /// `true` when no signal is recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// One committed golden reference.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Golden {
+    /// Registry deck id.
+    pub deck: String,
+    /// `"dc"` or `"tran"`.
+    pub analysis: String,
+    /// The tolerance this golden was committed under.
+    pub tolerance: Tolerance,
+    /// The reference signals.
+    pub signals: GoldenSignals,
+}
+
+/// Why a golden could not be loaded, written, or blessed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GoldenError {
+    /// Filesystem failure.
+    Io(String),
+    /// The file is not valid JSON.
+    Json(String),
+    /// The JSON does not match the `nvpg-golden-v1` schema.
+    Schema(String),
+    /// [`bless`] refused: the differential matrix is failing, so there
+    /// is no agreed-upon number to commit. Carries the rendered report.
+    DirtyDifferential(String),
+    /// Capturing the reference solution failed in the solver.
+    Capture(String),
+}
+
+impl fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GoldenError::Io(e) => write!(f, "golden I/O error: {e}"),
+            GoldenError::Json(e) => write!(f, "golden JSON error: {e}"),
+            GoldenError::Schema(e) => write!(f, "golden schema error: {e}"),
+            GoldenError::DirtyDifferential(report) => write!(
+                f,
+                "refusing to bless: the differential matrix is failing — fix the \
+                 disagreement first, then bless.\n{report}"
+            ),
+            GoldenError::Capture(e) => write!(f, "golden capture failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GoldenError {}
+
+/// `goldens/` at the repository root (resolved relative to this crate).
+pub fn default_goldens_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../goldens")
+}
+
+/// The canonical path of one golden file.
+pub fn golden_path(dir: &Path, deck: &str, analysis: &str) -> PathBuf {
+    dir.join(format!("{deck}__{analysis}.json"))
+}
+
+fn fmt_f64(v: f64) -> String {
+    // 17 significant digits round-trip any f64 exactly.
+    format!("{v:.16e}")
+}
+
+impl Golden {
+    /// Captures the DC reference: dense serial operating point, every
+    /// named node's voltage.
+    pub fn capture_dc(spec: &DeckSpec) -> Result<Golden, CircuitError> {
+        let mut ckt = spec.circuit();
+        let opts = DcOptions {
+            solver: SolverChoice::Dense,
+            ..DcOptions::default()
+        };
+        let sol = operating_point(&mut ckt, &opts)?;
+        let mut signals = BTreeMap::new();
+        for (id, name) in ckt.node_names_iter() {
+            // Ground is the reference, not a solved unknown; a constant
+            // 0 V entry would dilute the golden with a vacuous check.
+            if id == nvpg_circuit::Circuit::GROUND {
+                continue;
+            }
+            signals.insert(format!("v({name})"), sol.voltage(id));
+        }
+        Ok(Golden {
+            deck: spec.id.to_owned(),
+            analysis: "dc".to_owned(),
+            tolerance: Tolerance::DC,
+            signals: GoldenSignals::Dc(signals),
+        })
+    }
+
+    /// Captures the transient reference: dense serial run to the deck's
+    /// `t_stop`, every trace signal sampled at
+    /// [`TRAN_SAMPLE_FRACTIONS`] of `t_stop` (interpolated, so the
+    /// golden survives step-size retuning).
+    pub fn capture_tran(spec: &DeckSpec) -> Result<Golden, CircuitError> {
+        let mut ckt = spec.circuit();
+        let dc = DcOptions {
+            solver: SolverChoice::Dense,
+            ..DcOptions::default()
+        };
+        let initial = operating_point(&mut ckt, &dc)?;
+        let opts = TransientOptions {
+            solver: SolverChoice::Dense,
+            ..TransientOptions::to(spec.t_stop)
+        };
+        let result = transient(&mut ckt, &opts, &initial)?;
+        let mut signals = BTreeMap::new();
+        for name in result.trace.signal_names() {
+            let mut samples = Vec::with_capacity(TRAN_SAMPLE_FRACTIONS.len());
+            for frac in TRAN_SAMPLE_FRACTIONS {
+                let t = frac * spec.t_stop;
+                let v = result
+                    .trace
+                    .value_at(name, t)
+                    .expect("signal came from this trace");
+                samples.push((t, v));
+            }
+            signals.insert(name.clone(), samples);
+        }
+        Ok(Golden {
+            deck: spec.id.to_owned(),
+            analysis: "tran".to_owned(),
+            tolerance: Tolerance::TRAN,
+            signals: GoldenSignals::Tran(signals),
+        })
+    }
+
+    /// Renders the golden as deterministic JSON (sorted signal names,
+    /// full-precision values, trailing newline).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+        out.push_str(&format!("  \"deck\": \"{}\",\n", json::escape(&self.deck)));
+        out.push_str(&format!("  \"analysis\": \"{}\",\n", self.analysis));
+        out.push_str(&format!(
+            "  \"tolerance\": {{\"abs\": {}, \"rel\": {}}},\n",
+            fmt_f64(self.tolerance.abs),
+            fmt_f64(self.tolerance.rel)
+        ));
+        out.push_str("  \"signals\": {\n");
+        let mut first = true;
+        match &self.signals {
+            GoldenSignals::Dc(map) => {
+                for (name, v) in map {
+                    if !first {
+                        out.push_str(",\n");
+                    }
+                    first = false;
+                    out.push_str(&format!("    \"{}\": {}", json::escape(name), fmt_f64(*v)));
+                }
+            }
+            GoldenSignals::Tran(map) => {
+                for (name, samples) in map {
+                    if !first {
+                        out.push_str(",\n");
+                    }
+                    first = false;
+                    let pairs: Vec<String> = samples
+                        .iter()
+                        .map(|(t, v)| format!("[{}, {}]", fmt_f64(*t), fmt_f64(*v)))
+                        .collect();
+                    out.push_str(&format!(
+                        "    \"{}\": [{}]",
+                        json::escape(name),
+                        pairs.join(", ")
+                    ));
+                }
+            }
+        }
+        out.push_str("\n  }\n}\n");
+        out
+    }
+
+    /// Parses a golden file's text.
+    pub fn parse(text: &str) -> Result<Golden, GoldenError> {
+        let root = json::parse(text).map_err(|e| GoldenError::Json(e.to_string()))?;
+        let obj = root
+            .as_obj()
+            .ok_or_else(|| GoldenError::Schema("top level is not an object".into()))?;
+        let schema = obj
+            .get("schema")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GoldenError::Schema("missing `schema`".into()))?;
+        if schema != SCHEMA {
+            return Err(GoldenError::Schema(format!(
+                "unknown schema `{schema}` (expected `{SCHEMA}`)"
+            )));
+        }
+        let deck = obj
+            .get("deck")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GoldenError::Schema("missing `deck`".into()))?
+            .to_owned();
+        let analysis = obj
+            .get("analysis")
+            .and_then(Json::as_str)
+            .ok_or_else(|| GoldenError::Schema("missing `analysis`".into()))?
+            .to_owned();
+        let tol = obj
+            .get("tolerance")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| GoldenError::Schema("missing `tolerance` object".into()))?;
+        let tolerance = Tolerance {
+            abs: tol
+                .get("abs")
+                .and_then(Json::as_num)
+                .ok_or_else(|| GoldenError::Schema("missing `tolerance.abs`".into()))?,
+            rel: tol
+                .get("rel")
+                .and_then(Json::as_num)
+                .ok_or_else(|| GoldenError::Schema("missing `tolerance.rel`".into()))?,
+        };
+        let raw = obj
+            .get("signals")
+            .and_then(Json::as_obj)
+            .ok_or_else(|| GoldenError::Schema("missing `signals` object".into()))?;
+        let signals = match analysis.as_str() {
+            "dc" => {
+                let mut map = BTreeMap::new();
+                for (name, v) in raw {
+                    let v = v.as_num().ok_or_else(|| {
+                        GoldenError::Schema(format!("dc signal `{name}` is not a number"))
+                    })?;
+                    map.insert(name.clone(), v);
+                }
+                GoldenSignals::Dc(map)
+            }
+            "tran" => {
+                let mut map = BTreeMap::new();
+                for (name, v) in raw {
+                    let arr = v.as_arr().ok_or_else(|| {
+                        GoldenError::Schema(format!("tran signal `{name}` is not an array"))
+                    })?;
+                    let mut samples = Vec::with_capacity(arr.len());
+                    for pair in arr {
+                        let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                            GoldenError::Schema(format!(
+                                "tran signal `{name}` sample is not a [t, v] pair"
+                            ))
+                        })?;
+                        let t = pair[0].as_num().ok_or_else(|| {
+                            GoldenError::Schema(format!("tran signal `{name}` has non-numeric t"))
+                        })?;
+                        let v = pair[1].as_num().ok_or_else(|| {
+                            GoldenError::Schema(format!("tran signal `{name}` has non-numeric v"))
+                        })?;
+                        samples.push((t, v));
+                    }
+                    map.insert(name.clone(), samples);
+                }
+                GoldenSignals::Tran(map)
+            }
+            other => {
+                return Err(GoldenError::Schema(format!(
+                    "unknown analysis `{other}` (expected `dc` or `tran`)"
+                )))
+            }
+        };
+        Ok(Golden {
+            deck,
+            analysis,
+            tolerance,
+            signals,
+        })
+    }
+
+    /// Loads a golden from disk.
+    pub fn load(path: &Path) -> Result<Golden, GoldenError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| GoldenError::Io(format!("{}: {e}", path.display())))?;
+        Golden::parse(&text)
+    }
+
+    /// Writes the golden atomically (temp file + rename) so a crashed
+    /// bless never leaves a half-written reference behind.
+    pub fn write(&self, dir: &Path) -> Result<PathBuf, GoldenError> {
+        std::fs::create_dir_all(dir)
+            .map_err(|e| GoldenError::Io(format!("{}: {e}", dir.display())))?;
+        let path = golden_path(dir, &self.deck, &self.analysis);
+        let tmp = path.with_extension("json.tmp");
+        std::fs::write(&tmp, self.render())
+            .map_err(|e| GoldenError::Io(format!("{}: {e}", tmp.display())))?;
+        std::fs::rename(&tmp, &path)
+            .map_err(|e| GoldenError::Io(format!("{}: {e}", path.display())))?;
+        Ok(path)
+    }
+
+    /// Compares a freshly captured result (`actual`) against this
+    /// committed golden, pushing one check per signal (worst deviation
+    /// for transient) plus missing/extra-signal checks into `report`.
+    pub fn compare(&self, actual: &Golden, report: &mut ValidationReport) {
+        let suite = format!("golden:{}", self.analysis);
+        match (&self.signals, &actual.signals) {
+            (GoldenSignals::Dc(expected), GoldenSignals::Dc(got)) => {
+                for (name, &e) in expected {
+                    counters::VALIDATE_GOLDEN_SIGNALS.add(1);
+                    let check = format!("{} {name}", self.deck);
+                    let Some(&a) = got.get(name) else {
+                        report.fail(
+                            &suite,
+                            check,
+                            "golden_missing_signal",
+                            format!("`{name}` is in the golden but not in the fresh result"),
+                        );
+                        continue;
+                    };
+                    self.judge(report, &suite, &check, name, a, e);
+                }
+                for name in got.keys().filter(|n| !expected.contains_key(*n)) {
+                    report.fail(
+                        &suite,
+                        format!("{} {name}", self.deck),
+                        "golden_extra_signal",
+                        format!("`{name}` appeared in the fresh result but not in the golden"),
+                    );
+                }
+            }
+            (GoldenSignals::Tran(expected), GoldenSignals::Tran(got)) => {
+                for (name, e_samples) in expected {
+                    counters::VALIDATE_GOLDEN_SIGNALS.add(1);
+                    let check = format!("{} {name}", self.deck);
+                    let Some(a_samples) = got.get(name) else {
+                        report.fail(
+                            &suite,
+                            check,
+                            "golden_missing_signal",
+                            format!("`{name}` is in the golden but not in the fresh result"),
+                        );
+                        continue;
+                    };
+                    if a_samples.len() != e_samples.len() {
+                        report.fail(
+                            &suite,
+                            check,
+                            "golden_deviation",
+                            format!(
+                                "`{name}` sample count changed: golden {} vs fresh {}",
+                                e_samples.len(),
+                                a_samples.len()
+                            ),
+                        );
+                        continue;
+                    }
+                    // Judge the worst sample so each signal is one check.
+                    let mut worst: Option<(f64, f64, f64)> = None;
+                    for (&(_, e), &(_, a)) in e_samples.iter().zip(a_samples) {
+                        let dev = (a - e).abs() - self.tolerance.margin(a, e);
+                        if worst.map(|(d, _, _)| dev > d).unwrap_or(true) {
+                            worst = Some((dev, a, e));
+                        }
+                    }
+                    if let Some((_, a, e)) = worst {
+                        self.judge(report, &suite, &check, name, a, e);
+                    }
+                }
+                for name in got.keys().filter(|n| !expected.contains_key(*n)) {
+                    report.fail(
+                        &suite,
+                        format!("{} {name}", self.deck),
+                        "golden_extra_signal",
+                        format!("`{name}` appeared in the fresh result but not in the golden"),
+                    );
+                }
+            }
+            _ => {
+                report.fail(
+                    &suite,
+                    self.deck.clone(),
+                    "golden_deviation",
+                    "analysis kind mismatch between golden and fresh result",
+                );
+            }
+        }
+    }
+
+    fn judge(
+        &self,
+        report: &mut ValidationReport,
+        suite: &str,
+        check: &str,
+        name: &str,
+        actual: f64,
+        expected: f64,
+    ) {
+        let margin = self.tolerance.margin(actual, expected);
+        let abs_dev = (actual - expected).abs();
+        let within = abs_dev <= margin;
+        if within {
+            report.pass(suite, check);
+        } else {
+            report.fail(
+                suite,
+                check,
+                "golden_deviation",
+                format!(
+                    "`{name}` deviates: actual {actual:e} vs golden {expected:e} \
+                     (|dev| {abs_dev:e} > margin {margin:e})"
+                ),
+            );
+            report.push_deviation(SignalDeviation {
+                signal: format!("{}:{name}", self.deck),
+                actual,
+                expected,
+                abs_dev,
+                margin,
+                within,
+            });
+        }
+    }
+}
+
+/// Captures a fresh result shaped like `golden` (same deck, same
+/// analysis), ready for [`Golden::compare`].
+pub fn capture_like(golden: &Golden, spec: &DeckSpec) -> Result<Golden, CircuitError> {
+    match golden.analysis.as_str() {
+        "tran" => Golden::capture_tran(spec),
+        _ => Golden::capture_dc(spec),
+    }
+}
+
+/// Checks every registry deck against its committed goldens in `dir`:
+/// DC always, transient when the deck has a positive `t_stop`. A
+/// missing or unparsable golden file is a failure (taxonomies
+/// `golden_missing_file` / `golden_parse`), never a silent skip.
+pub fn check_goldens(dir: &Path, report: &mut ValidationReport) {
+    for spec in registry() {
+        let mut analyses = vec!["dc"];
+        if spec.t_stop > 0.0 {
+            analyses.push("tran");
+        }
+        for analysis in analyses {
+            let suite = format!("golden:{analysis}");
+            let path = golden_path(dir, spec.id, analysis);
+            let golden = match Golden::load(&path) {
+                Ok(g) => g,
+                Err(GoldenError::Io(e)) => {
+                    report.fail(
+                        &suite,
+                        spec.id,
+                        "golden_missing_file",
+                        format!("{e} — run `validate --bless` to create it"),
+                    );
+                    continue;
+                }
+                Err(e) => {
+                    report.fail(&suite, spec.id, "golden_parse", e.to_string());
+                    continue;
+                }
+            };
+            match capture_like(&golden, &spec) {
+                Ok(actual) => golden.compare(&actual, report),
+                Err(e) => {
+                    report.fail(&suite, spec.id, e.taxonomy(), e.to_string());
+                }
+            }
+        }
+    }
+}
+
+/// Re-blesses the goldens of every deck `cfg` covers: runs the
+/// differential matrix first and **refuses to write anything** while it
+/// fails (`DirtyDifferential`) — a golden must never freeze a number
+/// the backends themselves dispute. On a clean matrix, captures and
+/// atomically writes each covered deck's goldens, returning the written
+/// paths.
+pub fn bless(dir: &Path, cfg: &MatrixConfig) -> Result<Vec<PathBuf>, GoldenError> {
+    let matrix = run_matrix(cfg);
+    if !matrix.passed() {
+        return Err(GoldenError::DirtyDifferential(matrix.render()));
+    }
+    let mut written = Vec::new();
+    for spec in cfg.selected() {
+        let dc = Golden::capture_dc(&spec).map_err(|e| GoldenError::Capture(e.to_string()))?;
+        written.push(dc.write(dir)?);
+        if spec.t_stop > 0.0 {
+            let tran =
+                Golden::capture_tran(&spec).map_err(|e| GoldenError::Capture(e.to_string()))?;
+            written.push(tran.write(dir)?);
+        }
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvpg_circuit::registry::deck;
+
+    #[test]
+    fn golden_json_round_trips_exactly() {
+        let spec = deck("divider").expect("registered");
+        let dc = Golden::capture_dc(&spec).expect("divider solves");
+        let parsed = Golden::parse(&dc.render()).expect("round trip");
+        assert_eq!(parsed, dc);
+
+        let tran = Golden::capture_tran(&spec).expect("divider simulates");
+        let parsed = Golden::parse(&tran.render()).expect("round trip");
+        assert_eq!(parsed, tran);
+    }
+
+    #[test]
+    fn parse_rejects_wrong_schema_and_shapes() {
+        assert!(matches!(Golden::parse("["), Err(GoldenError::Json(_))));
+        assert!(matches!(Golden::parse("[]"), Err(GoldenError::Schema(_))));
+        let wrong = "{\"schema\": \"nvpg-golden-v0\", \"deck\": \"d\", \"analysis\": \"dc\", \
+                     \"tolerance\": {\"abs\": 1, \"rel\": 1}, \"signals\": {}}";
+        assert!(matches!(Golden::parse(wrong), Err(GoldenError::Schema(_))));
+        let bad_analysis = wrong
+            .replace("nvpg-golden-v0", SCHEMA)
+            .replace("\"analysis\": \"dc\"", "\"analysis\": \"ac\"");
+        assert!(matches!(
+            Golden::parse(&bad_analysis),
+            Err(GoldenError::Schema(_))
+        ));
+    }
+
+    #[test]
+    fn self_comparison_is_green() {
+        let spec = deck("rc_lowpass").expect("registered");
+        let golden = Golden::capture_dc(&spec).expect("solves");
+        let mut report = ValidationReport::new();
+        golden.compare(&golden.clone(), &mut report);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.run.records.len(), golden.signals.len());
+    }
+
+    #[test]
+    fn missing_and_extra_signals_have_their_own_taxonomies() {
+        let spec = deck("divider").expect("registered");
+        let golden = Golden::capture_dc(&spec).expect("solves");
+        let mut actual = golden.clone();
+        if let GoldenSignals::Dc(map) = &mut actual.signals {
+            let (_, v) = map.pop_first().expect("non-empty");
+            map.insert("v(ghost)".into(), v);
+        }
+        let mut report = ValidationReport::new();
+        golden.compare(&actual, &mut report);
+        let taxa = report.run.taxonomy_counts();
+        assert_eq!(taxa.get("golden_missing_signal"), Some(&1), "{report}");
+        assert_eq!(taxa.get("golden_extra_signal"), Some(&1), "{report}");
+    }
+}

@@ -1,0 +1,191 @@
+//! Optional cross-check against an external `ngspice` oracle.
+//!
+//! When an `ngspice` binary is on `PATH`, every non-hostile registry
+//! deck's DC operating point is re-solved by ngspice in batch mode and
+//! compared against our dense-serial solution under a loose tolerance
+//! (two independent simulators differ legitimately in gmin handling and
+//! convergence criteria). When the binary is absent — the normal case in
+//! CI — every check is recorded as a *counted skip*
+//! (`validate.ngspice_skips`), never a silent pass and never a failure.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+use nvpg_circuit::registry::registry;
+use nvpg_obs::metrics::counters;
+
+use super::golden::{Golden, GoldenSignals};
+use super::{Tolerance, ValidationReport};
+
+/// Agreement bound against the external oracle: loose, because ngspice
+/// runs its own gmin/convergence policy, but still far below any signal
+/// level the study cares about.
+pub const NGSPICE_TOL: Tolerance = Tolerance {
+    abs: 1e-6,
+    rel: 1e-4,
+};
+
+/// `true` when an `ngspice` binary answers `--version` on `PATH`.
+pub fn ngspice_available() -> bool {
+    Command::new("ngspice")
+        .arg("--version")
+        .output()
+        .map(|o| o.status.success())
+        .unwrap_or(false)
+}
+
+/// Parses the node table of an ngspice batch (`-b`) run into
+/// `v(<node>)` → value. Accepts both the interactive `print all` form
+/// (`out = 5.000000e-01`) and the batch operating-point table
+/// (`out  5.000000e-01` after a `Node  Voltage`-style header); names
+/// already wrapped as `v(...)` pass through unchanged, branch currents
+/// (`...#branch`) are skipped.
+pub fn parse_ngspice_op(text: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('-') {
+            continue;
+        }
+        let (name, value) = if let Some((lhs, rhs)) = line.split_once('=') {
+            (lhs.trim(), rhs.trim())
+        } else {
+            let mut fields = line.split_whitespace();
+            match (fields.next(), fields.next(), fields.next()) {
+                (Some(n), Some(v), None) => (n, v),
+                _ => continue,
+            }
+        };
+        let Ok(value) = value.parse::<f64>() else {
+            continue;
+        };
+        if name.contains("#branch") || name.eq_ignore_ascii_case("node") {
+            continue;
+        }
+        let name = name.to_ascii_lowercase();
+        let key = if name.starts_with("v(") && name.ends_with(')') {
+            name
+        } else {
+            format!("v({name})")
+        };
+        out.insert(key, value);
+    }
+    out
+}
+
+/// Runs one deck through `ngspice -b` with an `.op` card appended,
+/// returning its node-voltage table. `None` when ngspice is missing or
+/// the run fails to produce a parsable table.
+fn ngspice_op(deck_id: &str, deck_text: &str) -> Option<BTreeMap<String, f64>> {
+    let dir = std::env::temp_dir();
+    let path: PathBuf = dir.join(format!("nvpg_validate_{deck_id}_{}.sp", std::process::id()));
+    // ngspice wants a title line first and explicit .op/.end cards; our
+    // registry decks carry neither.
+    let mut text = format!("* nvpg validate: {deck_id}\n{deck_text}");
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    let body = text.replace(".end\n", "\n");
+    let full = format!("{body}.control\nop\nprint all\n.endc\n.end\n");
+    std::fs::write(&path, full).ok()?;
+    let output = Command::new("ngspice").arg("-b").arg(&path).output();
+    let _ = std::fs::remove_file(&path);
+    let output = output.ok()?;
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let table = parse_ngspice_op(&stdout);
+    if table.is_empty() {
+        None
+    } else {
+        Some(table)
+    }
+}
+
+/// Cross-checks every non-hostile registry deck's DC point against
+/// ngspice. Absent binary → one counted skip per deck.
+pub fn run_ngspice_checks(report: &mut ValidationReport) {
+    let available = ngspice_available();
+    for spec in registry() {
+        if spec.hostile {
+            // Hostile decks stress *our* rescue ladder; ngspice's own
+            // convergence story on them is not a contract we check.
+            continue;
+        }
+        if !available {
+            counters::VALIDATE_NGSPICE_SKIPS.add(1);
+            report.ngspice_skipped += 1;
+            continue;
+        }
+        let ours = match Golden::capture_dc(&spec) {
+            Ok(g) => g,
+            Err(e) => {
+                report.fail("ngspice:dc", spec.id, e.taxonomy(), e.to_string());
+                continue;
+            }
+        };
+        let Some(theirs) = ngspice_op(spec.id, &spec.deck) else {
+            // A present-but-failing oracle run is also a counted skip:
+            // deck dialects differ and that is not our solver's bug.
+            counters::VALIDATE_NGSPICE_SKIPS.add(1);
+            report.ngspice_skipped += 1;
+            continue;
+        };
+        let GoldenSignals::Dc(ours) = &ours.signals else {
+            unreachable!("capture_dc returns DC signals");
+        };
+        for (name, &mine) in ours {
+            let Some(&ng) = theirs.get(name) else {
+                continue; // internal/subckt-mangled nodes
+            };
+            let check = format!("{} {name}", spec.id);
+            if NGSPICE_TOL.within(mine, ng) {
+                report.pass("ngspice:dc", check);
+            } else {
+                report.fail(
+                    "ngspice:dc",
+                    check,
+                    "ngspice_mismatch",
+                    format!("ours {mine:e} vs ngspice {ng:e} (tolerance {NGSPICE_TOL})",),
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_print_all_form() {
+        let text = "v(out) = 5.000000e-01\nout2 = -1.25e+00\nv1#branch = -5.0e-04\n";
+        let table = parse_ngspice_op(text);
+        assert_eq!(table.get("v(out)"), Some(&0.5));
+        assert_eq!(table.get("v(out2)"), Some(&-1.25));
+        assert!(!table.keys().any(|k| k.contains("branch")), "{table:?}");
+    }
+
+    #[test]
+    fn parses_batch_node_table_form() {
+        let text = "Node                  Voltage\n----                  -------\n\
+                    vin                   1.000000e+00\nout                   5.000000e-01\n\
+                    v1#branch            -5.000000e-04\n";
+        let table = parse_ngspice_op(text);
+        assert_eq!(table.get("v(vin)"), Some(&1.0));
+        assert_eq!(table.get("v(out)"), Some(&0.5));
+        assert_eq!(table.len(), 2, "{table:?}");
+    }
+
+    #[test]
+    fn absent_binary_counts_skips_instead_of_failing() {
+        // Whether or not the machine has ngspice, a run must never turn
+        // red because of the oracle's availability.
+        let mut report = ValidationReport::new();
+        run_ngspice_checks(&mut report);
+        assert!(report.passed() || ngspice_available(), "{report}");
+        if !ngspice_available() {
+            let non_hostile = registry().iter().filter(|s| !s.hostile).count();
+            assert_eq!(report.ngspice_skipped, non_hostile);
+        }
+    }
+}

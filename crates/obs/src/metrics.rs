@@ -207,6 +207,23 @@ pub mod counters {
     /// with `engine.batched_points` this reconciles exactly against the
     /// per-request point totals.
     pub static SERVE_BATCH_POINTS: Counter = Counter::new("serve.batch.points");
+
+    /// Checks executed by the golden/differential validation harness
+    /// (one per pass/fail verdict pushed into a `ValidationReport`).
+    pub static VALIDATE_CHECKS: Counter = Counter::new("validate.checks");
+    /// Signals whose deviation from the committed golden exceeded the
+    /// golden's tolerance.
+    pub static VALIDATE_DEVIATIONS: Counter = Counter::new("validate.deviations");
+    /// Backend×schedule differential-matrix points executed.
+    pub static VALIDATE_MATRIX_POINTS: Counter = Counter::new("validate.matrix_points");
+    /// Signals compared against committed golden references.
+    pub static VALIDATE_GOLDEN_SIGNALS: Counter = Counter::new("validate.golden_signals");
+    /// ngspice cross-checks skipped because no `ngspice` binary was
+    /// found on `PATH` (skips are counted, never silently dropped).
+    pub static VALIDATE_NGSPICE_SKIPS: Counter = Counter::new("validate.ngspice_skips");
+    /// Mutated hostile decks pushed through the parser by the
+    /// validation harness's fuzz smoke loop.
+    pub static VALIDATE_FUZZ_CASES: Counter = Counter::new("validate.fuzz_cases");
 }
 
 /// The gauge registry.
@@ -223,7 +240,7 @@ pub mod gauges {
 }
 
 /// Every registered counter, in render order.
-static ALL_COUNTERS: [&Counter; 34] = [
+static ALL_COUNTERS: [&Counter; 40] = [
     &counters::ACCEPTED_STEPS,
     &counters::REJECTED_LTE,
     &counters::REJECTED_NEWTON,
@@ -258,6 +275,12 @@ static ALL_COUNTERS: [&Counter; 34] = [
     &counters::SERVE_BATCH_BATCHES,
     &counters::SERVE_BATCH_COALESCED,
     &counters::SERVE_BATCH_POINTS,
+    &counters::VALIDATE_CHECKS,
+    &counters::VALIDATE_DEVIATIONS,
+    &counters::VALIDATE_MATRIX_POINTS,
+    &counters::VALIDATE_GOLDEN_SIGNALS,
+    &counters::VALIDATE_NGSPICE_SKIPS,
+    &counters::VALIDATE_FUZZ_CASES,
 ];
 
 /// Every registered gauge, in render order.

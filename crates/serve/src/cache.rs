@@ -20,6 +20,17 @@ use crate::http::Response;
 /// Number of shards; a power of two so shard selection is a mask.
 const SHARDS: usize = 8;
 
+/// Shard index for a key: the key is already a hash, so fold the high
+/// half in (shard selection uses all 128 bits) and mask. The single
+/// definition here is what [`ResponseCache::shard`] *and* the tests
+/// use — a second, hand-expanded copy of this fold once drifted from
+/// the real one when `SHARDS` changed.
+fn shard_of(key: u128) -> usize {
+    const { assert!(SHARDS.is_power_of_two()) };
+    let folded = (key as u64) ^ ((key >> 64) as u64);
+    (folded as usize) & (SHARDS - 1)
+}
+
 struct Entry {
     resp: Arc<Response>,
     tick: u64,
@@ -63,10 +74,7 @@ impl ResponseCache {
     }
 
     fn shard(&self, key: u128) -> &Mutex<Shard> {
-        // The key is already a hash; fold the high half in so shard
-        // selection uses all 128 bits.
-        let folded = (key as u64) ^ ((key >> 64) as u64);
-        &self.shards[(folded as usize) & (SHARDS - 1)]
+        &self.shards[shard_of(key)]
     }
 
     /// Looks up `key`, refreshing its recency on a hit.
@@ -146,9 +154,11 @@ mod tests {
         // One shard's budget is capacity/8; three 300-byte entries (+64
         // overhead each) can't all fit in 1 KiB.
         let cache = ResponseCache::new(8 * 1024);
-        // Probe keys that land in the same shard.
-        let same_shard: Vec<u128> = (0u128..64)
-            .filter(|k| (*k as u64 ^ (k >> 64) as u64) & 7 == 0)
+        // Probe keys that land in the same shard, derived through the
+        // same `shard_of` fold the cache itself uses (a hand-expanded
+        // `& 7` here went stale the moment `SHARDS` changed).
+        let same_shard: Vec<u128> = (0u128..(16 * SHARDS as u128))
+            .filter(|&k| shard_of(k) == 0)
             .take(3)
             .collect();
         let [a, b, c] = same_shard[..] else {
@@ -161,6 +171,24 @@ mod tests {
         assert!(cache.get(a).is_some(), "recently used survives");
         assert!(cache.get(b).is_none(), "stalest entry evicted");
         assert!(cache.get(c).is_some());
+    }
+
+    #[test]
+    fn shard_fold_reaches_every_shard_and_uses_the_high_half() {
+        // Regression guard for the fold/mask pair: every shard must be
+        // reachable through `shard_of` (catches a mask that no longer
+        // matches `SHARDS`), and the high 64 bits must influence the
+        // choice exactly by XOR-folding into the low half.
+        let reached: std::collections::BTreeSet<usize> =
+            (0u128..(16 * SHARDS as u128)).map(shard_of).collect();
+        assert_eq!(reached.len(), SHARDS, "unreachable shards: {reached:?}");
+        assert!(reached.iter().all(|&s| s < SHARDS));
+        for low in 0..SHARDS as u128 {
+            for high in 0..SHARDS as u64 {
+                let key = low | ((high as u128) << 64);
+                assert_eq!(shard_of(key), shard_of((low as u64 ^ high) as u128));
+            }
+        }
     }
 
     #[test]

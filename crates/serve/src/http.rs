@@ -96,11 +96,21 @@ pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, ReadEr
     let target = parts
         .next()
         .ok_or_else(|| ReadError::Malformed("request line has no target".into()))?;
-    let version = parts.next().unwrap_or("HTTP/1.0");
+    // A two-field request line (`GET /path`) is a truncated request,
+    // not an HTTP/1.0 one — defaulting the version here once turned
+    // cut-off request lines into silently-accepted HTTP/1.0 traffic.
+    let version = parts
+        .next()
+        .ok_or_else(|| ReadError::Malformed("request line has no HTTP version".into()))?;
     if !version.starts_with("HTTP/1.") {
         return Err(ReadError::Malformed(format!(
             "unsupported protocol `{version}`"
         )));
+    }
+    if parts.next().is_some() {
+        return Err(ReadError::Malformed(
+            "request line has trailing fields after the HTTP version".into(),
+        ));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_owned(), q.to_owned()),

@@ -953,7 +953,16 @@ fn simulate(_request: &Request, body: &Json, _shared: &Shared) -> Response {
         Some(d) => d,
         None => return Response::error(400, "`deck` must hold the SPICE netlist text"),
     };
-    let analysis = obj.get("analysis").and_then(Json::as_str).unwrap_or("dc");
+    // Absent keys take documented defaults; *present but mistyped* keys
+    // are client errors — silently falling back would run the wrong
+    // analysis and cache it under the request's key.
+    let analysis = match obj.get("analysis") {
+        None => "dc",
+        Some(v) => match v.as_str() {
+            Some(a) => a,
+            None => return Response::error(400, "`analysis` must be a string (dc or tran)"),
+        },
+    };
     let solver: SolverChoice = match obj.get("solver") {
         None => SolverChoice::Auto,
         Some(v) => match v.as_str().map(str::parse) {
@@ -962,6 +971,20 @@ fn simulate(_request: &Request, body: &Json, _shared: &Shared) -> Response {
                 return Response::error(
                     400,
                     "`solver` must be one of \"auto\", \"dense\", \"sparse\"",
+                )
+            }
+        },
+    };
+    // Validated for every analysis: a mistyped `t_stop` on a DC request
+    // is a client bug, not a field to ignore.
+    let t_stop = match obj.get("t_stop") {
+        None => 1e-9,
+        Some(v) => match v.as_num() {
+            Some(t) => t,
+            None => {
+                return Response::error(
+                    400,
+                    "`t_stop` must be a number (seconds), not a string or other type",
                 )
             }
         },
@@ -1001,7 +1024,6 @@ fn simulate(_request: &Request, body: &Json, _shared: &Shared) -> Response {
             Response::ok("application/json", out)
         }
         "tran" => {
-            let t_stop = obj.get("t_stop").and_then(Json::as_num).unwrap_or(1e-9);
             if !(t_stop.is_finite() && t_stop > 0.0 && t_stop <= 1.0) {
                 return Response::error(400, "`t_stop` must be a time in (0, 1] seconds");
             }

@@ -848,3 +848,79 @@ fn shutdown_drains_in_flight_work() {
     // New connections are refused once drained.
     assert!(TcpStream::connect(addr).is_err(), "listener is gone");
 }
+
+#[test]
+fn mistyped_simulate_fields_are_rejected_not_defaulted() {
+    // A present-but-wrongly-typed field must 400: falling back to the
+    // default analysis ("dc") or t_stop (1e-9) would silently run the
+    // wrong simulation and cache it under the request's own key.
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    let deck = r#""deck":"V1 a 0 1.0\nR1 a 0 1k\n""#;
+
+    // `analysis` as a number, an object, and null: all 400 with a
+    // message naming the field; absent still defaults to dc.
+    for bad in ["42", "{}", "null", "[\"dc\"]"] {
+        let reply = post(
+            addr,
+            "/simulate",
+            &format!(r#"{{{deck},"analysis":{bad}}}"#),
+        );
+        assert_eq!(reply.status, 400, "analysis={bad}: {}", reply.text());
+        assert!(reply.text().contains("analysis"), "{}", reply.text());
+    }
+    let defaulted = post(addr, "/simulate", &format!("{{{deck}}}"));
+    assert_eq!(defaulted.status, 200, "{}", defaulted.text());
+    assert!(defaulted.text().contains("\"analysis\":\"dc\""));
+
+    // `t_stop` as a string (even a plausible-looking "1n") or bool:
+    // 400, not a silent 1 ns transient.
+    for bad in ["\"1n\"", "\"1e-9\"", "true", "[1e-9]"] {
+        let reply = post(
+            addr,
+            "/simulate",
+            &format!(r#"{{{deck},"analysis":"tran","t_stop":{bad}}}"#),
+        );
+        assert_eq!(reply.status, 400, "t_stop={bad}: {}", reply.text());
+        assert!(reply.text().contains("t_stop"), "{}", reply.text());
+    }
+    let defaulted = post(
+        addr,
+        "/simulate",
+        &format!(r#"{{{deck},"analysis":"tran"}}"#),
+    );
+    assert_eq!(defaulted.status, 200, "{}", defaulted.text());
+
+    // A mistyped `t_stop` is rejected even when the analysis is DC and
+    // the field would never be read — ignoring it hides the client bug.
+    let reply = post(addr, "/simulate", &format!(r#"{{{deck},"t_stop":"1n"}}"#));
+    assert_eq!(reply.status, 400, "{}", reply.text());
+    assert!(reply.text().contains("t_stop"), "{}", reply.text());
+}
+
+#[test]
+fn truncated_request_lines_are_malformed_not_http10() {
+    // `GET /path` with no version is a cut-off request line; treating
+    // it as HTTP/1.0 used to accept it silently. It must 400, as must
+    // a request line with trailing junk after the version.
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    let no_version = request(addr, "GET /healthz\r\n\r\n");
+    assert_eq!(no_version.status, 400, "{}", no_version.text());
+    assert!(
+        no_version.text().contains("version"),
+        "{}",
+        no_version.text()
+    );
+
+    let trailing = request(addr, "GET /healthz HTTP/1.1 extra\r\n\r\n");
+    assert_eq!(trailing.status, 400, "{}", trailing.text());
+
+    // Well-formed HTTP/1.0 (version present) still works.
+    let ok = request(addr, "GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n");
+    assert_eq!(ok.status, 200, "{}", ok.text());
+}
