@@ -67,7 +67,10 @@ use nvpg_bench::{render_text, summarize, to_csv};
 use nvpg_cells::design::CellDesign;
 use nvpg_circuit::fault::{with_fault_plan, FaultKind, FaultPlan};
 use nvpg_circuit::{CircuitError, RescueStats, SolverChoice};
-use nvpg_core::{Experiments, PointStatus, RunReport, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
+use nvpg_core::{
+    Experiments, PointStatus, RunReport, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS,
+    MACRO_FIGURE_IDS,
+};
 use nvpg_exec::{Budget, Settled};
 
 /// One rendered figure, ready to print/write in canonical order.
@@ -87,6 +90,7 @@ fn main() -> Result<(), Box<dyn Error>> {
     let mut report_path: Option<PathBuf> = None;
     let mut full = false;
     let mut strict = false;
+    let mut with_macro = false;
     let mut jobs: usize = 0;
     let mut fault_rate: f64 = 0.0;
     let mut fault_seed: u64 = 0xFA17;
@@ -138,6 +142,7 @@ fn main() -> Result<(), Box<dyn Error>> {
                 nvpg_circuit::set_default_batch(mode);
             }
             "--full" => full = true,
+            "--macro" => with_macro = true,
             "--strict" => strict = true,
             "--trace" => obs.trace = true,
             "--profile" => obs.profile = true,
@@ -164,15 +169,17 @@ fn main() -> Result<(), Box<dyn Error>> {
             "--help" | "-h" => {
                 println!(
                     "usage: figures [IDS...] [--only ID] [--jobs N] [--csv DIR] [--svg DIR] \
-                     [--report FILE] [--full] [--strict] [--solver auto|dense|sparse] \
+                     [--report FILE] [--full] [--macro] [--strict] \
+                     [--solver auto|dense|sparse] \
                      [--batch auto|serial|N] [--fault-rate R] [--fault-seed S] \
                      [--trace] [--profile] [--trace-dir DIR]"
                 );
                 println!(
-                    "ids: {} {} {}",
+                    "ids: {} {} {} (--macro adds: {})",
                     FIGURE_IDS.join(" "),
                     BET_FIGURE_IDS.join(" "),
-                    EXTENSION_IDS.join(" ")
+                    EXTENSION_IDS.join(" "),
+                    MACRO_FIGURE_IDS.join(" ")
                 );
                 return Ok(());
             }
@@ -189,6 +196,7 @@ fn main() -> Result<(), Box<dyn Error>> {
         .iter()
         .chain(BET_FIGURE_IDS.iter())
         .chain(EXTENSION_IDS.iter())
+        .chain(MACRO_FIGURE_IDS.iter())
         .copied()
         .collect();
     for id in &ids {
@@ -196,8 +204,13 @@ fn main() -> Result<(), Box<dyn Error>> {
             return Err(format!("unknown figure id: {id}").into());
         }
     }
+    // A bare `figures` run reproduces the paper set plus the committed
+    // extensions; the macro figures solve generated macro netlists, so
+    // they join only under `--macro` (or when named explicitly).
     let run_all = ids.is_empty();
-    let want = |id: &str| run_all || ids.contains(id);
+    let want = move |id: &str| {
+        ids.contains(id) || (run_all && (with_macro || !MACRO_FIGURE_IDS.contains(&id)))
+    };
     let max_rows = if full { usize::MAX } else { 12 };
 
     eprintln!("characterising the Table I design point (cell-level SPICE runs)...");

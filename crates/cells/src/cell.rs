@@ -18,7 +18,7 @@
 
 use nvpg_circuit::{Circuit, CircuitError, NodeId};
 use nvpg_devices::finfet::FinFet;
-use nvpg_devices::mtj::{Mtj, MtjState};
+use nvpg_devices::mtj::MtjState;
 
 use crate::design::CellDesign;
 
@@ -199,10 +199,11 @@ pub fn build_cell(
             ckt.vsource(sources::IAM_L, ml, mla, 0.0)?;
             ckt.vsource(sources::IAM_R, mr, mra, 0.0)?;
 
-            // MTJs: pinned layer toward the cell (mla/mra), free layer on
-            // the CTRL line. Terminal order is (free, pinned).
-            ckt.device(Box::new(Mtj::new("xl", ctrl, mla, design.mtj, mtjs.left)))?;
-            ckt.device(Box::new(Mtj::new("xr", ctrl, mra, design.mtj, mtjs.right)))?;
+            // Retention elements: pinned side toward the cell (mla/mra),
+            // free side on the CTRL line. Terminal order is (free, pinned).
+            let nvdev = design.retention_device();
+            nvdev.attach(ckt, "xl", ctrl, mla, mtjs.left.into())?;
+            nvdev.attach(ckt, "xr", ctrl, mra, mtjs.right.into())?;
 
             Some(NvNodes { sr, ctrl, ml, mr })
         }

@@ -2,6 +2,9 @@
 
 use nvpg_devices::finfet::FinFetParams;
 use nvpg_devices::mtj::MtjParams;
+use nvpg_devices::retention::{
+    FefetParams, FefetRetention, MtjRetention, NandSpinParams, NandSpinRetention, RetentionDevice,
+};
 
 /// Rail voltages and timing of the operating modes (Table I plus §III).
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,6 +66,41 @@ impl OperatingConditions {
     }
 }
 
+/// Which nonvolatile retention technology the cell's NV elements use.
+///
+/// `Mtj` and `NandSpin` reuse the design's [`CellDesign::mtj`] junction
+/// card (NAND-SPIN is that junction with an SOT write assist); `Fefet`
+/// carries its own parameter set since the element is not a junction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RetentionKind {
+    /// The paper's STT-MTJ (the default).
+    Mtj,
+    /// FeFET retention cell (arXiv:2603.26439).
+    Fefet(FefetParams),
+    /// NAND-SPIN element (arXiv:1912.06986): the design's junction with
+    /// the given SOT write-assist factor.
+    NandSpin {
+        /// Effective critical-current / τ_D reduction factor (> 1).
+        assist: f64,
+    },
+}
+
+impl RetentionKind {
+    /// Stable lowercase label (`"mtj"`, `"fefet"`, `"nand_spin"`) —
+    /// matches [`RetentionDevice::technology`] and the serving layer's
+    /// `technology` request field.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RetentionKind::Mtj => "mtj",
+            RetentionKind::Fefet(_) => "fefet",
+            RetentionKind::NandSpin { .. } => "nand_spin",
+        }
+    }
+
+    /// All supported technology labels, in presentation order.
+    pub const LABELS: [&'static str; 3] = ["mtj", "fefet", "nand_spin"];
+}
+
 /// Complete cell design point: fin numbers `(N_FL, N_FD, N_FP, N_FPS)`,
 /// the power-switch fin count `N_FSW`, device model cards, and operating
 /// conditions.
@@ -87,8 +125,11 @@ pub struct CellDesign {
     pub nmos: FinFetParams,
     /// PMOS model card.
     pub pmos: FinFetParams,
-    /// MTJ macromodel card.
+    /// MTJ macromodel card (also the junction the NAND-SPIN element
+    /// derives its effective write parameters from).
     pub mtj: MtjParams,
+    /// Which retention technology the NV elements instantiate.
+    pub retention: RetentionKind,
     /// Per-cell share of bitline capacitance (F).
     pub c_bitline: f64,
     /// Bitline driver output impedance (Ω).
@@ -111,6 +152,7 @@ impl CellDesign {
             nmos: FinFetParams::nmos_20nm(),
             pmos: FinFetParams::pmos_20nm(),
             mtj: MtjParams::table1(),
+            retention: RetentionKind::Mtj,
             c_bitline: 4e-15,
             r_bitline_driver: 500.0,
             conditions: OperatingConditions::table1(),
@@ -142,6 +184,51 @@ impl CellDesign {
         assert!(fins >= 1, "power switch needs at least one fin");
         self.fins_power_switch = fins;
         self
+    }
+
+    /// Returns a copy using a different retention technology.
+    #[must_use]
+    pub fn with_retention(mut self, retention: RetentionKind) -> Self {
+        self.retention = retention;
+        self
+    }
+
+    /// The Table-I design point re-targeted at a retention technology by
+    /// its lowercase label (`"mtj"`, `"fefet"`, `"nand_spin"`), or `None`
+    /// for an unknown label.
+    ///
+    /// Each technology keeps the paper's cell and rails; only what the
+    /// technology genuinely changes moves. The NAND-SPIN point shortens
+    /// the store pulse to 2 ns — the SOT assist switches the junction
+    /// well inside that window, which is where its store-energy advantage
+    /// comes from.
+    pub fn for_technology(label: &str) -> Option<Self> {
+        let base = CellDesign::table1();
+        match label {
+            "mtj" => Some(base),
+            "fefet" => Some(base.with_retention(RetentionKind::Fefet(FefetParams::demo()))),
+            "nand_spin" => {
+                let mut d = base.with_retention(RetentionKind::NandSpin { assist: 4.0 });
+                d.conditions.store_duration = 2e-9;
+                Some(d)
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds the boxed [`RetentionDevice`] this design's NV elements
+    /// instantiate.
+    pub fn retention_device(&self) -> Box<dyn RetentionDevice> {
+        match self.retention {
+            RetentionKind::Mtj => Box::new(MtjRetention::new(self.mtj)),
+            RetentionKind::Fefet(p) => Box::new(FefetRetention::new(p)),
+            RetentionKind::NandSpin { assist } => {
+                Box::new(NandSpinRetention::new(NandSpinParams {
+                    mtj: self.mtj,
+                    assist,
+                }))
+            }
+        }
     }
 }
 
@@ -186,5 +273,31 @@ mod tests {
     #[should_panic(expected = "at least one fin")]
     fn zero_power_switch_fins_rejected() {
         let _ = CellDesign::table1().with_power_switch_fins(0);
+    }
+
+    #[test]
+    fn technology_lookup_covers_all_labels() {
+        for label in RetentionKind::LABELS {
+            let d = CellDesign::for_technology(label).unwrap();
+            assert_eq!(d.retention.label(), label);
+            assert_eq!(d.retention_device().technology(), label);
+        }
+        assert!(CellDesign::for_technology("sot-mram").is_none());
+        assert_eq!(CellDesign::table1().retention, RetentionKind::Mtj);
+    }
+
+    #[test]
+    fn nand_spin_derives_from_the_design_junction() {
+        let mut d = CellDesign::for_technology("nand_spin").unwrap();
+        d.mtj = MtjParams::table1_low_jc();
+        let dev = d.retention_device();
+        // The effective write threshold tracks the design's junction card.
+        let expect = MtjParams {
+            jc: d.mtj.jc / 4.0,
+            ..d.mtj
+        }
+        .i_critical();
+        assert!((dev.disturb_retention_time(0.0) > 0.0) && expect > 0.0);
+        assert!(d.conditions.store_duration < 10e-9);
     }
 }

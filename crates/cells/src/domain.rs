@@ -24,7 +24,7 @@ use nvpg_circuit::dc::{operating_point, DcOptions};
 use nvpg_circuit::transient::{transient, TransientOptions};
 use nvpg_circuit::{Circuit, CircuitError, DcSolution, NodeId, SolverChoice, StepStats, Waveform};
 use nvpg_devices::finfet::FinFet;
-use nvpg_devices::mtj::{Mtj, MtjState};
+use nvpg_devices::mtj::MtjState;
 use nvpg_units::{Joules, Seconds};
 
 use crate::array::ArrayPhase;
@@ -222,11 +222,10 @@ impl DomainArray {
     ///
     /// # Errors
     ///
-    /// Propagates netlist errors.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `rows` or `cols` is zero.
+    /// Returns [`CircuitError::InvalidValue`] for degenerate specs —
+    /// zero `rows`/`cols`, or a domain so large that the shared header's
+    /// `N_FSW × cells` fin count no longer fits the FinFET width model —
+    /// and otherwise propagates netlist errors.
     pub fn prepare(
         design: CellDesign,
         kind: DomainKind,
@@ -235,7 +234,27 @@ impl DomainArray {
         solver: SolverChoice,
         pattern: impl Fn(usize, usize) -> bool,
     ) -> Result<DomainBuilder, CircuitError> {
-        assert!(rows >= 1 && cols >= 1, "domain dimensions must be nonzero");
+        if rows == 0 || cols == 0 {
+            return Err(CircuitError::InvalidValue {
+                element: "domain".to_owned(),
+                reason: format!("domain dimensions must be nonzero (got {rows}×{cols})"),
+            });
+        }
+        // The shared header is one pFinFET with N_FSW fins per cell; past
+        // this bound the u32 fin count would overflow and silently wrap
+        // into a *weaker* switch than a single cell's.
+        let cells = rows
+            .checked_mul(cols)
+            .filter(|&n| n <= (u32::MAX / design.fins_power_switch.max(1)) as usize);
+        if cells.is_none() {
+            return Err(CircuitError::InvalidValue {
+                element: "msw".to_owned(),
+                reason: format!(
+                    "domain {rows}×{cols} needs more than u32::MAX header fins at N_FSW = {}",
+                    design.fins_power_switch
+                ),
+            });
+        }
         let c = design.conditions;
         let gnd = Circuit::GROUND;
         let mut ckt = Circuit::new();
@@ -341,30 +360,19 @@ impl DomainArray {
                     let mr = ckt.node(&format!("mr_{tag}"));
                     ckt.device(Box::new(FinFet::new(format!("mpsl_{tag}"), q, sr, ml, ps)))?;
                     ckt.device(Box::new(FinFet::new(format!("mpsr_{tag}"), qb, sr, mr, ps)))?;
-                    // MTJs start in the OPPOSITE pattern; pinned layer
-                    // toward the cell, free layer on CTRL. No per-cell
-                    // ammeters at domain scale: they would add a branch
-                    // unknown per junction for a current the domain-level
-                    // energy accounting does not need.
+                    // Retention elements start in the OPPOSITE pattern;
+                    // pinned side toward the cell, free side on CTRL. No
+                    // per-cell ammeters at domain scale: they would add a
+                    // branch unknown per junction for a current the
+                    // domain-level energy accounting does not need.
                     let (l0, r0) = if pattern(row, col) {
                         (MtjState::Parallel, MtjState::AntiParallel)
                     } else {
                         (MtjState::AntiParallel, MtjState::Parallel)
                     };
-                    ckt.device(Box::new(Mtj::new(
-                        format!("xl_{tag}"),
-                        ctrl,
-                        ml,
-                        design.mtj,
-                        l0,
-                    )))?;
-                    ckt.device(Box::new(Mtj::new(
-                        format!("xr_{tag}"),
-                        ctrl,
-                        mr,
-                        design.mtj,
-                        r0,
-                    )))?;
+                    let nvdev = design.retention_device();
+                    nvdev.attach(&mut ckt, &format!("xl_{tag}"), ctrl, ml, l0.into())?;
+                    nvdev.attach(&mut ckt, &format!("xr_{tag}"), ctrl, mr, r0.into())?;
                 }
                 row_cells.push(DomainCellNodes { q, qb });
             }
@@ -479,7 +487,10 @@ impl DomainArray {
             .collect()
     }
 
-    /// MTJ states of cell `(row, col)` as `(Q side, QB side)`; `None` for
+    /// Retention-element states of cell `(row, col)` as `(Q side, QB
+    /// side)`, decoded through the shared `"state"` signal convention
+    /// (high-resistance ⇒ `AntiParallel`), so the same decode works for
+    /// every [`RetentionKind`](crate::design::RetentionKind); `None` for
     /// volatile (OSR) domains.
     pub fn mtj_states(&self, row: usize, col: usize) -> Option<(MtjState, MtjState)> {
         let decode = |name: String| -> Option<MtjState> {
@@ -729,6 +740,46 @@ mod tests {
         // One shared switch, no per-cell ammeters: 4 unknowns per cell
         // plus the shared lines and a handful of source branches.
         assert!(d.unknown_count() < 40, "unknowns = {}", d.unknown_count());
+    }
+
+    #[test]
+    fn degenerate_specs_surface_typed_errors() {
+        for (rows, cols) in [(0, 4), (4, 0), (0, 0)] {
+            let err = DomainArray::new(
+                CellDesign::table1(),
+                DomainKind::Nvpg,
+                rows,
+                cols,
+                checkerboard,
+            )
+            .unwrap_err();
+            match err {
+                CircuitError::InvalidValue { element, reason } => {
+                    assert_eq!(element, "domain");
+                    assert!(reason.contains("nonzero"), "{reason}");
+                }
+                other => panic!("expected InvalidValue, got {other:?}"),
+            }
+        }
+        // A domain whose header fin count would overflow the u32 width
+        // model must error out rather than silently wrap into a weak
+        // switch (7 fins/cell × 2^31 cells > u32::MAX).
+        let err = DomainArray::prepare(
+            CellDesign::table1(),
+            DomainKind::Nvpg,
+            1 << 16,
+            1 << 15,
+            SolverChoice::Auto,
+            checkerboard,
+        )
+        .unwrap_err();
+        match err {
+            CircuitError::InvalidValue { element, reason } => {
+                assert_eq!(element, "msw");
+                assert!(reason.contains("header fins"), "{reason}");
+            }
+            other => panic!("expected InvalidValue, got {other:?}"),
+        }
     }
 
     #[test]

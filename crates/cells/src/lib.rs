@@ -46,7 +46,7 @@ pub use array::{ArrayBench, ArrayPhase};
 pub use bench::{CellBench, Mode, PhaseResult};
 pub use cell::{build_cell, CellKind, CellNodes, MtjConfig, NvNodes};
 pub use characterize::{characterize, CellCharacterization, StaticPowerTable};
-pub use design::{CellDesign, OperatingConditions};
+pub use design::{CellDesign, OperatingConditions, RetentionKind};
 pub use domain::{DomainArray, DomainBuilder, DomainKind};
 pub use nvff::{FlopPhase, NvFlipFlop};
 pub use snm::{static_noise_margin, SnmCondition};

@@ -40,6 +40,13 @@ pub struct DeckSpec {
     /// `true` for decks built to stress the numerics (gmin-held islands,
     /// extreme ratios) rather than model a sensible circuit.
     pub hostile: bool,
+    /// Programmatic netlist constructor for decks whose circuits use
+    /// element types the parser has no card for (FinFETs, retention
+    /// devices — the macro decks). When set, [`circuit`](Self::circuit)
+    /// calls it instead of parsing `deck`, which then holds only a
+    /// placeholder comment. Must be a plain `fn` (deterministic, no
+    /// captured state) so every consumer rebuilds the identical netlist.
+    pub builder: Option<fn() -> Circuit>,
 }
 
 impl DeckSpec {
@@ -49,18 +56,41 @@ impl DeckSpec {
             deck: deck.into(),
             t_stop,
             hostile,
+            builder: None,
         }
     }
 
-    /// Parses this spec's deck. Registry decks are maintained in-tree, so
-    /// a parse failure is a bug; callers that want a `Result` can call
-    /// [`parse_deck`] themselves.
+    /// A deck constructed by code rather than parsed from SPICE text —
+    /// the mechanism downstream crates (nvpg-macro) use to register
+    /// netlists containing device models the parser cannot express.
+    /// `t_stop == 0.0` opts out of transient, which built decks holding
+    /// bistable arrays should do: without nodesets their DC point is the
+    /// metastable one, and a transient from there amplifies backend
+    /// rounding differences exponentially.
+    pub fn built(id: &'static str, builder: fn() -> Circuit, t_stop: f64) -> Self {
+        DeckSpec {
+            id,
+            deck: format!("* programmatic deck: {id}\n"),
+            t_stop,
+            hostile: false,
+            builder: Some(builder),
+        }
+    }
+
+    /// Builds this spec's circuit: the registered constructor for
+    /// programmatic decks, otherwise the parsed netlist. Registry decks
+    /// are maintained in-tree, so a parse failure is a bug; callers that
+    /// want a `Result` can call [`parse_deck`] themselves.
     ///
     /// # Panics
     ///
     /// Panics if the registered deck no longer parses.
     pub fn circuit(&self) -> Circuit {
-        parse_deck(&self.deck).unwrap_or_else(|e| panic!("registry deck `{}`: {e}", self.id))
+        match self.builder {
+            Some(build) => build(),
+            None => parse_deck(&self.deck)
+                .unwrap_or_else(|e| panic!("registry deck `{}`: {e}", self.id)),
+        }
     }
 }
 

@@ -75,6 +75,11 @@ pub const BET_FIGURE_IDS: [&str; 2] = ["fig9a", "fig9b"];
 /// Extension experiments with no paper counterpart (see DESIGN.md §6).
 pub const EXTENSION_IDS: [&str; 4] = ["ext_policy", "ext_wer", "ext_breakdown", "ext_thermal"];
 
+/// Macro-subsystem figures (the `figures macro` mode). Kept out of
+/// [`EXTENSION_IDS`] so the committed PR1/PR3 benchmark sets — which
+/// enumerate that list — keep their figure population.
+pub const MACRO_FIGURE_IDS: [&str; 1] = ["ext_macro"];
+
 /// The experiment driver: a design point plus its cached
 /// characterisation.
 #[derive(Debug, Clone)]
@@ -728,6 +733,65 @@ impl Experiments {
         })
     }
 
+    /// Macro extension: BET vs power-gating granularity for every
+    /// retention technology, from real macro netlists (cell array +
+    /// periphery) via [`crate::macroscale::bet_macro_scan`]. One series
+    /// per technology × architecture; x is the gating-group count of a
+    /// 4×4 macro (1 = per-domain, 2 = two banks, 4 = per-row).
+    ///
+    /// # Errors
+    ///
+    /// Propagates build, characterisation and DC failures.
+    pub fn ext_macro(&self) -> Result<Figure, CircuitError> {
+        use crate::macroscale::bet_macro_scan;
+        use nvpg_macro::Granularity;
+
+        let granularities = [
+            Granularity::PerDomain,
+            Granularity::PerBank(2),
+            Granularity::PerRow,
+        ];
+        let points = bet_macro_scan(
+            4,
+            4,
+            2,
+            &granularities,
+            &nvpg_cells::RetentionKind::LABELS,
+            &BenchmarkParams::fig7_default(),
+            1,
+            crate::batch::default_batch(),
+        )?;
+        let groups_of = |label: &str| match label {
+            "per_domain" => 1.0,
+            "per_row" => 4.0,
+            other => other
+                .strip_prefix("per_bank")
+                .and_then(|n| n.parse::<f64>().ok())
+                .unwrap_or(f64::NAN),
+        };
+        let mut series = Vec::new();
+        for arch in [Architecture::Nvpg, Architecture::Nof] {
+            for tech in nvpg_cells::RetentionKind::LABELS {
+                let pts: Vec<(f64, f64)> = points
+                    .iter()
+                    .filter(|p| p.arch == arch && p.technology == tech)
+                    .filter_map(|p| p.bet.map(|b| (groups_of(&p.granularity), b)))
+                    .collect();
+                series.push(Series::new(format!("{arch} — {tech}"), pts));
+            }
+        }
+        Ok(Figure {
+            id: "ext_macro".into(),
+            caption: "Macro-level BET vs gating granularity per retention technology (extension)"
+                .into(),
+            x_label: "gating groups (4×4 macro)".into(),
+            y_label: "BET (s)".into(),
+            log_x: false,
+            log_y: true,
+            series,
+        })
+    }
+
     fn bet_vs_rows(&self, id: &str, caption: &str, with_store_free: bool) -> Figure {
         let rows_axis: Vec<u32> = [32u32, 64, 128, 256, 512, 1024, 2048, 4096].to_vec();
         let mut series = Vec::new();
@@ -796,6 +860,7 @@ impl Experiments {
             "ext_wer" => Ok(self.ext_wer()),
             "ext_breakdown" => Ok(self.ext_breakdown()),
             "ext_thermal" => self.ext_thermal(),
+            "ext_macro" => self.ext_macro(),
             _ => return None,
         })
     }

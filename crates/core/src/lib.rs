@@ -54,6 +54,7 @@ pub mod domain;
 pub mod energy;
 pub mod error;
 pub mod experiments;
+pub mod macroscale;
 pub mod policy;
 pub mod report;
 pub mod sequence;
@@ -72,14 +73,21 @@ pub use corners::{corner_analysis, Corner, CornerResult};
 pub use domain::PowerDomain;
 pub use energy::{BenchmarkParams, EnergyBreakdown, EnergyModel};
 pub use error::SimError;
-pub use experiments::{Experiments, Figure, Series, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS};
+pub use experiments::{
+    Experiments, Figure, Series, BET_FIGURE_IDS, EXTENSION_IDS, FIGURE_IDS, MACRO_FIGURE_IDS,
+};
+pub use macroscale::{
+    bet_macro_closed_form, bet_macro_scan, store_disturb_check, DisturbReport, MacroScanPoint,
+    ShutdownPolicy,
+};
+pub use nvpg_macro::{Granularity, MacroSpec};
 pub use policy::{IdleDistribution, PolicyModel};
 pub use report::{PointRecord, PointStatus, RunReport};
 pub use sequence::{run_sequence, SequenceParams, SequenceRun};
 pub use thermal::{
     at_temperature, domain_leakage_sweep, temperature_sweep, DomainThermalPoint, ThermalPoint,
 };
-pub use validate::{MatrixConfig, Tolerance, ValidationReport};
+pub use validate::{all_decks, MatrixConfig, Tolerance, ValidationReport};
 pub use variation::{
     run_domain_variation, run_variation, run_variation_report, DomainSample,
     DomainVariationOutcome, VariationOutcome, VariationSpec,

@@ -29,7 +29,7 @@ use std::fmt;
 use std::path::{Path, PathBuf};
 
 use nvpg_circuit::dc::{operating_point, DcOptions};
-use nvpg_circuit::registry::{registry, DeckSpec};
+use nvpg_circuit::registry::DeckSpec;
 use nvpg_circuit::transient::{transient, TransientOptions};
 use nvpg_circuit::{CircuitError, SolverChoice};
 use nvpg_obs::json::{self, Json};
@@ -494,7 +494,7 @@ pub fn capture_like(golden: &Golden, spec: &DeckSpec) -> Result<Golden, CircuitE
 /// missing or unparsable golden file is a failure (taxonomies
 /// `golden_missing_file` / `golden_parse`), never a silent skip.
 pub fn check_goldens(dir: &Path, report: &mut ValidationReport) {
-    for spec in registry() {
+    for spec in super::all_decks() {
         let mut analyses = vec!["dc"];
         if spec.t_stop > 0.0 {
             analyses.push("tran");

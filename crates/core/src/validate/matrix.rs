@@ -11,7 +11,7 @@
 
 use nvpg_circuit::batched::batched_operating_point;
 use nvpg_circuit::dc::{operating_point, DcOptions};
-use nvpg_circuit::registry::{random_circuit, registry, DeckSpec};
+use nvpg_circuit::registry::{random_circuit, DeckSpec};
 use nvpg_circuit::transient::{transient, TransientOptions};
 use nvpg_circuit::{Circuit, CircuitError, SolverChoice};
 use nvpg_exec::par_map;
@@ -56,9 +56,10 @@ impl MatrixConfig {
         }
     }
 
-    /// The registry decks this configuration covers (in registry order).
+    /// The decks this configuration covers, in corpus order (the parser
+    /// registry followed by the programmatic macro decks).
     pub fn selected(&self) -> Vec<DeckSpec> {
-        registry()
+        super::all_decks()
             .into_iter()
             .filter(|spec| {
                 self.decks

@@ -32,8 +32,20 @@ pub use ngspice::{ngspice_available, run_ngspice_checks};
 use std::fmt;
 
 use crate::report::{PointStatus, RunReport};
+use nvpg_circuit::registry::{registry, DeckSpec};
 use nvpg_circuit::RescueStats;
 use nvpg_obs::metrics::counters;
+
+/// The complete deck corpus the harness validates: the parser registry
+/// plus the programmatic macro decks from `nvpg-macro` (which
+/// `nvpg-circuit` cannot list itself without a dependency cycle). The
+/// matrix, golden check and bless paths all enumerate this list, so a
+/// macro deck gets exactly the coverage a hand-written one does.
+pub fn all_decks() -> Vec<DeckSpec> {
+    let mut decks = registry();
+    decks.extend(nvpg_macro::macro_decks());
+    decks
+}
 
 /// Absolute + relative comparison tolerance. Two values agree when
 /// `|a - b| <= abs + rel * max(|a|, |b|)`.

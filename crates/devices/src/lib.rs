@@ -11,6 +11,11 @@
 //! * [`llg`] — a macrospin Landau–Lifshitz–Gilbert integrator used to
 //!   validate the threshold CIMS model from first principles.
 //!
+//! The [`retention`] module abstracts the nonvolatile element behind the
+//! [`retention::RetentionDevice`] trait so cells and macros can swap the
+//! MTJ for an FeFET retention cell or a NAND-SPIN element without
+//! touching the netlist builders.
+//!
 //! All models implement [`nvpg_circuit::NonlinearDevice`] and plug
 //! directly into `nvpg-circuit` netlists:
 //!
@@ -34,7 +39,12 @@ pub mod finfet;
 pub mod iv;
 pub mod llg;
 pub mod mtj;
+pub mod retention;
 
 pub use finfet::{FinFet, FinFetParams, Polarity};
 pub use llg::{Macrospin, MacrospinParams, SwitchOutcome};
 pub use mtj::{Mtj, MtjParams, MtjState};
+pub use retention::{
+    decode_state, Fefet, FefetParams, FefetRetention, MtjRetention, NandSpinParams,
+    NandSpinRetention, RetentionDevice, RetentionState,
+};

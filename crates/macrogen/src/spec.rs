@@ -1,0 +1,235 @@
+//! Macro parameterisation: dimensions, column-mux ratio, power-gating
+//! granularity, architecture and retention technology.
+
+use nvpg_cells::design::CellDesign;
+use nvpg_cells::domain::DomainKind;
+use nvpg_circuit::CircuitError;
+
+/// How finely the cell array's header switches are split.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Granularity {
+    /// One header (and one SR/CTRL pair) per row — the finest gating the
+    /// paper's per-row store sequencing implies.
+    PerRow,
+    /// `n` equal banks of consecutive rows, one header per bank.
+    PerBank(usize),
+    /// One header for the whole macro (the `DomainArray` arrangement).
+    PerDomain,
+}
+
+impl Granularity {
+    /// Stable lowercase label used in cache keys and reports
+    /// (`"per_row"`, `"per_bank4"`, `"per_domain"`).
+    pub fn label(&self) -> String {
+        match self {
+            Granularity::PerRow => "per_row".to_owned(),
+            Granularity::PerBank(n) => format!("per_bank{n}"),
+            Granularity::PerDomain => "per_domain".to_owned(),
+        }
+    }
+
+    /// Parses a label produced by [`label`](Self::label).
+    pub fn from_label(s: &str) -> Option<Granularity> {
+        match s {
+            "per_row" => Some(Granularity::PerRow),
+            "per_domain" => Some(Granularity::PerDomain),
+            other => other
+                .strip_prefix("per_bank")
+                .and_then(|n| n.parse::<usize>().ok())
+                .filter(|&n| n >= 1)
+                .map(Granularity::PerBank),
+        }
+    }
+
+    /// Number of gating groups for a macro of `rows` rows.
+    pub fn groups(&self, rows: usize) -> usize {
+        match self {
+            Granularity::PerRow => rows,
+            Granularity::PerBank(n) => (*n).min(rows),
+            Granularity::PerDomain => 1,
+        }
+    }
+}
+
+/// A complete macro specification.
+///
+/// `design.retention` selects the technology every NV element in the
+/// array instantiates; `arch` selects the cell flavour and the standby
+/// policy semantics (see [`DomainKind`]).
+#[derive(Debug, Clone, Copy)]
+pub struct MacroSpec {
+    /// Word-line count (cells per column).
+    pub rows: usize,
+    /// Bit-line pair count (cells per row).
+    pub cols: usize,
+    /// Column-mux ratio: columns sharing one sense amp / write driver.
+    pub mux: usize,
+    /// Header-switch granularity.
+    pub granularity: Granularity,
+    /// Architecture (NVPG / OSR / NOF).
+    pub kind: DomainKind,
+    /// Cell design point, including the retention technology.
+    pub design: CellDesign,
+}
+
+impl MacroSpec {
+    /// A macro of the paper's Table-I cells: `rows × cols`, mux ratio
+    /// `mux`, NVPG architecture, per-domain gating, MTJ retention.
+    pub fn new(rows: usize, cols: usize, mux: usize) -> Self {
+        MacroSpec {
+            rows,
+            cols,
+            mux,
+            granularity: Granularity::PerDomain,
+            kind: DomainKind::Nvpg,
+            design: CellDesign::table1(),
+        }
+    }
+
+    /// Returns a copy with another gating granularity.
+    #[must_use]
+    pub fn with_granularity(mut self, g: Granularity) -> Self {
+        self.granularity = g;
+        self
+    }
+
+    /// Returns a copy with another architecture.
+    #[must_use]
+    pub fn with_kind(mut self, kind: DomainKind) -> Self {
+        self.kind = kind;
+        self
+    }
+
+    /// Returns a copy re-targeted at a retention technology label, or
+    /// `None` for an unknown label.
+    pub fn with_technology(mut self, label: &str) -> Option<Self> {
+        self.design = CellDesign::for_technology(label)?;
+        Some(self)
+    }
+
+    /// Number of gating groups.
+    pub fn groups(&self) -> usize {
+        self.granularity.groups(self.rows)
+    }
+
+    /// Rows belonging to gating group `g` (consecutive blocks).
+    pub fn group_rows(&self, g: usize) -> std::ops::Range<usize> {
+        let groups = self.groups();
+        let base = self.rows / groups;
+        let extra = self.rows % groups;
+        // First `extra` groups get one extra row.
+        let start = g * base + g.min(extra);
+        let len = base + usize::from(g < extra);
+        start..start + len
+    }
+
+    /// Gating group that row `row` belongs to.
+    pub fn group_of_row(&self, row: usize) -> usize {
+        (0..self.groups())
+            .find(|&g| self.group_rows(g).contains(&row))
+            .expect("row in range")
+    }
+
+    /// Validates the spec, returning a typed error for degenerate
+    /// parameter combinations.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::InvalidValue`] when rows/cols/mux are zero, the
+    /// mux ratio does not divide the column count, or a bank split
+    /// exceeds the row count.
+    pub fn validate(&self) -> Result<(), CircuitError> {
+        let fail = |reason: String| {
+            Err(CircuitError::InvalidValue {
+                element: "macro".to_owned(),
+                reason,
+            })
+        };
+        if self.rows == 0 || self.cols == 0 {
+            return fail(format!(
+                "macro dimensions must be nonzero (got {}×{})",
+                self.rows, self.cols
+            ));
+        }
+        if self.mux == 0 || !self.cols.is_multiple_of(self.mux) {
+            return fail(format!(
+                "mux ratio {} must be a nonzero divisor of the column count {}",
+                self.mux, self.cols
+            ));
+        }
+        if let Granularity::PerBank(n) = self.granularity {
+            if n == 0 || n > self.rows {
+                return fail(format!(
+                    "bank count {n} must be in 1..={} for a {}-row macro",
+                    self.rows, self.rows
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granularity_labels_round_trip() {
+        for g in [
+            Granularity::PerRow,
+            Granularity::PerBank(4),
+            Granularity::PerDomain,
+        ] {
+            assert_eq!(Granularity::from_label(&g.label()), Some(g));
+        }
+        assert_eq!(Granularity::from_label("per_bank0"), None);
+        assert_eq!(Granularity::from_label("row"), None);
+    }
+
+    #[test]
+    fn group_rows_partition_the_macro() {
+        let spec = MacroSpec::new(10, 4, 2).with_granularity(Granularity::PerBank(3));
+        let mut seen = Vec::new();
+        for g in 0..spec.groups() {
+            for r in spec.group_rows(g) {
+                assert_eq!(spec.group_of_row(r), g);
+                seen.push(r);
+            }
+        }
+        assert_eq!(seen, (0..10).collect::<Vec<_>>());
+        assert_eq!(MacroSpec::new(8, 4, 2).groups(), 1);
+        assert_eq!(
+            MacroSpec::new(8, 4, 2)
+                .with_granularity(Granularity::PerRow)
+                .groups(),
+            8
+        );
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        assert!(MacroSpec::new(4, 4, 2).validate().is_ok());
+        for bad in [
+            MacroSpec::new(0, 4, 2),
+            MacroSpec::new(4, 0, 2),
+            MacroSpec::new(4, 4, 0),
+            MacroSpec::new(4, 4, 3), // 3 does not divide 4
+            MacroSpec::new(4, 4, 2).with_granularity(Granularity::PerBank(9)),
+            MacroSpec::new(4, 4, 2).with_granularity(Granularity::PerBank(0)),
+        ] {
+            match bad.validate() {
+                Err(CircuitError::InvalidValue { element, .. }) => {
+                    assert_eq!(element, "macro")
+                }
+                other => panic!("expected InvalidValue, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn technology_retarget() {
+        let spec = MacroSpec::new(4, 4, 2).with_technology("fefet").unwrap();
+        assert_eq!(spec.design.retention.label(), "fefet");
+        assert!(MacroSpec::new(4, 4, 2).with_technology("nope").is_none());
+    }
+}

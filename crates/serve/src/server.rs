@@ -32,7 +32,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use nvpg_cells::design::CellDesign;
+use nvpg_cells::design::{CellDesign, RetentionKind};
 use nvpg_circuit::dc::{operating_point, DcOptions};
 use nvpg_circuit::transient::{transient, TransientOptions};
 use nvpg_circuit::{CircuitError, SolverChoice};
@@ -63,14 +63,29 @@ const RETRY_AFTER_S: u32 = 1;
 /// demand, not at bind time, so `/healthz` answers immediately after
 /// startup.
 fn experiments() -> Result<&'static Experiments, String> {
-    static EXPERIMENTS: OnceLock<Result<Experiments, String>> = OnceLock::new();
-    EXPERIMENTS
+    experiments_for("mtj")
+}
+
+/// Per-retention-technology characterisations, one [`OnceLock`] slot per
+/// label in [`RetentionKind::LABELS`] so a `"fefet"` query never pays
+/// for — or blocks on — the `"mtj"` build. An unknown label is the
+/// caller's validation error, not a slot.
+fn experiments_for(technology: &str) -> Result<&'static Experiments, String> {
+    static SLOTS: [OnceLock<Result<Experiments, String>>; RetentionKind::LABELS.len()] =
+        [OnceLock::new(), OnceLock::new(), OnceLock::new()];
+    let idx = RetentionKind::LABELS
+        .iter()
+        .position(|l| *l == technology)
+        .ok_or_else(|| format!("unknown technology `{technology}`"))?;
+    SLOTS[idx]
         .get_or_init(|| {
             // Shielded from the triggering request's deadline: the
             // characterisation outlives any one request, and a cancelled
             // first attempt would poison the cell for the process.
             cancel::shielded(|| {
-                Experiments::new(CellDesign::table1()).map_err(|e| format!("characterisation: {e}"))
+                let design = CellDesign::for_technology(technology)
+                    .expect("label position checked against RetentionKind::LABELS");
+                Experiments::new(design).map_err(|e| format!("characterisation: {e}"))
             })
         })
         .as_ref()
@@ -435,7 +450,8 @@ fn dispatch(request: &Request, shared: &Shared, token: &CancelToken) -> Response
         ("POST", "/bet") => cached(request, shared, token, bet),
         ("POST", "/sweep") => cached(request, shared, token, sweep),
         ("POST", "/simulate") => cached(request, shared, token, simulate),
-        (method, "/bet" | "/sweep" | "/simulate") if method != "POST" => {
+        ("POST", "/macro") => cached(request, shared, token, macro_report),
+        (method, "/bet" | "/sweep" | "/simulate" | "/macro") if method != "POST" => {
             Response::error(405, "use POST")
         }
         _ => Response::error(404, &format!("no route for {}", request.path)),
@@ -662,9 +678,37 @@ fn bet_json(bet: Bet) -> String {
     }
 }
 
+/// Decodes an optional `"technology"` field against
+/// [`RetentionKind::LABELS`], defaulting to the paper's `"mtj"`.
+fn technology_from(
+    obj: &std::collections::BTreeMap<String, Json>,
+) -> Result<&'static str, Response> {
+    match obj.get("technology") {
+        None => Ok("mtj"),
+        Some(v) => match v.as_str() {
+            Some(s) => RetentionKind::LABELS
+                .iter()
+                .find(|l| **l == s)
+                .copied()
+                .ok_or_else(|| {
+                    Response::error(
+                        400,
+                        &format!(
+                            "unknown technology `{s}` (expected one of {:?})",
+                            RetentionKind::LABELS
+                        ),
+                    )
+                }),
+            None => Err(Response::error(400, "`technology` must be a string")),
+        },
+    }
+}
+
 /// Decodes the common parts of `/bet` and `/sweep` bodies: architecture,
-/// solver choice, and benchmark parameters.
-fn bet_inputs(body: &Json) -> Result<(Architecture, bool, nvpg_core::BenchmarkParams), Response> {
+/// solver choice, retention technology, and benchmark parameters.
+fn bet_inputs(
+    body: &Json,
+) -> Result<(Architecture, bool, &'static str, nvpg_core::BenchmarkParams), Response> {
     let obj = body
         .as_obj()
         .ok_or_else(|| Response::error(400, "body must be a JSON object"))?;
@@ -688,24 +732,27 @@ fn bet_inputs(body: &Json) -> Result<(Architecture, bool, nvpg_core::BenchmarkPa
             ))
         }
     };
+    let technology = technology_from(obj)?;
     // The params decoder rejects unknown fields; strip ours first.
     let mut params_obj = obj.clone();
     params_obj.remove("arch");
     params_obj.remove("method");
+    params_obj.remove("technology");
     params_obj.remove("var");
     params_obj.remove("values");
     let params =
         benchmark_params_from_json(&Json::Obj(params_obj)).map_err(|e| Response::error(400, &e))?;
-    Ok((arch, iterative, params))
+    Ok((arch, iterative, technology, params))
 }
 
-/// Solves one BET query.
+/// Solves one BET query against the named technology's characterisation.
 fn solve_bet(
     arch: Architecture,
     iterative: bool,
+    technology: &str,
     params: &nvpg_core::BenchmarkParams,
 ) -> Result<Bet, Response> {
-    let exp = experiments().map_err(|e| Response::error(500, &e))?;
+    let exp = experiments_for(technology).map_err(|e| Response::error(500, &e))?;
     Ok(if iterative {
         bet_iterative(exp.model(), arch, params, 10.0)
     } else {
@@ -715,17 +762,136 @@ fn solve_bet(
 
 /// `POST /bet` — one break-even-time query.
 fn bet(_request: &Request, body: &Json, _shared: &Shared) -> Response {
-    let (arch, iterative, params) = match bet_inputs(body) {
+    let (arch, iterative, technology, params) = match bet_inputs(body) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
-    match solve_bet(arch, iterative, &params) {
+    match solve_bet(arch, iterative, technology, &params) {
         Ok(bet) => Response::ok(
             "application/json",
-            format!("{{\"arch\":\"{arch}\",\"bet\":{}}}\n", bet_json(bet)),
+            format!(
+                "{{\"arch\":\"{arch}\",\"technology\":\"{technology}\",\"bet\":{}}}\n",
+                bet_json(bet)
+            ),
         ),
         Err(resp) => resp,
     }
+}
+
+/// The largest macro edge `/macro` will build: a 64×64 macro is ~20k
+/// MNA unknowns on the sparse backend — comfortably solvable, while
+/// still bounding what one request can pin a worker with.
+const MACRO_MAX_EDGE: usize = 64;
+
+/// `POST /macro` — one macro-level break-even-time report.
+///
+/// Builds the parameterised NV-SRAM macro netlist ([`MacroSpec`]) at
+/// the requested geometry, solves its operating point next to the
+/// matching OSR macro, and answers the periphery-priced BET for the
+/// chosen architecture under the half-array shutdown policy the
+/// granularity implies ([`nvpg_core::bet_macro_scan`]). Flows through
+/// [`cached`], so identical specs share one solve and one cache entry.
+fn macro_report(_request: &Request, body: &Json, _shared: &Shared) -> Response {
+    let obj = match body.as_obj() {
+        Some(o) => o,
+        None => return Response::error(400, "body must be a JSON object"),
+    };
+    const KNOWN: [&str; 6] = ["rows", "cols", "mux", "granularity", "arch", "technology"];
+    for key in obj.keys() {
+        if !KNOWN.contains(&key.as_str()) {
+            return Response::error(400, &format!("unknown field `{key}` (expected {KNOWN:?})"));
+        }
+    }
+    let dim = |name: &str, default: usize| -> Result<usize, Response> {
+        match obj.get(name) {
+            None => Ok(default),
+            Some(v) => match v.as_num() {
+                Some(n) if n >= 1.0 && n.fract() == 0.0 && n <= MACRO_MAX_EDGE as f64 => {
+                    Ok(n as usize)
+                }
+                _ => Err(Response::error(
+                    400,
+                    &format!("`{name}` must be an integer in 1..={MACRO_MAX_EDGE}"),
+                )),
+            },
+        }
+    };
+    let (rows, cols, mux) = match (dim("rows", 4), dim("cols", 4), dim("mux", 1)) {
+        (Ok(r), Ok(c), Ok(m)) => (r, c, m),
+        (Err(resp), ..) | (_, Err(resp), _) | (.., Err(resp)) => return resp,
+    };
+    let granularity = match obj.get("granularity") {
+        None => nvpg_core::Granularity::PerDomain,
+        Some(v) => match v.as_str().and_then(nvpg_core::Granularity::from_label) {
+            Some(g) => g,
+            None => {
+                return Response::error(
+                    400,
+                    "`granularity` must be `per_row`, `per_bank{N}` or `per_domain`",
+                )
+            }
+        },
+    };
+    let arch = match obj.get("arch") {
+        Some(v) => match architecture_from_json(v) {
+            Ok(a) if a.is_nonvolatile() => a,
+            Ok(_) => {
+                return Response::error(
+                    400,
+                    "macro BET is defined against the OSR baseline; pick NVPG or NOF",
+                )
+            }
+            Err(e) => return Response::error(400, &e),
+        },
+        None => Architecture::Nvpg,
+    };
+    let technology = match technology_from(obj) {
+        Ok(t) => t,
+        Err(resp) => return resp,
+    };
+    let spec = nvpg_core::MacroSpec::new(rows, cols, mux).with_granularity(granularity);
+    if let Err(e) = spec.validate() {
+        return Response::error(400, &format!("invalid macro spec: {e}"));
+    }
+    let params = nvpg_core::BenchmarkParams::fig7_default();
+    let points = match nvpg_core::bet_macro_scan(
+        rows,
+        cols,
+        mux,
+        &[granularity],
+        &[technology],
+        &params,
+        1,
+        nvpg_core::default_batch(),
+    ) {
+        Ok(p) => p,
+        Err(e) => return solver_error("macro scan", &e),
+    };
+    let point = match points.into_iter().find(|p| p.arch == arch) {
+        Some(p) => p,
+        None => return Response::error(500, "macro scan answered no point for the architecture"),
+    };
+    let bet = match point.bet {
+        Some(t) => Bet::At(nvpg_units::Seconds(t)),
+        None => Bet::Never,
+    };
+    Response::ok(
+        "application/json",
+        format!(
+            "{{\"arch\":\"{arch}\",\"technology\":\"{}\",\"granularity\":\"{}\",\
+             \"rows\":{rows},\"cols\":{cols},\"mux\":{mux},\"groups\":{},\
+             \"unknowns\":{},\"static_power_w\":{:e},\"periphery_overhead_w\":{:e},\
+             \"gated_fraction\":{},\"bet\":{}}}\n",
+            point.technology,
+            point.granularity,
+            granularity.groups(rows),
+            point.unknowns,
+            point.static_power,
+            point.periphery_overhead,
+            point.gated_fraction,
+            bet_json(bet)
+        ),
+    )
 }
 
 /// The proxy-domain geometry behind `var: "vth_shift"` sweeps: each
@@ -744,10 +910,11 @@ const VTH_SCAN_COLS: usize = 4;
 /// request-level concurrency, and the batched backend already solves
 /// the whole point set as one stack.
 fn solve_vth_scan(
+    technology: &str,
     params: &nvpg_core::BenchmarkParams,
     shifts: &[f64],
 ) -> Result<Vec<Bet>, Response> {
-    let exp = experiments().map_err(|e| Response::error(500, &e))?;
+    let exp = experiments_for(technology).map_err(|e| Response::error(500, &e))?;
     let fins = [exp.design().fins_power_switch];
     let scan = nvpg_core::bet_design_scan(
         exp.design(),
@@ -785,7 +952,7 @@ fn solve_vth_scan(
 /// topology (arch, method, var, params), different sets — coalesce
 /// through [`Shared::batcher`] into one union solve per window.
 fn sweep(request: &Request, body: &Json, shared: &Shared) -> Response {
-    let (arch, iterative, base) = match bet_inputs(body) {
+    let (arch, iterative, technology, base) = match bet_inputs(body) {
         Ok(v) => v,
         Err(resp) => return resp,
     };
@@ -870,11 +1037,11 @@ fn sweep(request: &Request, body: &Json, shared: &Shared) -> Response {
     }
     let solve_points = |points: &[f64]| -> Result<Vec<Bet>, Response> {
         if var == "vth_shift" {
-            solve_vth_scan(&base, points)
+            solve_vth_scan(technology, &base, points)
         } else {
             points
                 .iter()
-                .map(|&v| solve_bet(arch, iterative, &params_at(v)?))
+                .map(|&v| solve_bet(arch, iterative, technology, &params_at(v)?))
                 .collect()
         }
     };

@@ -924,3 +924,110 @@ fn truncated_request_lines_are_malformed_not_http10() {
     let ok = request(addr, "GET /healthz HTTP/1.0\r\nHost: t\r\n\r\n");
     assert_eq!(ok.status, 200, "{}", ok.text());
 }
+
+#[test]
+fn technology_field_selects_characterisation_and_cache_key() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    // Unknown or mistyped technologies are structured 400s on both
+    // endpoints, before any characterisation work starts.
+    let bad = post(addr, "/bet", r#"{"arch":"NVPG","technology":"flux"}"#);
+    assert_eq!(bad.status, 400, "{}", bad.text());
+    assert!(bad.text().contains("technology"), "{}", bad.text());
+    assert_eq!(
+        post(addr, "/bet", r#"{"arch":"NVPG","technology":7}"#).status,
+        400
+    );
+    assert_eq!(
+        post(
+            addr,
+            "/sweep",
+            r#"{"arch":"NVPG","var":"n_rw","values":[1],"technology":"flux"}"#
+        )
+        .status,
+        400
+    );
+
+    // A valid non-default technology answers 200, names itself in the
+    // body, and is its own cache entry (a second solve, not a hit).
+    let solves0 = counters::SERVE_SOLVES.get();
+    let mtj = post(addr, "/bet", r#"{"arch":"NVPG"}"#);
+    assert_eq!(mtj.status, 200, "{}", mtj.text());
+    assert!(
+        mtj.text().contains("\"technology\":\"mtj\""),
+        "{}",
+        mtj.text()
+    );
+    let spin = post(addr, "/bet", r#"{"arch":"NVPG","technology":"nand_spin"}"#);
+    assert_eq!(spin.status, 200, "{}", spin.text());
+    assert!(
+        spin.text().contains("\"technology\":\"nand_spin\""),
+        "{}",
+        spin.text()
+    );
+    assert!(
+        counters::SERVE_SOLVES.get() - solves0 >= 2,
+        "distinct technologies must not share a cache entry"
+    );
+    // Repeating the non-default query is a pure cache hit.
+    let solves1 = counters::SERVE_SOLVES.get();
+    let again = post(addr, "/bet", r#"{"arch":"NVPG","technology":"nand_spin"}"#);
+    assert_eq!(again.status, 200);
+    assert_eq!(again.body, spin.body, "identical response bytes");
+    assert_eq!(counters::SERVE_SOLVES.get(), solves1, "no recompute");
+}
+
+#[test]
+fn macro_endpoint_validates_solves_and_caches() {
+    let _l = lock();
+    let server = Server::start(test_config()).expect("start");
+    let addr = server.addr();
+
+    // Wrong method and malformed specs are rejected before any solve.
+    assert_eq!(get(addr, "/macro").status, 405);
+    assert_eq!(post(addr, "/macro", r#"{"bogus":1}"#).status, 400);
+    assert_eq!(post(addr, "/macro", r#"{"rows":0}"#).status, 400);
+    assert_eq!(post(addr, "/macro", r#"{"rows":1000000}"#).status, 400);
+    let indivisible = post(addr, "/macro", r#"{"cols":4,"mux":3}"#);
+    assert_eq!(indivisible.status, 400, "{}", indivisible.text());
+    assert_eq!(
+        post(addr, "/macro", r#"{"granularity":"per_nothing"}"#).status,
+        400
+    );
+    assert_eq!(post(addr, "/macro", r#"{"arch":"OSR"}"#).status, 400);
+    assert_eq!(post(addr, "/macro", r#"{"technology":"flux"}"#).status, 400);
+
+    // A small macro report: one solve, structured fields, and a BET.
+    let body = r#"{"rows":2,"cols":2,"mux":1,"granularity":"per_row","technology":"mtj"}"#;
+    let solves0 = counters::SERVE_SOLVES.get();
+    let a = post(addr, "/macro", body);
+    assert_eq!(a.status, 200, "{}", a.text());
+    let text = a.text();
+    for needle in [
+        "\"arch\":\"NVPG\"",
+        "\"technology\":\"mtj\"",
+        "\"granularity\":\"per_row\"",
+        "\"groups\":2",
+        "\"unknowns\":",
+        "\"static_power_w\":",
+        "\"bet\":{\"kind\":",
+    ] {
+        assert!(text.contains(needle), "missing {needle} in {text}");
+    }
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1);
+
+    // Determinism through the cache: the same spec answers the same
+    // bytes without a second solve, in any field order.
+    let hits0 = counters::SERVE_CACHE_HITS.get();
+    let b = post(
+        addr,
+        "/macro",
+        r#"{"technology":"mtj","granularity":"per_row","mux":1,"cols":2,"rows":2}"#,
+    );
+    assert_eq!(b.status, 200);
+    assert_eq!(b.body, a.body, "identical response bytes");
+    assert_eq!(counters::SERVE_SOLVES.get() - solves0, 1, "no second solve");
+    assert_eq!(counters::SERVE_CACHE_HITS.get() - hits0, 1);
+}
